@@ -1,0 +1,141 @@
+//! Common prefixes and suffixes of string collections.
+//!
+//! The LR (WIEN) wrapper language learns, from a set of labeled occurrences,
+//! the **longest common string preceding** and **following** each example
+//! (§5). Those are exactly the longest common *suffix of the left contexts*
+//! and the longest common *prefix of the right contexts*.
+
+/// Longest common prefix of all strings in `items`, as a byte length.
+/// Returns the full length of the first item when `items` has one element,
+/// and 0 when `items` is empty.
+pub fn common_prefix_len<S: AsRef<str>>(items: &[S]) -> usize {
+    let mut iter = items.iter();
+    let Some(first) = iter.next() else { return 0 };
+    let mut prefix = first.as_ref().len();
+    for s in iter {
+        prefix = prefix.min(mismatch_forward(first.as_ref(), s.as_ref()));
+        if prefix == 0 {
+            break;
+        }
+    }
+    prefix
+}
+
+/// Longest common suffix of all strings in `items`, as a byte length.
+pub fn common_suffix_len<S: AsRef<str>>(items: &[S]) -> usize {
+    let mut iter = items.iter();
+    let Some(first) = iter.next() else { return 0 };
+    let mut suffix = first.as_ref().len();
+    for s in iter {
+        suffix = suffix.min(mismatch_backward(first.as_ref(), s.as_ref()));
+        if suffix == 0 {
+            break;
+        }
+    }
+    suffix
+}
+
+/// Number of equal leading bytes of `a` and `b`, truncated to a char
+/// boundary of `a`.
+fn mismatch_forward(a: &str, b: &str) -> usize {
+    let n = a
+        .as_bytes()
+        .iter()
+        .zip(b.as_bytes())
+        .take_while(|(x, y)| x == y)
+        .count();
+    floor_char_boundary(a, n)
+}
+
+/// Number of equal trailing bytes of `a` and `b`, adjusted to a char
+/// boundary of `a`.
+fn mismatch_backward(a: &str, b: &str) -> usize {
+    let n = a
+        .as_bytes()
+        .iter()
+        .rev()
+        .zip(b.as_bytes().iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    // Ensure a.len()-n is a char boundary.
+    let mut k = n;
+    while k > 0 && !a.is_char_boundary(a.len() - k) {
+        k -= 1;
+    }
+    k
+}
+
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// The longest common suffix string of the given left-contexts.
+pub fn common_suffix<S: AsRef<str>>(items: &[S]) -> String {
+    let n = common_suffix_len(items);
+    items
+        .first()
+        .map(|s| {
+            let s = s.as_ref();
+            s[s.len() - n..].to_string()
+        })
+        .unwrap_or_default()
+}
+
+/// The longest common prefix string of the given right-contexts.
+pub fn common_prefix<S: AsRef<str>>(items: &[S]) -> String {
+    let n = common_prefix_len(items);
+    items.first().map(|s| s.as_ref()[..n].to_string()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_basic() {
+        assert_eq!(common_prefix(&["<td><u>", "<td><u>", "<td><u>"]), "<td><u>");
+        assert_eq!(common_prefix(&["abcx", "abcy", "abcz"]), "abc");
+        assert_eq!(common_prefix(&["abc", "xbc"]), "");
+    }
+
+    #[test]
+    fn suffix_basic() {
+        assert_eq!(common_suffix(&["x</u>", "y</u>"]), "</u>");
+        assert_eq!(common_suffix(&["abc", "bc", "c"]), "c");
+        assert_eq!(common_suffix(&["abc", "abd"]), "");
+    }
+
+    #[test]
+    fn single_and_empty_collections() {
+        assert_eq!(common_prefix(&["hello"]), "hello");
+        assert_eq!(common_suffix(&["hello"]), "hello");
+        let empty: [&str; 0] = [];
+        assert_eq!(common_prefix(&empty), "");
+        assert_eq!(common_suffix(&empty), "");
+    }
+
+    #[test]
+    fn empty_string_member() {
+        assert_eq!(common_prefix(&["abc", ""]), "");
+        assert_eq!(common_suffix(&["", "abc"]), "");
+    }
+
+    #[test]
+    fn utf8_boundaries_respected() {
+        // 'é' is 2 bytes; make sure we never split it.
+        assert_eq!(common_prefix(&["café!", "café?"]), "café");
+        assert_eq!(common_suffix(&["1né", "2né"]), "né");
+        // Differ in the middle of a multibyte char.
+        assert_eq!(common_prefix(&["é", "è"]), ""); // share first byte 0xc3
+    }
+
+    #[test]
+    fn prefix_of_identical_strings() {
+        assert_eq!(common_prefix(&["same", "same"]), "same");
+        assert_eq!(common_suffix(&["same", "same"]), "same");
+    }
+}

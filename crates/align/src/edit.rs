@@ -1,0 +1,155 @@
+//! Edit distance (Levenshtein) over generic item slices.
+//!
+//! The publication model's *alignment* feature (§6.1) is "the maximum
+//! pairwise edit distance between pairs of segments"; segments are tag
+//! sequences, so distance is computed over arbitrary `Eq` items.
+
+/// Levenshtein distance between `a` and `b` (unit costs).
+pub fn edit_distance<T: Eq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, x) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, y) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(x != y);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance with an early-exit upper bound: returns `None` when
+/// the distance certainly exceeds `bound`. Used to cap the cost of pairwise
+/// alignment over long record segments.
+pub fn edit_distance_bounded<T: Eq>(a: &[T], b: &[T], bound: usize) -> Option<usize> {
+    if a.len().abs_diff(b.len()) > bound {
+        return None;
+    }
+    let d = edit_distance(a, b);
+    (d <= bound).then_some(d)
+}
+
+/// Edit distance where some positions are *pinned*: a pinned position in `a`
+/// may only align to a pinned position in `b` and vice versa. Pinning is
+/// how the multi-type ranking (Appendix A) enforces "nodes corresponding to
+/// each type align with each other": typed nodes are pinned with the type
+/// index, untyped items are free.
+///
+/// `pa[i]` / `pb[j]` give `Some(type_index)` for pinned items. A
+/// substitution between items with different `Some` pins, or between a
+/// pinned and an unpinned item, is forbidden (infinite cost); deleting or
+/// inserting a pinned item costs `pin_indel_cost` (usually larger than 1)
+/// so missing typed fields are penalized.
+pub fn edit_distance_pinned<T: Eq>(
+    a: &[T],
+    b: &[T],
+    pa: &[Option<u32>],
+    pb: &[Option<u32>],
+    pin_indel_cost: usize,
+) -> usize {
+    assert_eq!(a.len(), pa.len());
+    assert_eq!(b.len(), pb.len());
+    const INF: usize = usize::MAX / 4;
+    let indel = |pin: &Option<u32>| if pin.is_some() { pin_indel_cost } else { 1 };
+
+    let mut prev: Vec<usize> = Vec::with_capacity(b.len() + 1);
+    prev.push(0);
+    for j in 0..b.len() {
+        prev.push(prev[j] + indel(&pb[j]));
+    }
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 0..a.len() {
+        cur[0] = prev[0] + indel(&pa[i]);
+        for j in 0..b.len() {
+            let sub_allowed = pa[i] == pb[j]; // both None, or same pin
+            let sub_cost = if sub_allowed { usize::from(a[i] != b[j]) } else { INF };
+            let sub = prev[j].saturating_add(sub_cost);
+            let del = prev[j + 1] + indel(&pa[i]);
+            let ins = cur[j] + indel(&pb[j]);
+            cur[j + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        let a: Vec<char> = "kitten".chars().collect();
+        let b: Vec<char> = "sitting".chars().collect();
+        assert_eq!(edit_distance(&a, &b), 3);
+        assert_eq!(edit_distance(&b, &a), 3);
+    }
+
+    #[test]
+    fn empty_and_identical() {
+        let e: [u8; 0] = [];
+        assert_eq!(edit_distance(&e, b"abc"), 3);
+        assert_eq!(edit_distance(b"abc", &e), 3);
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+        assert_eq!(edit_distance::<u8>(&e, &e), 0);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let a = b"abcd";
+        let b = b"axcd";
+        let c = b"axyd";
+        assert!(edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c));
+    }
+
+    #[test]
+    fn bounded_accepts_and_rejects() {
+        let a: Vec<char> = "kitten".chars().collect();
+        let b: Vec<char> = "sitting".chars().collect();
+        assert_eq!(edit_distance_bounded(&a, &b, 3), Some(3));
+        assert_eq!(edit_distance_bounded(&a, &b, 2), None);
+        // Length-difference fast path.
+        assert_eq!(edit_distance_bounded(b"a", b"abcdef", 2), None);
+    }
+
+    #[test]
+    fn pinned_reduces_to_plain_when_unpinned() {
+        let a = b"abcd";
+        let b = b"axcd";
+        let none = vec![None; 4];
+        assert_eq!(edit_distance_pinned(a, b, &none, &none, 3), edit_distance(a, b));
+    }
+
+    #[test]
+    fn pinned_forbids_cross_type_alignment() {
+        // a = [NAME, x], b = [x, NAME]: the pinned NAMEs cannot swap for
+        // free; they must align to each other, costing 2 indels of x.
+        let a = ["NAME", "x"];
+        let b = ["x", "NAME"];
+        let pa = [Some(0), None];
+        let pb = [None, Some(0)];
+        assert_eq!(edit_distance_pinned(&a, &b, &pa, &pb, 5), 2);
+        // Unpinned, the same sequences are distance 2 as well (sub+sub),
+        // but with different pins the forced path is insert+delete of 'x'.
+        let pa2 = [Some(0), None];
+        let pb2 = [None, Some(1)];
+        // NAME(0) must be deleted (cost 5) and NAME(1) inserted (cost 5).
+        assert_eq!(edit_distance_pinned(&a, &b, &pa2, &pb2, 5), 10);
+    }
+
+    #[test]
+    fn pinned_missing_field_costs_indel() {
+        let a = ["NAME", "t", "ZIP"];
+        let b = ["NAME", "t"];
+        let pa = [Some(0), None, Some(1)];
+        let pb = [Some(0), None];
+        assert_eq!(edit_distance_pinned(&a, &b, &pa, &pb, 4), 4);
+    }
+}

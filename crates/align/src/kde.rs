@@ -1,0 +1,135 @@
+//! Kernel density estimation for discrete-valued ranking features.
+//!
+//! §6.1: "since both schema size and alignment are discrete valued features,
+//! we use the kernel density methods that learn a smooth distribution from
+//! finite data samples." We use a Gaussian kernel with Silverman's
+//! rule-of-thumb bandwidth, plus a small uniform floor so unseen values
+//! never get probability zero (log-space ranking needs finite scores).
+
+/// A one-dimensional Gaussian kernel density estimate.
+#[derive(Clone, Debug)]
+pub struct KernelDensity {
+    samples: Vec<f64>,
+    bandwidth: f64,
+    /// Probability floor mixed in uniformly.
+    floor: f64,
+}
+
+impl KernelDensity {
+    /// Fits a KDE to `samples` with Silverman bandwidth.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn fit(samples: &[f64]) -> Self {
+        Self::fit_with_floor(samples, 1e-6)
+    }
+
+    /// Fits with an explicit probability floor (mixed uniformly into every
+    /// density query).
+    pub fn fit_with_floor(samples: &[f64], floor: f64) -> Self {
+        assert!(!samples.is_empty(), "KDE requires at least one sample");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        // Silverman's rule of thumb; clamp so discrete spikes stay smooth.
+        let bandwidth = (1.06 * sd * n.powf(-0.2)).max(0.5);
+        KernelDensity { samples: samples.to_vec(), bandwidth, floor }
+    }
+
+    /// Bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of fitted samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were fitted (unreachable via `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Density estimate at `x` (with the uniform floor mixed in).
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * h);
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|&s| {
+                let z = (x - s) / h;
+                norm * (-0.5 * z * z).exp()
+            })
+            .sum();
+        (sum / self.samples.len() as f64) + self.floor
+    }
+
+    /// Natural log of [`KernelDensity::density`].
+    pub fn log_density(&self, x: f64) -> f64 {
+        self.density(x).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_peaks_at_samples() {
+        let kde = KernelDensity::fit(&[4.0, 4.0, 4.0, 5.0, 4.0]);
+        assert!(kde.density(4.0) > kde.density(8.0));
+        assert!(kde.density(4.0) > kde.density(1.0));
+    }
+
+    #[test]
+    fn density_is_positive_everywhere() {
+        let kde = KernelDensity::fit(&[2.0]);
+        for x in [-100.0, 0.0, 2.0, 50.0, 1e6] {
+            assert!(kde.density(x) > 0.0, "density({x}) must be positive");
+            assert!(kde.log_density(x).is_finite());
+        }
+    }
+
+    #[test]
+    fn roughly_integrates_to_one() {
+        let kde = KernelDensity::fit_with_floor(&[0.0, 1.0, 2.0, 3.0], 0.0);
+        let mut integral = 0.0;
+        let step = 0.01;
+        let mut x = -10.0;
+        while x < 13.0 {
+            integral += kde.density(x) * step;
+            x += step;
+        }
+        assert!((integral - 1.0).abs() < 0.01, "integral = {integral}");
+    }
+
+    #[test]
+    fn identical_samples_get_min_bandwidth() {
+        let kde = KernelDensity::fit(&[3.0; 10]);
+        assert_eq!(kde.bandwidth(), 0.5);
+        assert!(kde.density(3.0) > kde.density(5.0));
+    }
+
+    #[test]
+    fn bandwidth_grows_with_spread() {
+        let tight = KernelDensity::fit(&[1.0, 1.1, 0.9, 1.0, 1.05]);
+        let wide = KernelDensity::fit(&[0.0, 10.0, 20.0, 30.0, 40.0]);
+        assert!(wide.bandwidth() > tight.bandwidth());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_fit_panics() {
+        let _ = KernelDensity::fit(&[]);
+    }
+
+    #[test]
+    fn len_reported() {
+        let kde = KernelDensity::fit(&[1.0, 2.0]);
+        assert_eq!(kde.len(), 2);
+        assert!(!kde.is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! # aw-align — sequence alignment and density estimation
+//!
+//! Algorithmic substrate for two parts of the VLDB 2011 framework:
+//!
+//! * the **LR (WIEN) inductor** needs longest common prefixes/suffixes of
+//!   label contexts ([`affix`]);
+//! * the **web-publication model** (§6.1) needs the longest common
+//!   substring between record segments (schema size), pairwise edit
+//!   distance (alignment), and kernel density estimation over those
+//!   discrete features ([`lcs`], [`edit`], [`kde`]).
+
+pub mod affix;
+pub mod edit;
+pub mod kde;
+pub mod lcs;
+pub mod stats;
+
+pub use affix::{common_prefix, common_prefix_len, common_suffix, common_suffix_len};
+pub use edit::{edit_distance, edit_distance_bounded, edit_distance_pinned};
+pub use kde::KernelDensity;
+pub use lcs::{longest_common_subsequence_len, longest_common_substring, longest_common_substring_len};

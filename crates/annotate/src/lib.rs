@@ -1,0 +1,22 @@
+//! # aw-annotate — automatic annotators
+//!
+//! The cheap, noisy label sources that replace site-level human supervision
+//! (§1, §7, Appendix A):
+//!
+//! * [`DictionaryAnnotator`] — exact or containment matches against a
+//!   dictionary (business names, track titles, product models);
+//! * [`zipcode`] — the five-digit US zipcode matcher of Appendix A;
+//! * [`SyntheticAnnotator`] — the controlled `(p₁, p₂)` annotator of §7.4
+//!   that dials in any precision/recall operating point (Table 1);
+//! * [`MarkerAnnotator`] — the ".Inc"/"Shop" marker-word heuristic from
+//!   the §1 introduction.
+
+pub mod dictionary;
+pub mod markers;
+pub mod synthetic;
+pub mod zipcode;
+
+pub use dictionary::{DictionaryAnnotator, MatchMode};
+pub use markers::{MarkerAnnotator, BUSINESS_MARKERS};
+pub use synthetic::SyntheticAnnotator;
+pub use zipcode::{annotate_zipcodes, contains_zipcode, find_zipcodes};

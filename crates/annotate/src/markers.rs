@@ -1,0 +1,140 @@
+//! Marker-word annotator — the paper's second §1 example of cheap
+//! automatic annotation: "we can identify certain names containing words
+//! like '.Inc' and 'Shop' to most likely be business names."
+//!
+//! Labels a text node when it contains one of the marker words as a
+//! token, optionally bounded by a maximum node length (long paragraphs
+//! mentioning "shop" are prose, not names).
+
+use aw_induct::{NodeSet, Site};
+
+/// Default business-name markers, after §1.
+pub const BUSINESS_MARKERS: &[&str] = &[
+    "inc.", "inc", "co.", "llc", "ltd", "bros.", "shop", "store", "furniture", "depot",
+    "warehouse", "gallery", "outlet", "emporium", "& sons",
+];
+
+/// A marker-word annotator.
+#[derive(Clone, Debug)]
+pub struct MarkerAnnotator {
+    markers: Vec<String>,
+    /// Nodes longer than this many words are never labeled.
+    max_words: usize,
+}
+
+impl MarkerAnnotator {
+    /// Builds an annotator from marker words (case-insensitive).
+    pub fn new<S: AsRef<str>>(markers: impl IntoIterator<Item = S>) -> Self {
+        MarkerAnnotator {
+            markers: markers
+                .into_iter()
+                .map(|m| m.as_ref().to_lowercase())
+                .filter(|m| !m.is_empty())
+                .collect(),
+            max_words: 6,
+        }
+    }
+
+    /// The default business-name annotator of §1.
+    pub fn business() -> Self {
+        Self::new(BUSINESS_MARKERS)
+    }
+
+    /// Overrides the node-length bound (in words).
+    pub fn with_max_words(mut self, max_words: usize) -> Self {
+        self.max_words = max_words;
+        self
+    }
+
+    /// Does this annotator label the given text?
+    pub fn matches(&self, text: &str) -> bool {
+        let lower = text.to_lowercase();
+        let words: Vec<&str> = lower.split_whitespace().collect();
+        if words.is_empty() || words.len() > self.max_words {
+            return false;
+        }
+        self.markers.iter().any(|m| {
+            if m.contains(' ') {
+                lower.contains(m.as_str())
+            } else {
+                words.iter().any(|w| w.trim_matches(|c: char| !c.is_alphanumeric() && c != '.') == m)
+            }
+        })
+    }
+
+    /// Labels every matching text node of a site.
+    pub fn annotate(&self, site: &Site) -> NodeSet {
+        site.text_nodes()
+            .iter()
+            .copied()
+            .filter(|&n| site.text_of(n).is_some_and(|t| self.matches(t)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_marker_words() {
+        let a = MarkerAnnotator::business();
+        assert!(a.matches("PORTER FURNITURE"));
+        assert!(a.matches("Acme Trading Co."));
+        assert!(a.matches("WIDGETS INC."));
+        assert!(a.matches("The Lamp Shop"));
+        assert!(!a.matches("201 HWY. 30 WEST"));
+        assert!(!a.matches("NEW ALBANY, MS 38652"));
+    }
+
+    #[test]
+    fn long_prose_is_ignored() {
+        let a = MarkerAnnotator::business();
+        assert!(!a.matches(
+            "Visit our furniture shop for the best deals on tables and chairs this season"
+        ));
+        let relaxed = MarkerAnnotator::business().with_max_words(50);
+        assert!(relaxed.matches(
+            "Visit our furniture shop for the best deals on tables and chairs this season"
+        ));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let a = MarkerAnnotator::new(["shop"]);
+        assert!(a.matches("Main Street Shop"));
+        assert!(!a.matches("photoshop tutorials"), "substring inside a word");
+        assert!(a.matches("Shop, established 1912"), "punctuation trimmed");
+    }
+
+    #[test]
+    fn multiword_markers_use_containment() {
+        let a = MarkerAnnotator::new(["& sons"]);
+        assert!(a.matches("MILLER & SONS"));
+        assert!(!a.matches("MILLER & DAUGHTERS"));
+    }
+
+    #[test]
+    fn annotates_site_with_partial_recall_and_noise() {
+        // Names with markers get labeled; names without markers are
+        // missed (recall < 1); a promo sentence short enough slips in
+        // (precision < 1) — the §1 noise profile.
+        let site = Site::from_html(&[
+            "<li>PORTER FURNITURE</li><li>ZENITH LIGHTS</li>\
+             <li>12 Elm St</li><li>Gift Shop Open</li>",
+        ]);
+        let a = MarkerAnnotator::business();
+        let labels = a.annotate(&site);
+        let texts: Vec<&str> = labels.iter().map(|&n| site.text_of(n).unwrap()).collect();
+        assert!(texts.contains(&"PORTER FURNITURE"));
+        assert!(!texts.contains(&"ZENITH LIGHTS"), "no marker → missed");
+        assert!(!texts.contains(&"12 Elm St"));
+        assert!(texts.contains(&"Gift Shop Open"), "marker noise");
+    }
+
+    #[test]
+    fn empty_markers_label_nothing() {
+        let a = MarkerAnnotator::new(Vec::<String>::new());
+        assert!(!a.matches("anything at all"));
+    }
+}

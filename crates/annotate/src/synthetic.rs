@@ -1,0 +1,165 @@
+//! The controlled synthetic annotator of §7.4.
+//!
+//! "It takes the set of correct nodes as input. For each correct node, it
+//! annotates it with probability p₁. Also, for each incorrect node, it
+//! annotates it with probability p₂." Expected recall is p₁; expected
+//! precision is `n₁p₁ / (n₁p₁ + n₂p₂)`, so any (precision, recall)
+//! operating point can be dialed in — the mechanism behind Table 1.
+
+use aw_induct::{NodeSet, Site};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The controlled annotator.
+#[derive(Clone, Debug)]
+pub struct SyntheticAnnotator {
+    /// Probability of labeling each correct node.
+    pub p1: f64,
+    /// Probability of labeling each incorrect node.
+    pub p2: f64,
+    seed: u64,
+}
+
+impl SyntheticAnnotator {
+    /// Creates the annotator; `seed` makes runs reproducible.
+    pub fn new(p1: f64, p2: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p1), "p1 must be a probability");
+        assert!((0.0..=1.0).contains(&p2), "p2 must be a probability");
+        SyntheticAnnotator { p1, p2, seed }
+    }
+
+    /// Computes `(p1, p2)` hitting a target (precision, recall) given the
+    /// correct/incorrect node counts — the inversion used to build
+    /// Table 1's (p, r) grid.
+    pub fn for_target(
+        precision: f64,
+        recall: f64,
+        n_correct: usize,
+        n_incorrect: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(precision > 0.0 && precision <= 1.0);
+        let p1 = recall.clamp(0.0, 1.0);
+        // precision = n1·p1 / (n1·p1 + n2·p2)  ⇒  p2 = n1·p1·(1−prec) / (prec·n2)
+        let p2 = if n_incorrect == 0 {
+            0.0
+        } else {
+            (n_correct as f64 * p1 * (1.0 - precision) / (precision * n_incorrect as f64))
+                .clamp(0.0, 1.0)
+        };
+        SyntheticAnnotator::new(p1, p2, seed)
+    }
+
+    /// Annotates a site given the gold (correct) node set.
+    pub fn annotate(&self, site: &Site, gold: &NodeSet) -> NodeSet {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        site.text_nodes()
+            .iter()
+            .copied()
+            .filter(|n| {
+                let p = if gold.contains(n) { self.p1 } else { self.p2 };
+                rng.gen_bool(p)
+            })
+            .collect()
+    }
+
+    /// Expected precision for the given gold/non-gold counts.
+    pub fn expected_precision(&self, n_correct: usize, n_incorrect: usize) -> f64 {
+        let tp = n_correct as f64 * self.p1;
+        let fp = n_incorrect as f64 * self.p2;
+        if tp + fp == 0.0 {
+            1.0
+        } else {
+            tp / (tp + fp)
+        }
+    }
+
+    /// Expected recall (= p₁).
+    pub fn expected_recall(&self) -> f64 {
+        self.p1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_site() -> (Site, NodeSet) {
+        // 40 list items per page, 10 pages; gold = every 4th item.
+        let page: String = (0..40)
+            .map(|i| format!("<li>item {i}</li>"))
+            .collect::<String>();
+        let pages: Vec<String> = (0..10).map(|_| page.clone()).collect();
+        let site = Site::from_html(&pages);
+        let gold: NodeSet = site
+            .text_nodes()
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % 4 == 0)
+            .map(|(_, n)| n)
+            .collect();
+        (site, gold)
+    }
+
+    #[test]
+    fn perfect_annotator() {
+        let (site, gold) = big_site();
+        let a = SyntheticAnnotator::new(1.0, 0.0, 7);
+        assert_eq!(a.annotate(&site, &gold), gold);
+        assert_eq!(a.expected_recall(), 1.0);
+        assert_eq!(a.expected_precision(100, 300), 1.0);
+    }
+
+    #[test]
+    fn silent_annotator() {
+        let (site, gold) = big_site();
+        let a = SyntheticAnnotator::new(0.0, 0.0, 7);
+        assert!(a.annotate(&site, &gold).is_empty());
+        assert_eq!(a.expected_precision(0, 0), 1.0);
+    }
+
+    #[test]
+    fn empirical_rates_near_expectation() {
+        let (site, gold) = big_site(); // 100 gold, 300 non-gold
+        let a = SyntheticAnnotator::new(0.5, 0.1, 42);
+        let labels = a.annotate(&site, &gold);
+        let tp = labels.iter().filter(|n| gold.contains(n)).count() as f64;
+        let fp = labels.len() as f64 - tp;
+        let recall = tp / gold.len() as f64;
+        assert!((recall - 0.5).abs() < 0.15, "recall={recall}");
+        let fp_rate = fp / 300.0;
+        assert!((fp_rate - 0.1).abs() < 0.08, "fp_rate={fp_rate}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let (site, gold) = big_site();
+        let a = SyntheticAnnotator::new(0.3, 0.05, 99);
+        assert_eq!(a.annotate(&site, &gold), a.annotate(&site, &gold));
+        let b = SyntheticAnnotator::new(0.3, 0.05, 100);
+        assert_ne!(a.annotate(&site, &gold), b.annotate(&site, &gold));
+    }
+
+    #[test]
+    fn target_inversion_hits_operating_point() {
+        // Target precision 0.5, recall 0.2 on 100 gold / 300 non-gold.
+        let a = SyntheticAnnotator::for_target(0.5, 0.2, 100, 300, 1);
+        assert!((a.expected_recall() - 0.2).abs() < 1e-12);
+        assert!((a.expected_precision(100, 300) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_inversion_saturates_p2() {
+        // Impossible target (precision too low for the node balance):
+        // p2 clamps at 1.0.
+        let a = SyntheticAnnotator::for_target(0.01, 1.0, 1000, 10, 1);
+        assert_eq!(a.p2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        let _ = SyntheticAnnotator::new(1.5, 0.0, 0);
+    }
+}

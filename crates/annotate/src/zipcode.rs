@@ -1,0 +1,103 @@
+//! The zipcode annotator (Appendix A): "a regular expression identifying
+//! five-digit US zipcodes".
+//!
+//! Implemented as a hand-rolled scanner (no regex crate in the sanctioned
+//! dependency set): a match is a run of exactly five ASCII digits with no
+//! adjacent digit. Matching a text node means *containing* such a run —
+//! which, as the paper notes, also fires on "five-digit street addresses,
+//! as well as text from page headers/footers": that noise is the point.
+
+use aw_induct::{NodeSet, Site};
+
+/// Returns true if `text` contains a standalone five-digit run.
+pub fn contains_zipcode(text: &str) -> bool {
+    find_zipcodes(text).next().is_some()
+}
+
+/// Iterator over the (start, end) byte ranges of standalone five-digit
+/// runs in `text`.
+pub fn find_zipcodes(text: &str) -> impl Iterator<Item = (usize, usize)> + '_ {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        while i < bytes.len() {
+            if bytes[i].is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let len = i - start;
+                // A 5-digit run is a zip; "38652-1234" stops at the hyphen
+                // so ZIP+4 works too. A bare 9-digit run is ZIP+4 without
+                // the hyphen: accept its prefix.
+                if len == 5 || len == 9 {
+                    return Some((start, start + 5));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        None
+    })
+}
+
+/// The zipcode annotator over a site: labels text nodes containing a
+/// five-digit run.
+pub fn annotate_zipcodes(site: &Site) -> NodeSet {
+    site.text_nodes()
+        .iter()
+        .copied()
+        .filter(|&n| site.text_of(n).is_some_and(contains_zipcode))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_plain_zipcodes() {
+        assert!(contains_zipcode("NEW ALBANY, MS 38652"));
+        assert!(contains_zipcode("38652"));
+        assert!(contains_zipcode("zip: 90210."));
+    }
+
+    #[test]
+    fn rejects_wrong_lengths() {
+        assert!(!contains_zipcode("1234"));
+        assert!(!contains_zipcode("123456"));
+        assert!(!contains_zipcode("phone 662-534-3672"));
+        assert!(!contains_zipcode("no digits at all"));
+        assert!(!contains_zipcode(""));
+    }
+
+    #[test]
+    fn zip_plus_four() {
+        assert!(contains_zipcode("38652-1234"));
+        let ranges: Vec<_> = find_zipcodes("38652-1234").collect();
+        assert_eq!(ranges[0], (0, 5));
+    }
+
+    #[test]
+    fn accepts_false_positive_street_numbers() {
+        // The noise source named in Appendix A: five-digit street numbers.
+        assert!(contains_zipcode("10001 Sunset Blvd"));
+    }
+
+    #[test]
+    fn multiple_matches() {
+        let ranges: Vec<_> = find_zipcodes("94403 and 95128").collect();
+        assert_eq!(ranges, vec![(0, 5), (10, 15)]);
+    }
+
+    #[test]
+    fn annotates_site() {
+        let site = aw_induct::Site::from_html(&[
+            "<li>ACME</li><li>SAN MATEO, CA 94403</li><li>(650) 349-3414</li>",
+        ]);
+        let labels = annotate_zipcodes(&site);
+        assert_eq!(labels.len(), 1);
+        let t = site.text_of(*labels.iter().next().unwrap()).unwrap();
+        assert!(t.contains("94403"));
+    }
+}

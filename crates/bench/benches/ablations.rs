@@ -1,0 +1,16 @@
+//! Design-choice ablations (see `aw_eval::experiments::ablations`):
+//! LR context cap, enumeration label cap, publication feature subsets,
+//! annotator-parameter sensitivity.
+
+use aw_eval::experiments::ablations;
+
+fn main() {
+    aw_bench::header("Ablations", "design-choice sweeps on DEALERS");
+    let (ds, annot) = aw_bench::dealers();
+    let labels_of = |s: &aw_sitegen::GeneratedSite| annot.annotate(&s.site);
+
+    println!("{}", ablations::lr_context_cap(&ds.sites, labels_of, &[4, 8, 16, 32, 64, 128]));
+    println!("{}", ablations::enumeration_label_cap(&ds.sites, labels_of, &[2, 4, 8, 16, 32]));
+    println!("{}", ablations::publication_features(&ds.sites, labels_of));
+    println!("{}", ablations::annotator_parameters(&ds.sites, labels_of));
+}

@@ -1,0 +1,11 @@
+//! Appendix B.2: single-entity extraction (album titles) on DISC.
+
+use aw_eval::experiments::single_entity;
+
+fn main() {
+    aw_bench::header("Appendix B.2", "single-entity extraction on DISC");
+    let (ds, _) = aw_bench::disc();
+    let result = single_entity::run(&ds);
+    aw_bench::maybe_write_json("b2_single_entity", &result);
+    println!("{result}");
+}

@@ -1,0 +1,13 @@
+//! Figure 2(a): # of wrapper-inductor calls (TopDown / BottomUp / Naive)
+//! per website, LR wrappers, DEALERS.
+
+use aw_core::WrapperLanguage;
+use aw_eval::experiments::calls;
+
+fn main() {
+    aw_bench::header("Figure 2(a)", "# of wrapper calls for LR on DEALERS");
+    let (ds, annot) = aw_bench::dealers();
+    let result = calls::run(&ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::Lr);
+    aw_bench::maybe_write_json("fig2a_calls_lr", &result);
+    println!("{result}");
+}

@@ -1,0 +1,19 @@
+//! Figure 2(d): accuracy of NAIVE vs NTW, XPATH wrappers, DEALERS.
+
+use aw_core::WrapperLanguage;
+use aw_eval::experiments::accuracy;
+use aw_eval::Method;
+
+fn main() {
+    aw_bench::header("Figure 2(d)", "accuracy of XPATH on DEALERS");
+    let (ds, annot) = aw_bench::dealers();
+    let result = accuracy::run(
+        "DEALERS",
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::XPath,
+        &[Method::Naive, Method::Ntw],
+    );
+    aw_bench::maybe_write_json("fig2d_xpath_dealers", &result);
+    println!("{result}");
+}

@@ -1,0 +1,19 @@
+//! Figure 2(e): accuracy of NAIVE vs NTW, LR wrappers, DEALERS.
+
+use aw_core::WrapperLanguage;
+use aw_eval::experiments::accuracy;
+use aw_eval::Method;
+
+fn main() {
+    aw_bench::header("Figure 2(e)", "accuracy of LR on DEALERS");
+    let (ds, annot) = aw_bench::dealers();
+    let result = accuracy::run(
+        "DEALERS",
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::Lr,
+        &[Method::Naive, Method::Ntw],
+    );
+    aw_bench::maybe_write_json("fig2e_lr_dealers", &result);
+    println!("{result}");
+}

@@ -1,0 +1,19 @@
+//! Figure 2(f): accuracy of NAIVE vs NTW, XPATH wrappers, DISC.
+
+use aw_core::WrapperLanguage;
+use aw_eval::experiments::accuracy;
+use aw_eval::Method;
+
+fn main() {
+    aw_bench::header("Figure 2(f)", "accuracy of XPATH on DISC");
+    let (ds, annot) = aw_bench::disc();
+    let result = accuracy::run(
+        "DISC",
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::XPath,
+        &[Method::Naive, Method::Ntw],
+    );
+    aw_bench::maybe_write_json("fig2f_xpath_disc", &result);
+    println!("{result}");
+}

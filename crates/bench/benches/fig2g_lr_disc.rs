@@ -1,0 +1,19 @@
+//! Figure 2(g): accuracy of NAIVE vs NTW, LR wrappers, DISC.
+
+use aw_core::WrapperLanguage;
+use aw_eval::experiments::accuracy;
+use aw_eval::Method;
+
+fn main() {
+    aw_bench::header("Figure 2(g)", "accuracy of LR on DISC");
+    let (ds, annot) = aw_bench::disc();
+    let result = accuracy::run(
+        "DISC",
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::Lr,
+        &[Method::Naive, Method::Ntw],
+    );
+    aw_bench::maybe_write_json("fig2g_lr_disc", &result);
+    println!("{result}");
+}

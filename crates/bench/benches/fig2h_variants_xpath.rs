@@ -1,0 +1,12 @@
+//! Figure 2(h): NTW vs NTW-L vs NTW-X, XPATH wrappers, DEALERS.
+
+use aw_core::WrapperLanguage;
+use aw_eval::experiments::variants;
+
+fn main() {
+    aw_bench::header("Figure 2(h)", "XPATH ranking variants on DEALERS");
+    let (ds, annot) = aw_bench::dealers();
+    let result = variants::run("DEALERS", &ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::XPath);
+    aw_bench::maybe_write_json("fig2h_variants_xpath", &result);
+    println!("{result}");
+}

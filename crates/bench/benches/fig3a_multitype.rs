@@ -1,0 +1,12 @@
+//! Figure 3(a): multi-type (name + zipcode) extraction, NAIVE vs NTW,
+//! DEALERS.
+
+use aw_eval::experiments::multitype;
+
+fn main() {
+    aw_bench::header("Figure 3(a)", "accuracy of the multi-type extractor");
+    let (ds, _) = aw_bench::dealers();
+    let result = multitype::run(&ds);
+    aw_bench::maybe_write_json("fig3a_multitype", &result);
+    println!("{result}");
+}

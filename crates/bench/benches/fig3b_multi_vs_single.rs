@@ -1,0 +1,15 @@
+//! Figure 3(b): multi-type vs single-type per-field accuracy, DEALERS.
+//! (Shares the runner with Figure 3(a); this target prints the per-field
+//! comparison series.)
+
+use aw_eval::experiments::multitype;
+
+fn main() {
+    aw_bench::header("Figure 3(b)", "multi-type vs single-type extraction");
+    let (ds, _) = aw_bench::dealers();
+    let result = multitype::run(&ds);
+    let multi = &result.rows[1];
+    println!("{:>8} {:>8} {:>8}", "field", "MULTI", "SINGLE");
+    println!("{:>8} {:>8.3} {:>8.3}", "Name", multi.names.f1, result.single_names.f1);
+    println!("{:>8} {:>8.3} {:>8.3}", "Zipcode", multi.zips.f1, result.single_zips.f1);
+}

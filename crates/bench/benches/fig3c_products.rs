@@ -1,0 +1,19 @@
+//! Figure 3(c): accuracy of NAIVE vs NTW, XPath wrappers, PRODUCTS.
+
+use aw_core::WrapperLanguage;
+use aw_eval::experiments::accuracy;
+use aw_eval::Method;
+
+fn main() {
+    aw_bench::header("Figure 3(c)", "accuracy of XPath on PRODUCTS");
+    let (ds, annot) = aw_bench::products();
+    let result = accuracy::run(
+        "PRODUCTS",
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::XPath,
+        &[Method::Naive, Method::Ntw],
+    );
+    aw_bench::maybe_write_json("fig3c_products", &result);
+    println!("{result}");
+}

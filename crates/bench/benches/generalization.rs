@@ -1,0 +1,20 @@
+//! Wrapper generalization: learn on the first pages of each site, apply
+//! the portable rule to later pages — the deployment scenario behind the
+//! paper's production claim.
+
+use aw_core::WrapperLanguage;
+use aw_eval::experiments::generalization;
+use aw_eval::{learn_model, split_half};
+
+fn main() {
+    aw_bench::header("Generalization", "portable rules on unseen pages (DEALERS)");
+    let (ds, annot) = aw_bench::dealers();
+    let labels_of = |s: &aw_sitegen::GeneratedSite| annot.annotate(&s.site);
+    let (train, test) = split_half(&ds.sites);
+    let model = learn_model(&train, labels_of);
+    for lang in [WrapperLanguage::XPath, WrapperLanguage::Lr] {
+        let result = generalization::run(&test, labels_of, lang, &model, 3);
+        aw_bench::maybe_write_json(&format!("generalization_{}", lang.name()), &result);
+        println!("{result}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks for the ranking model (§6): segmentation,
+//! feature computation and full wrapper scoring.
+
+use aw_annotate::{DictionaryAnnotator, MatchMode};
+use aw_rank::{
+    list_features, segment_site, AnnotatorModel, ListFeatures, PublicationModel, RankingModel,
+};
+use aw_sitegen::{generate_dealers, DealersConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_rank(c: &mut Criterion) {
+    let ds = generate_dealers(&DealersConfig::small(1, 0xAA));
+    let gs = &ds.sites[0];
+    let gold = gs.gold();
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+    let labels = annot.annotate(&gs.site);
+
+    let mut g = c.benchmark_group("rank");
+    g.bench_function("segment_site", |b| {
+        b.iter(|| segment_site(black_box(&gs.site), black_box(gold)))
+    });
+    let segments = segment_site(&gs.site, gold);
+    g.bench_function("list_features", |b| b.iter(|| list_features(black_box(&segments))));
+    let model = RankingModel::new(
+        AnnotatorModel::new(0.95, 0.24),
+        PublicationModel::learn(&[
+            ListFeatures { schema_size: 4.0, alignment: 0.0 },
+            ListFeatures { schema_size: 3.0, alignment: 1.0 },
+        ]),
+    );
+    g.bench_function("score_wrapper", |b| {
+        b.iter(|| model.score(black_box(&gs.site), black_box(&labels), black_box(gold)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Table 1: NTW accuracy as a function of annotator precision/recall,
+//! controlled synthetic annotator (§7.4), XPATH wrappers, DEALERS.
+
+use aw_eval::experiments::table1;
+
+fn main() {
+    aw_bench::header("Table 1", "accuracy of NTW vs annotator (p, r)");
+    let ds = aw_bench::dealers_for_grid();
+    let result = table1::run(&ds.sites, 0x7AB1);
+    aw_bench::maybe_write_json("table1_pr_grid", &result);
+    println!("{result}");
+}

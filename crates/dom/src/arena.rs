@@ -1,0 +1,319 @@
+//! Arena-backed DOM.
+//!
+//! All nodes of a document live in a single contiguous [`Vec`]; nodes refer
+//! to each other with [`NodeId`] indices. Documents are built once (by the
+//! parser or by hand through the builder methods) and then treated as
+//! immutable by every consumer — inductors, annotators and the ranking
+//! model — which makes node sets cheap to hash and compare.
+
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+///
+/// `NodeId(0)` is always the synthetic document root.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The synthetic root of every document.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Arena index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An element's tag name and attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Element {
+    /// Lower-cased tag name.
+    pub tag: String,
+    /// Attributes in document order; names lower-cased.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Element {
+    /// Creates an element with no attributes.
+    pub fn new(tag: impl Into<String>) -> Self {
+        Element { tag: tag.into(), attrs: Vec::new() }
+    }
+
+    /// Looks up an attribute value by (lower-case) name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The payload of a DOM node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The synthetic document root; exactly one per document, at `NodeId::ROOT`.
+    Document,
+    /// An element such as `<td class="x">`.
+    Element(Element),
+    /// A text node. The parser trims and whitespace-collapses content.
+    Text(String),
+    /// A comment (`<!-- ... -->`). Kept for fidelity; ignored by extraction.
+    Comment(String),
+}
+
+/// A single DOM node: payload plus tree links.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// What the node is.
+    pub kind: NodeKind,
+    /// Parent link; `None` only for the root.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+}
+
+/// An HTML document: an arena of [`Node`]s rooted at [`NodeId::ROOT`].
+#[derive(Clone, Debug, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Creates an empty document containing only the root node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node { kind: NodeKind::Document, parent: None, children: Vec::new() }],
+        }
+    }
+
+    /// Number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The document root.
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this document.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Parent of `id`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children of `id` in document order.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// The element payload of `id`, if it is an element.
+    pub fn element(&self, id: NodeId) -> Option<&Element> {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Lower-case tag name of `id`, if it is an element.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        self.element(id).map(|e| e.tag.as_str())
+    }
+
+    /// Attribute `name` of element `id`.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.element(id).and_then(|e| e.attr(name))
+    }
+
+    /// Text content of `id`, if it is a text node.
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Text(t) => Some(t.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if `id` is a text node.
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Text(_))
+    }
+
+    /// True if `id` is an element node.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.index()].kind, NodeKind::Element(_))
+    }
+
+    /// Appends a new node under `parent` and returns its id.
+    pub fn append(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Appends an element with attributes; convenience over [`Document::append`].
+    pub fn append_element(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        attrs: Vec<(String, String)>,
+    ) -> NodeId {
+        self.append(parent, NodeKind::Element(Element { tag: tag.into(), attrs }))
+    }
+
+    /// Appends a text node; convenience over [`Document::append`].
+    pub fn append_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        self.append(parent, NodeKind::Text(text.into()))
+    }
+
+    /// 1-based position of `id` among siblings **with the same tag name**.
+    ///
+    /// This is the semantics of the xpath child-number filter `td[2]`:
+    /// the second `td` child of the parent, not the second child overall.
+    /// Returns `None` for non-elements and the root.
+    pub fn same_tag_index(&self, id: NodeId) -> Option<usize> {
+        let tag = self.tag(id)?;
+        let parent = self.parent(id)?;
+        let mut k = 0;
+        for &c in self.children(parent) {
+            if self.tag(c) == Some(tag) {
+                k += 1;
+                if c == id {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+
+    /// 0-based position of `id` among all siblings.
+    pub fn sibling_index(&self, id: NodeId) -> Option<usize> {
+        let parent = self.parent(id)?;
+        self.children(parent).iter().position(|&c| c == id)
+    }
+
+    /// Depth of `id` (root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Iterator over every node id in arena (= pre-order creation) order.
+    ///
+    /// Note: for documents built by the parser or the builder API, arena
+    /// order coincides with pre-order document order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Concatenated text of all text-node descendants of `id`.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        if let Some(t) = self.text(id) {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(t);
+        }
+        for &c in self.children(id) {
+            self.collect_text(c, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut d = Document::new();
+        let div = d.append_element(
+            NodeId::ROOT,
+            "div",
+            vec![("class".into(), "dealerlinks".into())],
+        );
+        let td = d.append_element(div, "td", vec![]);
+        let t = d.append_text(td, "PORTER FURNITURE");
+        (d, div, td, t)
+    }
+
+    #[test]
+    fn builds_tree_links() {
+        let (d, div, td, t) = sample();
+        assert_eq!(d.parent(t), Some(td));
+        assert_eq!(d.parent(td), Some(div));
+        assert_eq!(d.parent(div), Some(NodeId::ROOT));
+        assert_eq!(d.children(div), &[td]);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert!(Document::new().is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let (d, div, td, t) = sample();
+        assert_eq!(d.tag(div), Some("div"));
+        assert_eq!(d.attr(div, "class"), Some("dealerlinks"));
+        assert_eq!(d.attr(div, "id"), None);
+        assert_eq!(d.text(t), Some("PORTER FURNITURE"));
+        assert!(d.is_text(t));
+        assert!(d.is_element(td));
+        assert!(!d.is_element(t));
+        assert_eq!(d.tag(t), None);
+    }
+
+    #[test]
+    fn same_tag_index_counts_only_same_tag() {
+        let mut d = Document::new();
+        let tr = d.append_element(NodeId::ROOT, "tr", vec![]);
+        let td1 = d.append_element(tr, "td", vec![]);
+        let _span = d.append_element(tr, "span", vec![]);
+        let td2 = d.append_element(tr, "td", vec![]);
+        assert_eq!(d.same_tag_index(td1), Some(1));
+        assert_eq!(d.same_tag_index(td2), Some(2)); // span does not count
+        assert_eq!(d.sibling_index(td2), Some(2));
+        assert_eq!(d.same_tag_index(NodeId::ROOT), None);
+    }
+
+    #[test]
+    fn depth_and_text_content() {
+        let (d, div, td, t) = sample();
+        assert_eq!(d.depth(NodeId::ROOT), 0);
+        assert_eq!(d.depth(div), 1);
+        assert_eq!(d.depth(t), 3);
+        assert_eq!(d.text_content(td), "PORTER FURNITURE");
+        assert_eq!(d.text_content(NodeId::ROOT), "PORTER FURNITURE");
+    }
+}

@@ -1,0 +1,167 @@
+//! HTML character-reference (entity) decoding.
+//!
+//! Supports the named entities that occur in real-world listing pages plus
+//! decimal (`&#38;`) and hexadecimal (`&#x26;`) numeric references. Unknown
+//! references are passed through verbatim, which is what lenient parsers
+//! like tidy do.
+
+/// Named entities we decode. Deliberately small: extraction only needs
+/// text to be *stable*, not exhaustively standards-complete.
+const NAMED: &[(&str, &str)] = &[
+    ("amp", "&"),
+    ("lt", "<"),
+    ("gt", ">"),
+    ("quot", "\""),
+    ("apos", "'"),
+    ("nbsp", "\u{a0}"),
+    ("copy", "\u{a9}"),
+    ("reg", "\u{ae}"),
+    ("trade", "\u{2122}"),
+    ("mdash", "\u{2014}"),
+    ("ndash", "\u{2013}"),
+    ("hellip", "\u{2026}"),
+    ("lsquo", "\u{2018}"),
+    ("rsquo", "\u{2019}"),
+    ("ldquo", "\u{201c}"),
+    ("rdquo", "\u{201d}"),
+    ("bull", "\u{2022}"),
+    ("middot", "\u{b7}"),
+    ("deg", "\u{b0}"),
+    ("frac12", "\u{bd}"),
+    ("eacute", "\u{e9}"),
+    ("egrave", "\u{e8}"),
+    ("agrave", "\u{e0}"),
+    ("ccedil", "\u{e7}"),
+    ("uuml", "\u{fc}"),
+    ("ouml", "\u{f6}"),
+    ("auml", "\u{e4}"),
+    ("ntilde", "\u{f1}"),
+];
+
+fn lookup_named(name: &str) -> Option<&'static str> {
+    NAMED.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+}
+
+/// Decodes all character references in `input`.
+///
+/// ```
+/// use aw_dom::entities::decode;
+/// assert_eq!(decode("Tom &amp; Jerry &#38; co &#x26; more"), "Tom & Jerry & co & more");
+/// assert_eq!(decode("no entities"), "no entities");
+/// assert_eq!(decode("&bogus; stays"), "&bogus; stays");
+/// ```
+pub fn decode(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy a full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // Find the reference body up to ';' within a reasonable window.
+        match decode_reference(&input[i..]) {
+            Some((decoded, consumed)) => {
+                out.push_str(&decoded);
+                i += consumed;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Attempts to decode a single reference at the start of `s` (which begins
+/// with `&`). Returns the decoded text and the number of bytes consumed.
+fn decode_reference(s: &str) -> Option<(String, usize)> {
+    let rest = &s[1..];
+    let semi = rest.find(';')?;
+    if semi == 0 || semi > 10 {
+        return None;
+    }
+    let body = &rest[..semi];
+    let consumed = semi + 2; // '&' + body + ';'
+    if let Some(stripped) = body.strip_prefix('#') {
+        let code = if let Some(hex) = stripped.strip_prefix(['x', 'X']) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            stripped.parse::<u32>().ok()?
+        };
+        let ch = char::from_u32(code)?;
+        return Some((ch.to_string(), consumed));
+    }
+    lookup_named(body).map(|v| (v.to_string(), consumed))
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Escapes `<`, `>`, `&` and `"` for serialization.
+pub fn escape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode("a &lt; b &gt; c"), "a < b > c");
+        assert_eq!(decode("&nbsp;"), "\u{a0}");
+        assert_eq!(decode("caf&eacute;"), "café");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode("&#65;&#66;"), "AB");
+        assert_eq!(decode("&#x41;"), "A");
+        assert_eq!(decode("&#X41;"), "A");
+    }
+
+    #[test]
+    fn malformed_references_pass_through() {
+        assert_eq!(decode("&;"), "&;");
+        assert_eq!(decode("& plain ampersand"), "& plain ampersand");
+        assert_eq!(decode("&toolongtobeanentity;"), "&toolongtobeanentity;");
+        assert_eq!(decode("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode("&#999999999;"), "&#999999999;");
+        assert_eq!(decode("trailing &"), "trailing &");
+    }
+
+    #[test]
+    fn multibyte_passthrough() {
+        assert_eq!(decode("héllo — wörld"), "héllo — wörld");
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let s = "a < b & c > \"d\"";
+        assert_eq!(decode(&escape(s)), s);
+    }
+}

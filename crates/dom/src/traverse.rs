@@ -1,0 +1,141 @@
+//! Tree traversal utilities.
+//!
+//! The ranking model's record segmentation (§6, Figure 7) is defined on the
+//! *pre-order* traversal of the DOM, so pre-order is the central iterator
+//! here; ancestor chains drive the XPATH inductor's feature extraction.
+
+use crate::arena::{Document, NodeId};
+
+/// Pre-order (document-order) iterator over a subtree.
+pub struct Preorder<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Preorder<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        // Push children in reverse so the leftmost is visited first.
+        for &c in self.doc.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+/// Iterator over the ancestors of a node, nearest (parent) first.
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    cur: Option<NodeId>,
+}
+
+impl<'a> Iterator for Ancestors<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let next = self.doc.parent(self.cur?);
+        self.cur = next;
+        next
+    }
+}
+
+impl Document {
+    /// Pre-order traversal of the subtree rooted at `id`, including `id`.
+    pub fn preorder(&self, id: NodeId) -> Preorder<'_> {
+        Preorder { doc: self, stack: vec![id] }
+    }
+
+    /// All nodes of the document in document order (excluding nothing).
+    pub fn preorder_all(&self) -> Preorder<'_> {
+        self.preorder(NodeId::ROOT)
+    }
+
+    /// Ancestors of `id`, parent first, ending at the root.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors { doc: self, cur: Some(id) }
+    }
+
+    /// All text-node ids in document order.
+    pub fn text_nodes(&self) -> Vec<NodeId> {
+        self.preorder_all().filter(|&id| self.is_text(id)).collect()
+    }
+
+    /// All element ids with the given tag, in document order.
+    pub fn elements_by_tag(&self, tag: &str) -> Vec<NodeId> {
+        self.preorder_all().filter(|&id| self.tag(id) == Some(tag)).collect()
+    }
+
+    /// True if `anc` is a strict ancestor of `id`.
+    pub fn is_ancestor(&self, anc: NodeId, id: NodeId) -> bool {
+        self.ancestors(id).any(|a| a == anc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn preorder_is_document_order() {
+        let doc = parse("<div><p>a</p><p>b<i>c</i></p></div><span>d</span>");
+        let texts: Vec<_> = doc
+            .preorder_all()
+            .filter_map(|id| doc.text(id).map(str::to_string))
+            .collect();
+        assert_eq!(texts, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn preorder_subtree_only() {
+        let doc = parse("<div><p>a</p></div><span>b</span>");
+        let div = doc.children(NodeId::ROOT)[0];
+        let texts: Vec<_> = doc
+            .preorder(div)
+            .filter_map(|id| doc.text(id).map(str::to_string))
+            .collect();
+        assert_eq!(texts, vec!["a"]);
+    }
+
+    #[test]
+    fn ancestors_parent_first() {
+        let doc = parse("<div><p><i>x</i></p></div>");
+        let x = doc.text_nodes()[0];
+        let tags: Vec<_> = doc
+            .ancestors(x)
+            .map(|a| doc.tag(a).unwrap_or("#doc").to_string())
+            .collect();
+        assert_eq!(tags, vec!["i", "p", "div", "#doc"]);
+    }
+
+    #[test]
+    fn is_ancestor_checks() {
+        let doc = parse("<div><p>x</p></div><span>y</span>");
+        let div = doc.children(NodeId::ROOT)[0];
+        let span = doc.children(NodeId::ROOT)[1];
+        let x = doc.text_nodes()[0];
+        assert!(doc.is_ancestor(div, x));
+        assert!(!doc.is_ancestor(span, x));
+        assert!(!doc.is_ancestor(x, x), "not a strict ancestor of itself");
+        assert!(doc.is_ancestor(NodeId::ROOT, x));
+    }
+
+    #[test]
+    fn elements_by_tag_in_order() {
+        let doc = parse("<tr><td>1</td><td>2</td></tr><tr><td>3</td></tr>");
+        assert_eq!(doc.elements_by_tag("td").len(), 3);
+        assert_eq!(doc.elements_by_tag("tr").len(), 2);
+        assert_eq!(doc.elements_by_tag("table").len(), 0);
+    }
+
+    #[test]
+    fn preorder_on_arena_built_doc_matches_ids() {
+        // Builder API appends in document order, so ids() == preorder.
+        let doc = parse("<a><b><c>x</c></b><d>y</d></a>");
+        let pre: Vec<_> = doc.preorder_all().collect();
+        let ids: Vec<_> = doc.ids().collect();
+        assert_eq!(pre, ids);
+    }
+}

@@ -1,0 +1,122 @@
+//! Common types for wrapper-space enumeration.
+//!
+//! §4: the wrapper space `W(L) = {φ(L₁) | L₁ ⊆ L}` is a set of *wrappers*,
+//! and wrappers are identified by their output ("the score of a wrapper
+//! only depends on its output", §6). [`WrapperSpace`] deduplicates by
+//! extraction and remembers, for each distinct wrapper, the smallest label
+//! subset that produced it plus the rule string.
+
+use aw_induct::{ItemSet, WrapperInductor};
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// One distinct wrapper discovered during enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnumeratedWrapper<T: Ord> {
+    /// The (smallest seen) label subset that induces this wrapper.
+    pub seed: ItemSet<T>,
+    /// φ(seed): the wrapper's output over the site's pages.
+    pub extraction: ItemSet<T>,
+    /// The rule in the inductor's wrapper language (display form).
+    pub rule: String,
+}
+
+/// The result of an enumeration run.
+#[derive(Clone, Debug)]
+pub struct EnumerationResult<T: Ord> {
+    /// Distinct wrappers, in deterministic (extraction) order.
+    pub wrappers: Vec<EnumeratedWrapper<T>>,
+    /// How many times φ (the blackbox inductor) was invoked. This is the
+    /// metric of Figures 2(a) and 2(b).
+    pub inductor_calls: usize,
+}
+
+impl<T: Ord + Copy + Debug> EnumerationResult<T> {
+    /// Number of distinct wrappers (the `k` of Theorems 2 and 3).
+    pub fn len(&self) -> usize {
+        self.wrappers.len()
+    }
+
+    /// True when no wrappers were enumerated (empty label set).
+    pub fn is_empty(&self) -> bool {
+        self.wrappers.is_empty()
+    }
+
+    /// The extractions only, as a set-of-sets (for equivalence checks).
+    pub fn extraction_set(&self) -> ItemSet<ItemSet<T>> {
+        self.wrappers.iter().map(|w| w.extraction.clone()).collect()
+    }
+}
+
+/// Accumulates wrappers, deduplicating by extraction.
+pub(crate) struct SpaceBuilder<T: Ord + Clone> {
+    by_extraction: BTreeMap<ItemSet<T>, EnumeratedWrapper<T>>,
+    calls: usize,
+}
+
+impl<T: Ord + Copy + Debug> SpaceBuilder<T> {
+    pub(crate) fn new() -> Self {
+        SpaceBuilder { by_extraction: BTreeMap::new(), calls: 0 }
+    }
+
+    /// Runs φ on `seed`, records the wrapper, and returns the extraction.
+    pub(crate) fn induce<I>(&mut self, inductor: &I, seed: &ItemSet<T>) -> ItemSet<T>
+    where
+        I: WrapperInductor<Item = T>,
+    {
+        self.calls += 1;
+        let extraction = inductor.extract(seed);
+        let entry = self
+            .by_extraction
+            .entry(extraction.clone())
+            .or_insert_with(|| EnumeratedWrapper {
+                seed: seed.clone(),
+                extraction: extraction.clone(),
+                rule: inductor.rule(seed),
+            });
+        // Prefer the smallest (then lexicographically first) seed.
+        if seed.len() < entry.seed.len() {
+            entry.seed = seed.clone();
+            entry.rule = inductor.rule(seed);
+        }
+        extraction
+    }
+
+    pub(crate) fn finish(self) -> EnumerationResult<T> {
+        EnumerationResult {
+            wrappers: self.by_extraction.into_values().collect(),
+            inductor_calls: self.calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_induct::table::{example1_inductor, Cell};
+
+    #[test]
+    fn builder_dedups_by_extraction() {
+        let t = example1_inductor();
+        let mut b = SpaceBuilder::new();
+        // Two different seeds inducing the same column wrapper.
+        let s1: ItemSet<Cell> = [Cell::new(1, 1), Cell::new(2, 1)].into_iter().collect();
+        let s2: ItemSet<Cell> =
+            [Cell::new(1, 1), Cell::new(2, 1), Cell::new(4, 1)].into_iter().collect();
+        b.induce(&t, &s1);
+        b.induce(&t, &s2);
+        let result = b.finish();
+        assert_eq!(result.inductor_calls, 2);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.wrappers[0].seed, s1, "smallest seed kept");
+        assert_eq!(result.wrappers[0].rule, "C1");
+    }
+
+    #[test]
+    fn empty_result() {
+        let r: EnumerationResult<Cell> = SpaceBuilder::new().finish();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.extraction_set().is_empty());
+    }
+}

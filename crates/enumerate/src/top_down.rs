@@ -1,0 +1,121 @@
+//! The `TopDown` enumeration algorithm (§4.2, Algorithm 2).
+//!
+//! Requires a **feature-based** inductor. Starting from the full label set,
+//! it repeatedly subdivides every known subset by each attribute; the
+//! resulting family of subsets contains every closed set, so calling φ
+//! once per subset enumerates the wrapper space. Theorem 3: exactly `k`
+//! calls when distinct closed sets induce distinct wrappers.
+//!
+//! The charm (§5) is that `subdivision` never materializes the feature
+//! space — crucial for LR, whose feature space is as large as the page.
+
+use crate::space::{EnumerationResult, SpaceBuilder};
+use aw_induct::{FeatureBased, ItemSet};
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// Enumerates `W(L)` with Algorithm 2.
+pub fn top_down<I>(inductor: &I, labels: &ItemSet<I::Item>) -> EnumerationResult<I::Item>
+where
+    I: FeatureBased,
+    I::Item: Debug,
+{
+    let mut builder = SpaceBuilder::new();
+    if labels.is_empty() {
+        return builder.finish();
+    }
+
+    let mut z: BTreeSet<ItemSet<I::Item>> = BTreeSet::new();
+    z.insert(labels.clone());
+
+    for attr in inductor.attributes(labels) {
+        // Snapshot: sets created by this attribute are only subdivided by
+        // *later* attributes, exactly as in Algorithm 2's nested loops.
+        let snapshot: Vec<ItemSet<I::Item>> = z.iter().cloned().collect();
+        for s in snapshot {
+            for group in inductor.subdivision(&s, &attr) {
+                debug_assert!(group.is_subset(&s));
+                if !group.is_empty() {
+                    z.insert(group);
+                }
+            }
+        }
+    }
+
+    for s in &z {
+        builder.induce(inductor, s);
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom_up::bottom_up;
+    use crate::naive::naive;
+    use aw_induct::table::{example1_inductor, example1_labels, Cell};
+    use aw_induct::TableInductor;
+
+    #[test]
+    fn reproduces_section_4_2_trace() {
+        // §4.2 traces TopDown on Example 1: Z ends with 8 subsets and the
+        // 8 wrappers of Equation (2).
+        let t = example1_inductor();
+        let result = top_down(&t, &example1_labels());
+        assert_eq!(result.len(), 8);
+        assert_eq!(result.inductor_calls, 8, "Theorem 3: exactly k calls");
+    }
+
+    #[test]
+    fn agrees_with_naive_and_bottom_up() {
+        let t = example1_inductor();
+        let labels = example1_labels();
+        let n = naive(&t, &labels).extraction_set();
+        let b = bottom_up(&t, &labels).extraction_set();
+        let d = top_down(&t, &labels).extraction_set();
+        assert_eq!(n, d);
+        assert_eq!(b, d);
+    }
+
+    #[test]
+    fn fewer_calls_than_bottom_up() {
+        let t = TableInductor::new(6, 6);
+        let labels: ItemSet<Cell> = [
+            Cell::new(1, 1),
+            Cell::new(2, 1),
+            Cell::new(3, 1),
+            Cell::new(4, 2),
+            Cell::new(5, 3),
+            Cell::new(6, 1),
+            Cell::new(2, 4),
+        ]
+        .into_iter()
+        .collect();
+        let bu = bottom_up(&t, &labels);
+        let td = top_down(&t, &labels);
+        assert_eq!(bu.extraction_set(), td.extraction_set());
+        assert!(
+            td.inductor_calls < bu.inductor_calls,
+            "TopDown {} vs BottomUp {}",
+            td.inductor_calls,
+            bu.inductor_calls
+        );
+    }
+
+    #[test]
+    fn empty_labels() {
+        let t = example1_inductor();
+        let result = top_down(&t, &ItemSet::new());
+        assert!(result.is_empty());
+        assert_eq!(result.inductor_calls, 0);
+    }
+
+    #[test]
+    fn single_label() {
+        let t = example1_inductor();
+        let labels: ItemSet<Cell> = [Cell::new(3, 3)].into_iter().collect();
+        let result = top_down(&t, &labels);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.inductor_calls, 1);
+    }
+}

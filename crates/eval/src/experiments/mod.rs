@@ -1,0 +1,23 @@
+//! Experiment runners, one module per paper figure/table.
+//!
+//! | Module | Paper content |
+//! |---|---|
+//! | [`calls`] | Fig. 2(a)/(b) — enumeration inductor-call counts |
+//! | [`timing`] | Fig. 2(c) — enumeration wall-clock time |
+//! | [`accuracy`] | Fig. 2(d)–(g), 3(c) — NAIVE vs NTW accuracy |
+//! | [`variants`] | Fig. 2(h)/(i) — NTW / NTW-L / NTW-X ablation |
+//! | [`table1`] | Table 1 — accuracy vs annotator (p, r) grid |
+//! | [`multitype`] | Fig. 3(a)/(b) — multi-type extraction |
+//! | [`single_entity`] | App. B.2 — single-entity extraction |
+//! | [`ablations`] | design-choice sweeps (context cap, label cap, features) |
+//! | [`generalization`] | portable-rule quality on pages unseen at learning time |
+
+pub mod ablations;
+pub mod accuracy;
+pub mod calls;
+pub mod generalization;
+pub mod multitype;
+pub mod single_entity;
+pub mod table1;
+pub mod timing;
+pub mod variants;

@@ -1,0 +1,76 @@
+//! Figures 2(h) and 2(i): ranking-component ablation — NTW vs NTW-L
+//! (annotation term only) vs NTW-X (publication term only).
+
+use crate::harness::{evaluate, learn_model, split_half, EvalOutcome, Method};
+use aw_core::WrapperLanguage;
+use aw_induct::NodeSet;
+use aw_sitegen::GeneratedSite;
+use serde::Serialize;
+
+/// The ablation figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct VariantsResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Wrapper language.
+    pub language: String,
+    /// NTW, NTW-L, NTW-X in that order.
+    pub outcomes: Vec<EvalOutcome>,
+}
+
+/// Runs the three variants.
+pub fn run<F>(
+    dataset: &str,
+    sites: &[GeneratedSite],
+    labels_of: F,
+    language: WrapperLanguage,
+) -> VariantsResult
+where
+    F: Fn(&GeneratedSite) -> NodeSet + Sync,
+{
+    let (train, test) = split_half(sites);
+    let model = learn_model(&train, &labels_of);
+    let outcomes = [Method::Ntw, Method::NtwL, Method::NtwX]
+        .into_iter()
+        .map(|m| evaluate(&test, &labels_of, language, m, &model))
+        .collect();
+    VariantsResult {
+        dataset: dataset.to_string(),
+        language: language.name().to_string(),
+        outcomes,
+    }
+}
+
+impl std::fmt::Display for VariantsResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} ranking variants on {} (accuracy = F1)", self.language, self.dataset)?;
+        writeln!(f, "{:>8} {:>9}", "variant", "Accuracy")?;
+        for o in &self.outcomes {
+            writeln!(f, "{:>8} {:>9.3}", o.method.name(), o.mean.f1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_annotate::{DictionaryAnnotator, MatchMode};
+    use aw_sitegen::{generate_dealers, DealersConfig};
+
+    #[test]
+    fn full_ranking_at_least_matches_components() {
+        let ds = generate_dealers(&DealersConfig::small(16, 53));
+        let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+        let res = run("DEALERS", &ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::XPath);
+        assert_eq!(res.outcomes.len(), 3);
+        let full = res.outcomes[0].mean.f1;
+        let l_only = res.outcomes[1].mean.f1;
+        let x_only = res.outcomes[2].mean.f1;
+        // §7.3: no single component accounts for full accuracy; allow a
+        // small sampling slack on the reduced dataset.
+        assert!(full + 0.05 >= l_only, "full {full} vs L {l_only}");
+        assert!(full + 0.05 >= x_only, "full {full} vs X {x_only}");
+        assert!(res.to_string().contains("NTW-X"));
+    }
+}

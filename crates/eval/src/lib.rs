@@ -1,0 +1,18 @@
+//! # aw-eval — evaluation harness and experiment reproduction
+//!
+//! Reproduces the evaluation of §7 and the appendices: precision/recall
+//! metrics, the half-split train/test protocol ("the p and r of the
+//! annotators are learned from a sample of half the websites"), a scoped
+//! parallel map over sites, and one runner per paper figure/table (see
+//! [`experiments`]).
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod parallel;
+
+pub use harness::{evaluate, learn_annotator, learn_model, split_half, EvalOutcome, Method};
+pub use metrics::{macro_average, prf1, PrF1};
+pub use parallel::par_map;
+pub use report::{to_json, write_json};

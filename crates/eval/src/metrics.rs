@@ -1,0 +1,122 @@
+//! Precision / recall / F1 against gold node sets.
+
+use aw_induct::NodeSet;
+use serde::Serialize;
+
+/// Precision, recall and their harmonic mean.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct PrF1 {
+    /// |extraction ∩ gold| / |extraction|.
+    pub precision: f64,
+    /// |extraction ∩ gold| / |gold|.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl PrF1 {
+    /// The perfect score.
+    pub const PERFECT: PrF1 = PrF1 { precision: 1.0, recall: 1.0, f1: 1.0 };
+
+    /// The zero score (failed extraction).
+    pub const ZERO: PrF1 = PrF1 { precision: 0.0, recall: 0.0, f1: 0.0 };
+
+    /// Builds from raw precision/recall.
+    pub fn new(precision: f64, recall: f64) -> Self {
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        PrF1 { precision, recall, f1 }
+    }
+}
+
+/// Scores an extraction against gold.
+///
+/// Conventions: empty gold + empty extraction is perfect; an empty
+/// extraction against nonempty gold (no wrapper learned) is zero.
+pub fn prf1(extraction: &NodeSet, gold: &NodeSet) -> PrF1 {
+    match (extraction.is_empty(), gold.is_empty()) {
+        (true, true) => PrF1::PERFECT,
+        (true, false) | (false, true) => PrF1::ZERO,
+        (false, false) => {
+            let tp = extraction.iter().filter(|n| gold.contains(n)).count() as f64;
+            PrF1::new(tp / extraction.len() as f64, tp / gold.len() as f64)
+        }
+    }
+}
+
+/// Macro-average over per-site scores (the paper reports dataset-level
+/// precision/recall bars; macro averaging weights each website equally,
+/// matching "learn a wrapper for each of the 330 websites").
+pub fn macro_average(scores: &[PrF1]) -> PrF1 {
+    if scores.is_empty() {
+        return PrF1::ZERO;
+    }
+    let n = scores.len() as f64;
+    let p = scores.iter().map(|s| s.precision).sum::<f64>() / n;
+    let r = scores.iter().map(|s| s.recall).sum::<f64>() / n;
+    // Report the mean F1 of sites (not F1 of means) — a site that failed
+    // outright should drag the aggregate down symmetrically.
+    let f1 = scores.iter().map(|s| s.f1).sum::<f64>() / n;
+    PrF1 { precision: p, recall: r, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_dom::{NodeId, PageNode};
+
+    fn nodes(ids: &[u32]) -> NodeSet {
+        ids.iter().map(|&i| PageNode::new(0, NodeId(i))).collect()
+    }
+
+    #[test]
+    fn exact_match_is_perfect() {
+        let g = nodes(&[1, 2, 3]);
+        assert_eq!(prf1(&g, &g), PrF1::PERFECT);
+    }
+
+    #[test]
+    fn over_extraction_hurts_precision_only() {
+        let gold = nodes(&[1, 2]);
+        let ext = nodes(&[1, 2, 3, 4]);
+        let s = prf1(&ext, &gold);
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_extraction_hurts_recall_only() {
+        let gold = nodes(&[1, 2, 3, 4]);
+        let ext = nodes(&[1]);
+        let s = prf1(&ext, &gold);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.25);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        let s = prf1(&nodes(&[9]), &nodes(&[1]));
+        assert_eq!(s, PrF1::new(0.0, 0.0));
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(prf1(&nodes(&[]), &nodes(&[])), PrF1::PERFECT);
+        assert_eq!(prf1(&nodes(&[]), &nodes(&[1])), PrF1::ZERO);
+        assert_eq!(prf1(&nodes(&[1]), &nodes(&[])), PrF1::ZERO);
+    }
+
+    #[test]
+    fn macro_average_weights_sites_equally() {
+        let avg = macro_average(&[PrF1::PERFECT, PrF1::ZERO]);
+        assert_eq!(avg.precision, 0.5);
+        assert_eq!(avg.recall, 0.5);
+        assert_eq!(avg.f1, 0.5);
+        assert_eq!(macro_average(&[]), PrF1::ZERO);
+    }
+}

@@ -1,0 +1,76 @@
+//! Tiny scoped parallel map used by the harness (330 sites × enumeration
+//! is embarrassingly parallel).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on all available cores, preserving order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                out.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_inner().into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn propagates_panics() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, |&x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,47 @@
+//! JSON export of experiment results, for regenerating plots or diffing
+//! runs. Every experiment result type in [`crate::experiments`] derives
+//! `serde::Serialize` and can be written with [`write_json`].
+
+use serde::Serialize;
+use std::path::Path;
+
+/// Serializes `value` as pretty JSON into `path`, creating parent
+/// directories as needed.
+pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Serializes `value` to a JSON string (pretty).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment results are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PrF1;
+
+    #[test]
+    fn writes_and_rereads_json() {
+        let dir = std::env::temp_dir().join("aw_report_test");
+        let path = dir.join("sub").join("score.json");
+        let score = PrF1::new(0.5, 1.0);
+        write_json(&path, &score).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.contains("\"precision\": 0.5"));
+        assert!(raw.contains("\"f1\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn to_json_renders() {
+        let s = to_json(&PrF1::PERFECT);
+        assert!(s.contains("1.0"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Feature maps and posting lists shared by the feature-based inductors.
+//!
+//! §4.2: a feature is an `(attribute, value)` pair and
+//! `φ(L) = {n | F(n) ⊇ ⋂_{ℓ∈L} F(ℓ)}`. We store each item's features as an
+//! ordered map `attribute → value` (an item has at most one value per
+//! attribute for both XPATH and LR feature spaces), intersect maps across
+//! labels, and answer extraction queries with pre-built posting lists.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Ordered feature map of one item: `attribute → value`.
+pub type FeatureMap<A, V> = BTreeMap<A, V>;
+
+/// Intersection of the feature maps of all `labels` (indices into `maps`).
+///
+/// A feature `(a, v)` survives iff every label has attribute `a` with the
+/// same value `v`.
+pub fn intersect_features<A: Ord + Clone, V: Eq + Clone>(
+    maps: &[&FeatureMap<A, V>],
+) -> FeatureMap<A, V> {
+    let Some((first, rest)) = maps.split_first() else {
+        return FeatureMap::new();
+    };
+    let mut out = FeatureMap::new();
+    'feature: for (a, v) in first.iter() {
+        for m in rest {
+            if m.get(a) != Some(v) {
+                continue 'feature;
+            }
+        }
+        out.insert(a.clone(), v.clone());
+    }
+    out
+}
+
+/// Posting lists: for each feature `(a, v)`, the sorted dense indices of
+/// items having it. Extraction is then an intersection of sorted lists.
+#[derive(Debug)]
+pub struct PostingIndex<A, V> {
+    postings: HashMap<(A, V), Vec<u32>>,
+    universe_size: u32,
+}
+
+impl<A: Eq + Hash + Clone + Ord, V: Eq + Hash + Clone> PostingIndex<A, V> {
+    /// Builds the index from per-item feature maps (item `i` has map
+    /// `item_features[i]`).
+    pub fn build(item_features: &[FeatureMap<A, V>]) -> Self {
+        let mut postings: HashMap<(A, V), Vec<u32>> = HashMap::new();
+        for (i, map) in item_features.iter().enumerate() {
+            for (a, v) in map {
+                postings
+                    .entry((a.clone(), v.clone()))
+                    .or_default()
+                    .push(i as u32);
+            }
+        }
+        PostingIndex { postings, universe_size: item_features.len() as u32 }
+    }
+
+    /// Items (dense indices) whose features include *all* of `required`.
+    /// An empty requirement matches the whole universe.
+    pub fn matching(&self, required: &FeatureMap<A, V>) -> Vec<u32> {
+        if required.is_empty() {
+            return (0..self.universe_size).collect();
+        }
+        // Gather posting lists; shortest first for cheap intersection.
+        let mut lists: Vec<&Vec<u32>> = Vec::with_capacity(required.len());
+        for (a, v) in required {
+            match self.postings.get(&(a.clone(), v.clone())) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<u32> = lists[0].clone();
+        for list in &lists[1..] {
+            result = intersect_sorted(&result, list);
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+}
+
+/// Intersection of two sorted u32 slices.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fm(pairs: &[(&str, &str)]) -> FeatureMap<String, String> {
+        pairs.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn intersection_keeps_shared_equal_features() {
+        let a = fm(&[("tag", "td"), ("pos", "1"), ("class", "x")]);
+        let b = fm(&[("tag", "td"), ("pos", "2"), ("class", "x")]);
+        let out = intersect_features(&[&a, &b]);
+        assert_eq!(out, fm(&[("tag", "td"), ("class", "x")]));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_empty() {
+        let a = fm(&[("tag", "td")]);
+        let b = fm(&[("tag", "tr")]);
+        assert!(intersect_features(&[&a, &b]).is_empty());
+        assert!(intersect_features::<String, String>(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_map_intersection_is_itself() {
+        let a = fm(&[("tag", "td"), ("pos", "1")]);
+        assert_eq!(intersect_features(&[&a]), a);
+    }
+
+    #[test]
+    fn posting_index_matches_by_conjunction() {
+        let items = vec![
+            fm(&[("tag", "td"), ("col", "1")]),
+            fm(&[("tag", "td"), ("col", "2")]),
+            fm(&[("tag", "tr"), ("col", "1")]),
+        ];
+        let idx = PostingIndex::build(&items);
+        assert_eq!(idx.matching(&fm(&[("tag", "td")])), vec![0, 1]);
+        assert_eq!(idx.matching(&fm(&[("tag", "td"), ("col", "1")])), vec![0]);
+        assert_eq!(idx.matching(&fm(&[("tag", "table")])), Vec::<u32>::new());
+        // Empty requirement = universe.
+        assert_eq!(idx.matching(&FeatureMap::new()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[3]), Vec::<u32>::new());
+    }
+}

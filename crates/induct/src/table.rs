@@ -1,0 +1,228 @@
+//! The TABLE wrapper inductor — the paper's running example (Example 1).
+//!
+//! TABLE operates on an *n × m* grid of cells. Given labels:
+//!
+//! * a single cell generalizes to itself;
+//! * labels within one row (column) generalize to the whole row (column);
+//! * labels spanning ≥ 2 rows **and** ≥ 2 columns generalize to the table.
+//!
+//! Example 3 shows TABLE is feature-based with attributes `row` and `col`;
+//! that is exactly how we implement it, which makes TABLE the reference
+//! implementation for testing `BottomUp`, `TopDown` and the theorems.
+
+use crate::traits::{FeatureBased, ItemSet, WrapperInductor};
+
+/// A cell of the TABLE grid. `row` and `col` are 1-based as in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cell {
+    /// 1-based row.
+    pub row: u16,
+    /// 1-based column.
+    pub col: u16,
+}
+
+impl Cell {
+    /// Convenience constructor.
+    pub fn new(row: u16, col: u16) -> Self {
+        Cell { row, col }
+    }
+}
+
+/// The TABLE inductor over an `rows × cols` grid.
+#[derive(Clone, Debug)]
+pub struct TableInductor {
+    rows: u16,
+    cols: u16,
+}
+
+/// The two attributes of TABLE's feature space (Example 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TableAttr {
+    /// The `row` attribute.
+    Row,
+    /// The `col` attribute.
+    Col,
+}
+
+impl TableInductor {
+    /// Creates a TABLE inductor over a grid.
+    pub fn new(rows: u16, cols: u16) -> Self {
+        TableInductor { rows, cols }
+    }
+
+    fn row(&self, r: u16) -> ItemSet<Cell> {
+        (1..=self.cols).map(|c| Cell::new(r, c)).collect()
+    }
+
+    fn col(&self, c: u16) -> ItemSet<Cell> {
+        (1..=self.rows).map(|r| Cell::new(r, c)).collect()
+    }
+
+    fn table(&self) -> ItemSet<Cell> {
+        (1..=self.rows)
+            .flat_map(|r| (1..=self.cols).map(move |c| Cell::new(r, c)))
+            .collect()
+    }
+}
+
+impl WrapperInductor for TableInductor {
+    type Item = Cell;
+
+    fn extract(&self, labels: &ItemSet<Cell>) -> ItemSet<Cell> {
+        let mut iter = labels.iter();
+        let Some(first) = iter.next() else {
+            return ItemSet::new();
+        };
+        let same_row = labels.iter().all(|c| c.row == first.row);
+        let same_col = labels.iter().all(|c| c.col == first.col);
+        match (same_row, same_col) {
+            (true, true) => labels.clone(), // single cell
+            (false, true) => self.col(first.col),
+            (true, false) => self.row(first.row),
+            (false, false) => self.table(),
+        }
+    }
+
+    fn rule(&self, labels: &ItemSet<Cell>) -> String {
+        let mut iter = labels.iter();
+        let Some(first) = iter.next() else {
+            return "∅".into();
+        };
+        let same_row = labels.iter().all(|c| c.row == first.row);
+        let same_col = labels.iter().all(|c| c.col == first.col);
+        match (same_row, same_col) {
+            (true, true) => format!("cell({},{})", first.row, first.col),
+            (false, true) => format!("C{}", first.col),
+            (true, false) => format!("R{}", first.row),
+            (false, false) => "T".into(),
+        }
+    }
+
+    fn universe(&self) -> ItemSet<Cell> {
+        self.table()
+    }
+}
+
+impl FeatureBased for TableInductor {
+    type Attr = TableAttr;
+
+    fn attributes(&self, _labels: &ItemSet<Cell>) -> Vec<TableAttr> {
+        vec![TableAttr::Col, TableAttr::Row]
+    }
+
+    fn subdivision(&self, s: &ItemSet<Cell>, attr: &TableAttr) -> Vec<ItemSet<Cell>> {
+        let mut groups: std::collections::BTreeMap<u16, ItemSet<Cell>> = Default::default();
+        for &cell in s {
+            let key = match attr {
+                TableAttr::Row => cell.row,
+                TableAttr::Col => cell.col,
+            };
+            groups.entry(key).or_default().insert(cell);
+        }
+        groups.into_values().collect()
+    }
+}
+
+/// The exact label set of the paper's Example 1: `{n1, n2, n4, a4, z5}` on a
+/// 5-row × 4-column table whose columns are (name, address, zip, phone).
+pub fn example1_labels() -> ItemSet<Cell> {
+    [
+        Cell::new(1, 1), // n1
+        Cell::new(2, 1), // n2
+        Cell::new(4, 1), // n4
+        Cell::new(4, 2), // a4 (incorrect label)
+        Cell::new(5, 3), // z5 (incorrect label)
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The TABLE inductor sized for Example 1 (5 × 4).
+pub fn example1_inductor() -> TableInductor {
+    TableInductor::new(5, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_well_behaved;
+
+    #[test]
+    fn singleton_returns_itself() {
+        let t = example1_inductor();
+        let l: ItemSet<Cell> = [Cell::new(1, 1)].into_iter().collect();
+        assert_eq!(t.extract(&l), l);
+        assert_eq!(t.rule(&l), "cell(1,1)");
+    }
+
+    #[test]
+    fn same_column_generalizes_to_column() {
+        let t = example1_inductor();
+        let l: ItemSet<Cell> = [Cell::new(1, 1), Cell::new(2, 1)].into_iter().collect();
+        let out = t.extract(&l);
+        assert_eq!(out.len(), 5);
+        assert!(out.contains(&Cell::new(4, 1)));
+        assert_eq!(t.rule(&l), "C1");
+    }
+
+    #[test]
+    fn same_row_generalizes_to_row() {
+        let t = example1_inductor();
+        let l: ItemSet<Cell> = [Cell::new(4, 1), Cell::new(4, 2)].into_iter().collect();
+        let out = t.extract(&l);
+        assert_eq!(out.len(), 4);
+        assert_eq!(t.rule(&l), "R4");
+    }
+
+    #[test]
+    fn spanning_generalizes_to_table() {
+        let t = example1_inductor();
+        let l: ItemSet<Cell> = [Cell::new(4, 2), Cell::new(5, 3)].into_iter().collect();
+        assert_eq!(t.extract(&l).len(), 20);
+        assert_eq!(t.rule(&l), "T");
+    }
+
+    #[test]
+    fn empty_labels_extract_nothing() {
+        let t = example1_inductor();
+        assert!(t.extract(&ItemSet::new()).is_empty());
+    }
+
+    #[test]
+    fn table_is_well_behaved() {
+        // Definition 1, checked exhaustively on Example 1's label set.
+        let t = example1_inductor();
+        let report = check_well_behaved(&t, &example1_labels());
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn example3_feature_view_matches() {
+        // φ({n1, n2, n4}) = first column; φ({n1, a4}) = whole table.
+        let t = example1_inductor();
+        let col: ItemSet<Cell> =
+            [Cell::new(1, 1), Cell::new(2, 1), Cell::new(4, 1)].into_iter().collect();
+        assert_eq!(t.extract(&col), t.col(1));
+        let span: ItemSet<Cell> = [Cell::new(1, 1), Cell::new(4, 2)].into_iter().collect();
+        assert_eq!(t.extract(&span), t.table());
+    }
+
+    #[test]
+    fn subdivision_partitions_by_attribute() {
+        let t = example1_inductor();
+        let labels = example1_labels();
+        let by_col = t.subdivision(&labels, &TableAttr::Col);
+        // col groups: {n1,n2,n4} (col 1), {a4} (col 2), {z5} (col 3)
+        assert_eq!(by_col.len(), 3);
+        let sizes: Vec<usize> = by_col.iter().map(|g| g.len()).collect();
+        assert_eq!(sizes, vec![3, 1, 1]);
+        let by_row = t.subdivision(&labels, &TableAttr::Row);
+        // row groups: {n1}, {n2}, {n4,a4}, {z5}
+        assert_eq!(by_row.len(), 4);
+    }
+
+    #[test]
+    fn universe_is_whole_grid() {
+        assert_eq!(TableInductor::new(3, 3).universe().len(), 9);
+    }
+}

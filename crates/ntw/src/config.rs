@@ -1,0 +1,92 @@
+//! Configuration of the noise-tolerant learner.
+
+use aw_rank::RankingMode;
+
+/// Which enumeration algorithm drives the generate step (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Enumeration {
+    /// Algorithm 1 — works for any well-behaved blackbox inductor.
+    BottomUp,
+    /// Algorithm 2 — requires a feature-based inductor; exactly `k` calls.
+    TopDown,
+    /// Exhaustive 2^|L| − 1 baseline (only for tiny label sets / tests).
+    Naive,
+}
+
+/// Which wrapper language to learn (§5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WrapperLanguage {
+    /// The xpath fragment of Dalvi et al. (SIGMOD 2009).
+    XPath,
+    /// WIEN's LR delimiter pairs (Kushmerick et al.).
+    Lr,
+    /// WIEN's HLRT (head/tail + LR). Blackbox only (no feature form here),
+    /// so it always enumerates with `BottomUp`.
+    Hlrt,
+}
+
+impl WrapperLanguage {
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WrapperLanguage::XPath => "XPATH",
+            WrapperLanguage::Lr => "LR",
+            WrapperLanguage::Hlrt => "HLRT",
+        }
+    }
+}
+
+/// Full learner configuration.
+#[derive(Clone, Debug)]
+pub struct NtwConfig {
+    /// Enumeration algorithm.
+    pub enumeration: Enumeration,
+    /// Ranking components (NTW / NTW-L / NTW-X).
+    pub mode: RankingMode,
+    /// Labels beyond this count are evenly subsampled for *enumeration*
+    /// (ranking always uses the full label set). Bounds the `k·|L|` cost
+    /// of BottomUp on label-rich sites.
+    pub max_enumeration_labels: usize,
+}
+
+impl Default for NtwConfig {
+    fn default() -> Self {
+        NtwConfig {
+            enumeration: Enumeration::TopDown,
+            mode: RankingMode::Full,
+            max_enumeration_labels: 32,
+        }
+    }
+}
+
+impl NtwConfig {
+    /// Convenience: default config with a specific enumeration.
+    pub fn with_enumeration(enumeration: Enumeration) -> Self {
+        NtwConfig { enumeration, ..Default::default() }
+    }
+
+    /// Convenience: default config with a specific ranking mode.
+    pub fn with_mode(mode: RankingMode) -> Self {
+        NtwConfig { mode, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = NtwConfig::default();
+        assert_eq!(c.enumeration, Enumeration::TopDown);
+        assert_eq!(c.mode, RankingMode::Full);
+        assert!(c.max_enumeration_labels >= 16);
+    }
+
+    #[test]
+    fn language_names() {
+        assert_eq!(WrapperLanguage::XPath.name(), "XPATH");
+        assert_eq!(WrapperLanguage::Lr.name(), "LR");
+        assert_eq!(WrapperLanguage::Hlrt.name(), "HLRT");
+    }
+}

@@ -1,0 +1,344 @@
+//! The noise-tolerant wrapper learner — §3's generate-and-test loop.
+//!
+//! 1. **Generate**: enumerate the wrapper space of the noisy label set
+//!    (`BottomUp`, `TopDown` or `Naive`, crate `aw-enum`).
+//! 2. **Test**: score every candidate with
+//!    `log P(L | X) + log P(X)` (crate `aw-rank`) and rank.
+//!
+//! The top-ranked wrapper is the extraction rule; [`naive_wrapper`] is the
+//! paper's NAIVE baseline (run the inductor once on all labels).
+
+use crate::config::{Enumeration, NtwConfig, WrapperLanguage};
+use aw_dom::PageNode;
+use aw_enum::{bottom_up, naive, top_down, EnumerationResult};
+use aw_induct::{
+    FeatureBased, HlrtInductor, ItemSet, LrInductor, NodeSet, Site, WrapperInductor,
+    XPathInductor,
+};
+use aw_rank::{RankingModel, WrapperScore};
+
+/// One ranked candidate wrapper.
+#[derive(Clone, Debug)]
+pub struct LearnedWrapper {
+    /// The wrapper's full extraction over the site.
+    pub extraction: NodeSet,
+    /// The rule in the wrapper language (display form).
+    pub rule: String,
+    /// The label subset that induced it.
+    pub seed: NodeSet,
+    /// Score breakdown.
+    pub score: WrapperScore,
+}
+
+/// The learner's output: candidates ranked best-first plus cost counters.
+#[derive(Clone, Debug)]
+pub struct NtwOutcome {
+    /// Ranked wrappers (best first; deterministic tie-break).
+    pub ranked: Vec<LearnedWrapper>,
+    /// Inductor calls spent during enumeration (Figures 2a/2b metric).
+    pub inductor_calls: usize,
+    /// Distinct wrappers enumerated (`k`).
+    pub wrapper_space_size: usize,
+}
+
+impl NtwOutcome {
+    /// The winning wrapper, if any label produced one.
+    pub fn best(&self) -> Option<&LearnedWrapper> {
+        self.ranked.first()
+    }
+}
+
+/// Learns a wrapper of the given language from noisy labels.
+///
+/// `Hlrt` has no feature-based form here, so `TopDown` silently falls back
+/// to `BottomUp` for it.
+pub fn learn(
+    site: &Site,
+    language: WrapperLanguage,
+    labels: &NodeSet,
+    model: &RankingModel,
+    config: &NtwConfig,
+) -> NtwOutcome {
+    match language {
+        WrapperLanguage::XPath => {
+            let inductor = XPathInductor::new(site);
+            learn_with_feature_based(&inductor, site, labels, model, config)
+        }
+        WrapperLanguage::Lr => {
+            let inductor = LrInductor::new(site);
+            learn_with_feature_based(&inductor, site, labels, model, config)
+        }
+        WrapperLanguage::Hlrt => {
+            let inductor = HlrtInductor::new(site);
+            learn_with_blackbox(&inductor, site, labels, model, config)
+        }
+    }
+}
+
+/// Learner over any feature-based inductor (supports all enumerations).
+pub fn learn_with_feature_based<I>(
+    inductor: &I,
+    site: &Site,
+    labels: &NodeSet,
+    model: &RankingModel,
+    config: &NtwConfig,
+) -> NtwOutcome
+where
+    I: FeatureBased<Item = PageNode>,
+{
+    let seed_labels = subsample(labels, config.max_enumeration_labels);
+    let space = match config.enumeration {
+        Enumeration::TopDown => top_down(inductor, &seed_labels),
+        Enumeration::BottomUp => bottom_up(inductor, &seed_labels),
+        Enumeration::Naive => naive(inductor, &seed_labels),
+    };
+    // The config's ranking mode is authoritative (lets one model serve all
+    // three §7.3 variants).
+    rank_space(space, site, labels, &model.with_mode(config.mode))
+}
+
+/// Learner over a blackbox inductor (BottomUp/Naive only; TopDown falls
+/// back to BottomUp).
+pub fn learn_with_blackbox<I>(
+    inductor: &I,
+    site: &Site,
+    labels: &NodeSet,
+    model: &RankingModel,
+    config: &NtwConfig,
+) -> NtwOutcome
+where
+    I: WrapperInductor<Item = PageNode>,
+{
+    let seed_labels = subsample(labels, config.max_enumeration_labels);
+    let space = match config.enumeration {
+        Enumeration::Naive => naive(inductor, &seed_labels),
+        _ => bottom_up(inductor, &seed_labels),
+    };
+    rank_space(space, site, labels, &model.with_mode(config.mode))
+}
+
+/// The NAIVE baseline of §7.2: run the inductor directly on all labels.
+pub fn naive_wrapper(site: &Site, language: WrapperLanguage, labels: &NodeSet) -> LearnedWrapper {
+    let (extraction, rule) = match language {
+        WrapperLanguage::XPath => {
+            let ind = XPathInductor::new(site);
+            (ind.extract(labels), ind.rule(labels))
+        }
+        WrapperLanguage::Lr => {
+            let ind = LrInductor::new(site);
+            (ind.extract(labels), ind.rule(labels))
+        }
+        WrapperLanguage::Hlrt => {
+            let ind = HlrtInductor::new(site);
+            (ind.extract(labels), ind.rule(labels))
+        }
+    };
+    LearnedWrapper {
+        extraction,
+        rule,
+        seed: labels.clone(),
+        score: WrapperScore { annotation: 0.0, publication: 0.0, features: None, total: 0.0 },
+    }
+}
+
+fn rank_space(
+    space: EnumerationResult<PageNode>,
+    site: &Site,
+    labels: &NodeSet,
+    model: &RankingModel,
+) -> NtwOutcome {
+    let inductor_calls = space.inductor_calls;
+    let wrapper_space_size = space.len();
+    let mut ranked: Vec<LearnedWrapper> = space
+        .wrappers
+        .into_iter()
+        .map(|w| {
+            let score = model.score(site, labels, &w.extraction);
+            LearnedWrapper { extraction: w.extraction, rule: w.rule, seed: w.seed, score }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .total
+            .partial_cmp(&a.score.total)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            // Deterministic tie-breaks: smaller extraction first, then rule.
+            .then_with(|| a.extraction.len().cmp(&b.extraction.len()))
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+    NtwOutcome { ranked, inductor_calls, wrapper_space_size }
+}
+
+/// Evenly subsamples an ordered label set down to `cap` elements.
+pub(crate) fn subsample(labels: &NodeSet, cap: usize) -> ItemSet<PageNode> {
+    if labels.len() <= cap {
+        return labels.clone();
+    }
+    let items: Vec<PageNode> = labels.iter().copied().collect();
+    let stride = items.len() as f64 / cap as f64;
+    (0..cap).map(|i| items[(i as f64 * stride) as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_rank::{AnnotatorModel, ListFeatures, PublicationModel, RankingMode};
+
+    /// Dealer-style site: 3 pages, names in <u>, plus footer noise.
+    fn dealer_site() -> Site {
+        let page = |names: &[&str]| -> String {
+            let mut s = String::from("<div class='list'>");
+            for (i, n) in names.iter().enumerate() {
+                s.push_str(&format!(
+                    "<tr><td><u>{n}</u><br>{i} Elm St.<br>CITY, ST 3870{i}<br>555-010{i}</td></tr>"
+                ));
+            }
+            s.push_str("</div><div class='footer'>contact us</div>");
+            s
+        };
+        Site::from_html(&[
+            page(&["ALPHA FURNITURE", "BETA HOME", "GAMMA DECOR"]),
+            page(&["DELTA BEDS", "EPSILON SOFAS"]),
+            page(&["ZETA LIGHTS", "ETA RUGS", "THETA DESKS"]),
+        ])
+    }
+
+    fn gold(site: &Site) -> NodeSet {
+        // All <u> children.
+        site.text_nodes()
+            .iter()
+            .copied()
+            .filter(|&n| {
+                let (doc, id) = site.resolve(n);
+                doc.parent(id).and_then(|p| doc.tag(p)) == Some("u")
+            })
+            .collect()
+    }
+
+    fn model() -> RankingModel {
+        let publication = PublicationModel::learn(&[
+            ListFeatures { schema_size: 4.0, alignment: 0.0 },
+            ListFeatures { schema_size: 4.0, alignment: 1.0 },
+            ListFeatures { schema_size: 3.0, alignment: 0.0 },
+        ]);
+        RankingModel::new(AnnotatorModel::new(0.93, 0.5), publication)
+    }
+
+    /// Noisy labels: half the names plus one address (false positive).
+    fn noisy_labels(site: &Site) -> NodeSet {
+        let g: Vec<PageNode> = gold(site).into_iter().collect();
+        let mut labels: NodeSet = g.iter().step_by(2).copied().collect();
+        let fp = site.find_text("0 Elm St.");
+        labels.extend(fp);
+        labels
+    }
+
+    #[test]
+    fn ntw_recovers_gold_wrapper_from_noise() {
+        let site = dealer_site();
+        let labels = noisy_labels(&site);
+        let out = learn(&site, WrapperLanguage::XPath, &labels, &model(), &NtwConfig::default());
+        let best = out.best().expect("candidates");
+        assert_eq!(best.extraction, gold(&site), "best rule: {}", best.rule);
+        assert!(out.wrapper_space_size >= 3);
+    }
+
+    #[test]
+    fn naive_overgeneralizes_on_same_input() {
+        let site = dealer_site();
+        let labels = noisy_labels(&site);
+        let naive = naive_wrapper(&site, WrapperLanguage::XPath, &labels);
+        // NAIVE must cover all labels (fidelity) and therefore spill past
+        // the gold set.
+        assert!(labels.is_subset(&naive.extraction));
+        assert!(naive.extraction.len() > gold(&site).len());
+    }
+
+    #[test]
+    fn bottom_up_and_top_down_agree_on_best() {
+        let site = dealer_site();
+        let labels = noisy_labels(&site);
+        let m = model();
+        let td = learn(
+            &site,
+            WrapperLanguage::XPath,
+            &labels,
+            &m,
+            &NtwConfig::with_enumeration(Enumeration::TopDown),
+        );
+        let bu = learn(
+            &site,
+            WrapperLanguage::XPath,
+            &labels,
+            &m,
+            &NtwConfig::with_enumeration(Enumeration::BottomUp),
+        );
+        assert_eq!(
+            td.best().unwrap().extraction,
+            bu.best().unwrap().extraction
+        );
+        assert!(td.inductor_calls <= bu.inductor_calls);
+    }
+
+    #[test]
+    fn lr_learner_also_recovers() {
+        let site = dealer_site();
+        let labels = noisy_labels(&site);
+        let out = learn(&site, WrapperLanguage::Lr, &labels, &model(), &NtwConfig::default());
+        let best = out.best().expect("candidates");
+        assert_eq!(best.extraction, gold(&site), "best rule: {}", best.rule);
+    }
+
+    #[test]
+    fn hlrt_falls_back_to_bottom_up() {
+        let site = dealer_site();
+        let labels = noisy_labels(&site);
+        let out = learn(&site, WrapperLanguage::Hlrt, &labels, &model(), &NtwConfig::default());
+        assert!(out.best().is_some());
+        assert!(out.inductor_calls > 0);
+    }
+
+    #[test]
+    fn annotation_only_mode_differs_from_full() {
+        // With a high-recall annotator model, NTW-L alone may pick the
+        // over-general wrapper; at minimum the scores must differ.
+        let site = dealer_site();
+        let labels = noisy_labels(&site);
+        let m = model();
+        let full = learn(&site, WrapperLanguage::XPath, &labels, &m, &NtwConfig::default());
+        let l_only = learn(
+            &site,
+            WrapperLanguage::XPath,
+            &labels,
+            &m.with_mode(RankingMode::AnnotationOnly),
+            &NtwConfig::with_mode(RankingMode::AnnotationOnly),
+        );
+        let f = full.best().unwrap();
+        let l = l_only.best().unwrap();
+        assert!((f.score.total - l.score.total).abs() > 1e-9 || f.extraction == l.extraction);
+    }
+
+    #[test]
+    fn subsample_caps_enumeration_labels() {
+        let site = dealer_site();
+        let labels = gold(&site); // 8 labels
+        let cfg = NtwConfig { max_enumeration_labels: 3, ..Default::default() };
+        let out = learn(&site, WrapperLanguage::XPath, &labels, &model(), &cfg);
+        // Still finds the gold wrapper from 3 seeds.
+        assert_eq!(out.best().unwrap().extraction, gold(&site));
+    }
+
+    #[test]
+    fn empty_labels_give_empty_outcome() {
+        let site = dealer_site();
+        let out = learn(
+            &site,
+            WrapperLanguage::XPath,
+            &NodeSet::new(),
+            &model(),
+            &NtwConfig::default(),
+        );
+        assert!(out.best().is_none());
+        assert_eq!(out.inductor_calls, 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! # aw-core — the noise-tolerant wrapper framework (NTW)
+//!
+//! The primary contribution of *Automatic Wrappers for Large Scale Web
+//! Extraction* (Dalvi, Kumar & Soliman, VLDB 2011): make any well-behaved
+//! wrapper inductor tolerant to noisy training labels by
+//! **generate-and-test** —
+//!
+//! 1. enumerate the wrapper space of the noisy labels (`aw-enum`),
+//! 2. rank each candidate by `P(L | X) · P(X)` (`aw-rank`),
+//! 3. extract with the top-ranked wrapper.
+//!
+//! ```
+//! use aw_core::{learn, naive_wrapper, NtwConfig, WrapperLanguage};
+//! use aw_induct::Site;
+//! use aw_rank::{AnnotatorModel, ListFeatures, PublicationModel, RankingModel};
+//!
+//! // A two-page "dealer locator" site.
+//! let page = |a: &str, b: &str| format!(
+//!     "<table><tr><td><u>{a}</u></td><td>12 Elm</td><td>OX, MS 38655</td></tr>\
+//!             <tr><td><u>{b}</u></td><td>9 Oak</td><td>OX, MS 38655</td></tr></table>");
+//! let site = Site::from_html(&[page("PORTER FURNITURE", "ACME BEDS"),
+//!                              page("ZETA SOFAS", "DELTA DECOR")]);
+//!
+//! // Noisy labels: two true names (in different rows, as scattered
+//! // dictionary hits are) + one street line (a false positive).
+//! let mut labels = aw_induct::NodeSet::new();
+//! labels.extend(site.find_text("PORTER FURNITURE"));
+//! labels.extend(site.find_text("DELTA DECOR"));
+//! labels.extend(site.find_text("12 Elm"));
+//!
+//! let model = RankingModel::new(
+//!     AnnotatorModel::new(0.95, 0.4),
+//!     PublicationModel::learn(&[
+//!         ListFeatures { schema_size: 3.0, alignment: 0.0 },
+//!         ListFeatures { schema_size: 3.0, alignment: 1.0 },
+//!     ]),
+//! );
+//! let out = learn(&site, WrapperLanguage::XPath, &labels, &model, &NtwConfig::default());
+//! let best = out.best().unwrap();
+//! // The noise-tolerant wrapper extracts exactly the four names…
+//! assert_eq!(best.extraction.len(), 4);
+//! // …while the NAIVE baseline over-generalizes to fit the bad label.
+//! let naive = naive_wrapper(&site, WrapperLanguage::XPath, &labels);
+//! assert!(naive.extraction.len() > 4);
+//! ```
+
+pub mod config;
+pub mod learner;
+pub mod multi_type;
+pub mod rule;
+pub mod single_entity;
+
+pub use config::{Enumeration, NtwConfig, WrapperLanguage};
+pub use learner::{
+    learn, learn_with_blackbox, learn_with_feature_based, naive_wrapper, LearnedWrapper,
+    NtwOutcome,
+};
+pub use multi_type::{
+    assemble_records, learn_multi_type, MultiTypeModel, MultiTypeOutcome, MultiTypeWrapper,
+    Record,
+};
+pub use rule::LearnedRule;
+pub use single_entity::{
+    learn_single_entity, learn_single_entity_with, SingleEntityOutcome, SingleEntityWrapper,
+};

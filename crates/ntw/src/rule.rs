@@ -1,0 +1,233 @@
+//! Portable learned rules.
+//!
+//! Inside the framework a wrapper is identified by its output on the
+//! training site (§6). A production deployment, though, learns once and
+//! then extracts from *future* pages of the same script — the paper's
+//! Yahoo! pipeline applies wrappers to freshly crawled pages. A
+//! [`LearnedRule`] captures the rule itself, detached from any site, and
+//! applies to any [`Document`].
+
+use crate::config::WrapperLanguage;
+use crate::learner::NtwOutcome;
+use aw_dom::{serialize_with_spans, Document, NodeId};
+use aw_induct::lr::scan_spans;
+use aw_induct::{HlrtInductor, HlrtRule, LrInductor, LrRule, NodeSet, Site, XPathInductor};
+use aw_xpath::XPath;
+
+/// A wrapper rule detached from its training site.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LearnedRule {
+    /// An xpath of the fragment (§5, Dalvi et al. 2009).
+    XPath(XPath),
+    /// A WIEN LR delimiter pair.
+    Lr(LrRule),
+    /// A WIEN HLRT rule.
+    Hlrt(HlrtRule),
+}
+
+impl LearnedRule {
+    /// Learns the portable rule for `seed` labels on `site` in the given
+    /// language. The seed is typically [`crate::LearnedWrapper::seed`] of
+    /// the top-ranked wrapper.
+    pub fn learn(site: &Site, language: WrapperLanguage, seed: &NodeSet) -> LearnedRule {
+        match language {
+            WrapperLanguage::XPath => {
+                LearnedRule::XPath(XPathInductor::new(site).xpath(seed))
+            }
+            WrapperLanguage::Lr => LearnedRule::Lr(LrInductor::new(site).learn(seed)),
+            WrapperLanguage::Hlrt => LearnedRule::Hlrt(HlrtInductor::new(site).learn(seed)),
+        }
+    }
+
+    /// Applies the rule to a page it has never seen, returning matched
+    /// text nodes in document order.
+    ///
+    /// Caveat for [`LearnedRule::XPath`]: in the rare corner case where
+    /// the learned feature set keeps a child-number without a tag at some
+    /// ancestor position, the xpath form is slightly more general than
+    /// the feature-set semantics used during ranking (documented on
+    /// [`XPathInductor::xpath`]).
+    pub fn apply(&self, doc: &Document) -> Vec<NodeId> {
+        match self {
+            LearnedRule::XPath(xp) => aw_xpath::evaluate(xp, doc),
+            LearnedRule::Lr(rule) => {
+                let page = serialize_with_spans(doc);
+                let mut out: Vec<NodeId> = scan_spans(&page.html, &rule.left, &rule.right)
+                    .into_iter()
+                    .flat_map(|(s, e)| page.nodes_in_range(s, e))
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            LearnedRule::Hlrt(rule) => {
+                let page = serialize_with_spans(doc);
+                let html = &page.html;
+                let start = if rule.head.is_empty() {
+                    Some(0)
+                } else {
+                    html.find(&rule.head).map(|i| i + rule.head.len())
+                };
+                let Some(start) = start else { return Vec::new() };
+                let end = if rule.tail.is_empty() {
+                    Some(html.len())
+                } else {
+                    html[start..].rfind(&rule.tail).map(|i| start + i)
+                };
+                let Some(end) = end else { return Vec::new() };
+                let region = &html[start..end];
+                let mut out: Vec<NodeId> = scan_spans(region, &rule.lr.left, &rule.lr.right)
+                    .into_iter()
+                    .flat_map(|(s, e)| page.nodes_in_range(start + s, start + e))
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+
+    /// Extracts the matched *text values* from a page.
+    pub fn extract_values(&self, doc: &Document) -> Vec<String> {
+        self.apply(doc)
+            .into_iter()
+            .filter_map(|id| doc.text(id).map(str::to_string))
+            .collect()
+    }
+
+    /// The rule's display form (parsable back for xpath rules).
+    pub fn display(&self) -> String {
+        match self {
+            LearnedRule::XPath(xp) => xp.to_string(),
+            LearnedRule::Lr(r) => r.to_string(),
+            LearnedRule::Hlrt(r) => r.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for LearnedRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+impl NtwOutcome {
+    /// The portable rule of the top-ranked wrapper.
+    pub fn best_rule(
+        &self,
+        site: &Site,
+        language: WrapperLanguage,
+    ) -> Option<LearnedRule> {
+        self.best().map(|w| LearnedRule::learn(site, language, &w.seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{learn, NtwConfig};
+    use aw_rank::{AnnotatorModel, ListFeatures, PublicationModel, RankingModel};
+
+    fn training_site() -> Site {
+        let page = |rows: &[(&str, &str)]| {
+            let mut s = String::from("<table class='stores'>");
+            for (n, a) in rows {
+                s.push_str(&format!("<tr><td><b>{n}</b></td><td>{a}</td></tr>"));
+            }
+            s + "</table>"
+        };
+        Site::from_html(&[
+            page(&[("ALPHA CO", "1 Elm"), ("BETA LLC", "2 Oak")]),
+            page(&[("GAMMA INC", "3 Fir"), ("DELTA LTD", "4 Ash")]),
+        ])
+    }
+
+    fn model() -> RankingModel {
+        RankingModel::new(
+            AnnotatorModel::new(0.95, 0.5),
+            PublicationModel::learn(&[
+                ListFeatures { schema_size: 2.0, alignment: 0.0 },
+                ListFeatures { schema_size: 2.0, alignment: 1.0 },
+            ]),
+        )
+    }
+
+    fn labels(site: &Site) -> NodeSet {
+        let mut l = NodeSet::new();
+        l.extend(site.find_text("ALPHA CO"));
+        l.extend(site.find_text("DELTA LTD"));
+        l
+    }
+
+    #[test]
+    fn xpath_rule_applies_to_unseen_page() {
+        let site = training_site();
+        let out = learn(&site, WrapperLanguage::XPath, &labels(&site), &model(), &NtwConfig::default());
+        let rule = out.best_rule(&site, WrapperLanguage::XPath).unwrap();
+
+        // A freshly "crawled" page from the same script.
+        let new_page = aw_dom::parse(
+            "<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr>\
+             <tr><td><b>SIGMA BROS</b></td><td>7 Oak</td></tr></table>",
+        );
+        assert_eq!(
+            rule.extract_values(&new_page),
+            vec!["OMEGA GROUP", "SIGMA BROS"],
+            "rule: {rule}"
+        );
+    }
+
+    #[test]
+    fn lr_rule_applies_to_unseen_page() {
+        let site = training_site();
+        let out = learn(&site, WrapperLanguage::Lr, &labels(&site), &model(), &NtwConfig::default());
+        let rule = out.best_rule(&site, WrapperLanguage::Lr).unwrap();
+        let new_page = aw_dom::parse(
+            "<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr></table>",
+        );
+        assert_eq!(rule.extract_values(&new_page), vec!["OMEGA GROUP"], "rule: {rule}");
+    }
+
+    #[test]
+    fn hlrt_rule_applies_to_unseen_page() {
+        let site = training_site();
+        let seed = labels(&site);
+        let rule = LearnedRule::learn(&site, WrapperLanguage::Hlrt, &seed);
+        let new_page = aw_dom::parse(
+            "<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr></table>",
+        );
+        // HLRT's head was learned from pages whose prefix matches the new
+        // page (same script), so the region resolves.
+        let values = rule.extract_values(&new_page);
+        assert!(values.contains(&"OMEGA GROUP".to_string()), "rule: {rule} → {values:?}");
+    }
+
+    #[test]
+    fn rule_consistency_with_training_extraction() {
+        // Applying the portable rule back to the training pages must
+        // reproduce the wrapper's own extraction.
+        let site = training_site();
+        let out = learn(&site, WrapperLanguage::XPath, &labels(&site), &model(), &NtwConfig::default());
+        let best = out.best().unwrap();
+        let rule = out.best_rule(&site, WrapperLanguage::XPath).unwrap();
+        let mut replayed = NodeSet::new();
+        for p in 0..site.page_count() as u32 {
+            replayed.extend(
+                rule.apply(site.page(p))
+                    .into_iter()
+                    .map(|id| aw_dom::PageNode::new(p, id)),
+            );
+        }
+        assert_eq!(replayed, best.extraction);
+    }
+
+    #[test]
+    fn rules_on_mismatched_pages_extract_nothing_harmful() {
+        let site = training_site();
+        let rule = LearnedRule::learn(&site, WrapperLanguage::XPath, &labels(&site));
+        let unrelated = aw_dom::parse("<p>just a paragraph</p>");
+        assert!(rule.apply(&unrelated).is_empty());
+        let hlrt = LearnedRule::learn(&site, WrapperLanguage::Hlrt, &labels(&site));
+        assert!(hlrt.apply(&unrelated).is_empty());
+    }
+}

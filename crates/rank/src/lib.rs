@@ -1,0 +1,22 @@
+//! # aw-rank — the ranking model of §6
+//!
+//! Scores every enumerated wrapper by `P(L | X) · P(X)` (Equation 1):
+//!
+//! * [`annotation`] — the noisy-annotation likelihood `P(L | X)`
+//!   (Equation 4), parameterized by the annotator's `(p, r)`;
+//! * [`segmentation`] — record segmentation by pre-order traversal between
+//!   consecutive extraction boundaries (Figure 7);
+//! * [`publication`] — the list-goodness prior `P(X)` from the schema-size
+//!   and alignment features with KDE-learned distributions (§6.1);
+//! * [`scorer`] — the combined model plus the NTW-L / NTW-X ablation
+//!   variants of §7.3.
+
+pub mod annotation;
+pub mod publication;
+pub mod scorer;
+pub mod segmentation;
+
+pub use annotation::{estimate_from_counts, AnnotatorModel};
+pub use publication::{list_features, list_features_pinned, KernelOverride, ListFeatures, PublicationModel};
+pub use scorer::{RankingMode, RankingModel, WrapperScore};
+pub use segmentation::{segment_site, segment_site_typed, Segment, TEXT_TOKEN};

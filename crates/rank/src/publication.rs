@@ -1,0 +1,264 @@
+//! The web-publication model — `P(X)` of §6 and §6.1.
+//!
+//! Two domain-independent features are computed on the record segments of
+//! a candidate list `X`:
+//!
+//! 1. **Schema size** — the number of `#text` tokens in the longest common
+//!    substring between pairs of segments (≈ attributes present in every
+//!    record). Aggregated as the median over sampled pairs.
+//! 2. **Alignment** — the maximum pairwise edit distance between segments
+//!    (0 for a perfectly repeating list).
+//!
+//! Their value distributions are domain-specific and learned by kernel
+//! density estimation from sample sites (§6.1); `P(X)` is the product of
+//! the two feature probabilities.
+
+use crate::segmentation::Segment;
+use aw_align::{edit_distance, edit_distance_pinned, longest_common_substring, KernelDensity};
+
+/// Cap on the number of segments examined pairwise; larger segment lists
+/// are down-sampled evenly (deterministically).
+pub const MAX_SEGMENTS_FOR_PAIRS: usize = 24;
+
+/// The two feature values of one candidate list on one site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ListFeatures {
+    /// Median over pairs of the text-node count of the pairwise longest
+    /// common substring.
+    pub schema_size: f64,
+    /// Maximum pairwise edit distance.
+    pub alignment: f64,
+}
+
+/// Computes the features of a segment list; `None` if fewer than two
+/// segments exist (single-entity lists have no repeating structure to
+/// measure — Appendix B.2).
+pub fn list_features(segments: &[Segment]) -> Option<ListFeatures> {
+    list_features_pinned(segments, 1)
+}
+
+/// As [`list_features`] but with the multi-type alignment constraint
+/// (Appendix A): nodes of each type must align with each other.
+/// `pin_indel_cost` is the penalty for dropping a typed node (use 1 for
+/// single-type, where pins are all equal anyway).
+pub fn list_features_pinned(segments: &[Segment], pin_indel_cost: usize) -> Option<ListFeatures> {
+    if segments.len() < 2 {
+        return None;
+    }
+    let sampled = sample_segments(segments);
+    let mut schema_sizes: Vec<f64> = Vec::new();
+    let mut max_align = 0.0f64;
+    for i in 0..sampled.len() {
+        for j in (i + 1)..sampled.len() {
+            let (a, b) = (sampled[i], sampled[j]);
+            let range = longest_common_substring(&a.tokens, &b.tokens);
+            let texts = a.tokens[range]
+                .iter()
+                .filter(|t| *t == crate::segmentation::TEXT_TOKEN)
+                .count();
+            schema_sizes.push(texts as f64);
+            let d = if pin_indel_cost <= 1 && all_same_pin(a) && all_same_pin(b) {
+                edit_distance(&a.tokens, &b.tokens)
+            } else {
+                edit_distance_pinned(&a.tokens, &b.tokens, &a.pins, &b.pins, pin_indel_cost)
+            };
+            max_align = max_align.max(d as f64);
+        }
+    }
+    Some(ListFeatures {
+        schema_size: aw_align::stats::median(&schema_sizes),
+        alignment: max_align,
+    })
+}
+
+fn all_same_pin(seg: &Segment) -> bool {
+    // Single-type segments have pins ∈ {None, Some(0)}; the pinned edit
+    // distance would forbid aligning the boundary #text with an inner
+    // #text, which is the desired constraint — but for speed we use the
+    // plain distance when every pin pattern is the trivial single-type one.
+    seg.pins.iter().all(|p| p.is_none() || *p == Some(0))
+}
+
+/// Evenly down-samples long segment lists so pairwise work stays bounded.
+fn sample_segments(segments: &[Segment]) -> Vec<&Segment> {
+    if segments.len() <= MAX_SEGMENTS_FOR_PAIRS {
+        return segments.iter().collect();
+    }
+    let stride = segments.len() as f64 / MAX_SEGMENTS_FOR_PAIRS as f64;
+    (0..MAX_SEGMENTS_FOR_PAIRS)
+        .map(|i| &segments[(i as f64 * stride) as usize])
+        .collect()
+}
+
+/// Which feature kernels participate in `P(X)` — an ablation hook for
+/// the feature-level analysis (finer than the paper's NTW-X).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KernelOverride {
+    /// Both features (the paper's model).
+    #[default]
+    None,
+    /// Drop the schema-size kernel.
+    IgnoreSchema,
+    /// Drop the alignment kernel.
+    IgnoreAlignment,
+}
+
+/// The learned publication model: KDE distributions of the two features.
+#[derive(Clone, Debug)]
+pub struct PublicationModel {
+    /// Density of schema sizes observed on (gold) training lists.
+    pub schema: KernelDensity,
+    /// Density of alignment values observed on training lists.
+    pub alignment: KernelDensity,
+    /// Log-probability assigned when a candidate has no measurable
+    /// features (fewer than two segments).
+    pub featureless_log_prob: f64,
+    /// Feature-kernel ablation (default: use both).
+    pub kernel_override: KernelOverride,
+}
+
+impl PublicationModel {
+    /// Learns the model from per-site gold features (§6.1: "we take a
+    /// small sample of websites, look at the list of segments on each
+    /// website and learn the distribution").
+    pub fn learn(samples: &[ListFeatures]) -> Self {
+        assert!(!samples.is_empty(), "publication model needs training features");
+        let schema: Vec<f64> = samples.iter().map(|f| f.schema_size).collect();
+        let align: Vec<f64> = samples.iter().map(|f| f.alignment).collect();
+        PublicationModel {
+            schema: KernelDensity::fit(&schema),
+            alignment: KernelDensity::fit(&align),
+            featureless_log_prob: -40.0,
+            kernel_override: KernelOverride::None,
+        }
+    }
+
+    /// `log P(X)` for a candidate with the given features.
+    pub fn log_prob(&self, features: Option<ListFeatures>) -> f64 {
+        match features {
+            Some(f) => {
+                let schema = match self.kernel_override {
+                    KernelOverride::IgnoreSchema => 0.0,
+                    _ => self.schema.log_density(f.schema_size),
+                };
+                let align = match self.kernel_override {
+                    KernelOverride::IgnoreAlignment => 0.0,
+                    _ => self.alignment.log_density(f.alignment),
+                };
+                schema + align
+            }
+            None => self.featureless_log_prob,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segmentation::segment_site;
+    use aw_induct::{NodeSet, Site};
+
+    fn flat_site() -> Site {
+        Site::from_html(&[
+            "<ul>\
+             <li>addr1</li><li>NAME1</li><li>zip1</li><li>ph1</li>\
+             <li>addr2</li><li>NAME2</li><li>zip2</li><li>ph2</li>\
+             <li>addr3</li><li>NAME3</li><li>zip3</li><li>ph3</li>\
+             </ul>",
+        ])
+    }
+
+    fn x_of(site: &Site, texts: &[&str]) -> NodeSet {
+        texts.iter().flat_map(|t| site.find_text(t)).collect()
+    }
+
+    #[test]
+    fn good_list_features_match_section_3() {
+        // X1 = names only: schema size 4 (name, addr, zip, phone per
+        // record), perfect alignment.
+        let site = flat_site();
+        let segs = segment_site(&site, &x_of(&site, &["NAME1", "NAME2", "NAME3"]));
+        let f = list_features(&segs).unwrap();
+        assert_eq!(f.schema_size, 4.0);
+        assert_eq!(f.alignment, 0.0);
+    }
+
+    #[test]
+    fn all_text_list_has_schema_size_one() {
+        // X3 = every cell: each "record" is a single cell → schema size 1,
+        // still perfectly aligned (§3).
+        let site = flat_site();
+        let all: NodeSet = site.text_nodes().iter().copied().collect();
+        let segs = segment_site(&site, &all);
+        let f = list_features(&segs).unwrap();
+        assert_eq!(f.schema_size, 1.0);
+        assert_eq!(f.alignment, 0.0);
+    }
+
+    #[test]
+    fn irregular_list_has_positive_alignment() {
+        // X2-style: names and zips as boundaries → alternating gap sizes.
+        let site = flat_site();
+        let segs = segment_site(
+            &site,
+            &x_of(&site, &["NAME1", "zip1", "NAME2", "zip2", "NAME3", "zip3"]),
+        );
+        let f = list_features(&segs).unwrap();
+        assert!(f.alignment > 0.0, "{f:?}");
+    }
+
+    #[test]
+    fn featureless_when_single_segment() {
+        let site = flat_site();
+        let segs = segment_site(&site, &x_of(&site, &["NAME1", "NAME2"]));
+        assert_eq!(segs.len(), 1);
+        assert!(list_features(&segs).is_none());
+    }
+
+    #[test]
+    fn model_prefers_gold_like_lists() {
+        // Train on schema≈4 / align≈0; the good list must out-score both
+        // the schema-1 list and an irregular list.
+        let site = flat_site();
+        let train = vec![
+            ListFeatures { schema_size: 4.0, alignment: 0.0 },
+            ListFeatures { schema_size: 4.0, alignment: 1.0 },
+            ListFeatures { schema_size: 3.0, alignment: 0.0 },
+        ];
+        let model = PublicationModel::learn(&train);
+
+        let good = list_features(&segment_site(&site, &x_of(&site, &["NAME1", "NAME2", "NAME3"]))).unwrap();
+        let all: NodeSet = site.text_nodes().iter().copied().collect();
+        let schema1 = list_features(&segment_site(&site, &all)).unwrap();
+        let irregular = list_features(&segment_site(
+            &site,
+            &x_of(&site, &["NAME1", "zip1", "NAME2", "zip2", "NAME3", "zip3"]),
+        ))
+        .unwrap();
+
+        let g = model.log_prob(Some(good));
+        let s1 = model.log_prob(Some(schema1));
+        let irr = model.log_prob(Some(irregular));
+        assert!(g > s1, "good {g} vs schema-1 {s1}");
+        assert!(g > irr, "good {g} vs irregular {irr}");
+        assert!(g > model.log_prob(None));
+    }
+
+    #[test]
+    fn sampling_caps_pairwise_work() {
+        let seg = Segment {
+            tokens: vec!["li".into(), "#text".into()],
+            pins: vec![None, Some(0)],
+        };
+        let many: Vec<Segment> = (0..500).map(|_| seg.clone()).collect();
+        let f = list_features(&many).unwrap();
+        assert_eq!(f.alignment, 0.0);
+        assert_eq!(f.schema_size, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "training features")]
+    fn empty_training_panics() {
+        let _ = PublicationModel::learn(&[]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Word pools for the synthetic datasets.
+//!
+//! The paper's corpora (DEALERS, DISC, PRODUCTS) are crawled websites we
+//! cannot fetch; per the substitution rule in DESIGN.md we regenerate them
+//! from the paper's own web-publication model (§2.1): pick a schema, pick
+//! data, pick a rendering script. These pools supply the data part with
+//! enough combinatorial variety that names rarely collide.
+
+/// Town-ish first words for business names ("ALBANY Industries" style).
+pub const TOWN_WORDS: &[&str] = &[
+    "ALBANY", "MADISON", "OAKDALE", "RIVERTON", "FAIRVIEW", "GREENWOOD", "BRISTOL", "CLINTON",
+    "GEORGETOWN", "SPRINGFIELD", "FRANKLIN", "SALEM", "DAYTON", "ARLINGTON", "ASHLAND",
+    "BURLINGTON", "CAMDEN", "DOVER", "EASTON", "FAIRFIELD", "GLENDALE", "HAMPTON", "HUDSON",
+    "JACKSON", "KINGSTON", "LEBANON", "MILFORD", "NEWPORT", "OXFORD", "PORTLAND", "QUINCY",
+    "RICHMOND", "SHELBY", "TRENTON", "UNION", "VERNON", "WARREN", "WINCHESTER", "YORK",
+    "CEDARVILLE", "ELMWOOD", "PINEHURST", "MAPLEWOOD", "LAKESIDE", "HILLCREST", "WESTBROOK",
+    "NORTHGATE", "SOUTHPORT", "EASTLAKE", "WOODLAND", "PORTER", "STANLEY", "HELLER", "LULLABY",
+    "KIDDIE", "SHERRILL", "ROYAL", "CRESCENT", "SUMMIT", "HARBOR",
+];
+
+/// Business categories.
+pub const CATEGORY_WORDS: &[&str] = &[
+    "FURNITURE", "APPLIANCE", "ELECTRONICS", "HARDWARE", "LIGHTING", "FLOORING", "KITCHENS",
+    "BEDDING", "CABINETS", "INTERIORS", "GALLERY", "DESIGN", "HOME CENTER", "TRADING",
+    "SUPPLY", "OUTFITTERS", "DEPOT", "WAREHOUSE", "SHOWROOM", "STUDIO", "WORKSHOP",
+    "EMPORIUM", "MERCANTILE", "OUTLET",
+];
+
+/// Legal suffixes; ".Inc"-style words the paper calls out as name markers.
+pub const SUFFIX_WORDS: &[&str] =
+    &["", "", "", " CO.", " INC.", " LLC", " & SONS", " BROS.", " GROUP", " SHOP"];
+
+/// Street name stems.
+pub const STREET_WORDS: &[&str] = &[
+    "Main St.", "Oak Ave.", "Elm St.", "Maple Dr.", "Pine Rd.", "Cedar Ln.", "Market St.",
+    "Church St.", "High St.", "Park Ave.", "2nd Ave.", "3rd St.", "Washington Blvd.",
+    "Lincoln Way", "Jefferson Rd.", "Mill Rd.", "River Rd.", "Lake Dr.", "Sunset Blvd.",
+    "Hwy. 30 West", "Route 9", "Post Rd.", "Commerce Pkwy.", "Industrial Dr.",
+];
+
+/// City/state pairs for address lines.
+pub const CITY_STATE: &[(&str, &str)] = &[
+    ("NEW ALBANY", "MS"), ("WOODLAND", "MS"), ("TUPELO", "MS"), ("SAN MATEO", "CA"),
+    ("SAN JOSE", "CA"), ("SAN BRUNO", "CA"), ("SAN RAFAEL", "CA"), ("AUSTIN", "TX"),
+    ("DALLAS", "TX"), ("MEMPHIS", "TN"), ("NASHVILLE", "TN"), ("ATLANTA", "GA"),
+    ("DENVER", "CO"), ("BOISE", "ID"), ("PORTLAND", "OR"), ("SEATTLE", "WA"),
+    ("MADISON", "WI"), ("COLUMBUS", "OH"), ("ALBANY", "NY"), ("BUFFALO", "NY"),
+];
+
+/// Words for track-title generation.
+pub const TRACK_ADJ: &[&str] = &[
+    "Midnight", "Golden", "Broken", "Silent", "Electric", "Crimson", "Lonely", "Wild",
+    "Faded", "Restless", "Velvet", "Hollow", "Burning", "Frozen", "Distant", "Gentle",
+    "Savage", "Tender", "Wicked", "Shining",
+];
+
+/// Nouns for track-title generation.
+pub const TRACK_NOUN: &[&str] = &[
+    "Train", "River", "Heart", "Road", "Sky", "Dream", "Mirror", "Garden", "Stranger",
+    "Shadow", "Harbor", "Window", "Letter", "Dancer", "Season", "Thunder", "Whisper",
+    "Horizon", "Lantern", "Echo",
+];
+
+/// Optional track-title tails.
+pub const TRACK_TAIL: &[&str] = &[
+    "", "", "", " (Reprise)", " (Live)", " Pt. II", " Blues", " Serenade", " Lullaby",
+    " in Blue", " at Dawn", " Goodbye",
+];
+
+/// Artist surname pool for album credits.
+pub const ARTIST_NAMES: &[&str] = &[
+    "The O'Neill Brothers", "Michelle Suesens", "Danielle Woerner", "The Harbor Lights",
+    "Frank Castellano", "Nina Delacroix", "The Wandering Sons", "Eliza Thornton",
+    "Marcus Reed Trio", "The Velvet Foxes", "Clara Boswell", "Johnny Two Rivers",
+    "The Paper Kites Club", "Omar Bellamy", "Sister June",
+];
+
+/// Phone brands for the PRODUCTS domain (five, as in Appendix B.1).
+pub const PHONE_BRANDS: &[&str] = &["Nokima", "Samsang", "Motorale", "Sanyonic", "Ericsun"];
+
+/// Model series letters per brand.
+pub const PHONE_SERIES: &[&str] = &["X", "E", "N", "C", "S", "G", "Z", "Pro", "Slide", "Flip"];
+
+/// Review/comment sentence templates for DISC pages. `{}` is replaced by a
+/// track or album title — the source of exact-match false positives.
+pub const REVIEW_TEMPLATES: &[&str] = &[
+    "I can't stop playing {} on repeat, absolute classic.",
+    "The production on {} feels ahead of its time.",
+    "Saw them perform {} live last summer, unforgettable.",
+    "{} is easily the weakest cut here, skip it.",
+    "My dad used to hum {} every morning.",
+];
+
+/// Promo sentences for DEALERS chrome; `{}` is replaced by a brand name —
+/// the source of dictionary false positives in navigation/ads.
+pub const PROMO_TEMPLATES: &[&str] = &[
+    "Visit {} for the best deals this season!",
+    "Now carrying the full {} catalog.",
+    "{} clearance event ends Sunday.",
+    "Ask about financing at {} locations near you.",
+];
+
+/// Filler sidebar-item titles for DEALERS pages. The sidebar is a
+/// structured list (title + blurb + link per item), so a false-positive
+/// seed inside it generalizes to a *structurally good* decoy list — the
+/// reason the publication term alone cannot rank wrappers (§7.3).
+pub const SIDEBAR_TITLES: &[&str] = &[
+    "Holiday hours announced",
+    "New showroom opening",
+    "Summer catalog is here",
+    "Join our rewards club",
+    "Free delivery this month",
+    "Design tips & tricks",
+    "Meet our staff",
+    "Trade-in program",
+];
+
+/// Filler sidebar blurbs.
+pub const SIDEBAR_BLURBS: &[&str] = &[
+    "Check back every week for updates.",
+    "Limited time only, conditions apply.",
+    "Our experts are here to help.",
+    "Visit the store nearest you.",
+    "Sign up online or in person.",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        fn check(name: &str, pool: &[&str]) {
+            assert!(!pool.is_empty(), "{name} empty");
+            // Allow deliberate duplicates only in weighted pools.
+            if name != "SUFFIX_WORDS" && name != "TRACK_TAIL" {
+                let set: std::collections::HashSet<_> = pool.iter().collect();
+                assert_eq!(set.len(), pool.len(), "{name} has duplicates");
+            }
+        }
+        check("TOWN_WORDS", TOWN_WORDS);
+        check("CATEGORY_WORDS", CATEGORY_WORDS);
+        check("SUFFIX_WORDS", SUFFIX_WORDS);
+        check("STREET_WORDS", STREET_WORDS);
+        check("TRACK_ADJ", TRACK_ADJ);
+        check("TRACK_NOUN", TRACK_NOUN);
+        check("TRACK_TAIL", TRACK_TAIL);
+        check("ARTIST_NAMES", ARTIST_NAMES);
+        check("PHONE_BRANDS", PHONE_BRANDS);
+        check("PHONE_SERIES", PHONE_SERIES);
+    }
+
+    #[test]
+    fn name_space_is_large() {
+        // Enough combinations that per-page names rarely collide.
+        let combos = TOWN_WORDS.len() * CATEGORY_WORDS.len() * SUFFIX_WORDS.len();
+        assert!(combos > 10_000, "{combos}");
+    }
+
+    #[test]
+    fn templates_have_placeholder() {
+        for t in REVIEW_TEMPLATES.iter().chain(PROMO_TEMPLATES) {
+            assert!(t.contains("{}"), "{t}");
+        }
+    }
+}

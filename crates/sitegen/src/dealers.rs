@@ -1,0 +1,322 @@
+//! The DEALERS dataset (§7): dealer-locator pages for 330 businesses.
+//!
+//! Each synthetic site mimics one business's store-locator: a fixed
+//! rendering script applied to several per-zipcode pages of dealer
+//! listings. The companion dictionary covers a configurable fraction of
+//! dealer names (the paper's Yahoo! Local database gave the annotator
+//! recall 0.24), and sidebar promos quoting dictionary names provide the
+//! false positives that put precision near 0.95.
+
+use crate::data;
+use crate::render::{ListingRecord, ListingScript};
+use crate::template::{GeneratedSite, PageBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`generate_dealers`].
+#[derive(Clone, Debug)]
+pub struct DealersConfig {
+    /// Number of websites (paper: 330).
+    pub sites: usize,
+    /// Pages (zipcodes) per site.
+    pub pages_per_site: usize,
+    /// Min/max records per page.
+    pub records_per_page: (usize, usize),
+    /// Fraction of dealer names drawn from the dictionary (≈ annotator
+    /// recall; paper: 0.24).
+    pub dict_fraction: f64,
+    /// Probability that a site carries a promo quoting a dictionary name
+    /// on one of its pages (false-positive source; tunes annotator
+    /// precision and the fraction of sites whose NAIVE wrapper is
+    /// poisoned).
+    pub promo_prob: f64,
+    /// Probability that a street number has five digits (zip-annotator
+    /// false positives, Appendix A).
+    pub five_digit_street_prob: f64,
+    /// Probability that a record's street is named after a dictionary
+    /// brand ("12 PORTER FURNITURE Plaza") — §7's "errors stem from
+    /// business names matching street addresses". These FPs live in a
+    /// structurally good list (the street column), which is what makes
+    /// the publication term alone (NTW-X) insufficient (§7.3).
+    pub street_brand_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DealersConfig {
+    fn default() -> Self {
+        DealersConfig {
+            sites: 330,
+            pages_per_site: 5,
+            records_per_page: (2, 8),
+            dict_fraction: 0.24,
+            promo_prob: 0.35,
+            five_digit_street_prob: 0.12,
+            street_brand_prob: 0.015,
+            seed: 0xDEA1,
+        }
+    }
+}
+
+impl DealersConfig {
+    /// A small configuration for fast tests and examples.
+    pub fn small(sites: usize, seed: u64) -> Self {
+        DealersConfig { sites, pages_per_site: 3, seed, ..Default::default() }
+    }
+}
+
+/// The generated dataset: sites plus the annotator dictionary.
+#[derive(Debug)]
+pub struct DealersDataset {
+    /// The generated websites.
+    pub sites: Vec<GeneratedSite>,
+    /// Business names known to the dictionary annotator.
+    pub dictionary: Vec<String>,
+}
+
+/// Size of the dictionary name pool.
+const DICT_POOL: usize = 600;
+
+/// Generates the dataset.
+pub fn generate_dealers(cfg: &DealersConfig) -> DealersDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Build a global pool of unique names; the first DICT_POOL are the
+    // annotator's dictionary.
+    let pool = name_pool(&mut rng);
+    let dictionary: Vec<String> = pool[..DICT_POOL].to_vec();
+    let unknown: &[String] = &pool[DICT_POOL..];
+
+    let sites = (0..cfg.sites)
+        .map(|id| {
+            let mut srng = StdRng::seed_from_u64(cfg.seed ^ hash_site(id));
+            generate_site(id, cfg, &mut srng, &dictionary, unknown)
+        })
+        .collect();
+    DealersDataset { sites, dictionary }
+}
+
+fn hash_site(id: usize) -> u64 {
+    // splitmix64 so per-site streams are independent of site count.
+    let mut z = id as u64 + 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn name_pool(rng: &mut StdRng) -> Vec<String> {
+    let mut names: Vec<String> = Vec::with_capacity(4000);
+    'outer: for town in data::TOWN_WORDS {
+        for cat in data::CATEGORY_WORDS {
+            for suf in ["", " CO.", " INC."] {
+                names.push(format!("{town} {cat}{suf}"));
+                if names.len() >= 4000 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    names.shuffle(rng);
+    names.dedup();
+    names
+}
+
+fn generate_site(
+    id: usize,
+    cfg: &DealersConfig,
+    rng: &mut StdRng,
+    dictionary: &[String],
+    unknown: &[String],
+) -> GeneratedSite {
+    // A promo quoting a dictionary name on ONE page → annotator false
+    // positive that poisons NAIVE induction on this site.
+    let promo: Option<(usize, String)> = rng.gen_bool(cfg.promo_prob).then(|| {
+        let brand = dictionary.choose(rng).expect("dict nonempty");
+        let template = data::PROMO_TEMPLATES.choose(rng).expect("nonempty");
+        (
+            rng.gen_range(0..cfg.pages_per_site),
+            template.replacen("{}", brand, 1),
+        )
+    });
+    let script = ListingScript::random(rng, "Dealer Locator", Vec::new());
+
+    let pages = (0..cfg.pages_per_site)
+        .map(|page_idx| {
+            let zip = format!("{:05}", rng.gen_range(10000..99999));
+            let n_records = rng.gen_range(cfg.records_per_page.0..=cfg.records_per_page.1);
+            let mut used: Vec<&str> = Vec::new();
+            let records: Vec<ListingRecord> = (0..n_records)
+                .map(|_| {
+                    let name = loop {
+                        let candidate = if rng.gen_bool(cfg.dict_fraction) {
+                            dictionary.choose(rng).expect("nonempty")
+                        } else {
+                            unknown.choose(rng).expect("nonempty")
+                        };
+                        if !used.contains(&candidate.as_str()) {
+                            used.push(candidate);
+                            break candidate.clone();
+                        }
+                    };
+                    record(rng, name, &zip, cfg, dictionary)
+                })
+                .collect();
+            let mut b = PageBuilder::new();
+            script.render_page(&mut b, &format!("stores near {zip}"), &records);
+            if let Some((promo_page, text)) = &promo {
+                if *promo_page == page_idx {
+                    render_sidebar(&mut b, rng, text);
+                }
+            }
+            b.finish()
+        })
+        .collect();
+    GeneratedSite::from_pages(id, pages)
+}
+
+/// Renders a promo sidebar: a structured list of (title, blurb, link)
+/// items, one of which (`fp_title`) quotes a dictionary brand. The decoy
+/// list is structurally as regular as the dealer listing itself.
+fn render_sidebar(b: &mut PageBuilder, rng: &mut StdRng, fp_title: &str) {
+    let mut titles: Vec<&str> = data::SIDEBAR_TITLES.to_vec();
+    titles.shuffle(rng);
+    let n_items = rng.gen_range(4..=6).min(titles.len());
+    let fp_slot = rng.gen_range(0..n_items);
+    b.raw("<div class='sidebar'><ul>");
+    for (i, title) in titles.iter().take(n_items).enumerate() {
+        b.raw("<li><b>");
+        b.text(if i == fp_slot { fp_title } else { title });
+        b.raw("</b><br>");
+        b.text(data::SIDEBAR_BLURBS.choose(rng).expect("nonempty"));
+        b.raw("<br><a href='#'>");
+        b.text("Read more");
+        b.raw("</a></li>");
+    }
+    b.raw("</ul></div>");
+}
+
+fn record(
+    rng: &mut StdRng,
+    name: String,
+    zip: &str,
+    cfg: &DealersConfig,
+    dictionary: &[String],
+) -> ListingRecord {
+    let number = if rng.gen_bool(cfg.five_digit_street_prob) {
+        rng.gen_range(10000..40000)
+    } else {
+        rng.gen_range(1..9999)
+    };
+    let street = if rng.gen_bool(cfg.street_brand_prob) {
+        // Street named after a brand → dictionary false positive.
+        let brand = dictionary.choose(rng).expect("nonempty");
+        let suffix = *["Plaza", "Sq.", "Way", "Center"].choose(rng).expect("nonempty");
+        format!("{number} {brand} {suffix}")
+    } else {
+        format!("{number} {}", data::STREET_WORDS.choose(rng).expect("nonempty"))
+    };
+    let (city, state) = data::CITY_STATE.choose(rng).expect("nonempty");
+    let phone = rng.gen_bool(0.85).then(|| {
+        format!(
+            "({}) {}-{}",
+            rng.gen_range(201..989),
+            rng.gen_range(200..999),
+            rng.gen_range(1000..9999)
+        )
+    });
+    ListingRecord {
+        name,
+        street,
+        city_line: Some(format!("{city}, {state} {zip}")),
+        phone,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_annotate::{DictionaryAnnotator, MatchMode};
+
+    #[test]
+    fn generates_requested_site_count() {
+        let ds = generate_dealers(&DealersConfig::small(6, 11));
+        assert_eq!(ds.sites.len(), 6);
+        assert_eq!(ds.dictionary.len(), DICT_POOL);
+        for (i, s) in ds.sites.iter().enumerate() {
+            assert_eq!(s.id, i);
+            assert_eq!(s.site.page_count(), 3);
+            assert!(!s.gold().is_empty());
+            assert_eq!(s.gold_types.len(), 2, "names + zip lines");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_dealers(&DealersConfig::small(3, 5));
+        let b = generate_dealers(&DealersConfig::small(3, 5));
+        for (x, y) in a.sites.iter().zip(&b.sites) {
+            assert_eq!(x.gold(), y.gold());
+            assert_eq!(
+                aw_dom::serialize(x.site.page(0)),
+                aw_dom::serialize(y.site.page(0))
+            );
+        }
+        let c = generate_dealers(&DealersConfig::small(3, 6));
+        assert_ne!(
+            aw_dom::serialize(a.sites[0].site.page(0)),
+            aw_dom::serialize(c.sites[0].site.page(0))
+        );
+    }
+
+    #[test]
+    fn annotator_operating_point_is_near_paper() {
+        // Measured over the dataset, the dictionary annotator should land
+        // near p≈0.95, r≈0.24 (±generous tolerance on a small sample).
+        let ds = generate_dealers(&DealersConfig::small(40, 7));
+        let annotator = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+        let (mut tp, mut fp, mut gold_total) = (0usize, 0usize, 0usize);
+        for s in &ds.sites {
+            let labels = annotator.annotate(&s.site);
+            gold_total += s.gold().len();
+            for l in &labels {
+                if s.gold().contains(l) {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        let recall = tp as f64 / gold_total as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        assert!((0.15..=0.35).contains(&recall), "recall {recall}");
+        assert!(precision >= 0.85, "precision {precision}");
+    }
+
+    #[test]
+    fn gold_zip_lines_contain_zipcodes() {
+        let ds = generate_dealers(&DealersConfig::small(3, 9));
+        for s in &ds.sites {
+            for &n in &s.gold_types[1] {
+                let t = s.site.text_of(n).unwrap();
+                assert!(aw_annotate::contains_zipcode(t), "{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_unique_within_page() {
+        let ds = generate_dealers(&DealersConfig::small(5, 13));
+        for s in &ds.sites {
+            for p in 0..s.site.page_count() as u32 {
+                let names: Vec<&str> = s
+                    .gold()
+                    .iter()
+                    .filter(|n| n.page == p)
+                    .map(|&n| s.site.text_of(n).unwrap())
+                    .collect();
+                let set: std::collections::HashSet<_> = names.iter().collect();
+                assert_eq!(set.len(), names.len(), "duplicate name on page {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The DISC dataset (§7): discography sites with album/track pages.
+//!
+//! 15 sites, each carrying structurally-identical album pages. The
+//! annotator's seed database holds the track lists of a few *popular*
+//! albums (the paper used 11); any site is expected to carry some of them.
+//! Noise mirrors the paper's: title tracks make the album-title node match
+//! a track name exactly, review blocks quote track names verbatim, and a
+//! ~10% rendering mutation keeps recall near 0.9.
+
+use crate::data;
+use crate::template::{GeneratedSite, PageBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Gold type index for track names.
+pub const TYPE_TRACK: usize = 0;
+/// Gold type index for album-title nodes (single-entity target, App. B.2).
+pub const TYPE_TITLE: usize = 1;
+
+/// One album of the global pool.
+#[derive(Clone, Debug)]
+pub struct Album {
+    /// Album title.
+    pub title: String,
+    /// Artist credit.
+    pub artist: String,
+    /// Track titles in order.
+    pub tracks: Vec<String>,
+}
+
+/// Configuration for [`generate_disc`].
+#[derive(Clone, Debug)]
+pub struct DiscConfig {
+    /// Number of websites (paper: 15).
+    pub sites: usize,
+    /// Albums in the global pool.
+    pub pool_albums: usize,
+    /// Popular albums whose tracks seed the annotator (paper: 11).
+    pub popular_albums: usize,
+    /// Min/max albums (pages) per site.
+    pub albums_per_site: (usize, usize),
+    /// Probability that an album's first track repeats the album title.
+    pub title_track_prob: f64,
+    /// Probability a track's display text is mutated (recall killer).
+    pub mutation_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DiscConfig {
+    fn default() -> Self {
+        DiscConfig {
+            sites: 15,
+            pool_albums: 30,
+            popular_albums: 11,
+            albums_per_site: (6, 12),
+            title_track_prob: 0.4,
+            mutation_prob: 0.1,
+            seed: 0xD15C,
+        }
+    }
+}
+
+impl DiscConfig {
+    /// A small configuration for fast tests.
+    pub fn small(sites: usize, seed: u64) -> Self {
+        DiscConfig { sites, albums_per_site: (3, 5), seed, ..Default::default() }
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct DiscDataset {
+    /// The generated websites.
+    pub sites: Vec<GeneratedSite>,
+    /// The album pool (popular albums first).
+    pub albums: Vec<Album>,
+    /// The annotator's track dictionary (tracks of the popular albums).
+    pub track_dictionary: Vec<String>,
+    /// The popular album titles (B.2's album-title seed database).
+    pub title_dictionary: Vec<String>,
+}
+
+/// Generates the dataset.
+pub fn generate_disc(cfg: &DiscConfig) -> DiscDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let albums = album_pool(cfg, &mut rng);
+    let track_dictionary: Vec<String> = albums[..cfg.popular_albums]
+        .iter()
+        .flat_map(|a| a.tracks.iter().cloned())
+        .collect();
+    let title_dictionary: Vec<String> =
+        albums[..cfg.popular_albums].iter().map(|a| a.title.clone()).collect();
+
+    let sites = (0..cfg.sites)
+        .map(|id| {
+            let mut srng = StdRng::seed_from_u64(cfg.seed ^ (0xA1B2 + id as u64 * 0x9E37));
+            generate_site(id, cfg, &mut srng, &albums)
+        })
+        .collect();
+    DiscDataset { sites, albums, track_dictionary, title_dictionary }
+}
+
+fn album_pool(cfg: &DiscConfig, rng: &mut StdRng) -> Vec<Album> {
+    let mut titles_used = std::collections::HashSet::new();
+    // Track names are globally unique across the pool: a collision would
+    // let the dictionary accidentally "know" tracks of unpopular albums,
+    // which distorts the annotator's operating point.
+    let mut tracks_used = std::collections::HashSet::new();
+    (0..cfg.pool_albums)
+        .map(|_| {
+            let title = loop {
+                let t = format!(
+                    "{} {}",
+                    data::TRACK_ADJ.choose(rng).expect("nonempty"),
+                    data::TRACK_NOUN.choose(rng).expect("nonempty")
+                );
+                if titles_used.insert(t.clone()) {
+                    break t;
+                }
+            };
+            let artist = data::ARTIST_NAMES.choose(rng).expect("nonempty").to_string();
+            let n_tracks = rng.gen_range(6..=12);
+            let mut tracks: Vec<String> = Vec::with_capacity(n_tracks);
+            if rng.gen_bool(cfg.title_track_prob) {
+                tracks.push(title.clone()); // title track
+                tracks_used.insert(title.clone());
+            }
+            while tracks.len() < n_tracks {
+                let t = format!(
+                    "{} {}{}",
+                    data::TRACK_ADJ.choose(rng).expect("nonempty"),
+                    data::TRACK_NOUN.choose(rng).expect("nonempty"),
+                    data::TRACK_TAIL.choose(rng).expect("nonempty"),
+                );
+                if t != title && tracks_used.insert(t.clone()) {
+                    tracks.push(t);
+                }
+            }
+            Album { title, artist, tracks }
+        })
+        .collect()
+}
+
+/// Per-site rendering choices for album pages.
+#[derive(Clone, Debug)]
+struct DiscScript {
+    /// Tag wrapping the canonical album-title node.
+    title_tag: &'static str,
+    /// Track list container: ("ol", "li") / ("table", "td") / ("div", "div").
+    list_tags: (&'static str, &'static str),
+    /// Whether tracks are wrapped in <a>.
+    track_link: bool,
+    /// Whether a breadcrumb repeats the album title (consistent location).
+    breadcrumb: bool,
+    /// Reviews per page (0..=3).
+    reviews: usize,
+}
+
+impl DiscScript {
+    fn random(rng: &mut StdRng) -> Self {
+        DiscScript {
+            title_tag: ["h1", "h2", "div", "b"].choose(rng).expect("nonempty"),
+            list_tags: *[("ol", "li"), ("ul", "li"), ("table", "td"), ("div", "div")]
+                .choose(rng)
+                .expect("nonempty"),
+            track_link: rng.gen_bool(0.5),
+            breadcrumb: rng.gen_bool(0.5),
+            reviews: rng.gen_range(0..=3),
+        }
+    }
+}
+
+fn generate_site(id: usize, cfg: &DiscConfig, rng: &mut StdRng, pool: &[Album]) -> GeneratedSite {
+    let script = DiscScript::random(rng);
+    let n_albums = rng.gen_range(cfg.albums_per_site.0..=cfg.albums_per_site.1);
+    // Bias toward popular albums so every site carries some (§7: "we expect
+    // any discography website to have at least a few of these albums").
+    let mut chosen: Vec<&Album> = Vec::new();
+    let n_popular = (n_albums / 2).max(2).min(cfg.popular_albums);
+    let mut popular: Vec<&Album> = pool[..cfg.popular_albums].iter().collect();
+    popular.shuffle(rng);
+    chosen.extend(popular.into_iter().take(n_popular));
+    let mut rest: Vec<&Album> = pool[cfg.popular_albums..].iter().collect();
+    rest.shuffle(rng);
+    chosen.extend(rest.into_iter().take(n_albums.saturating_sub(chosen.len())));
+    chosen.shuffle(rng);
+
+    let pages = chosen
+        .iter()
+        .map(|album| render_album_page(rng, cfg, &script, album))
+        .collect();
+    GeneratedSite::from_pages(id, pages)
+}
+
+fn render_album_page(
+    rng: &mut StdRng,
+    cfg: &DiscConfig,
+    script: &DiscScript,
+    album: &Album,
+) -> (String, crate::template::PageMarks) {
+    let mut b = PageBuilder::new();
+    // Chrome.
+    b.raw("<div class='nav'>");
+    for item in ["Home", "Artists", "Albums", "Charts"] {
+        b.raw("<a href='#'>");
+        b.text(item);
+        b.raw("</a>");
+    }
+    b.raw("</div>");
+
+    // Breadcrumb (a consistent second title location, App. B.2).
+    if script.breadcrumb {
+        b.raw("<div class='crumb'><a href='#'>");
+        b.text(&album.artist);
+        b.raw("</a><span>");
+        b.gold_text(&album.title, TYPE_TITLE);
+        b.raw("</span></div>");
+    }
+
+    // Canonical title + artist.
+    b.raw(&format!("<{} class='albumtitle'>", script.title_tag));
+    b.gold_text(&album.title, TYPE_TITLE);
+    b.raw(&format!("</{}><div class='artist'>", script.title_tag));
+    b.text(&album.artist);
+    b.raw("</div>");
+
+    // Track list.
+    let (list, item) = script.list_tags;
+    b.raw(&format!("<{list} class='tracks'>"));
+    for (i, track) in album.tracks.iter().enumerate() {
+        if list == "table" {
+            b.raw("<tr><td>");
+            b.text(&format!("{}.", i + 1));
+            b.raw("</td><td>");
+        } else {
+            b.raw(&format!("<{item}>"));
+        }
+        // Display mutation: exact-match annotator misses these (recall<1),
+        // but they are still gold tracks.
+        let display = if rng.gen_bool(cfg.mutation_prob) {
+            format!("{track} [Remastered]")
+        } else {
+            track.clone()
+        };
+        if script.track_link {
+            b.raw("<a href='#'>");
+            b.gold_text(&display, TYPE_TRACK);
+            b.raw("</a>");
+        } else {
+            b.gold_text(&display, TYPE_TRACK);
+        }
+        if list == "table" {
+            b.raw("</td></tr>");
+        } else {
+            b.raw(&format!("</{item}>"));
+        }
+    }
+    b.raw(&format!("</{list}>"));
+
+    // Reviews quoting tracks verbatim — exact-match false positives.
+    for _ in 0..script.reviews {
+        let template = data::REVIEW_TEMPLATES.choose(rng).expect("nonempty");
+        let quoted = album.tracks.choose(rng).expect("albums have tracks");
+        let (before, after) = template.split_once("{}").expect("placeholder");
+        b.raw("<div class='review'>");
+        if !before.trim().is_empty() {
+            b.text(before);
+        }
+        b.raw("<i>");
+        b.text(quoted); // quoted track name as its own text node
+        b.raw("</i>");
+        if !after.trim().is_empty() {
+            b.text(after);
+        }
+        b.raw("</div>");
+    }
+
+    b.raw("<div class='footer'>");
+    b.text("All music remains property of the artists.");
+    b.raw("</div>");
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_annotate::{DictionaryAnnotator, MatchMode};
+
+    #[test]
+    fn generates_dataset_shape() {
+        let ds = generate_disc(&DiscConfig::small(4, 3));
+        assert_eq!(ds.sites.len(), 4);
+        assert_eq!(ds.albums.len(), 30);
+        assert_eq!(ds.title_dictionary.len(), 11);
+        assert!(!ds.track_dictionary.is_empty());
+        for s in &ds.sites {
+            assert!(s.site.page_count() >= 3);
+            assert!(!s.gold_types[TYPE_TRACK].is_empty());
+            assert!(!s.gold_types[TYPE_TITLE].is_empty());
+        }
+    }
+
+    #[test]
+    fn annotator_recall_near_point_nine() {
+        // Recall w.r.t. pages with ≥1 annotation (the paper's definition):
+        // popular-album pages are fully in-dictionary except mutations.
+        let ds = generate_disc(&DiscConfig::default());
+        let annotator = DictionaryAnnotator::new(ds.track_dictionary.iter(), MatchMode::Exact);
+        let (mut tp, mut gold_on_annotated_pages, mut fp) = (0usize, 0usize, 0usize);
+        for s in &ds.sites {
+            let labels = annotator.annotate(&s.site);
+            let gold = &s.gold_types[TYPE_TRACK];
+            let annotated_pages: std::collections::HashSet<u32> =
+                labels.iter().map(|n| n.page).collect();
+            gold_on_annotated_pages +=
+                gold.iter().filter(|n| annotated_pages.contains(&n.page)).count();
+            for l in &labels {
+                if gold.contains(l) {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        let recall = tp as f64 / gold_on_annotated_pages as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        assert!((0.8..=0.99).contains(&recall), "recall {recall}");
+        assert!((0.65..=0.95).contains(&precision), "precision {precision}");
+    }
+
+    #[test]
+    fn title_tracks_create_exact_fp_nodes() {
+        // Somewhere in the dataset an album-title node must equal a track
+        // name (the title-track noise source).
+        let ds = generate_disc(&DiscConfig::default());
+        let mut found = false;
+        for s in &ds.sites {
+            for &t in &s.gold_types[TYPE_TITLE] {
+                let title = s.site.text_of(t).unwrap();
+                if ds.track_dictionary.iter().any(|d| d == title) {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no title-track collision generated");
+    }
+
+    #[test]
+    fn gold_tracks_structurally_uniform_per_site() {
+        let ds = generate_disc(&DiscConfig::small(3, 21));
+        for s in &ds.sites {
+            let chains: std::collections::HashSet<Vec<String>> = s.gold_types[TYPE_TRACK]
+                .iter()
+                .map(|&n| {
+                    let (doc, id) = s.site.resolve(n);
+                    doc.ancestors(id)
+                        .filter_map(|a| doc.tag(a).map(str::to_string))
+                        .collect()
+                })
+                .collect();
+            assert_eq!(chains.len(), 1, "site {}: {chains:?}", s.id);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_disc(&DiscConfig::small(2, 5));
+        let b = generate_disc(&DiscConfig::small(2, 5));
+        assert_eq!(a.sites[0].gold(), b.sites[0].gold());
+        assert_eq!(a.track_dictionary, b.track_dictionary);
+    }
+}

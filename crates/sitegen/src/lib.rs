@@ -1,0 +1,31 @@
+//! # aw-sitegen — the web-publication-model simulator
+//!
+//! The paper evaluates on crawled corpora (330 DEALERS sites, 15 DISC
+//! sites, 10 PRODUCTS sites) that cannot be re-fetched. Following the
+//! substitution rule documented in `DESIGN.md`, this crate *implements the
+//! paper's own generative model of the web* (§2.1): each website picks a
+//! schema, a data sample and a **rendering script**, and applies the script
+//! uniformly to all its pages. Structural diversity across sites and
+//! uniformity within a site — the two properties wrapper induction relies
+//! on — therefore hold by construction, and gold labels are recorded
+//! during rendering (standing in for the authors' hand-written gold
+//! rules).
+//!
+//! * [`dealers`] — dealer-locator listings; dictionary annotator lands at
+//!   p≈0.95 / r≈0.24 like the Yahoo! Local database of §7;
+//! * [`disc`] — discography album pages; track dictionary at p≈0.8 /
+//!   r≈0.9 with the paper's noise sources (title tracks, review quotes);
+//! * [`products`] — phone shops with a 463-model dictionary (App. B.1).
+
+pub mod data;
+pub mod dealers;
+pub mod disc;
+pub mod products;
+pub mod render;
+pub mod template;
+
+pub use dealers::{generate_dealers, DealersConfig, DealersDataset};
+pub use disc::{generate_disc, Album, DiscConfig, DiscDataset};
+pub use products::{generate_products, ProductsConfig, ProductsDataset};
+pub use render::{Container, FieldLayout, ListingRecord, ListingScript, NameStyle};
+pub use template::{GeneratedSite, PageBuilder, PageMarks};

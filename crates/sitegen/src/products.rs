@@ -1,0 +1,218 @@
+//! The PRODUCTS dataset (Appendix B.1): shopping sites selling cellphones.
+//!
+//! 10 sites; the task is extracting every phone sold. The dictionary holds
+//! the model catalog of five brands (the paper compiled 463 models from
+//! Wikipedia). Noise: accessory listings whose text *contains* a model
+//! name ("Nokima X100 Leather Case") and promo blurbs.
+
+use crate::data;
+use crate::render::{ListingRecord, ListingScript};
+use crate::template::{GeneratedSite, PageBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`generate_products`].
+#[derive(Clone, Debug)]
+pub struct ProductsConfig {
+    /// Number of websites (paper: 10).
+    pub sites: usize,
+    /// Pages per site (category/brand pages).
+    pub pages_per_site: usize,
+    /// Min/max phones per page.
+    pub products_per_page: (usize, usize),
+    /// Fraction of listed phones that are in the dictionary catalog.
+    pub dict_fraction: f64,
+    /// Probability a page carries an accessory row quoting a model name.
+    pub accessory_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProductsConfig {
+    fn default() -> Self {
+        ProductsConfig {
+            sites: 10,
+            pages_per_site: 4,
+            products_per_page: (3, 8),
+            dict_fraction: 0.5,
+            accessory_prob: 0.25,
+            seed: 0x9800,
+        }
+    }
+}
+
+impl ProductsConfig {
+    /// A small configuration for fast tests.
+    pub fn small(sites: usize, seed: u64) -> Self {
+        ProductsConfig { sites, pages_per_site: 2, seed, ..Default::default() }
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct ProductsDataset {
+    /// The generated websites.
+    pub sites: Vec<GeneratedSite>,
+    /// The model-name dictionary (brand + model, 463 entries by default).
+    pub dictionary: Vec<String>,
+}
+
+/// Builds the full phone catalog: dictionary models first, then unlisted
+/// models the dictionary does not know.
+fn catalog(total_dict: usize) -> (Vec<String>, Vec<String>) {
+    let mut dict = Vec::with_capacity(total_dict);
+    let mut unknown = Vec::new();
+    let mut n = 0usize;
+    for number in (100..1000).step_by(25) {
+        for brand in data::PHONE_BRANDS {
+            for series in data::PHONE_SERIES {
+                let name = format!("{brand} {series}{number}");
+                if n < total_dict {
+                    dict.push(name);
+                } else {
+                    unknown.push(name);
+                }
+                n += 1;
+            }
+        }
+    }
+    (dict, unknown)
+}
+
+/// Generates the dataset.
+pub fn generate_products(cfg: &ProductsConfig) -> ProductsDataset {
+    let (dictionary, unknown) = catalog(463);
+    let sites = (0..cfg.sites)
+        .map(|id| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xF00D + id as u64 * 0x51ED));
+            generate_site(id, cfg, &mut rng, &dictionary, &unknown)
+        })
+        .collect();
+    ProductsDataset { sites, dictionary }
+}
+
+fn generate_site(
+    id: usize,
+    cfg: &ProductsConfig,
+    rng: &mut StdRng,
+    dictionary: &[String],
+    unknown: &[String],
+) -> GeneratedSite {
+    let script = ListingScript::random(rng, "Shop Cell Phones", Vec::new());
+    let pages = (0..cfg.pages_per_site)
+        .map(|p| {
+            let n = rng.gen_range(cfg.products_per_page.0..=cfg.products_per_page.1);
+            let mut used: Vec<&str> = Vec::new();
+            let records: Vec<ListingRecord> = (0..n)
+                .map(|_| {
+                    let name = loop {
+                        let candidate = if rng.gen_bool(cfg.dict_fraction) {
+                            dictionary.choose(rng).expect("nonempty")
+                        } else {
+                            unknown.choose(rng).expect("nonempty")
+                        };
+                        if !used.contains(&candidate.as_str()) {
+                            used.push(candidate);
+                            break candidate.clone();
+                        }
+                    };
+                    product_record(rng, name)
+                })
+                .collect();
+            let mut b = PageBuilder::new();
+            script.render_page(&mut b, &format!("page {}", p + 1), &records);
+            // Accessory block: contains a model name inside a longer text —
+            // a Contains-mode dictionary false positive.
+            if rng.gen_bool(cfg.accessory_prob) {
+                let model = dictionary.choose(rng).expect("nonempty");
+                b.raw("<div class='accessory'>");
+                b.text(&format!("{model} Leather Case — fits perfectly"));
+                b.raw("</div>");
+            }
+            b.finish()
+        })
+        .collect();
+    GeneratedSite::from_pages(id, pages)
+}
+
+fn product_record(rng: &mut StdRng, name: String) -> ListingRecord {
+    let storage = *[8, 16, 32, 64].choose(rng).expect("nonempty");
+    let color = *["Black", "Silver", "Blue", "Red", "White"].choose(rng).expect("nonempty");
+    ListingRecord {
+        name,
+        street: format!("{storage}GB, {color}"),
+        city_line: None,
+        phone: Some(format!("${}.99", rng.gen_range(49..899))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_annotate::{DictionaryAnnotator, MatchMode};
+
+    #[test]
+    fn dictionary_has_463_models() {
+        let ds = generate_products(&ProductsConfig::small(2, 1));
+        assert_eq!(ds.dictionary.len(), 463);
+        assert_eq!(ds.sites.len(), 2);
+    }
+
+    #[test]
+    fn gold_is_product_names() {
+        let ds = generate_products(&ProductsConfig::small(3, 2));
+        for s in &ds.sites {
+            assert!(!s.gold().is_empty());
+            for &n in s.gold() {
+                let t = s.site.text_of(n).unwrap();
+                assert!(
+                    data::PHONE_BRANDS.iter().any(|b| t.starts_with(b)),
+                    "gold node is not a phone: {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accessory_blocks_are_fp_not_gold() {
+        let ds = generate_products(&ProductsConfig {
+            accessory_prob: 1.0,
+            ..ProductsConfig::small(2, 3)
+        });
+        let annotator = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+        let mut fp_found = false;
+        for s in &ds.sites {
+            let labels = annotator.annotate(&s.site);
+            for l in &labels {
+                if !s.gold().contains(l) {
+                    fp_found = true;
+                    let t = s.site.text_of(*l).unwrap();
+                    assert!(t.contains("Case"), "unexpected FP: {t}");
+                }
+            }
+        }
+        assert!(fp_found, "accessory FPs should appear with prob 1.0");
+    }
+
+    #[test]
+    fn annotator_has_partial_recall() {
+        let ds = generate_products(&ProductsConfig::default());
+        let annotator = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+        let (mut tp, mut gold) = (0usize, 0usize);
+        for s in &ds.sites {
+            let labels = annotator.annotate(&s.site);
+            gold += s.gold().len();
+            tp += labels.iter().filter(|l| s.gold().contains(l)).count();
+        }
+        let recall = tp as f64 / gold as f64;
+        assert!((0.3..=0.7).contains(&recall), "recall {recall}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_products(&ProductsConfig::small(2, 9));
+        let b = generate_products(&ProductsConfig::small(2, 9));
+        assert_eq!(a.sites[1].gold(), b.sites[1].gold());
+    }
+}

@@ -1,0 +1,394 @@
+//! Rendering scripts for listing-style pages (DEALERS, PRODUCTS).
+//!
+//! §2.1's generative model: a site picks one *rendering script* and applies
+//! it to every page. [`ListingScript::random`] draws a script — container
+//! strategy, per-field markup, page chrome — so that structure is uniform
+//! *within* a site and diverse *across* sites, the two properties wrapper
+//! induction exploits.
+
+use crate::template::PageBuilder;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A small stable hash of a string, used for per-record URLs.
+fn string_id(s: &str) -> u32 {
+    let mut h: u32 = 2166136261;
+    for b in s.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(16777619);
+    }
+    h % 100_000
+}
+
+/// Gold-type indices used by listing pages.
+pub const TYPE_NAME: usize = 0;
+/// Zip/address-line type (multi-type extraction, Appendix A).
+pub const TYPE_ZIP: usize = 1;
+
+/// How records are laid out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Container {
+    /// `<table><tr>…</tr></table>`.
+    Table,
+    /// `<div class=…><div>…</div></div>`.
+    DivBlocks,
+    /// `<ul><li>…</li></ul>`.
+    Ul,
+}
+
+/// How the name field is marked up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NameStyle {
+    /// Wrapped in a formatting tag: `<u>NAME</u>`, `<b>`, `<a>`, …
+    WrapTag(&'static str),
+    /// A link with a **per-record** href (`<a href='/dealer/1234'>`): the
+    /// varying attribute value wrecks LR's character contexts while xpath
+    /// tag features are untouched — the reason a perfect LR wrapper does
+    /// not exist for every site (§7.2, Figure 2(e) discussion).
+    Link,
+    /// `<span class='…'>NAME</span>`.
+    ClassedSpan(String),
+    /// Bare text (distinguishable only by position).
+    Bare,
+}
+
+/// How a record's fields are separated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldLayout {
+    /// All fields in one cell, separated by `<br>`.
+    BrSeparated,
+    /// Each field in its own cell/sub-element.
+    OwnCells,
+}
+
+/// One business/product record of a listing page.
+#[derive(Clone, Debug)]
+pub struct ListingRecord {
+    /// The extraction target (business or product name).
+    pub name: String,
+    /// Street line (products: capacity/color line).
+    pub street: String,
+    /// "CITY, ST 12345" line; contains the zip (type 1 gold).
+    pub city_line: Option<String>,
+    /// Phone (or price) line.
+    pub phone: Option<String>,
+}
+
+/// A complete per-site rendering script.
+#[derive(Clone, Debug)]
+pub struct ListingScript {
+    /// Record container strategy.
+    pub container: Container,
+    /// Class on the listing container (e.g. `dealerlinks`).
+    pub container_class: String,
+    /// Name markup.
+    pub name_style: NameStyle,
+    /// Field separation.
+    pub layout: FieldLayout,
+    /// Navigation labels for the chrome.
+    pub nav_items: Vec<String>,
+    /// Page heading (rendered per page with a suffix).
+    pub heading: String,
+    /// Promo/advert sentences in a sidebar (false-positive source).
+    pub promos: Vec<String>,
+    /// Footer sentence.
+    pub footer: String,
+}
+
+impl ListingScript {
+    /// Draws a random script. `promos` become sidebar text verbatim.
+    pub fn random(rng: &mut StdRng, heading: &str, promos: Vec<String>) -> Self {
+        let container = *[Container::Table, Container::DivBlocks, Container::Ul]
+            .choose(rng)
+            .expect("nonempty");
+        let name_style = match rng.gen_range(0..12) {
+            0..=4 => NameStyle::WrapTag(
+                ["u", "b", "strong", "h3", "em"].choose(rng).expect("nonempty"),
+            ),
+            5..=6 => NameStyle::Link,
+            7..=9 => NameStyle::ClassedSpan(
+                ["bizname", "storename", "title", "result-name"]
+                    .choose(rng)
+                    .expect("nonempty")
+                    .to_string(),
+            ),
+            _ => NameStyle::Bare,
+        };
+        // Bare names are only xpath-separable in OwnCells layout; allow the
+        // inseparable Bare+BrSeparated combination rarely (imperfect sites
+        // exist in the real corpora too — LR's ceiling in Fig. 2(e)).
+        // The branches are deliberately identical: Bare sites take the
+        // OwnCells branch with 0.8 + 0.2·0.5 = 0.9 total probability.
+        #[allow(clippy::if_same_then_else)]
+        let layout = if matches!(name_style, NameStyle::Bare) && rng.gen_bool(0.8) {
+            FieldLayout::OwnCells
+        } else if rng.gen_bool(0.5) {
+            FieldLayout::OwnCells
+        } else {
+            FieldLayout::BrSeparated
+        };
+        let container_class = [
+            "dealerlinks", "results", "store-list", "locator", "listing", "items",
+        ]
+        .choose(rng)
+        .expect("nonempty")
+        .to_string();
+        let nav_items = ["Home", "About Us", "Our Products", "Dealer Locator", "Contact Us"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        ListingScript {
+            container,
+            container_class,
+            name_style,
+            layout,
+            nav_items,
+            heading: heading.to_string(),
+            promos,
+            footer: "© 2010 All rights reserved. Web design by Computing Technologies".into(),
+        }
+    }
+
+    /// True when a perfect xpath wrapper for names exists under this
+    /// script (see `random` for the one inseparable combination).
+    pub fn xpath_separable(&self) -> bool {
+        !(matches!(self.name_style, NameStyle::Bare)
+            && matches!(self.layout, FieldLayout::BrSeparated))
+    }
+
+    /// True when a perfect LR wrapper plausibly exists: per-record link
+    /// hrefs leave LR with no stable left delimiter.
+    pub fn lr_separable(&self) -> bool {
+        !matches!(self.name_style, NameStyle::Link) && self.xpath_separable()
+    }
+
+    /// Renders one page of records into a [`PageBuilder`].
+    pub fn render_page(&self, b: &mut PageBuilder, page_label: &str, records: &[ListingRecord]) {
+        // Chrome: nav + heading.
+        b.raw("<div class='nav'>");
+        for item in &self.nav_items {
+            b.raw("<a href='#'>");
+            b.text(item);
+            b.raw("</a>");
+        }
+        b.raw("</div><h1>");
+        b.text(&format!("{} — {}", self.heading, page_label));
+        b.raw("</h1>");
+
+        // Promos (sidebar) — these sentences may contain dictionary names.
+        if !self.promos.is_empty() {
+            b.raw("<div class='promo'>");
+            for (i, p) in self.promos.iter().enumerate() {
+                if i > 0 {
+                    b.raw("<br>");
+                }
+                b.text(p);
+            }
+            b.raw("</div>");
+        }
+
+        // The listing itself.
+        let (open, close) = match self.container {
+            Container::Table => (
+                format!("<table class='{}'>", self.container_class),
+                "</table>".to_string(),
+            ),
+            Container::DivBlocks => (
+                format!("<div class='{}'>", self.container_class),
+                "</div>".to_string(),
+            ),
+            Container::Ul => (
+                format!("<ul class='{}'>", self.container_class),
+                "</ul>".to_string(),
+            ),
+        };
+        b.raw(&open);
+        for rec in records {
+            self.render_record(b, rec);
+        }
+        b.raw(&close);
+
+        // Footer.
+        b.raw("<div class='footer'>");
+        b.text(&self.footer);
+        b.raw("</div>");
+    }
+
+    fn render_record(&self, b: &mut PageBuilder, rec: &ListingRecord) {
+        let (rec_open, rec_close, cell_open, cell_close): (&str, &str, &str, &str) =
+            match self.container {
+                Container::Table => ("<tr>", "</tr>", "<td>", "</td>"),
+                Container::DivBlocks => ("<div class='rec'>", "</div>", "<div>", "</div>"),
+                Container::Ul => ("<li>", "</li>", "<span>", "</span>"),
+            };
+        b.raw(rec_open);
+        match self.layout {
+            FieldLayout::OwnCells => {
+                b.raw(cell_open);
+                self.render_name(b, &rec.name);
+                b.raw(cell_close);
+                b.raw(cell_open);
+                b.text(&rec.street);
+                b.raw(cell_close);
+                if let Some(city) = &rec.city_line {
+                    b.raw(cell_open);
+                    b.gold_text(city, TYPE_ZIP);
+                    b.raw(cell_close);
+                }
+                if let Some(phone) = &rec.phone {
+                    b.raw(cell_open);
+                    b.text(phone);
+                    b.raw(cell_close);
+                }
+            }
+            FieldLayout::BrSeparated => {
+                b.raw(cell_open);
+                self.render_name(b, &rec.name);
+                b.raw("<br>");
+                b.text(&rec.street);
+                if let Some(city) = &rec.city_line {
+                    b.raw("<br>");
+                    b.gold_text(city, TYPE_ZIP);
+                }
+                if let Some(phone) = &rec.phone {
+                    b.raw("<br>");
+                    b.text(phone);
+                }
+                b.raw(cell_close);
+            }
+        }
+        b.raw(rec_close);
+    }
+
+    fn render_name(&self, b: &mut PageBuilder, name: &str) {
+        match &self.name_style {
+            NameStyle::WrapTag(t) => {
+                b.raw(&format!("<{t}>"));
+                b.gold_text(name, TYPE_NAME);
+                b.raw(&format!("</{t}>"));
+            }
+            NameStyle::Link => {
+                // Per-record href — stable per name, unique per record.
+                b.raw(&format!("<a href='/dealer/d{}'>", string_id(name)));
+                b.gold_text(name, TYPE_NAME);
+                b.raw("</a>");
+            }
+            NameStyle::ClassedSpan(class) => {
+                b.raw(&format!("<span class='{class}'>"));
+                b.gold_text(name, TYPE_NAME);
+                b.raw("</span>");
+            }
+            NameStyle::Bare => b.gold_text(name, TYPE_NAME),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::GeneratedSite;
+    use rand::SeedableRng;
+
+    fn record(i: usize) -> ListingRecord {
+        ListingRecord {
+            name: format!("ACME STORE {i}"),
+            street: format!("{i} Elm St."),
+            city_line: Some(format!("SAN MATEO, CA 9440{i}")),
+            phone: Some("(650) 349-3414".into()),
+        }
+    }
+
+    fn build_site(script: &ListingScript, pages: usize, recs: usize) -> GeneratedSite {
+        let built: Vec<_> = (0..pages)
+            .map(|p| {
+                let mut b = PageBuilder::new();
+                let records: Vec<_> = (0..recs).map(|i| record(p * recs + i)).collect();
+                script.render_page(&mut b, &format!("zip {p}"), &records);
+                b.finish()
+            })
+            .collect();
+        GeneratedSite::from_pages(0, built)
+    }
+
+    #[test]
+    fn every_script_produces_resolvable_gold() {
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let script = ListingScript::random(&mut rng, "Dealer Locator", vec![]);
+            let gs = build_site(&script, 3, 4);
+            assert_eq!(gs.gold_types[TYPE_NAME].len(), 12, "seed {seed}: {script:?}");
+            assert_eq!(gs.gold_types[TYPE_ZIP].len(), 12, "seed {seed}");
+            for &n in gs.gold() {
+                let t = gs.site.text_of(n).unwrap();
+                assert!(t.starts_with("ACME STORE"), "seed {seed}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn structure_uniform_within_site() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let script = ListingScript::random(&mut rng, "Stores", vec![]);
+        let gs = build_site(&script, 2, 3);
+        // Every gold name node must share identical ancestor tag chains.
+        let chains: std::collections::HashSet<Vec<String>> = gs
+            .gold()
+            .iter()
+            .map(|&n| {
+                let (doc, id) = gs.site.resolve(n);
+                doc.ancestors(id)
+                    .filter_map(|a| doc.tag(a).map(str::to_string))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(chains.len(), 1, "{chains:?}");
+    }
+
+    #[test]
+    fn scripts_differ_across_sites() {
+        let mut variants = std::collections::HashSet::new();
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = ListingScript::random(&mut rng, "X", vec![]);
+            variants.insert(format!("{:?}/{:?}/{:?}", s.container, s.name_style, s.layout));
+        }
+        assert!(variants.len() >= 8, "only {} distinct scripts", variants.len());
+    }
+
+    #[test]
+    fn promos_rendered_as_text_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let script = ListingScript::random(
+            &mut rng,
+            "Stores",
+            vec!["Visit ACME STORE 1 for deals!".into()],
+        );
+        let gs = build_site(&script, 1, 2);
+        // The promo node exists and is NOT gold despite containing a name.
+        let promo = gs.site.find_text("Visit ACME STORE 1 for deals!");
+        assert_eq!(promo.len(), 1);
+        assert!(!gs.gold().contains(&promo[0]));
+    }
+
+    #[test]
+    fn separability_flag() {
+        let s = ListingScript {
+            container: Container::Table,
+            container_class: "x".into(),
+            name_style: NameStyle::Bare,
+            layout: FieldLayout::BrSeparated,
+            nav_items: vec![],
+            heading: "h".into(),
+            promos: vec![],
+            footer: "f".into(),
+        };
+        assert!(!s.xpath_separable());
+        let mut s2 = s.clone();
+        s2.layout = FieldLayout::OwnCells;
+        assert!(s2.xpath_separable());
+        let mut s3 = s;
+        s3.name_style = NameStyle::WrapTag("u");
+        assert!(s3.xpath_separable());
+    }
+}

@@ -1,0 +1,222 @@
+//! Page construction with gold-label tracking.
+//!
+//! [`PageBuilder`] accumulates HTML while recording, for every text node it
+//! emits, whether that node is a *gold* extraction target (and of which
+//! type). Because the same string can legitimately appear both as a gold
+//! node and as noise (a title track equals its album title; a review quotes
+//! a track), gold marks are stored as `(text, occurrence-index)` pairs and
+//! resolved positionally against the parsed page — never by bare text
+//! equality.
+
+use aw_dom::{Document, PageNode};
+use aw_induct::NodeSet;
+use std::collections::HashMap;
+
+/// Marks accumulated for one page: per type, the `(collapsed text,
+/// occurrence index)` of each gold node.
+#[derive(Clone, Debug, Default)]
+pub struct PageMarks {
+    marks: Vec<Vec<(String, usize)>>,
+}
+
+impl PageMarks {
+    /// Number of gold marks of a type.
+    pub fn count(&self, ty: usize) -> usize {
+        self.marks.get(ty).map_or(0, Vec::len)
+    }
+
+    /// Number of mark types present.
+    pub fn types(&self) -> usize {
+        self.marks.len()
+    }
+}
+
+/// Builds one HTML page while tracking gold text-node positions.
+#[derive(Debug, Default)]
+pub struct PageBuilder {
+    html: String,
+    /// Occurrences of each collapsed text emitted so far.
+    counts: HashMap<String, usize>,
+    marks: PageMarks,
+}
+
+impl PageBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw markup (tags only — must not introduce text nodes, or
+    /// occurrence counting desynchronizes).
+    pub fn raw(&mut self, markup: &str) {
+        debug_assert!(
+            markup.starts_with('<') && markup.ends_with('>'),
+            "raw() is for markup; use text() for character data: {markup:?}"
+        );
+        self.html.push_str(markup);
+    }
+
+    /// Emits a plain (non-gold) text node.
+    pub fn text(&mut self, t: &str) {
+        self.emit(t);
+    }
+
+    /// Emits a text node and marks it as gold for `ty`.
+    pub fn gold_text(&mut self, t: &str, ty: usize) {
+        let key = self.emit(t);
+        while self.marks.marks.len() <= ty {
+            self.marks.marks.push(Vec::new());
+        }
+        let occurrence = self.counts[&key] - 1;
+        self.marks.marks[ty].push((key, occurrence));
+    }
+
+    fn emit(&mut self, t: &str) -> String {
+        debug_assert!(
+            self.html.is_empty() || self.html.ends_with('>'),
+            "adjacent text() calls would merge into one text node"
+        );
+        let collapsed = aw_dom::parser::collapse_whitespace(t);
+        debug_assert!(!collapsed.is_empty(), "empty text node");
+        self.html.push_str(t);
+        *self.counts.entry(collapsed.clone()).or_insert(0) += 1;
+        collapsed
+    }
+
+    /// Finishes the page, returning the HTML and the gold marks.
+    pub fn finish(self) -> (String, PageMarks) {
+        (self.html, self.marks)
+    }
+}
+
+/// Resolves page marks against the parsed document, returning the gold
+/// node set of each type for page `page_idx`.
+pub fn resolve_marks(doc: &Document, page_idx: u32, marks: &PageMarks) -> Vec<NodeSet> {
+    // Walk text nodes in document order, numbering occurrences per text.
+    let mut occurrence: HashMap<&str, usize> = HashMap::new();
+    let mut by_key: HashMap<(String, usize), PageNode> = HashMap::new();
+    for id in doc.preorder_all() {
+        if let Some(t) = doc.text(id) {
+            let n = occurrence.entry(t).or_insert(0);
+            by_key.insert((t.to_string(), *n), PageNode::new(page_idx, id));
+            *n += 1;
+        }
+    }
+    marks
+        .marks
+        .iter()
+        .map(|type_marks| {
+            type_marks
+                .iter()
+                .filter_map(|key| by_key.get(&(key.0.clone(), key.1)).copied())
+                .collect()
+        })
+        .collect()
+}
+
+/// A fully generated website with gold labels.
+#[derive(Debug)]
+pub struct GeneratedSite {
+    /// Stable site index within its dataset.
+    pub id: usize,
+    /// The parsed pages.
+    pub site: aw_induct::Site,
+    /// Gold node sets per type (index 0 = the primary extraction target).
+    pub gold_types: Vec<NodeSet>,
+}
+
+impl GeneratedSite {
+    /// Assembles a site from built pages, resolving all gold marks.
+    pub fn from_pages(id: usize, pages: Vec<(String, PageMarks)>) -> Self {
+        let n_types = pages.iter().map(|(_, m)| m.types()).max().unwrap_or(1).max(1);
+        let html: Vec<&str> = pages.iter().map(|(h, _)| h.as_str()).collect();
+        let site = aw_induct::Site::from_html(&html);
+        let mut gold_types = vec![NodeSet::new(); n_types];
+        for (p, (_, marks)) in pages.iter().enumerate() {
+            let resolved = resolve_marks(site.page(p as u32), p as u32, marks);
+            for (ty, set) in resolved.into_iter().enumerate() {
+                gold_types[ty].extend(set);
+            }
+        }
+        GeneratedSite { id, site, gold_types }
+    }
+
+    /// The primary gold set (type 0).
+    pub fn gold(&self) -> &NodeSet {
+        &self.gold_types[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_gold_by_occurrence() {
+        let mut b = PageBuilder::new();
+        b.raw("<h1>");
+        b.text("Abbey Road"); // album title — NOT gold
+        b.raw("</h1><ol><li>");
+        b.gold_text("Abbey Road", 0); // the title track — gold
+        b.raw("</li><li>");
+        b.gold_text("Golden River", 0);
+        b.raw("</li></ol>");
+        let (html, marks) = b.finish();
+        assert_eq!(marks.count(0), 2);
+
+        let gs = GeneratedSite::from_pages(7, vec![(html, marks)]);
+        let gold = gs.gold();
+        assert_eq!(gold.len(), 2);
+        // The gold "Abbey Road" must be the second occurrence (inside li).
+        let doc = gs.site.page(0);
+        for n in gold {
+            let parent = doc.parent(n.node).unwrap();
+            assert_eq!(doc.tag(parent), Some("li"), "gold must be the li node");
+        }
+    }
+
+    #[test]
+    fn multiple_types() {
+        let mut b = PageBuilder::new();
+        b.raw("<li>");
+        b.gold_text("ACME CO", 0);
+        b.raw("</li><li>");
+        b.gold_text("SAN MATEO, CA 94403", 1);
+        b.raw("</li><li>");
+        b.text("(650) 349-3414");
+        b.raw("</li>");
+        let (html, marks) = b.finish();
+        let gs = GeneratedSite::from_pages(0, vec![(html, marks)]);
+        assert_eq!(gs.gold_types.len(), 2);
+        assert_eq!(gs.gold_types[0].len(), 1);
+        assert_eq!(gs.gold_types[1].len(), 1);
+        assert_eq!(gs.id, 0);
+    }
+
+    #[test]
+    fn pages_resolve_independently() {
+        let mk = |name: &str| {
+            let mut b = PageBuilder::new();
+            b.raw("<div>");
+            b.gold_text(name, 0);
+            b.raw("</div>");
+            b.finish()
+        };
+        let gs = GeneratedSite::from_pages(1, vec![mk("A"), mk("B"), mk("A")]);
+        assert_eq!(gs.gold().len(), 3);
+        let pages: Vec<u32> = gs.gold().iter().map(|n| n.page).collect();
+        assert_eq!(pages, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn whitespace_collapse_matches_parser() {
+        let mut b = PageBuilder::new();
+        b.raw("<p>");
+        b.gold_text("TWO   SPACES\n HERE", 0);
+        b.raw("</p>");
+        let gs = GeneratedSite::from_pages(0, vec![b.finish()]);
+        assert_eq!(gs.gold().len(), 1);
+        let n = *gs.gold().iter().next().unwrap();
+        assert_eq!(gs.site.text_of(n), Some("TWO SPACES HERE"));
+    }
+}

@@ -1,0 +1,166 @@
+//! AST for the xpath fragment of Dalvi et al. (SIGMOD 2009), §5 of the
+//! VLDB 2011 paper:
+//!
+//! * child edges (`/`) and descendant edges (`//`),
+//! * attribute filters (`[@class='content']`),
+//! * child-number filters (`td[2]`),
+//! * a final `text()` node test.
+//!
+//! Example: `//div[@class='content']/table[1]/tr/td[2]/text()`.
+
+use std::fmt;
+
+/// How a step moves from its context nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/` — direct children.
+    Child,
+    /// `//` — all descendants.
+    Descendant,
+}
+
+/// What kind of node a step selects.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// A tag name, e.g. `td`.
+    Tag(String),
+    /// `*` — any element.
+    AnyElement,
+    /// `text()` — text nodes.
+    Text,
+}
+
+/// A filter applied to the nodes a step selects.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `[@name='value']`.
+    Attr { name: String, value: String },
+    /// `[k]` — the k-th (1-based) matching child of its parent. Following
+    /// xpath semantics for a tag test, position counts only siblings that
+    /// match the same node test.
+    Position(usize),
+}
+
+/// One location step.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// Axis of the step.
+    pub axis: Axis,
+    /// Node test.
+    pub test: NodeTest,
+    /// Filters, applied in order.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Step {
+    /// A bare child step with no predicates.
+    pub fn child(tag: impl Into<String>) -> Self {
+        Step { axis: Axis::Child, test: NodeTest::Tag(tag.into()), predicates: Vec::new() }
+    }
+
+    /// A bare descendant step with no predicates.
+    pub fn descendant(tag: impl Into<String>) -> Self {
+        Step { axis: Axis::Descendant, test: NodeTest::Tag(tag.into()), predicates: Vec::new() }
+    }
+}
+
+/// A full location path (always absolute: anchored at the document root).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct XPath {
+    /// Location steps in order.
+    pub steps: Vec<Step>,
+}
+
+impl XPath {
+    /// The trivial path `//*` that the XPATH inductor starts from (§5).
+    pub fn any() -> Self {
+        XPath {
+            steps: vec![Step { axis: Axis::Descendant, test: NodeTest::AnyElement, predicates: vec![] }],
+        }
+    }
+
+    /// Builds a path from steps.
+    pub fn new(steps: Vec<Step>) -> Self {
+        XPath { steps }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Tag(t) => f.write_str(t),
+            NodeTest::AnyElement => f.write_str("*"),
+            NodeTest::Text => f.write_str("text()"),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Attr { name, value } => write!(f, "[@{name}='{value}']"),
+            Predicate::Position(k) => write!(f, "[{k}]"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.axis {
+            Axis::Child => f.write_str("/")?,
+            Axis::Descendant => f.write_str("//")?,
+        }
+        write!(f, "{}", self.test)?;
+        for p in &self.predicates {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for XPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_paper_example() {
+        // Equation (3) of the paper.
+        let p = XPath::new(vec![
+            Step {
+                axis: Axis::Descendant,
+                test: NodeTest::Tag("div".into()),
+                predicates: vec![Predicate::Attr { name: "class".into(), value: "content".into() }],
+            },
+            Step {
+                axis: Axis::Child,
+                test: NodeTest::Tag("table".into()),
+                predicates: vec![Predicate::Position(1)],
+            },
+            Step::child("tr"),
+            Step {
+                axis: Axis::Child,
+                test: NodeTest::Tag("td".into()),
+                predicates: vec![Predicate::Position(2)],
+            },
+            Step { axis: Axis::Child, test: NodeTest::Text, predicates: vec![] },
+        ]);
+        assert_eq!(
+            p.to_string(),
+            "//div[@class='content']/table[1]/tr/td[2]/text()"
+        );
+    }
+
+    #[test]
+    fn displays_any() {
+        assert_eq!(XPath::any().to_string(), "//*");
+    }
+}

@@ -1,0 +1,221 @@
+//! Evaluation of the xpath fragment over an [`aw_dom::Document`].
+//!
+//! Semantics follow XPath 1.0 restricted to the fragment:
+//!
+//! * a path is absolute (anchored at the document root);
+//! * `/test` selects matching children of each context node;
+//! * `//test` selects matching descendants of each context node;
+//! * `[@a='v']` keeps elements with that attribute value;
+//! * `[k]` keeps a node if it is the k-th child *among same-test siblings*
+//!   of its parent (so `td[2]` is the second `td` child, as in the paper's
+//!   Equation (3));
+//! * results are deduplicated and returned in document order.
+
+use crate::ast::{Axis, NodeTest, Predicate, Step, XPath};
+use aw_dom::{Document, NodeId};
+
+/// Evaluates `path` on `doc`, returning matching nodes in document order.
+pub fn evaluate(path: &XPath, doc: &Document) -> Vec<NodeId> {
+    let mut context: Vec<NodeId> = vec![doc.root()];
+    for step in &path.steps {
+        context = apply_step(doc, &context, step);
+        if context.is_empty() {
+            break;
+        }
+    }
+    context
+}
+
+fn apply_step(doc: &Document, context: &[NodeId], step: &Step) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::new();
+    for &ctx in context {
+        match step.axis {
+            Axis::Child => {
+                select_from(doc, doc.children(ctx).iter().copied(), step, &mut out);
+            }
+            Axis::Descendant => {
+                // Descendants of ctx, excluding ctx itself.
+                let iter = doc.preorder(ctx).skip(1);
+                select_from(doc, iter, step, &mut out);
+            }
+        }
+    }
+    // Document order + dedup. Arena ids are allocated in document order for
+    // parsed/built documents, so sorting by id is sorting by position.
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn select_from(
+    doc: &Document,
+    candidates: impl Iterator<Item = NodeId>,
+    step: &Step,
+    out: &mut Vec<NodeId>,
+) {
+    for id in candidates {
+        if matches_test(doc, id, &step.test) && step.predicates.iter().all(|p| matches_pred(doc, id, &step.test, p))
+        {
+            out.push(id);
+        }
+    }
+}
+
+fn matches_test(doc: &Document, id: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Tag(t) => doc.tag(id) == Some(t.as_str()),
+        NodeTest::AnyElement => doc.is_element(id),
+        NodeTest::Text => doc.is_text(id),
+    }
+}
+
+fn matches_pred(doc: &Document, id: NodeId, test: &NodeTest, pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Attr { name, value } => doc.attr(id, name) == Some(value.as_str()),
+        Predicate::Position(k) => position_among_matching_siblings(doc, id, test) == Some(*k),
+    }
+}
+
+/// 1-based position of `id` among siblings matching the same node test.
+fn position_among_matching_siblings(doc: &Document, id: NodeId, test: &NodeTest) -> Option<usize> {
+    let parent = doc.parent(id)?;
+    let mut k = 0;
+    for &sib in doc.children(parent) {
+        if matches_test(doc, sib, test) {
+            k += 1;
+            if sib == id {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use aw_dom::parse;
+
+    fn eval_texts(doc: &Document, xp: &str) -> Vec<String> {
+        evaluate(&parse_xpath(xp).unwrap(), doc)
+            .into_iter()
+            .filter_map(|id| doc.text(id).map(str::to_string))
+            .collect()
+    }
+
+    fn eval_count(doc: &Document, xp: &str) -> usize {
+        evaluate(&parse_xpath(xp).unwrap(), doc).len()
+    }
+
+    #[test]
+    fn paper_intro_rule_extracts_dealer_names() {
+        // §1: //div[@class='dealerlinks']/tr/td/u/text()
+        let doc = parse(
+            "<div class='dealerlinks'>\
+               <tr><td><u>PORTER FURNITURE</u><br>201 HWY.30 West<br>NEW ALBANY, MS 38652</td></tr>\
+               <tr><td><u>WOODLAND FURNITURE</u><br>123 Main St.<br>WOODLAND, MS 3977</td></tr>\
+             </div>",
+        );
+        assert_eq!(
+            eval_texts(&doc, "//div[@class='dealerlinks']/tr/td/u/text()"),
+            vec!["PORTER FURNITURE", "WOODLAND FURNITURE"]
+        );
+        // The over-generalized rule from §1 catches all text under td.
+        assert_eq!(
+            eval_texts(&doc, "//div[@class='dealerlinks']/tr/td//text()").len(),
+            6
+        );
+    }
+
+    #[test]
+    fn child_vs_descendant() {
+        let doc = parse("<div><p>a</p><section><p>b</p></section></div>");
+        assert_eq!(eval_count(&doc, "/div/p"), 1);
+        assert_eq!(eval_count(&doc, "//p"), 2);
+        assert_eq!(eval_count(&doc, "/p"), 0);
+    }
+
+    #[test]
+    fn position_counts_same_test_siblings() {
+        let doc = parse("<tr><td>a</td><span>x</span><td>b</td><td>c</td></tr>");
+        assert_eq!(eval_texts(&doc, "//td[2]/text()"), vec!["b"]);
+        assert_eq!(eval_texts(&doc, "//td[3]/text()"), vec!["c"]);
+        assert_eq!(eval_count(&doc, "//td[4]"), 0);
+    }
+
+    #[test]
+    fn attribute_filters() {
+        let doc = parse("<div class='a'>1</div><div class='b'>2</div><div>3</div>");
+        assert_eq!(eval_texts(&doc, "//div[@class='a']/text()"), vec!["1"]);
+        assert_eq!(eval_texts(&doc, "//div[@class='b']/text()"), vec!["2"]);
+        assert_eq!(eval_count(&doc, "//div[@class='c']"), 0);
+    }
+
+    #[test]
+    fn multiple_predicates_conjunction() {
+        let doc = parse(
+            "<ul><li class='x'>1</li><li class='x'>2</li><li class='y'>3</li></ul>",
+        );
+        // Position is evaluated among same-tag siblings, then attr must hold.
+        assert_eq!(eval_texts(&doc, "//li[2][@class='x']/text()"), vec!["2"]);
+        assert_eq!(eval_count(&doc, "//li[3][@class='x']"), 0);
+    }
+
+    #[test]
+    fn wildcard_selects_any_element() {
+        let doc = parse("<div><p>a</p><span>b</span></div>");
+        assert_eq!(eval_count(&doc, "/div/*"), 2);
+        assert_eq!(eval_count(&doc, "//*"), 3);
+    }
+
+    #[test]
+    fn text_step() {
+        let doc = parse("<td>direct<u>nested</u>tail</td>");
+        assert_eq!(eval_texts(&doc, "//td/text()"), vec!["direct", "tail"]);
+        assert_eq!(
+            eval_texts(&doc, "//td//text()"),
+            vec!["direct", "nested", "tail"]
+        );
+    }
+
+    #[test]
+    fn text_position_filter() {
+        // text()[k] counts text-node siblings only — the extension that
+        // separates br-delimited record fields.
+        let doc = parse("<td>NAME<br>12 Elm St<br>CITY, ST 38652<br>555-0101</td>");
+        assert_eq!(eval_texts(&doc, "//td/text()[1]"), vec!["NAME"]);
+        assert_eq!(eval_texts(&doc, "//td/text()[3]"), vec!["CITY, ST 38652"]);
+        assert_eq!(eval_count(&doc, "//td/text()[5]"), 0);
+    }
+
+    #[test]
+    fn results_deduped_in_document_order() {
+        // `//div//p`: the inner p is a descendant of both divs.
+        let doc = parse("<div><div><p>x</p></div></div>");
+        assert_eq!(eval_count(&doc, "//div//p"), 1);
+        let doc2 = parse("<div><p>1</p></div><div><p>2</p></div>");
+        assert_eq!(eval_texts(&doc2, "//div/p/text()"), vec!["1", "2"]);
+    }
+
+    #[test]
+    fn equation_3_shape() {
+        let doc = parse(
+            "<div class='content'>\
+               <table><tr><td>r1c1</td><td>r1c2</td></tr>\
+                      <tr><td>r2c1</td><td>r2c2</td></tr></table>\
+               <table><tr><td>z1</td><td>z2</td></tr></table>\
+             </div>",
+        );
+        assert_eq!(
+            eval_texts(&doc, "//div[@class='content']/table[1]/tr/td[2]/text()"),
+            vec!["r1c2", "r2c2"]
+        );
+    }
+
+    #[test]
+    fn empty_path_result_propagates() {
+        let doc = parse("<div><p>a</p></div>");
+        assert_eq!(eval_count(&doc, "//nope/p/text()"), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # aw-xpath — the xpath fragment used by the XPATH wrapper language
+//!
+//! Implements the simple xpath fragment of Dalvi et al. (SIGMOD 2009) that
+//! §5 of *Automatic Wrappers for Large Scale Web Extraction* (VLDB 2011)
+//! adopts as one of its two wrapper languages: child edges (`/`),
+//! descendant edges (`//`), attribute filters (`[@class='x']`),
+//! child-number filters (`td[2]`) and a `text()` node test.
+//!
+//! ```
+//! use aw_dom::parse;
+//! use aw_xpath::{evaluate, parse_xpath};
+//!
+//! let doc = parse("<div class='dealerlinks'><tr><td><u>PORTER FURNITURE</u>\
+//!                  </td></tr></div>");
+//! let rule = parse_xpath("//div[@class='dealerlinks']/tr/td/u/text()").unwrap();
+//! let names: Vec<&str> = evaluate(&rule, &doc)
+//!     .into_iter()
+//!     .filter_map(|id| doc.text(id))
+//!     .collect();
+//! assert_eq!(names, vec!["PORTER FURNITURE"]);
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Axis, NodeTest, Predicate, Step, XPath};
+pub use eval::evaluate;
+pub use parser::{parse_xpath, ParseError};

@@ -1,0 +1,220 @@
+//! Parser for the xpath fragment.
+//!
+//! Grammar (no whitespace sensitivity inside predicates):
+//!
+//! ```text
+//! path      := step+
+//! step      := ("/" | "//") test predicate*
+//! test      := name | "*" | "text()"
+//! predicate := "[" "@" name "=" "'" value "'" "]"
+//!            | "[" integer "]"
+//! ```
+
+use crate::ast::{Axis, NodeTest, Predicate, Step, XPath};
+
+/// A parse failure with byte position and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xpath parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an xpath string such as `//div[@class='x']/td[2]/text()`.
+pub fn parse_xpath(input: &str) -> Result<XPath, ParseError> {
+    let mut p = Parser { input, bytes: input.as_bytes(), pos: 0 };
+    let mut steps = Vec::new();
+    if p.bytes.is_empty() {
+        return Err(p.err("empty xpath"));
+    }
+    while p.pos < p.bytes.len() {
+        steps.push(p.step()?);
+    }
+    Ok(XPath::new(steps))
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, message: msg.into() }
+    }
+
+    fn step(&mut self) -> Result<Step, ParseError> {
+        let axis = if self.eat("//") {
+            Axis::Descendant
+        } else if self.eat("/") {
+            Axis::Child
+        } else {
+            return Err(self.err("expected '/' or '//'"));
+        };
+        let test = self.node_test()?;
+        let mut predicates = Vec::new();
+        while self.peek() == Some(b'[') {
+            predicates.push(self.predicate()?);
+        }
+        // text() supports only position filters (`text()[2]` is the k-th
+        // text-node child); attribute filters on text are meaningless.
+        if test == NodeTest::Text
+            && predicates.iter().any(|p| matches!(p, Predicate::Attr { .. }))
+        {
+            return Err(self.err("text() takes no attribute filters"));
+        }
+        Ok(Step { axis, test, predicates })
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, ParseError> {
+        if self.eat("text()") {
+            return Ok(NodeTest::Text);
+        }
+        if self.eat("*") {
+            return Ok(NodeTest::AnyElement);
+        }
+        let name = self.name()?;
+        Ok(NodeTest::Tag(name))
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        assert!(self.eat("["));
+        let pred = if self.eat("@") {
+            let name = self.name()?;
+            if !self.eat("=") {
+                return Err(self.err("expected '=' in attribute filter"));
+            }
+            if !self.eat("'") {
+                return Err(self.err("expected quoted attribute value"));
+            }
+            let start = self.pos;
+            while self.peek().is_some() && self.peek() != Some(b'\'') {
+                self.pos += 1;
+            }
+            let value = self.input[start..self.pos].to_string();
+            if !self.eat("'") {
+                return Err(self.err("unterminated attribute value"));
+            }
+            Predicate::Attr { name, value }
+        } else {
+            let start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if start == self.pos {
+                return Err(self.err("expected '@' or a position number"));
+            }
+            let k: usize = self.input[start..self.pos]
+                .parse()
+                .map_err(|_| self.err("position out of range"))?;
+            if k == 0 {
+                return Err(self.err("positions are 1-based"));
+            }
+            Predicate::Position(k)
+        };
+        if !self.eat("]") {
+            return Err(self.err("expected ']'"));
+        }
+        Ok(pred)
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b':')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.input[start..self.pos].to_ascii_lowercase())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_equation_3() {
+        let s = "//div[@class='content']/table[1]/tr/td[2]/text()";
+        let p = parse_xpath(s).unwrap();
+        assert_eq!(p.to_string(), s);
+        assert_eq!(p.steps.len(), 5);
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+        assert_eq!(p.steps[1].predicates, vec![Predicate::Position(1)]);
+        assert_eq!(p.steps[4].test, NodeTest::Text);
+    }
+
+    #[test]
+    fn round_trips_display() {
+        for s in [
+            "//*",
+            "/html/body/div",
+            "//td[2]",
+            "//div[@id='main'][@class='x']/text()",
+            "//u/text()",
+            "//td/text()[3]",
+        ] {
+            let p = parse_xpath(s).unwrap();
+            assert_eq!(p.to_string(), s, "round trip of {s}");
+        }
+    }
+
+    #[test]
+    fn case_folds_names() {
+        let p = parse_xpath("//DIV[@CLASS='Mixed']").unwrap();
+        assert_eq!(p.to_string(), "//div[@class='Mixed']"); // value case kept
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in [
+            "",
+            "div",           // missing axis
+            "//",            // missing test
+            "//div[",        // unterminated predicate
+            "//div[@]",      // missing attr name
+            "//div[@a=b]",   // unquoted value
+            "//div[@a='b]",  // unterminated value
+            "//div[0]",      // 0 position
+            "//div[x]",      // junk predicate
+            "//text()[@a='b']", // attribute filter on text()
+            "//div]extra",   // trailing junk
+        ] {
+            assert!(parse_xpath(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse_xpath("//div[@a='b]").unwrap_err();
+        assert!(e.at > 5, "error position should be inside predicate: {e}");
+        assert!(e.to_string().contains("unterminated"));
+    }
+}

@@ -1,0 +1,286 @@
+//! `awrap` — command-line interface to the noise-tolerant wrapper
+//! framework.
+//!
+//! ```text
+//! awrap demo
+//!     Built-in demonstration on a synthetic dealer-locator site.
+//!
+//! awrap learn --pages DIR --dict FILE [--lang xpath|lr|hlrt]
+//!             [--match exact|contains] [--p F] [--r F] [--top N]
+//!     Learn a wrapper from the HTML pages in DIR (*.html, *.htm; one
+//!     website, same script) using dictionary FILE (one entry per line)
+//!     as the automatic annotator. Prints the ranked rules and the best
+//!     wrapper's extraction.
+//!
+//! awrap extract --xpath RULE --pages DIR
+//!     Apply an xpath rule of the fragment to every page in DIR.
+//!
+//! awrap experiment NAME [--quick]
+//!     Re-run a paper experiment (fig2a…fig3c, table1, b2, or `all`).
+//! ```
+
+use autowrappers::prelude::*;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("demo") => demo(),
+        Some("learn") => learn_cmd(&args[1..]),
+        Some("extract") => extract_cmd(&args[1..]),
+        Some("experiment") => experiment_cmd(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("awrap: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: awrap <demo|learn|extract|experiment> [options]
+  demo                                      built-in demonstration
+  learn --pages DIR --dict FILE             learn a wrapper from noisy labels
+        [--lang xpath|lr|hlrt] [--match exact|contains]
+        [--p FLOAT] [--r FLOAT] [--top N]
+  extract --xpath RULE --pages DIR          apply an xpath rule
+  experiment NAME [--quick]                 rerun a paper experiment
+      NAME ∈ fig2a fig2b fig2c fig2d fig2e fig2f fig2g fig2h fig2i
+             table1 fig3a fig3b fig3c b2 all";
+
+/// Pulls `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Reads every `*.html` / `*.htm` file in `dir`, sorted by name.
+fn read_pages(dir: &str) -> Result<Vec<String>, String> {
+    let mut files: Vec<_> = std::fs::read_dir(Path::new(dir))
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|x| x.to_str()),
+                Some("html" | "htm")
+            )
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no *.html pages found in {dir}"));
+    }
+    files
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())))
+        .collect()
+}
+
+/// A generic publication prior for when no gold training lists exist:
+/// listing records typically carry 2–6 text fields and align well.
+fn default_publication_model() -> PublicationModel {
+    PublicationModel::learn(&[
+        ListFeatures { schema_size: 2.0, alignment: 0.0 },
+        ListFeatures { schema_size: 3.0, alignment: 0.0 },
+        ListFeatures { schema_size: 4.0, alignment: 0.0 },
+        ListFeatures { schema_size: 5.0, alignment: 1.0 },
+        ListFeatures { schema_size: 3.0, alignment: 2.0 },
+    ])
+}
+
+fn demo() -> Result<(), String> {
+    use aw_sitegen::{generate_dealers, DealersConfig};
+    let ds = generate_dealers(&DealersConfig::small(1, 42));
+    let gs = &ds.sites[0];
+    let annotator = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+    let labels = annotator.annotate(&gs.site);
+    println!("demo site: {} pages, {} text nodes", gs.site.page_count(), gs.site.text_nodes().len());
+    println!("dictionary annotator produced {} noisy labels", labels.len());
+
+    let model = RankingModel::new(AnnotatorModel::new(0.9, 0.3), default_publication_model());
+    let out = learn(&gs.site, WrapperLanguage::XPath, &labels, &model, &NtwConfig::default());
+    let best = out.best().ok_or("no labels, no wrapper")?;
+    println!("\nlearned wrapper: {}", best.rule);
+    println!("extraction ({} nodes):", best.extraction.len());
+    for &n in best.extraction.iter().take(10) {
+        println!("  {}", gs.site.text_of(n).unwrap_or("?"));
+    }
+    let score = aw_eval::prf1(&best.extraction, gs.gold());
+    println!("\nvs (hidden) gold labels: P={:.3} R={:.3} F1={:.3}", score.precision, score.recall, score.f1);
+    Ok(())
+}
+
+fn learn_cmd(args: &[String]) -> Result<(), String> {
+    let dir = flag(args, "--pages").ok_or("--pages DIR is required")?;
+    let dict_path = flag(args, "--dict").ok_or("--dict FILE is required")?;
+    let language = match flag(args, "--lang").as_deref() {
+        None | Some("xpath") => WrapperLanguage::XPath,
+        Some("lr") => WrapperLanguage::Lr,
+        Some("hlrt") => WrapperLanguage::Hlrt,
+        Some(other) => return Err(format!("unknown language {other:?}")),
+    };
+    let match_mode = match flag(args, "--match").as_deref() {
+        None | Some("contains") => MatchMode::Contains,
+        Some("exact") => MatchMode::Exact,
+        Some(other) => return Err(format!("unknown match mode {other:?}")),
+    };
+    let p: f64 = flag(args, "--p").map(|s| s.parse()).transpose().map_err(|e| format!("--p: {e}"))?.unwrap_or(0.9);
+    let r: f64 = flag(args, "--r").map(|s| s.parse()).transpose().map_err(|e| format!("--r: {e}"))?.unwrap_or(0.3);
+    let top: usize = flag(args, "--top").map(|s| s.parse()).transpose().map_err(|e| format!("--top: {e}"))?.unwrap_or(5);
+
+    let pages = read_pages(&dir)?;
+    let site = Site::from_html(&pages);
+    let dict = std::fs::read_to_string(&dict_path)
+        .map_err(|e| format!("{dict_path}: {e}"))?;
+    let annotator = DictionaryAnnotator::new(dict.lines().filter(|l| !l.trim().is_empty()), match_mode);
+    let labels = annotator.annotate(&site);
+    println!("{} pages, {} dictionary entries, {} noisy labels", site.page_count(), annotator.len(), labels.len());
+    if labels.is_empty() {
+        return Err("the annotator labeled nothing; check the dictionary".into());
+    }
+
+    let model = RankingModel::new(AnnotatorModel::new(p, r), default_publication_model());
+    let out = learn(&site, language, &labels, &model, &NtwConfig::default());
+    println!("\nwrapper space: {} candidates ({} inductor calls)", out.wrapper_space_size, out.inductor_calls);
+    for (i, w) in out.ranked.iter().take(top).enumerate() {
+        println!("  #{:<2} score {:9.3}  n={:<4} {}", i + 1, w.score.total, w.extraction.len(), w.rule);
+    }
+    let best = out.best().expect("nonempty labels");
+    println!("\nbest wrapper extraction:");
+    for &n in &best.extraction {
+        println!("  page {} | {}", n.page, site.text_of(n).unwrap_or("?"));
+    }
+    if let Some(rule) = out.best_rule(&site, language) {
+        println!("\nportable rule (apply to future pages): {rule}");
+    }
+    Ok(())
+}
+
+fn extract_cmd(args: &[String]) -> Result<(), String> {
+    let rule_str = flag(args, "--xpath").ok_or("--xpath RULE is required")?;
+    let dir = flag(args, "--pages").ok_or("--pages DIR is required")?;
+    let rule = parse_xpath(&rule_str).map_err(|e| e.to_string())?;
+    for (i, html) in read_pages(&dir)?.iter().enumerate() {
+        let doc = parse(html);
+        for id in evaluate(&rule, &doc) {
+            if let Some(t) = doc.text(id) {
+                println!("page {i} | {t}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn experiment_cmd(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("experiment NAME required; see --help")?.as_str();
+    if has_flag(args, "--quick") {
+        std::env::set_var("AW_SCALE", "quick");
+    }
+    run_experiments(name)
+}
+
+fn run_experiments(name: &str) -> Result<(), String> {
+    use aw_eval::experiments::{accuracy, calls, multitype, single_entity, table1, timing, variants};
+    use aw_eval::Method;
+
+    let dealers = || {
+        let cfg = match std::env::var("AW_SCALE").as_deref() {
+            Ok("quick") => aw_sitegen::DealersConfig::small(24, 0xDEA1),
+            _ => aw_sitegen::DealersConfig::default(),
+        };
+        let ds = aw_sitegen::generate_dealers(&cfg);
+        let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+        (ds, annot)
+    };
+    let disc = || {
+        let cfg = match std::env::var("AW_SCALE").as_deref() {
+            Ok("quick") => aw_sitegen::DiscConfig::small(6, 0xD15C),
+            _ => aw_sitegen::DiscConfig::default(),
+        };
+        let ds = aw_sitegen::generate_disc(&cfg);
+        let annot = DictionaryAnnotator::new(ds.track_dictionary.iter(), MatchMode::Exact);
+        (ds, annot)
+    };
+
+    let known = [
+        "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f", "fig2g", "fig2h", "fig2i",
+        "table1", "fig3a", "fig3b", "fig3c", "b2",
+    ];
+    let run_one = |id: &str| -> Result<(), String> {
+        println!("── {id} ───────────────────────────────────────────");
+        match id {
+            "fig2a" => {
+                let (ds, a) = dealers();
+                println!("{}", calls::run(&ds.sites, |s| a.annotate(&s.site), WrapperLanguage::Lr));
+            }
+            "fig2b" => {
+                let (ds, a) = dealers();
+                println!("{}", calls::run(&ds.sites, |s| a.annotate(&s.site), WrapperLanguage::XPath));
+            }
+            "fig2c" => {
+                let (ds, a) = dealers();
+                println!("{}", timing::run(&ds.sites, |s| a.annotate(&s.site)));
+            }
+            "fig2d" | "fig2e" => {
+                let (ds, a) = dealers();
+                let lang = if id == "fig2d" { WrapperLanguage::XPath } else { WrapperLanguage::Lr };
+                println!("{}", accuracy::run("DEALERS", &ds.sites, |s| a.annotate(&s.site), lang, &[Method::Naive, Method::Ntw]));
+            }
+            "fig2f" | "fig2g" => {
+                let (ds, a) = disc();
+                let lang = if id == "fig2f" { WrapperLanguage::XPath } else { WrapperLanguage::Lr };
+                println!("{}", accuracy::run("DISC", &ds.sites, |s| a.annotate(&s.site), lang, &[Method::Naive, Method::Ntw]));
+            }
+            "fig2h" | "fig2i" => {
+                let (ds, a) = dealers();
+                let lang = if id == "fig2h" { WrapperLanguage::XPath } else { WrapperLanguage::Lr };
+                println!("{}", variants::run("DEALERS", &ds.sites, |s| a.annotate(&s.site), lang));
+            }
+            "table1" => {
+                let (ds, _) = dealers();
+                println!("{}", table1::run(&ds.sites, 0x7AB1));
+            }
+            "fig3a" | "fig3b" => {
+                let (ds, _) = dealers();
+                println!("{}", multitype::run(&ds));
+            }
+            "fig3c" => {
+                let cfg = match std::env::var("AW_SCALE").as_deref() {
+                    Ok("quick") => aw_sitegen::ProductsConfig::small(4, 0x9800),
+                    _ => aw_sitegen::ProductsConfig::default(),
+                };
+                let ds = aw_sitegen::generate_products(&cfg);
+                let a = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+                println!("{}", accuracy::run("PRODUCTS", &ds.sites, |s| a.annotate(&s.site), WrapperLanguage::XPath, &[Method::Naive, Method::Ntw]));
+            }
+            "b2" => {
+                let (ds, _) = disc();
+                println!("{}", single_entity::run(&ds));
+            }
+            other => return Err(format!("unknown experiment {other:?}; see --help")),
+        }
+        Ok(())
+    };
+
+    if name == "all" {
+        for id in known {
+            run_one(id)?;
+        }
+        Ok(())
+    } else {
+        run_one(name)
+    }
+}

@@ -1,0 +1,120 @@
+//! Fuzz-style property tests for the DOM substrate: the paper's pipeline
+//! runs on arbitrary crawled markup, so the tokenizer and parser must
+//! never panic, and their output must be structurally sound.
+
+use aw_dom::{parse, serialize, tokenizer::tokenize, NodeId, NodeKind};
+use proptest::prelude::*;
+
+/// Strategy producing markup-looking garbage: tags, attributes, entities,
+/// comments, raw text sections and random byte salad.
+fn html_soup() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        "[a-zA-Z0-9 .,!]{0,12}",
+        Just("<".to_string()),
+        Just(">".to_string()),
+        Just("</".to_string()),
+        Just("<div>".to_string()),
+        Just("</div>".to_string()),
+        Just("<td class='x'>".to_string()),
+        Just("<br/>".to_string()),
+        Just("<!-- c".to_string()),
+        Just("-->".to_string()),
+        Just("<script>".to_string()),
+        Just("</script>".to_string()),
+        Just("&amp;".to_string()),
+        Just("&#x41;".to_string()),
+        Just("&bogus;".to_string()),
+        Just("<a href=".to_string()),
+        Just("'".to_string()),
+        Just("\"".to_string()),
+        Just("<ul><li>".to_string()),
+        Just("<table><tr>".to_string()),
+        Just("é漢字".to_string()),
+    ];
+    prop::collection::vec(fragment, 0..40).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Tokenizer and parser accept anything without panicking, and the
+    /// resulting tree has consistent parent/child links.
+    #[test]
+    fn parser_never_panics_and_links_are_sound(input in html_soup()) {
+        let _tokens = tokenize(&input);
+        let doc = parse(&input);
+        for id in doc.ids() {
+            let node = doc.node(id);
+            if let Some(parent) = node.parent {
+                prop_assert!(doc.children(parent).contains(&id));
+            } else {
+                prop_assert_eq!(id, NodeId::ROOT);
+            }
+            for &c in doc.children(id) {
+                prop_assert_eq!(doc.parent(c), Some(id));
+            }
+            // Text nodes are non-empty and whitespace-collapsed.
+            if let NodeKind::Text(t) = &node.kind {
+                prop_assert!(!t.is_empty());
+                prop_assert!(!t.contains('\n'));
+                prop_assert!(!t.starts_with(' ') && !t.ends_with(' '));
+            }
+        }
+    }
+
+    /// serialize ∘ parse is a fixpoint: parsing the serialization and
+    /// serializing again yields the same string (idempotent cleanup, the
+    /// property tidy provides the paper's pipeline).
+    #[test]
+    fn serialize_parse_fixpoint(input in html_soup()) {
+        let once = serialize(&parse(&input));
+        let twice = serialize(&parse(&once));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Pre-order traversal visits every node exactly once.
+    #[test]
+    fn preorder_is_a_permutation(input in html_soup()) {
+        let doc = parse(&input);
+        let visited: Vec<_> = doc.preorder_all().collect();
+        prop_assert_eq!(visited.len(), doc.len());
+        let mut sorted = visited.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), doc.len());
+    }
+
+    /// Text spans recorded during serialization always slice to the text
+    /// node's exact content.
+    #[test]
+    fn text_spans_consistent(input in html_soup()) {
+        let doc = parse(&input);
+        let page = aw_dom::serialize_with_spans(&doc);
+        for span in &page.spans {
+            let slice = &page.html[span.start..span.end];
+            let text = doc.text(span.node).unwrap();
+            let raw_parent = matches!(
+                doc.parent(span.node).and_then(|p| doc.tag(p)),
+                Some("script" | "style")
+            );
+            let expected = if raw_parent {
+                text.to_string()
+            } else {
+                aw_dom::entities::escape(text)
+            };
+            prop_assert_eq!(slice, expected.as_str());
+        }
+        // Spans are in document order and non-overlapping.
+        for w in page.spans.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    /// Entity decoding is idempotent on decoded output when the output
+    /// contains no '&', and escape ∘ decode round-trips escaped text.
+    #[test]
+    fn entity_escape_round_trip(text in "[a-zA-Z<>&\"' é]{0,40}") {
+        let escaped = aw_dom::entities::escape(&text);
+        prop_assert_eq!(aw_dom::entities::decode(&escaped), text);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full §7 pipeline on every domain.
+
+use autowrappers::prelude::*;
+use aw_eval::{evaluate, learn_model, split_half, Method};
+use aw_sitegen::{
+    generate_dealers, generate_disc, generate_products, DealersConfig, DiscConfig, GeneratedSite,
+    ProductsConfig,
+};
+
+fn run_domain(
+    sites: &[GeneratedSite],
+    labels_of: impl Fn(&GeneratedSite) -> NodeSet + Sync,
+    language: WrapperLanguage,
+) -> (f64, f64) {
+    let (train, test) = split_half(sites);
+    let model = learn_model(&train, &labels_of);
+    let naive = evaluate(&test, &labels_of, language, Method::Naive, &model);
+    let ntw = evaluate(&test, &labels_of, language, Method::Ntw, &model);
+    (naive.mean.f1, ntw.mean.f1)
+}
+
+#[test]
+fn dealers_xpath_pipeline() {
+    let ds = generate_dealers(&DealersConfig::small(24, 1001));
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+    let (naive_f1, ntw_f1) = run_domain(
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::XPath,
+    );
+    assert!(ntw_f1 > naive_f1, "NTW {ntw_f1} vs NAIVE {naive_f1}");
+    assert!(ntw_f1 > 0.9, "NTW too weak: {ntw_f1}");
+}
+
+#[test]
+fn dealers_lr_pipeline() {
+    let ds = generate_dealers(&DealersConfig::small(24, 1002));
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+    let (naive_f1, ntw_f1) =
+        run_domain(&ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::Lr);
+    assert!(ntw_f1 > naive_f1, "NTW {ntw_f1} vs NAIVE {naive_f1}");
+    assert!(ntw_f1 > 0.75, "LR NTW too weak: {ntw_f1}");
+}
+
+#[test]
+fn dealers_hlrt_pipeline() {
+    // HLRT is blackbox-only; exercises the BottomUp fallback path.
+    let ds = generate_dealers(&DealersConfig::small(10, 1003));
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+    let (naive_f1, ntw_f1) =
+        run_domain(&ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::Hlrt);
+    assert!(ntw_f1 >= naive_f1 - 0.05, "NTW {ntw_f1} vs NAIVE {naive_f1}");
+    assert!(ntw_f1 > 0.5, "HLRT NTW too weak: {ntw_f1}");
+}
+
+#[test]
+fn disc_pipeline() {
+    let ds = generate_disc(&DiscConfig::small(8, 1004));
+    let annot = DictionaryAnnotator::new(ds.track_dictionary.iter(), MatchMode::Exact);
+    let (naive_f1, ntw_f1) = run_domain(
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::XPath,
+    );
+    assert!(ntw_f1 >= naive_f1);
+    assert!(ntw_f1 > 0.85, "DISC NTW too weak: {ntw_f1}");
+}
+
+#[test]
+fn products_pipeline() {
+    let ds = generate_products(&ProductsConfig::small(8, 1005));
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+    let (_naive_f1, ntw_f1) = run_domain(
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::XPath,
+    );
+    assert!(ntw_f1 > 0.7, "PRODUCTS NTW too weak: {ntw_f1}");
+}
+
+#[test]
+fn learned_rules_are_reparsable_xpaths() {
+    // The display form of every learned XPATH wrapper must parse back and
+    // evaluate to the same extraction.
+    let ds = generate_dealers(&DealersConfig::small(6, 1006));
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+    let (train, test) = split_half(&ds.sites);
+    let model = learn_model(&train, |s| annot.annotate(&s.site));
+    for gs in test {
+        let labels = annot.annotate(&gs.site);
+        if labels.is_empty() {
+            continue;
+        }
+        let out = learn(&gs.site, WrapperLanguage::XPath, &labels, &model, &NtwConfig::default());
+        let best = out.best().unwrap();
+        let xp = parse_xpath(&best.rule).unwrap_or_else(|e| panic!("{}: {e}", best.rule));
+        let by_eval: NodeSet = (0..gs.site.page_count() as u32)
+            .flat_map(|p| {
+                evaluate_xpath_on_page(&xp, &gs.site, p)
+            })
+            .collect();
+        assert_eq!(by_eval, best.extraction, "rule {}", best.rule);
+    }
+}
+
+fn evaluate_xpath_on_page(xp: &XPath, site: &Site, page: u32) -> Vec<PageNode> {
+    autowrappers::aw_xpath::evaluate(xp, site.page(page))
+        .into_iter()
+        .map(move |id| PageNode::new(page, id))
+        .collect()
+}
+
+#[test]
+fn multi_type_end_to_end() {
+    let ds = generate_dealers(&DealersConfig::small(12, 1007));
+    let name_annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+    let (train, test) = split_half(&ds.sites);
+    let name_model = learn_model(&train, |s| name_annot.annotate(&s.site));
+    let zip_annot = aw_eval::learn_annotator(&train, 1, |s| annotate_zipcodes(&s.site));
+    let model = MultiTypeModel {
+        annotators: vec![name_model.annotator, zip_annot],
+        publication: name_model.publication.clone(),
+        pin_indel_cost: 3,
+    };
+    let mut assembled_ok = 0;
+    for gs in &test {
+        let labels = [name_annot.annotate(&gs.site), annotate_zipcodes(&gs.site)];
+        if labels[0].is_empty() || labels[1].is_empty() {
+            continue;
+        }
+        let out = learn_multi_type(&gs.site, &labels, &model, &NtwConfig::default());
+        if let Some(best) = out.best() {
+            if !best.records.is_empty() {
+                assembled_ok += 1;
+            }
+        }
+    }
+    assert!(assembled_ok >= test.len() / 2, "only {assembled_ok} sites assembled");
+}
