@@ -88,7 +88,10 @@ pub fn common_suffix<S: AsRef<str>>(items: &[S]) -> String {
 /// The longest common prefix string of the given right-contexts.
 pub fn common_prefix<S: AsRef<str>>(items: &[S]) -> String {
     let n = common_prefix_len(items);
-    items.first().map(|s| s.as_ref()[..n].to_string()).unwrap_or_default()
+    items
+        .first()
+        .map(|s| s.as_ref()[..n].to_string())
+        .unwrap_or_default()
 }
 
 #[cfg(test)]

@@ -69,7 +69,11 @@ pub fn edit_distance_pinned<T: Eq>(
         cur[0] = prev[0] + indel(&pa[i]);
         for j in 0..b.len() {
             let sub_allowed = pa[i] == pb[j]; // both None, or same pin
-            let sub_cost = if sub_allowed { usize::from(a[i] != b[j]) } else { INF };
+            let sub_cost = if sub_allowed {
+                usize::from(a[i] != b[j])
+            } else {
+                INF
+            };
             let sub = prev[j].saturating_add(sub_cost);
             let del = prev[j + 1] + indel(&pa[i]);
             let ins = cur[j] + indel(&pb[j]);
@@ -124,7 +128,10 @@ mod tests {
         let a = b"abcd";
         let b = b"axcd";
         let none = vec![None; 4];
-        assert_eq!(edit_distance_pinned(a, b, &none, &none, 3), edit_distance(a, b));
+        assert_eq!(
+            edit_distance_pinned(a, b, &none, &none, 3),
+            edit_distance(a, b)
+        );
     }
 
     #[test]

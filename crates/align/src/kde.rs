@@ -34,7 +34,11 @@ impl KernelDensity {
         let sd = var.sqrt();
         // Silverman's rule of thumb; clamp so discrete spikes stay smooth.
         let bandwidth = (1.06 * sd * n.powf(-0.2)).max(0.5);
-        KernelDensity { samples: samples.to_vec(), bandwidth, floor }
+        KernelDensity {
+            samples: samples.to_vec(),
+            bandwidth,
+            floor,
+        }
     }
 
     /// Bandwidth in use.

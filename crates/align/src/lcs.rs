@@ -59,7 +59,11 @@ pub fn longest_common_subsequence_len<T: Eq>(a: &[T], b: &[T]) -> usize {
     let mut cur = vec![0usize; b.len() + 1];
     for item in a {
         for (j, s) in b.iter().enumerate() {
-            cur[j + 1] = if item == s { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+            cur[j + 1] = if item == s {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
         }
         std::mem::swap(&mut prev, &mut cur);
     }

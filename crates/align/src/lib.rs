@@ -18,4 +18,6 @@ pub mod stats;
 pub use affix::{common_prefix, common_prefix_len, common_suffix, common_suffix_len};
 pub use edit::{edit_distance, edit_distance_bounded, edit_distance_pinned};
 pub use kde::KernelDensity;
-pub use lcs::{longest_common_subsequence_len, longest_common_substring, longest_common_substring_len};
+pub use lcs::{
+    longest_common_subsequence_len, longest_common_substring, longest_common_substring_len,
+};

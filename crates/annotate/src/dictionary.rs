@@ -146,7 +146,10 @@ mod tests {
     fn contains_is_word_aligned() {
         let d = DictionaryAnnotator::new(["ACE"], MatchMode::Contains);
         assert!(d.matches("visit ACE today"));
-        assert!(!d.matches("PLACES to go"), "substring inside a word must not match");
+        assert!(
+            !d.matches("PLACES to go"),
+            "substring inside a word must not match"
+        );
     }
 
     #[test]

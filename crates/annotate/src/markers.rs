@@ -10,8 +10,21 @@ use aw_induct::{NodeSet, Site};
 
 /// Default business-name markers, after §1.
 pub const BUSINESS_MARKERS: &[&str] = &[
-    "inc.", "inc", "co.", "llc", "ltd", "bros.", "shop", "store", "furniture", "depot",
-    "warehouse", "gallery", "outlet", "emporium", "& sons",
+    "inc.",
+    "inc",
+    "co.",
+    "llc",
+    "ltd",
+    "bros.",
+    "shop",
+    "store",
+    "furniture",
+    "depot",
+    "warehouse",
+    "gallery",
+    "outlet",
+    "emporium",
+    "& sons",
 ];
 
 /// A marker-word annotator.
@@ -57,7 +70,9 @@ impl MarkerAnnotator {
             if m.contains(' ') {
                 lower.contains(m.as_str())
             } else {
-                words.iter().any(|w| w.trim_matches(|c: char| !c.is_alphanumeric() && c != '.') == m)
+                words
+                    .iter()
+                    .any(|w| w.trim_matches(|c: char| !c.is_alphanumeric() && c != '.') == m)
             }
         })
     }
@@ -119,10 +134,8 @@ mod tests {
         // Names with markers get labeled; names without markers are
         // missed (recall < 1); a promo sentence short enough slips in
         // (precision < 1) — the §1 noise profile.
-        let site = Site::from_html(&[
-            "<li>PORTER FURNITURE</li><li>ZENITH LIGHTS</li>\
-             <li>12 Elm St</li><li>Gift Shop Open</li>",
-        ]);
+        let site = Site::from_html(&["<li>PORTER FURNITURE</li><li>ZENITH LIGHTS</li>\
+             <li>12 Elm St</li><li>Gift Shop Open</li>"]);
         let a = MarkerAnnotator::business();
         let labels = a.annotate(&site);
         let texts: Vec<&str> = labels.iter().map(|&n| site.text_of(n).unwrap()).collect();

@@ -9,8 +9,14 @@ fn main() {
     let (ds, annot) = aw_bench::dealers();
     let labels_of = |s: &aw_sitegen::GeneratedSite| annot.annotate(&s.site);
 
-    println!("{}", ablations::lr_context_cap(&ds.sites, labels_of, &[4, 8, 16, 32, 64, 128]));
-    println!("{}", ablations::enumeration_label_cap(&ds.sites, labels_of, &[2, 4, 8, 16, 32]));
+    println!(
+        "{}",
+        ablations::lr_context_cap(&ds.sites, labels_of, &[4, 8, 16, 32, 64, 128])
+    );
+    println!(
+        "{}",
+        ablations::enumeration_label_cap(&ds.sites, labels_of, &[2, 4, 8, 16, 32])
+    );
     println!("{}", ablations::publication_features(&ds.sites, labels_of));
     println!("{}", ablations::annotator_parameters(&ds.sites, labels_of));
 }

@@ -15,8 +15,12 @@ fn bench_table(c: &mut Criterion) {
     let labels = example1_labels();
     let mut g = c.benchmark_group("enumerate/table_example1");
     g.bench_function("naive", |b| b.iter(|| naive(&inductor, black_box(&labels))));
-    g.bench_function("bottom_up", |b| b.iter(|| bottom_up(&inductor, black_box(&labels))));
-    g.bench_function("top_down", |b| b.iter(|| top_down(&inductor, black_box(&labels))));
+    g.bench_function("bottom_up", |b| {
+        b.iter(|| bottom_up(&inductor, black_box(&labels)))
+    });
+    g.bench_function("top_down", |b| {
+        b.iter(|| top_down(&inductor, black_box(&labels)))
+    });
     g.finish();
 }
 
@@ -27,8 +31,12 @@ fn bench_xpath_site(c: &mut Criterion) {
     let labels: NodeSet = annot.annotate(site);
     let inductor = XPathInductor::new(site);
     let mut g = c.benchmark_group("enumerate/xpath_dealer_site");
-    g.bench_function("bottom_up", |b| b.iter(|| bottom_up(&inductor, black_box(&labels))));
-    g.bench_function("top_down", |b| b.iter(|| top_down(&inductor, black_box(&labels))));
+    g.bench_function("bottom_up", |b| {
+        b.iter(|| bottom_up(&inductor, black_box(&labels)))
+    });
+    g.bench_function("top_down", |b| {
+        b.iter(|| top_down(&inductor, black_box(&labels)))
+    });
     g.finish();
 }
 

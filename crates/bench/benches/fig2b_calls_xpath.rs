@@ -6,7 +6,11 @@ use aw_eval::experiments::calls;
 fn main() {
     aw_bench::header("Figure 2(b)", "# of wrapper calls for XPATH on DEALERS");
     let (ds, annot) = aw_bench::dealers();
-    let result = calls::run(&ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::XPath);
+    let result = calls::run(
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::XPath,
+    );
     aw_bench::maybe_write_json("fig2b_calls_xpath", &result);
     println!("{result}");
 }

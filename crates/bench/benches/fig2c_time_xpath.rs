@@ -4,7 +4,10 @@
 use aw_eval::experiments::timing;
 
 fn main() {
-    aw_bench::header("Figure 2(c)", "enumeration running time for XPATH on DEALERS");
+    aw_bench::header(
+        "Figure 2(c)",
+        "enumeration running time for XPATH on DEALERS",
+    );
     let (ds, annot) = aw_bench::dealers();
     let result = timing::run(&ds.sites, |s| annot.annotate(&s.site));
     aw_bench::maybe_write_json("fig2c_time_xpath", &result);

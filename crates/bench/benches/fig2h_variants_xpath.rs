@@ -6,7 +6,12 @@ use aw_eval::experiments::variants;
 fn main() {
     aw_bench::header("Figure 2(h)", "XPATH ranking variants on DEALERS");
     let (ds, annot) = aw_bench::dealers();
-    let result = variants::run("DEALERS", &ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::XPath);
+    let result = variants::run(
+        "DEALERS",
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::XPath,
+    );
     aw_bench::maybe_write_json("fig2h_variants_xpath", &result);
     println!("{result}");
 }

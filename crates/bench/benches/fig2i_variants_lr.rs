@@ -6,7 +6,12 @@ use aw_eval::experiments::variants;
 fn main() {
     aw_bench::header("Figure 2(i)", "LR ranking variants on DEALERS");
     let (ds, annot) = aw_bench::dealers();
-    let result = variants::run("DEALERS", &ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::Lr);
+    let result = variants::run(
+        "DEALERS",
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::Lr,
+    );
     aw_bench::maybe_write_json("fig2i_variants_lr", &result);
     println!("{result}");
 }

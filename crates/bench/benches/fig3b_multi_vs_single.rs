@@ -10,6 +10,12 @@ fn main() {
     let result = multitype::run(&ds);
     let multi = &result.rows[1];
     println!("{:>8} {:>8} {:>8}", "field", "MULTI", "SINGLE");
-    println!("{:>8} {:>8.3} {:>8.3}", "Name", multi.names.f1, result.single_names.f1);
-    println!("{:>8} {:>8.3} {:>8.3}", "Zipcode", multi.zips.f1, result.single_zips.f1);
+    println!(
+        "{:>8} {:>8.3} {:>8.3}",
+        "Name", multi.names.f1, result.single_names.f1
+    );
+    println!(
+        "{:>8} {:>8.3} {:>8.3}",
+        "Zipcode", multi.zips.f1, result.single_zips.f1
+    );
 }

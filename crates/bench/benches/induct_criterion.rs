@@ -15,9 +15,13 @@ fn bench_inductors(c: &mut Criterion) {
     assert!(!labels.is_empty());
 
     let mut g = c.benchmark_group("induct");
-    g.bench_function("xpath/build", |b| b.iter(|| XPathInductor::new(black_box(site))));
+    g.bench_function("xpath/build", |b| {
+        b.iter(|| XPathInductor::new(black_box(site)))
+    });
     let xp = XPathInductor::new(site);
-    g.bench_function("xpath/extract", |b| b.iter(|| xp.extract(black_box(&labels))));
+    g.bench_function("xpath/extract", |b| {
+        b.iter(|| xp.extract(black_box(&labels)))
+    });
     let lr = LrInductor::new(site);
     g.bench_function("lr/extract", |b| b.iter(|| lr.extract(black_box(&labels))));
     g.finish();

@@ -21,12 +21,20 @@ fn bench_rank(c: &mut Criterion) {
         b.iter(|| segment_site(black_box(&gs.site), black_box(gold)))
     });
     let segments = segment_site(&gs.site, gold);
-    g.bench_function("list_features", |b| b.iter(|| list_features(black_box(&segments))));
+    g.bench_function("list_features", |b| {
+        b.iter(|| list_features(black_box(&segments)))
+    });
     let model = RankingModel::new(
         AnnotatorModel::new(0.95, 0.24),
         PublicationModel::learn(&[
-            ListFeatures { schema_size: 4.0, alignment: 0.0 },
-            ListFeatures { schema_size: 3.0, alignment: 1.0 },
+            ListFeatures {
+                schema_size: 4.0,
+                alignment: 0.0,
+            },
+            ListFeatures {
+                schema_size: 3.0,
+                alignment: 1.0,
+            },
         ]),
     );
     g.bench_function("score_wrapper", |b| {

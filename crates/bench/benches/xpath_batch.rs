@@ -1,0 +1,187 @@
+//! Wrapper-space evaluation: reference interpreter vs compiled indexed
+//! engine vs shared-prefix batch engine.
+//!
+//! Reproduces the hot loop of the NTW pipeline — evaluate every candidate
+//! wrapper of an enumerated space `W(L)` over every page of a dealer-site
+//! corpus — three ways:
+//!
+//! * `reference`: per-wrapper tree-walking interpretation (the seed
+//!   implementation's strategy);
+//! * `indexed`: per-wrapper evaluation against the `DocIndex` (posting
+//!   lists + subtree spans + cached positions);
+//! * `batch`: the whole space at once through a `BatchEvaluator` trie, so
+//!   shared step prefixes are evaluated once per page.
+//!
+//! Ends by printing the measured speedup ratios; the acceptance bar is
+//! batch ≥ 5× reference on ≥ 32 prefix-sharing candidates.
+
+use aw_annotate::{DictionaryAnnotator, MatchMode};
+use aw_dom::Document;
+use aw_enum::top_down;
+use aw_induct::{NodeSet, XPathInductor};
+use aw_sitegen::{generate_dealers, DealersConfig};
+use aw_xpath::{evaluate_compiled, reference, BatchEvaluator, CompiledXPath, XPath};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Dealer pages plus an enumerated wrapper space of ≥ 32 candidates.
+fn corpus() -> (Vec<Document>, Vec<XPath>) {
+    let ds = generate_dealers(&DealersConfig {
+        sites: 6,
+        pages_per_site: 4,
+        seed: 0xBEEF,
+        ..DealersConfig::default()
+    });
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+
+    let mut pages: Vec<Document> = Vec::new();
+    let mut paths: Vec<XPath> = Vec::new();
+    let mut seen: std::collections::BTreeSet<String> = Default::default();
+    for gs in &ds.sites {
+        for p in 0..gs.site.page_count() as u32 {
+            pages.push(gs.site.page(p).clone());
+        }
+        let labels: NodeSet = annot.annotate(&gs.site);
+        if labels.is_empty() {
+            continue;
+        }
+        let ind = XPathInductor::new(&gs.site);
+        for (_, xp) in top_down(&ind, &labels).xpath_candidates() {
+            if seen.insert(xp.to_string()) {
+                paths.push(xp);
+            }
+        }
+    }
+    assert!(
+        paths.len() >= 32,
+        "wrapper space too small: {} candidates",
+        paths.len()
+    );
+    (pages, paths)
+}
+
+fn eval_reference(pages: &[Document], paths: &[XPath]) -> usize {
+    let mut nodes = 0;
+    for page in pages {
+        for path in paths {
+            nodes += reference::evaluate(path, page).len();
+        }
+    }
+    nodes
+}
+
+fn eval_indexed(pages: &[Document], compiled: &[CompiledXPath]) -> usize {
+    let mut nodes = 0;
+    for page in pages {
+        for path in compiled {
+            nodes += evaluate_compiled(path, page).len();
+        }
+    }
+    nodes
+}
+
+fn eval_batch(pages: &[Document], batch: &BatchEvaluator) -> usize {
+    let mut nodes = 0;
+    for page in pages {
+        nodes += batch.evaluate(page).iter().map(Vec::len).sum::<usize>();
+    }
+    nodes
+}
+
+fn bench_wrapper_space(c: &mut Criterion) {
+    let (pages, paths) = corpus();
+    let compiled: Vec<CompiledXPath> = paths.iter().map(CompiledXPath::compile).collect();
+    let batch = BatchEvaluator::new(&compiled);
+    // Warm the per-document indexes so every engine variant measures
+    // steady-state evaluation (index build amortizes across the pipeline;
+    // `reference` does not use it at all).
+    for page in &pages {
+        page.index();
+    }
+    // All engines must agree before we time anything.
+    let expected = eval_reference(&pages, &paths);
+    assert_eq!(eval_indexed(&pages, &compiled), expected);
+    assert_eq!(eval_batch(&pages, &batch), expected);
+
+    println!(
+        "wrapper space: {} candidates, {} pages, {} trie steps vs {} total steps",
+        paths.len(),
+        pages.len(),
+        batch.distinct_steps(),
+        paths.iter().map(|p| p.steps.len()).sum::<usize>(),
+    );
+
+    let mut g = c.benchmark_group("xpath_space");
+    g.throughput(Throughput::Elements((paths.len() * pages.len()) as u64));
+    g.bench_function("reference", |b| {
+        b.iter(|| eval_reference(black_box(&pages), black_box(&paths)))
+    });
+    g.bench_function("indexed", |b| {
+        b.iter(|| eval_indexed(black_box(&pages), black_box(&compiled)))
+    });
+    g.bench_function("batch", |b| {
+        b.iter(|| eval_batch(black_box(&pages), black_box(&batch)))
+    });
+    g.finish();
+
+    // Explicit speedup summary (the acceptance metric).
+    let time = |f: &dyn Fn() -> usize| {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t = Instant::now();
+            black_box(f());
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let t_ref = time(&|| eval_reference(&pages, &paths));
+    let t_idx = time(&|| eval_indexed(&pages, &compiled));
+    let t_bat = time(&|| eval_batch(&pages, &batch));
+    println!(
+        "speedup vs reference: indexed {:.1}x, batch {:.1}x \
+         (ref {:.3} ms, indexed {:.3} ms, batch {:.3} ms per corpus pass)",
+        t_ref / t_idx,
+        t_ref / t_bat,
+        t_ref * 1e3,
+        t_idx * 1e3,
+        t_bat * 1e3,
+    );
+}
+
+/// Single-rule replay (the `LearnedRule::apply` production path): one
+/// compiled xpath over many pages.
+fn bench_single_rule(c: &mut Criterion) {
+    let (pages, paths) = corpus();
+    let rule = paths
+        .iter()
+        .find(|p| p.steps.len() >= 4)
+        .expect("a deep rule exists")
+        .clone();
+    let compiled = CompiledXPath::compile(&rule);
+    for page in &pages {
+        page.index();
+    }
+    let mut g = c.benchmark_group("single_rule");
+    g.throughput(Throughput::Elements(pages.len() as u64));
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            pages
+                .iter()
+                .map(|p| reference::evaluate(black_box(&rule), p).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("indexed", |b| {
+        b.iter(|| {
+            pages
+                .iter()
+                .map(|p| evaluate_compiled(black_box(&compiled), p).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wrapper_space, bench_single_rule);
+criterion_main!(benches);

@@ -7,8 +7,8 @@
 
 use aw_annotate::{DictionaryAnnotator, MatchMode};
 use aw_sitegen::{
-    generate_dealers, generate_disc, generate_products, DealersConfig, DealersDataset,
-    DiscConfig, DiscDataset, ProductsConfig, ProductsDataset,
+    generate_dealers, generate_disc, generate_products, DealersConfig, DealersDataset, DiscConfig,
+    DiscDataset, ProductsConfig, ProductsDataset,
 };
 
 /// Benchmark scale, from the `AW_SCALE` environment variable.

@@ -1,0 +1,189 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro with `#![proptest_config(...)]`,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, strategies for
+//! integer and float ranges, char-class regex strings, `Just`,
+//! `prop_oneof!`, `.prop_map`, `prop::collection::vec`,
+//! `prop::option::of` and `prop::bool::ANY`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test stream (seeded by test path), there is **no shrinking** (a
+//! failure panics with the formatted assertion message and the case
+//! number), and regex strategies support only char classes, literals and
+//! `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers — exactly what the
+//! in-repo tests use.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy namespace (`prop::collection::vec`, `prop::option::of`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+
+    /// `bool` strategies.
+    pub mod bool {
+        pub use crate::strategy::BOOL_ANY as ANY;
+    }
+}
+
+/// The common imports of a proptest test file.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                while accepted < config.cases {
+                    if rejected > 64 * config.cases + 1024 {
+                        panic!("proptest {test_path}: too many rejected cases ({rejected})");
+                    }
+                    let mut __rng = $crate::test_runner::TestRng::for_case(test_path, case);
+                    case += 1;
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => rejected += 1,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {test_path} failed at case {}: {msg}", case - 1)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts within a property test (fails the case, reporting the input).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_eq failed: left = {left:?}, right = {right:?}"),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assert_eq failed: left = {left:?}, right = {right:?}: {}",
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_ne failed: both = {left:?}"),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_ne failed: both = {left:?}: {}", format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// A strategy choosing uniformly among the given strategies (which must
+/// share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let __choices: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($s)),+];
+        $crate::strategy::Union::new(__choices)
+    }};
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for `serde_derive`: a dependency-free
+//! `#[derive(Serialize)]` supporting the two shapes this workspace
+//! derives on — structs with named fields and fieldless enums.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`: the build
+//! environment has no registry access). The generated impl targets the
+//! sibling `serde` stand-in's `Serialize` trait.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct or fieldless enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility, find `struct` or `enum`.
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr: '#' + group
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = Some(id.to_string());
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.expect("derive(Serialize): expected struct or enum");
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other}"),
+    };
+    i += 1;
+
+    // No generics in this workspace's derived types.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive(Serialize) stand-in does not support generics")
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize): expected a braced body"),
+        }
+    };
+
+    let impl_src = if kind == "struct" {
+        let fields = named_fields(body);
+        let pushes: String = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                )
+            })
+            .collect();
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(entries)\n\
+               }}\n\
+             }}"
+        )
+    } else {
+        let variants = unit_variants(body, &name);
+        let arms: String = variants
+            .iter()
+            .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),"))
+            .collect();
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+               }}\n\
+             }}"
+        )
+    };
+    impl_src
+        .parse()
+        .expect("derive(Serialize): generated impl parses")
+}
+
+/// Field names of a named-field struct body.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility on the field.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // pub(crate) etc.
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                // Skip `: Type` up to the next top-level comma. Generic
+                // argument commas hide inside `<...>` depth.
+                i += 1;
+                let mut angle = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+/// Variant names of a fieldless enum body; panics on data-carrying
+/// variants (unsupported by the stand-in).
+fn unit_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => panic!(
+                        "derive(Serialize) stand-in: enum {name} has a non-unit \
+                         variant near {other}"
+                    ),
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}

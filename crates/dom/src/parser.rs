@@ -25,8 +25,8 @@ use crate::tokenizer::{tokenize, Token};
 
 /// Elements that never have children.
 pub const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Returns true if `tag` is a void element.
@@ -72,7 +72,8 @@ pub fn parse(input: &str) -> Document {
     // Stack of currently-open element ids; the root is always open.
     let mut open: Vec<(NodeId, String)> = Vec::new();
 
-    let current = |open: &Vec<(NodeId, String)>| open.last().map(|(id, _)| *id).unwrap_or(NodeId::ROOT);
+    let current =
+        |open: &Vec<(NodeId, String)>| open.last().map(|(id, _)| *id).unwrap_or(NodeId::ROOT);
 
     for token in tokenize(input) {
         match token {
@@ -86,11 +87,18 @@ pub fn parse(input: &str) -> Document {
                     doc.append_text(current(&open), collapsed);
                 }
             }
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 apply_implied_closes(&mut open, &name);
                 let id = doc.append(
                     current(&open),
-                    NodeKind::Element(Element { tag: name.clone(), attrs }),
+                    NodeKind::Element(Element {
+                        tag: name.clone(),
+                        attrs,
+                    }),
                 );
                 if !self_closing && !is_void(&name) {
                     open.push((id, name));

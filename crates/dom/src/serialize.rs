@@ -55,7 +55,10 @@ pub fn serialize(doc: &Document) -> String {
 
 /// Serializes the document and records text-node byte spans.
 pub fn serialize_with_spans(doc: &Document) -> SerializedPage {
-    let mut page = SerializedPage { html: String::new(), spans: Vec::new() };
+    let mut page = SerializedPage {
+        html: String::new(),
+        spans: Vec::new(),
+    };
     for &c in doc.children(NodeId::ROOT) {
         write_node(doc, c, &mut page);
     }
@@ -79,7 +82,11 @@ fn write_node(doc: &Document, id: NodeId, page: &mut SerializedPage) {
             } else {
                 page.html.push_str(&escape(t));
             }
-            page.spans.push(TextSpan { node: id, start, end: page.html.len() });
+            page.spans.push(TextSpan {
+                node: id,
+                start,
+                end: page.html.len(),
+            });
         }
         NodeKind::Comment(c) => {
             page.html.push_str("<!--");

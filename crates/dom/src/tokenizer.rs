@@ -17,7 +17,11 @@ use crate::entities::decode;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Token {
     /// `<name a="v">`; `self_closing` records a trailing `/`.
-    StartTag { name: String, attrs: Vec<(String, String)>, self_closing: bool },
+    StartTag {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
     /// `</name>`.
     EndTag { name: String },
     /// A run of character data, entity-decoded, whitespace preserved.
@@ -42,7 +46,12 @@ struct Tokenizer<'a> {
 
 impl<'a> Tokenizer<'a> {
     fn new(input: &'a str) -> Self {
-        Tokenizer { input, bytes: input.as_bytes(), pos: 0, out: Vec::new() }
+        Tokenizer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            out: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Vec<Token> {
@@ -166,7 +175,11 @@ impl<'a> Tokenizer<'a> {
             match self.bytes[i] {
                 b'>' => {
                     self.pos = i + 1;
-                    return Some(Token::StartTag { name, attrs, self_closing });
+                    return Some(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing,
+                    });
                 }
                 b'/' => {
                     self_closing = true;
@@ -186,7 +199,12 @@ impl<'a> Tokenizer<'a> {
     /// Consumes one `name[=value]` attribute starting at non-ws `i`.
     fn consume_attribute(&mut self, mut i: usize) -> Option<(Option<(String, String)>, usize)> {
         let name_start = i;
-        while i < self.bytes.len() && !matches!(self.bytes[i], b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r') {
+        while i < self.bytes.len()
+            && !matches!(
+                self.bytes[i],
+                b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r'
+            )
+        {
             i += 1;
         }
         if i == name_start {
@@ -236,9 +254,14 @@ impl<'a> Tokenizer<'a> {
                 }
                 // Skip past "</tag ... >".
                 let after = self.pos + rel;
-                let end = self.input[after..].find('>').map(|i| after + i + 1).unwrap_or(self.bytes.len());
+                let end = self.input[after..]
+                    .find('>')
+                    .map(|i| after + i + 1)
+                    .unwrap_or(self.bytes.len());
                 self.pos = end;
-                self.out.push(Token::EndTag { name: tag.to_string() });
+                self.out.push(Token::EndTag {
+                    name: tag.to_string(),
+                });
             }
             None => {
                 if !hay.is_empty() {
@@ -258,7 +281,10 @@ impl<'a> Tokenizer<'a> {
 
     /// Index of the first `b` at or after `from + 1`.
     fn find_byte(&self, from: usize, b: u8) -> Option<usize> {
-        self.bytes[from + 1..].iter().position(|&x| x == b).map(|i| from + 1 + i)
+        self.bytes[from + 1..]
+            .iter()
+            .position(|&x| x == b)
+            .map(|i| from + 1 + i)
     }
 }
 
@@ -269,7 +295,11 @@ fn is_name_byte(b: u8) -> bool {
 /// If `token` opens a raw-text element, returns its tag name.
 fn raw_text_tag(token: &Token) -> Option<&'static str> {
     match token {
-        Token::StartTag { name, self_closing: false, .. } => match name.as_str() {
+        Token::StartTag {
+            name,
+            self_closing: false,
+            ..
+        } => match name.as_str() {
             "script" => Some("script"),
             "style" => Some("style"),
             _ => None,
@@ -285,7 +315,10 @@ mod tests {
     fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
         Token::StartTag {
             name: name.into(),
-            attrs: attrs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+            attrs: attrs
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
             self_closing: false,
         }
     }
@@ -307,7 +340,11 @@ mod tests {
     fn attributes_quoted_and_bare() {
         let t = tokenize(r#"<a href="x" CLASS='y' id=z disabled>"#);
         match &t[0] {
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 assert_eq!(name, "a");
                 assert!(!self_closing);
                 assert_eq!(
@@ -329,10 +366,18 @@ mod tests {
         let t = tokenize("<BR/><IMG SRC='a.png' />");
         assert_eq!(
             t[0],
-            Token::StartTag { name: "br".into(), attrs: vec![], self_closing: true }
+            Token::StartTag {
+                name: "br".into(),
+                attrs: vec![],
+                self_closing: true
+            }
         );
         match &t[1] {
-            Token::StartTag { name, attrs, self_closing } => {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 assert_eq!(name, "img");
                 assert_eq!(attrs[0], ("src".to_string(), "a.png".to_string()));
                 assert!(self_closing);
@@ -361,7 +406,12 @@ mod tests {
         let t = tokenize("<script>if (a<b) { x(\"<div>\"); }</script><p>y</p>");
         assert_eq!(t[0], start("script", &[]));
         assert_eq!(t[1], Token::Text("if (a<b) { x(\"<div>\"); }".into()));
-        assert_eq!(t[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            t[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
         assert_eq!(t[3], start("p", &[]));
     }
 
@@ -369,7 +419,12 @@ mod tests {
     fn style_raw_text() {
         let t = tokenize("<style>a > b { color: red }</style>");
         assert_eq!(t[1], Token::Text("a > b { color: red }".into()));
-        assert_eq!(t[2], Token::EndTag { name: "style".into() });
+        assert_eq!(
+            t[2],
+            Token::EndTag {
+                name: "style".into()
+            }
+        );
     }
 
     #[test]

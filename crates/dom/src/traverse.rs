@@ -44,7 +44,10 @@ impl<'a> Iterator for Ancestors<'a> {
 impl Document {
     /// Pre-order traversal of the subtree rooted at `id`, including `id`.
     pub fn preorder(&self, id: NodeId) -> Preorder<'_> {
-        Preorder { doc: self, stack: vec![id] }
+        Preorder {
+            doc: self,
+            stack: vec![id],
+        }
     }
 
     /// All nodes of the document in document order (excluding nothing).
@@ -54,7 +57,10 @@ impl Document {
 
     /// Ancestors of `id`, parent first, ending at the root.
     pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
-        Ancestors { doc: self, cur: Some(id) }
+        Ancestors {
+            doc: self,
+            cur: Some(id),
+        }
     }
 
     /// All text-node ids in document order.
@@ -64,7 +70,9 @@ impl Document {
 
     /// All element ids with the given tag, in document order.
     pub fn elements_by_tag(&self, tag: &str) -> Vec<NodeId> {
-        self.preorder_all().filter(|&id| self.tag(id) == Some(tag)).collect()
+        self.preorder_all()
+            .filter(|&id| self.tag(id) == Some(tag))
+            .collect()
     }
 
     /// True if `anc` is a strict ancestor of `id`.

@@ -45,8 +45,11 @@ where
             // Step 7: w = φ(s ∪ ℓ); recorded in the space builder.
             let extraction = builder.induce(inductor, &seed);
             // Step 8: snew = φ̆(s ∪ ℓ).
-            let snew: ItemSet<I::Item> =
-                labels.iter().copied().filter(|x| extraction.contains(x)).collect();
+            let snew: ItemSet<I::Item> = labels
+                .iter()
+                .copied()
+                .filter(|x| extraction.contains(x))
+                .collect();
             // Step 10–12: enqueue unless it is the full label set or known.
             if snew.len() < labels.len() && !expanded.contains(&snew) {
                 z.insert((snew.len(), snew));
@@ -73,9 +76,18 @@ mod tests {
         let rules: BTreeSet<&str> = result.wrappers.iter().map(|w| w.rule.as_str()).collect();
         assert_eq!(
             rules,
-            ["cell(1,1)", "cell(2,1)", "cell(4,1)", "cell(4,2)", "cell(5,3)", "C1", "R4", "T"]
-                .into_iter()
-                .collect()
+            [
+                "cell(1,1)",
+                "cell(2,1)",
+                "cell(4,1)",
+                "cell(4,2)",
+                "cell(5,3)",
+                "C1",
+                "R4",
+                "T"
+            ]
+            .into_iter()
+            .collect()
         );
     }
 

@@ -65,8 +65,16 @@ mod tests {
         assert_eq!(result.inductor_calls, 31); // nonempty subsets
         assert_eq!(result.len(), 8);
         let rules: Vec<&str> = result.wrappers.iter().map(|w| w.rule.as_str()).collect();
-        for expected in ["cell(1,1)", "cell(2,1)", "cell(4,1)", "cell(4,2)", "cell(5,3)", "C1", "R4", "T"]
-        {
+        for expected in [
+            "cell(1,1)",
+            "cell(2,1)",
+            "cell(4,1)",
+            "cell(4,2)",
+            "cell(5,3)",
+            "C1",
+            "R4",
+            "T",
+        ] {
             assert!(rules.contains(&expected), "missing {expected}: {rules:?}");
         }
     }

@@ -46,6 +46,21 @@ impl<T: Ord + Copy + Debug> EnumerationResult<T> {
     pub fn extraction_set(&self) -> ItemSet<ItemSet<T>> {
         self.wrappers.iter().map(|w| w.extraction.clone()).collect()
     }
+
+    /// The candidate set as parsed xpaths, for shared-prefix batch
+    /// evaluation (`aw_xpath::BatchEvaluator`, `aw_rank::score_xpath_space`).
+    ///
+    /// Each entry pairs the wrapper's index in [`Self::wrappers`] with its
+    /// rule parsed back from display form. Wrappers whose rules are not in
+    /// the xpath fragment (LR/HLRT/TABLE languages) are skipped, so the
+    /// result is empty for non-XPATH spaces.
+    pub fn xpath_candidates(&self) -> Vec<(usize, aw_xpath::XPath)> {
+        self.wrappers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| aw_xpath::parse_xpath(&w.rule).ok().map(|xp| (i, xp)))
+            .collect()
+    }
 }
 
 /// Accumulates wrappers, deduplicating by extraction.
@@ -56,7 +71,10 @@ pub(crate) struct SpaceBuilder<T: Ord + Clone> {
 
 impl<T: Ord + Copy + Debug> SpaceBuilder<T> {
     pub(crate) fn new() -> Self {
-        SpaceBuilder { by_extraction: BTreeMap::new(), calls: 0 }
+        SpaceBuilder {
+            by_extraction: BTreeMap::new(),
+            calls: 0,
+        }
     }
 
     /// Runs φ on `seed`, records the wrapper, and returns the extraction.
@@ -101,8 +119,9 @@ mod tests {
         let mut b = SpaceBuilder::new();
         // Two different seeds inducing the same column wrapper.
         let s1: ItemSet<Cell> = [Cell::new(1, 1), Cell::new(2, 1)].into_iter().collect();
-        let s2: ItemSet<Cell> =
-            [Cell::new(1, 1), Cell::new(2, 1), Cell::new(4, 1)].into_iter().collect();
+        let s2: ItemSet<Cell> = [Cell::new(1, 1), Cell::new(2, 1), Cell::new(4, 1)]
+            .into_iter()
+            .collect();
         b.induce(&t, &s1);
         b.induce(&t, &s2);
         let result = b.finish();
@@ -118,5 +137,65 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.len(), 0);
         assert!(r.extraction_set().is_empty());
+    }
+
+    #[test]
+    fn non_xpath_spaces_have_no_xpath_candidates() {
+        // TABLE rules ("C1", "R2", ...) are not in the fragment.
+        let t = example1_inductor();
+        let labels = aw_induct::table::example1_labels();
+        let space = crate::top_down(&t, &labels);
+        assert!(!space.is_empty());
+        assert!(space.xpath_candidates().is_empty());
+    }
+
+    #[test]
+    fn xpath_candidates_replay_their_extractions_through_the_batch_engine() {
+        use aw_dom::PageNode;
+        use aw_induct::{Site, XPathInductor};
+
+        let site = Site::from_html(&[
+            "<div class='list'><tr><td><u>ALPHA</u><br>1 Elm</td></tr>\
+             <tr><td><u>BETA</u><br>2 Oak</td></tr></div>",
+            "<div class='list'><tr><td><u>GAMMA</u><br>3 Fir</td></tr></div>",
+        ]);
+        let ind = XPathInductor::new(&site);
+        let labels: ItemSet<PageNode> = ["ALPHA", "BETA", "1 Elm"]
+            .iter()
+            .flat_map(|t| site.find_text(t))
+            .collect();
+        let space = crate::top_down(&ind, &labels);
+        let candidates = space.xpath_candidates();
+        assert_eq!(
+            candidates.len(),
+            space.len(),
+            "every XPATH rule parses back"
+        );
+
+        // Evaluating the whole candidate set through the batch engine
+        // reproduces each wrapper's enumerated extraction.
+        let paths: Vec<aw_xpath::XPath> = candidates.iter().map(|(_, xp)| xp.clone()).collect();
+        let batch = aw_xpath::BatchEvaluator::from_xpaths(paths.iter());
+        let mut replayed: Vec<ItemSet<PageNode>> = vec![ItemSet::new(); paths.len()];
+        for p in 0..site.page_count() as u32 {
+            for (slot, nodes) in batch.evaluate(site.page(p)).into_iter().enumerate() {
+                replayed[slot].extend(nodes.into_iter().map(|id| PageNode::new(p, id)));
+            }
+        }
+        for ((wrapper_idx, xp), replay) in candidates.iter().zip(&replayed) {
+            let wrapper = &space.wrappers[*wrapper_idx];
+            // The rendered xpath is documented to be slightly more general
+            // than the feature semantics only when a wildcard step
+            // appears; these clean candidates have none.
+            if xp
+                .steps
+                .iter()
+                .all(|s| s.test != aw_xpath::NodeTest::AnyElement)
+            {
+                assert_eq!(replay, &wrapper.extraction, "replay mismatch for {xp}");
+            } else {
+                assert!(wrapper.extraction.is_subset(replay), "{xp}");
+            }
+        }
     }
 }

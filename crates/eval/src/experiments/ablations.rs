@@ -77,15 +77,23 @@ where
             SweepRow {
                 value: cap as f64,
                 f1: macro_average(&scored.iter().map(|s| s.0).collect::<Vec<_>>()).f1,
-                mean_calls: scored.iter().map(|s| s.1 as f64).sum::<f64>() / scored.len().max(1) as f64,
+                mean_calls: scored.iter().map(|s| s.1 as f64).sum::<f64>()
+                    / scored.len().max(1) as f64,
             }
         })
         .collect();
-    SweepResult { parameter: "LR context cap (bytes)".into(), rows }
+    SweepResult {
+        parameter: "LR context cap (bytes)".into(),
+        rows,
+    }
 }
 
 /// Sweeps the enumeration label cap (XPATH wrappers).
-pub fn enumeration_label_cap<F>(sites: &[GeneratedSite], labels_of: F, caps: &[usize]) -> SweepResult
+pub fn enumeration_label_cap<F>(
+    sites: &[GeneratedSite],
+    labels_of: F,
+    caps: &[usize],
+) -> SweepResult
 where
     F: Fn(&GeneratedSite) -> NodeSet + Sync,
 {
@@ -94,7 +102,10 @@ where
     let rows = caps
         .iter()
         .map(|&cap| {
-            let config = NtwConfig { max_enumeration_labels: cap, ..Default::default() };
+            let config = NtwConfig {
+                max_enumeration_labels: cap,
+                ..Default::default()
+            };
             let scored: Vec<(PrF1, usize)> = par_map(&test, |gs| {
                 let labels = labels_of(gs);
                 if labels.is_empty() {
@@ -108,11 +119,15 @@ where
             SweepRow {
                 value: cap as f64,
                 f1: macro_average(&scored.iter().map(|s| s.0).collect::<Vec<_>>()).f1,
-                mean_calls: scored.iter().map(|s| s.1 as f64).sum::<f64>() / scored.len().max(1) as f64,
+                mean_calls: scored.iter().map(|s| s.1 as f64).sum::<f64>()
+                    / scored.len().max(1) as f64,
             }
         })
         .collect();
-    SweepResult { parameter: "enumeration label cap".into(), rows }
+    SweepResult {
+        parameter: "enumeration label cap".into(),
+        rows,
+    }
 }
 
 /// Compares publication-feature subsets (both / schema only / alignment
@@ -134,8 +149,18 @@ where
         .map(|(i, (_, ov))| {
             let mut model = base.clone();
             model.publication.kernel_override = *ov;
-            let out = evaluate(&test, &labels_of, WrapperLanguage::XPath, Method::Ntw, &model);
-            SweepRow { value: i as f64, f1: out.mean.f1, mean_calls: 0.0 }
+            let out = evaluate(
+                &test,
+                &labels_of,
+                WrapperLanguage::XPath,
+                Method::Ntw,
+                &model,
+            );
+            SweepRow {
+                value: i as f64,
+                f1: out.mean.f1,
+                mean_calls: 0.0,
+            }
         })
         .collect();
     SweepResult {
@@ -153,13 +178,33 @@ where
     let learned = learn_model(&train, &labels_of);
     let fixed_sets: [(f64, f64); 3] = [(0.9, 0.3), (0.99, 0.1), (0.7, 0.7)];
     let mut rows = vec![{
-        let out = evaluate(&test, &labels_of, WrapperLanguage::XPath, Method::Ntw, &learned);
-        SweepRow { value: 0.0, f1: out.mean.f1, mean_calls: 0.0 }
+        let out = evaluate(
+            &test,
+            &labels_of,
+            WrapperLanguage::XPath,
+            Method::Ntw,
+            &learned,
+        );
+        SweepRow {
+            value: 0.0,
+            f1: out.mean.f1,
+            mean_calls: 0.0,
+        }
     }];
     for (i, (p, r)) in fixed_sets.iter().enumerate() {
         let model = RankingModel::new(AnnotatorModel::new(*p, *r), learned.publication.clone());
-        let out = evaluate(&test, &labels_of, WrapperLanguage::XPath, Method::Ntw, &model);
-        rows.push(SweepRow { value: (i + 1) as f64, f1: out.mean.f1, mean_calls: 0.0 });
+        let out = evaluate(
+            &test,
+            &labels_of,
+            WrapperLanguage::XPath,
+            Method::Ntw,
+            &model,
+        );
+        rows.push(SweepRow {
+            value: (i + 1) as f64,
+            f1: out.mean.f1,
+            mean_calls: 0.0,
+        });
     }
     SweepResult {
         parameter: "annotator params (0=learned, 1=(.9,.3), 2=(.99,.1), 3=(.7,.7))".into(),
@@ -185,10 +230,7 @@ mod tests {
         let result = lr_context_cap(&ds.sites, |s| annot.annotate(&s.site), &[2, 64]);
         assert_eq!(result.rows.len(), 2);
         // A 2-byte cap leaves LR with delimiters like ">" only.
-        assert!(
-            result.rows[0].f1 <= result.rows[1].f1 + 1e-9,
-            "{result}"
-        );
+        assert!(result.rows[0].f1 <= result.rows[1].f1 + 1e-9, "{result}");
     }
 
     #[test]

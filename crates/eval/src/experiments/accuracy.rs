@@ -59,7 +59,11 @@ impl std::fmt::Display for AccuracyResult {
             self.annotator_r,
             self.outcomes.first().map_or(0, |o| o.per_site.len()),
         )?;
-        writeln!(f, "{:>8} {:>10} {:>8} {:>8}", "method", "Precision", "Recall", "F1")?;
+        writeln!(
+            f,
+            "{:>8} {:>10} {:>8} {:>8}",
+            "method", "Precision", "Recall", "F1"
+        )?;
         for o in &self.outcomes {
             writeln!(
                 f,
@@ -96,7 +100,10 @@ mod tests {
         let naive = &res.outcomes[0].mean;
         let ntw = &res.outcomes[1].mean;
         assert!(naive.recall > 0.9, "NAIVE recall {naive:?}");
-        assert!(ntw.precision > naive.precision, "NTW {ntw:?} vs NAIVE {naive:?}");
+        assert!(
+            ntw.precision > naive.precision,
+            "NTW {ntw:?} vs NAIVE {naive:?}"
+        );
         assert!(ntw.f1 > naive.f1);
         assert!(res.to_string().contains("NAIVE"));
     }

@@ -77,7 +77,10 @@ where
     .flatten()
     .collect();
     rows.sort_by_key(|r| r.top_down);
-    CallsResult { language: language.name().to_string(), rows }
+    CallsResult {
+        language: language.name().to_string(),
+        rows,
+    }
 }
 
 /// Evenly subsamples a label set down to `cap` (shared with the timing
@@ -92,13 +95,23 @@ fn cap_labels(labels: NodeSet, cap: usize) -> NodeSet {
     }
     let items: Vec<_> = labels.into_iter().collect();
     let stride = items.len() as f64 / cap as f64;
-    (0..cap).map(|i| items[(i as f64 * stride) as usize]).collect()
+    (0..cap)
+        .map(|i| items[(i as f64 * stride) as usize])
+        .collect()
 }
 
 impl std::fmt::Display for CallsResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "# of wrapper calls for {} (one row per website)", self.language)?;
-        writeln!(f, "{:>6} {:>7} {:>9} {:>10} {:>14} {:>5}", "site", "|L|", "TopDown", "BottomUp", "Naive", "k")?;
+        writeln!(
+            f,
+            "# of wrapper calls for {} (one row per website)",
+            self.language
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>7} {:>9} {:>10} {:>14} {:>5}",
+            "site", "|L|", "TopDown", "BottomUp", "Naive", "k"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -127,7 +140,11 @@ mod tests {
     fn calls_ordered_naive_worst() {
         let ds = generate_dealers(&DealersConfig::small(6, 17));
         let annotator = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
-        let result = run(&ds.sites, |s| annotator.annotate(&s.site), WrapperLanguage::XPath);
+        let result = run(
+            &ds.sites,
+            |s| annotator.annotate(&s.site),
+            WrapperLanguage::XPath,
+        );
         assert!(!result.rows.is_empty());
         for r in &result.rows {
             assert!(r.top_down as u64 <= r.naive, "TopDown ≤ Naive: {r:?}");
@@ -151,7 +168,11 @@ mod tests {
     fn lr_variant_runs() {
         let ds = generate_dealers(&DealersConfig::small(3, 23));
         let annotator = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
-        let result = run(&ds.sites, |s| annotator.annotate(&s.site), WrapperLanguage::Lr);
+        let result = run(
+            &ds.sites,
+            |s| annotator.annotate(&s.site),
+            WrapperLanguage::Lr,
+        );
         assert_eq!(result.language, "LR");
         for r in &result.rows {
             assert!(r.k >= 1);

@@ -8,7 +8,7 @@
 
 use crate::metrics::{macro_average, prf1, PrF1};
 use crate::parallel::par_map;
-use aw_core::{learn, LearnedRule, NtwConfig, WrapperLanguage};
+use aw_core::{learn, LearnedRule, LearnedRuleSet, NtwConfig, WrapperLanguage};
 use aw_dom::PageNode;
 use aw_induct::{NodeSet, Site};
 use aw_rank::RankingModel;
@@ -68,7 +68,10 @@ where
         let Some(best) = out.best() else {
             return Some((PrF1::ZERO, PrF1::ZERO));
         };
-        let rule = LearnedRule::learn(&train_site, language, &best.seed);
+        // Compile the portable rule once per site (xpath rules go through
+        // the batch engine), then replay it over every page.
+        let rules =
+            LearnedRuleSet::new(vec![LearnedRule::learn(&train_site, language, &best.seed)]);
 
         // Score on training pages and held-out pages separately.
         let score_on = |range: std::ops::Range<usize>| {
@@ -76,7 +79,9 @@ where
             let mut gold = NodeSet::new();
             for p in range {
                 extracted.extend(
-                    rule.apply(gs.site.page(p as u32))
+                    rules
+                        .apply(gs.site.page(p as u32))
+                        .remove(0)
                         .into_iter()
                         .map(|id| PageNode::new(p as u32, id)),
                 );
@@ -106,7 +111,11 @@ impl std::fmt::Display for GeneralizationResult {
             "Wrapper generalization ({}, learned on {} page(s)/site, {} sites)",
             self.language, self.train_pages, self.sites
         )?;
-        writeln!(f, "{:>10} {:>10} {:>8} {:>8}", "pages", "Precision", "Recall", "F1")?;
+        writeln!(
+            f,
+            "{:>10} {:>10} {:>8} {:>8}",
+            "pages", "Precision", "Recall", "F1"
+        )?;
         writeln!(
             f,
             "{:>10} {:>10.3} {:>8.3} {:>8.3}",
@@ -143,7 +152,10 @@ mod tests {
         assert!(result.held_out.f1 > 0.85, "{result}");
         // Held-out quality close to train quality: same script, so rules
         // transfer (the wrapper premise of §1).
-        assert!((result.train.f1 - result.held_out.f1).abs() < 0.15, "{result}");
+        assert!(
+            (result.train.f1 - result.held_out.f1).abs() < 0.15,
+            "{result}"
+        );
         assert!(result.to_string().contains("held-out"));
     }
 }

@@ -39,7 +39,8 @@ pub struct MultiTypeResult {
 
 /// Runs the multi-type experiment on a DEALERS dataset.
 pub fn run(ds: &DealersDataset) -> MultiTypeResult {
-    let name_annot = DictionaryAnnotator::new(ds.dictionary.iter(), aw_annotate::MatchMode::Contains);
+    let name_annot =
+        DictionaryAnnotator::new(ds.dictionary.iter(), aw_annotate::MatchMode::Contains);
     let name_labels = |s: &GeneratedSite| name_annot.annotate(&s.site);
     let zip_labels = |s: &GeneratedSite| annotate_zipcodes(&s.site);
 
@@ -74,13 +75,31 @@ pub fn run(ds: &DealersDataset) -> MultiTypeResult {
 
     // Single-type baselines (Figure 3b).
     let single_names = macro_average(&par_map(&test, |gs| {
-        let out = learn(&gs.site, WrapperLanguage::XPath, &name_labels(gs), &name_model, &NtwConfig::default());
-        prf1(&out.best().map(|w| w.extraction.clone()).unwrap_or_default(), &gs.gold_types[0])
+        let out = learn(
+            &gs.site,
+            WrapperLanguage::XPath,
+            &name_labels(gs),
+            &name_model,
+            &NtwConfig::default(),
+        );
+        prf1(
+            &out.best().map(|w| w.extraction.clone()).unwrap_or_default(),
+            &gs.gold_types[0],
+        )
     }));
     let zip_model = learn_model_for_zips(&train, zip_labels);
     let single_zips = macro_average(&par_map(&test, |gs| {
-        let out = learn(&gs.site, WrapperLanguage::XPath, &zip_labels(gs), &zip_model, &NtwConfig::default());
-        prf1(&out.best().map(|w| w.extraction.clone()).unwrap_or_default(), &gs.gold_types[1])
+        let out = learn(
+            &gs.site,
+            WrapperLanguage::XPath,
+            &zip_labels(gs),
+            &zip_model,
+            &NtwConfig::default(),
+        );
+        prf1(
+            &out.best().map(|w| w.extraction.clone()).unwrap_or_default(),
+            &gs.gold_types[1],
+        )
     }));
 
     let collect = |method, scores: Vec<(PrF1, PrF1, PrF1)>| MultiTypeOutcomeRow {
@@ -90,7 +109,10 @@ pub fn run(ds: &DealersDataset) -> MultiTypeResult {
         zips: macro_average(&scores.iter().map(|s| s.2).collect::<Vec<_>>()),
     };
     MultiTypeResult {
-        rows: vec![collect(Method::Naive, naive_scores), collect(Method::Ntw, ntw_scores)],
+        rows: vec![
+            collect(Method::Naive, naive_scores),
+            collect(Method::Ntw, ntw_scores),
+        ],
         single_names,
         single_zips,
     }
@@ -110,7 +132,10 @@ where
         }
     }
     let publication = if features.is_empty() {
-        PublicationModel::learn(&[ListFeatures { schema_size: 3.0, alignment: 0.0 }])
+        PublicationModel::learn(&[ListFeatures {
+            schema_size: 3.0,
+            alignment: 0.0,
+        }])
     } else {
         PublicationModel::learn(&features)
     };
@@ -175,8 +200,16 @@ impl std::fmt::Display for MultiTypeResult {
         writeln!(f, "\nMulti-type vs single-type per-field F1 (Figure 3b)")?;
         writeln!(f, "{:>8} {:>8} {:>8}", "field", "MULTI", "SINGLE")?;
         let multi = &self.rows[1];
-        writeln!(f, "{:>8} {:>8.3} {:>8.3}", "Name", multi.names.f1, self.single_names.f1)?;
-        writeln!(f, "{:>8} {:>8.3} {:>8.3}", "Zipcode", multi.zips.f1, self.single_zips.f1)?;
+        writeln!(
+            f,
+            "{:>8} {:>8.3} {:>8.3}",
+            "Name", multi.names.f1, self.single_names.f1
+        )?;
+        writeln!(
+            f,
+            "{:>8} {:>8.3} {:>8.3}",
+            "Zipcode", multi.zips.f1, self.single_zips.f1
+        )?;
         Ok(())
     }
 }

@@ -55,15 +55,21 @@ pub fn run(ds: &DiscDataset) -> SingleEntityResult {
             all_correct,
         }
     });
-    let success =
-        rows.iter().filter(|r| r.all_correct).count() as f64 / rows.len().max(1) as f64;
-    SingleEntityResult { rows, success_rate: success }
+    let success = rows.iter().filter(|r| r.all_correct).count() as f64 / rows.len().max(1) as f64;
+    SingleEntityResult {
+        rows,
+        success_rate: success,
+    }
 }
 
 impl std::fmt::Display for SingleEntityResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Single-entity extraction (album titles) on DISC")?;
-        writeln!(f, "{:>6} {:>8} {:>6} {:>9}", "site", "labels", "ties", "correct")?;
+        writeln!(
+            f,
+            "{:>6} {:>8} {:>6} {:>9}",
+            "site", "labels", "ties", "correct"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

@@ -45,8 +45,10 @@ impl Table1Result {
 pub fn run(sites: &[GeneratedSite], seed: u64) -> Table1Result {
     // Global gold/non-gold balance determines (p1, p2) per target.
     let gold_n: usize = sites.iter().map(|s| s.gold().len()).sum();
-    let non_gold_n: usize =
-        sites.iter().map(|s| s.site.text_nodes().len() - s.gold().len()).sum();
+    let non_gold_n: usize = sites
+        .iter()
+        .map(|s| s.site.text_nodes().len() - s.gold().len())
+        .sum();
 
     let grid: Vec<(f64, f64)> = PRECISIONS
         .iter()
@@ -61,19 +63,31 @@ pub fn run(sites: &[GeneratedSite], seed: u64) -> Table1Result {
             non_gold_n / sites.len().max(1),
             seed ^ ((p * 100.0) as u64) << 8 ^ (r * 100.0) as u64,
         );
-        let labels_of =
-            |s: &GeneratedSite| annotator.annotate(&s.site, s.gold());
+        let labels_of = |s: &GeneratedSite| annotator.annotate(&s.site, s.gold());
         let (train, test) = split_half(sites);
         let model = learn_model(&train, labels_of);
-        let outcome = evaluate(&test, labels_of, WrapperLanguage::XPath, Method::Ntw, &model);
-        GridCell { p, r, f1: outcome.mean.f1 }
+        let outcome = evaluate(
+            &test,
+            labels_of,
+            WrapperLanguage::XPath,
+            Method::Ntw,
+            &model,
+        );
+        GridCell {
+            p,
+            r,
+            f1: outcome.mean.f1,
+        }
     });
     Table1Result { cells }
 }
 
 impl std::fmt::Display for Table1Result {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Accuracy of NTW as a function of annotator (rows: p, cols: r)")?;
+        writeln!(
+            f,
+            "Accuracy of NTW as a function of annotator (rows: p, cols: r)"
+        )?;
         write!(f, "{:>6}", "p\\r")?;
         for r in RECALLS {
             write!(f, " {r:>6.2}")?;

@@ -46,7 +46,12 @@ where
         let bu = bottom_up(&ind, &labels);
         let bottom_up_secs = t1.elapsed().as_secs_f64();
         debug_assert_eq!(td.extraction_set(), bu.extraction_set());
-        Some(TimingRow { site: gs.id, labels: labels.len(), top_down_secs, bottom_up_secs })
+        Some(TimingRow {
+            site: gs.id,
+            labels: labels.len(),
+            top_down_secs,
+            bottom_up_secs,
+        })
     })
     .into_iter()
     .flatten()
@@ -57,8 +62,15 @@ where
 
 impl std::fmt::Display for TimingResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Enumeration running time for XPATH (seconds per website)")?;
-        writeln!(f, "{:>6} {:>5} {:>12} {:>12}", "site", "|L|", "TopDown", "BottomUp")?;
+        writeln!(
+            f,
+            "Enumeration running time for XPATH (seconds per website)"
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>5} {:>12} {:>12}",
+            "site", "|L|", "TopDown", "BottomUp"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -72,7 +84,11 @@ impl std::fmt::Display for TimingResult {
             "median: TopDown={:.6}s BottomUp={:.6}s (ratio {:.1}x)",
             med(self.rows.iter().map(|r| r.top_down_secs).collect()),
             med(self.rows.iter().map(|r| r.bottom_up_secs).collect()),
-            med(self.rows.iter().map(|r| r.bottom_up_secs / r.top_down_secs.max(1e-9)).collect()),
+            med(self
+                .rows
+                .iter()
+                .map(|r| r.bottom_up_secs / r.top_down_secs.max(1e-9))
+                .collect()),
         )
     }
 }

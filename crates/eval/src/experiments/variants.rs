@@ -43,7 +43,11 @@ where
 
 impl std::fmt::Display for VariantsResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{} ranking variants on {} (accuracy = F1)", self.language, self.dataset)?;
+        writeln!(
+            f,
+            "{} ranking variants on {} (accuracy = F1)",
+            self.language, self.dataset
+        )?;
         writeln!(f, "{:>8} {:>9}", "variant", "Accuracy")?;
         for o in &self.outcomes {
             writeln!(f, "{:>8} {:>9.3}", o.method.name(), o.mean.f1)?;
@@ -62,7 +66,12 @@ mod tests {
     fn full_ranking_at_least_matches_components() {
         let ds = generate_dealers(&DealersConfig::small(16, 53));
         let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
-        let res = run("DEALERS", &ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::XPath);
+        let res = run(
+            "DEALERS",
+            &ds.sites,
+            |s| annot.annotate(&s.site),
+            WrapperLanguage::XPath,
+        );
         assert_eq!(res.outcomes.len(), 3);
         let full = res.outcomes[0].mean.f1;
         let l_only = res.outcomes[1].mean.f1;

@@ -84,7 +84,10 @@ where
     }
     let annotator = estimate_from_counts(gold_n, non_gold_n, tp, fp);
     let publication = if features.is_empty() {
-        PublicationModel::learn(&[ListFeatures { schema_size: 3.0, alignment: 0.0 }])
+        PublicationModel::learn(&[ListFeatures {
+            schema_size: 3.0,
+            alignment: 0.0,
+        }])
     } else {
         PublicationModel::learn(&features)
     };
@@ -192,7 +195,11 @@ mod tests {
         let annotator = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
         let (train, _) = split_half(&ds.sites);
         let model = learn_model(&train, |s| annotator.annotate(&s.site));
-        assert!((0.1..=0.45).contains(&model.annotator.r), "r = {}", model.annotator.r);
+        assert!(
+            (0.1..=0.45).contains(&model.annotator.r),
+            "r = {}",
+            model.annotator.r
+        );
         assert!(model.annotator.p > 0.9, "p = {}", model.annotator.p);
         // Publication model learned real features.
         assert!(model.publication.schema.len() > 5);
@@ -205,8 +212,20 @@ mod tests {
         let labels_of = |s: &GeneratedSite| annotator.annotate(&s.site);
         let (train, test) = split_half(&ds.sites);
         let model = learn_model(&train, labels_of);
-        let ntw = evaluate(&test, labels_of, WrapperLanguage::XPath, Method::Ntw, &model);
-        let naive = evaluate(&test, labels_of, WrapperLanguage::XPath, Method::Naive, &model);
+        let ntw = evaluate(
+            &test,
+            labels_of,
+            WrapperLanguage::XPath,
+            Method::Ntw,
+            &model,
+        );
+        let naive = evaluate(
+            &test,
+            labels_of,
+            WrapperLanguage::XPath,
+            Method::Naive,
+            &model,
+        );
         assert!(
             ntw.mean.f1 > naive.mean.f1,
             "NTW {:?} vs NAIVE {:?}",

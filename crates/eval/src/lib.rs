@@ -9,8 +9,8 @@
 pub mod experiments;
 pub mod harness;
 pub mod metrics;
-pub mod report;
 pub mod parallel;
+pub mod report;
 
 pub use harness::{evaluate, learn_annotator, learn_model, split_half, EvalOutcome, Method};
 pub use metrics::{macro_average, prf1, PrF1};

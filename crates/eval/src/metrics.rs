@@ -16,10 +16,18 @@ pub struct PrF1 {
 
 impl PrF1 {
     /// The perfect score.
-    pub const PERFECT: PrF1 = PrF1 { precision: 1.0, recall: 1.0, f1: 1.0 };
+    pub const PERFECT: PrF1 = PrF1 {
+        precision: 1.0,
+        recall: 1.0,
+        f1: 1.0,
+    };
 
     /// The zero score (failed extraction).
-    pub const ZERO: PrF1 = PrF1 { precision: 0.0, recall: 0.0, f1: 0.0 };
+    pub const ZERO: PrF1 = PrF1 {
+        precision: 0.0,
+        recall: 0.0,
+        f1: 0.0,
+    };
 
     /// Builds from raw precision/recall.
     pub fn new(precision: f64, recall: f64) -> Self {
@@ -28,7 +36,11 @@ impl PrF1 {
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        PrF1 { precision, recall, f1 }
+        PrF1 {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -60,7 +72,11 @@ pub fn macro_average(scores: &[PrF1]) -> PrF1 {
     // Report the mean F1 of sites (not F1 of means) — a site that failed
     // outright should drag the aggregate down symmetrically.
     let f1 = scores.iter().map(|s| s.f1).sum::<f64>() / n;
-    PrF1 { precision: p, recall: r, f1 }
+    PrF1 {
+        precision: p,
+        recall: r,
+        f1,
+    }
 }
 
 #[cfg(test)]

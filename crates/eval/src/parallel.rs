@@ -1,8 +1,8 @@
 //! Tiny scoped parallel map used by the harness (330 sites × enumeration
 //! is embarrassingly parallel).
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Applies `f` to every item on all available cores, preserving order.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -24,20 +24,32 @@ where
 
     let next = AtomicUsize::new(0);
     let out: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                out.lock()[i] = Some(r);
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    out.lock().expect("no poisoned worker")[i] = Some(r);
+                })
+            })
+            .collect();
+        // Surface worker panics (scope would re-raise anyway; this keeps
+        // the panic payload of the *first* failing worker).
+        for h in handles {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
         }
-    })
-    .expect("worker panicked");
-    out.into_inner().into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    out.into_inner()
+        .expect("no poisoned worker")
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -55,7 +55,10 @@ impl<A: Eq + Hash + Clone + Ord, V: Eq + Hash + Clone> PostingIndex<A, V> {
                     .push(i as u32);
             }
         }
-        PostingIndex { postings, universe_size: item_features.len() as u32 }
+        PostingIndex {
+            postings,
+            universe_size: item_features.len() as u32,
+        }
     }
 
     /// Items (dense indices) whose features include *all* of `required`.
@@ -107,7 +110,10 @@ mod tests {
     use super::*;
 
     fn fm(pairs: &[(&str, &str)]) -> FeatureMap<String, String> {
-        pairs.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(a, v)| (a.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]

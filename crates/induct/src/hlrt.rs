@@ -15,8 +15,8 @@
 use crate::lr::{LrInductor, LrRule};
 use crate::site::Site;
 use crate::traits::{ItemSet, WrapperInductor};
-use aw_dom::PageNode;
 use aw_align::{common_prefix_len, common_suffix_len};
+use aw_dom::PageNode;
 
 /// An HLRT rule.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -51,7 +51,10 @@ pub struct HlrtInductor<'a> {
 impl<'a> HlrtInductor<'a> {
     /// Creates an HLRT inductor with default caps.
     pub fn new(site: &'a Site) -> Self {
-        HlrtInductor { lr: LrInductor::new(site), region_cap: 96 }
+        HlrtInductor {
+            lr: LrInductor::new(site),
+            region_cap: 96,
+        }
     }
 
     /// The site this inductor operates over.
@@ -110,7 +113,11 @@ impl<'a> HlrtInductor<'a> {
             .first()
             .map(|s| char_tail(s, tlen).to_string())
             .unwrap_or_default();
-        HlrtRule { head, tail, lr: lr_rule }
+        HlrtRule {
+            head,
+            tail,
+            lr: lr_rule,
+        }
     }
 
     /// Applies an HLRT rule to every page.
@@ -267,7 +274,10 @@ mod tests {
         let rule = HlrtRule {
             head: "<table>".into(),
             tail: "</table>".into(),
-            lr: LrRule { left: "<b>".into(), right: "</b>".into() },
+            lr: LrRule {
+                left: "<b>".into(),
+                right: "</b>".into(),
+            },
         };
         let s = rule.to_string();
         assert!(s.contains("h=\"<table>\"") && s.contains("l=\"<b>\""));

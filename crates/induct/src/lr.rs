@@ -19,8 +19,8 @@
 
 use crate::site::Site;
 use crate::traits::{FeatureBased, ItemSet, WrapperInductor};
-use aw_dom::PageNode;
 use aw_align::{common_prefix_len, common_suffix_len};
+use aw_dom::PageNode;
 
 /// Default byte cap on learned delimiter length / feature positions.
 pub const DEFAULT_CONTEXT_CAP: usize = 64;
@@ -104,15 +104,24 @@ impl<'a> LrInductor<'a> {
     /// Learns the LR rule from labels: longest common suffix of left
     /// contexts, longest common prefix of right contexts.
     pub fn learn(&self, labels: &ItemSet<PageNode>) -> LrRule {
-        let lefts: Vec<String> = labels.iter().filter_map(|&l| self.left_context(l)).collect();
-        let rights: Vec<String> = labels.iter().filter_map(|&l| self.right_context(l)).collect();
+        let lefts: Vec<String> = labels
+            .iter()
+            .filter_map(|&l| self.left_context(l))
+            .collect();
+        let rights: Vec<String> = labels
+            .iter()
+            .filter_map(|&l| self.right_context(l))
+            .collect();
         let lsuf = common_suffix_len(&lefts);
         let rpre = common_prefix_len(&rights);
         let left = lefts
             .first()
             .map(|s| s[s.len() - lsuf..].to_string())
             .unwrap_or_default();
-        let right = rights.first().map(|s| s[..rpre].to_string()).unwrap_or_default();
+        let right = rights
+            .first()
+            .map(|s| s[..rpre].to_string())
+            .unwrap_or_default();
         LrRule { left, right }
     }
 
@@ -313,7 +322,10 @@ mod tests {
         // §5: the pair ("<td>", "</td>") fetches all table data items.
         let site = table_site();
         let ind = LrInductor::new(&site);
-        let rule = LrRule { left: "<td>".into(), right: "</td>".into() };
+        let rule = LrRule {
+            left: "<td>".into(),
+            right: "</td>".into(),
+        };
         let out = ind.apply(&rule);
         // Address cells are plain `<td>text</td>` so they match; name
         // cells are `<td><b>..</b></td>` whose minimal spans contain the
@@ -368,7 +380,13 @@ mod tests {
         let ind = LrInductor::new(&site);
         let labels = labels_of(
             &site,
-            &["ALPHA CO", "BETA LLC", "GAMMA INC", "12 Elm St", "9 Oak Ave"],
+            &[
+                "ALPHA CO",
+                "BETA LLC",
+                "GAMMA INC",
+                "12 Elm St",
+                "9 Oak Ave",
+            ],
         );
         assert_eq!(labels.len(), 5);
         let report = check_well_behaved(&ind, &labels);
@@ -411,7 +429,10 @@ mod tests {
 
     #[test]
     fn display_rule() {
-        let rule = LrRule { left: "<b>".into(), right: "</b>".into() };
+        let rule = LrRule {
+            left: "<b>".into(),
+            right: "</b>".into(),
+        };
         assert_eq!(rule.to_string(), "LR(\"<b>\", \"</b>\")");
     }
 }

@@ -200,8 +200,9 @@ mod tests {
     fn example3_feature_view_matches() {
         // φ({n1, n2, n4}) = first column; φ({n1, a4}) = whole table.
         let t = example1_inductor();
-        let col: ItemSet<Cell> =
-            [Cell::new(1, 1), Cell::new(2, 1), Cell::new(4, 1)].into_iter().collect();
+        let col: ItemSet<Cell> = [Cell::new(1, 1), Cell::new(2, 1), Cell::new(4, 1)]
+            .into_iter()
+            .collect();
         assert_eq!(t.extract(&col), t.col(1));
         let span: ItemSet<Cell> = [Cell::new(1, 1), Cell::new(4, 2)].into_iter().collect();
         assert_eq!(t.extract(&span), t.table());

@@ -67,11 +67,7 @@ pub trait FeatureBased: WrapperInductor {
     /// `subdivision(s, a)`: partitions the items of `s` that *have*
     /// attribute `a` into groups with equal value. Items lacking `a` are
     /// simply not covered (§4.2).
-    fn subdivision(
-        &self,
-        s: &ItemSet<Self::Item>,
-        attr: &Self::Attr,
-    ) -> Vec<ItemSet<Self::Item>>;
+    fn subdivision(&self, s: &ItemSet<Self::Item>, attr: &Self::Attr) -> Vec<ItemSet<Self::Item>>;
 }
 
 /// Violations found by [`check_well_behaved`].

@@ -65,7 +65,11 @@ impl<'a> XPathInductor<'a> {
             .map(|&pn| Self::node_features(site, pn))
             .collect();
         let index = PostingIndex::build(&features);
-        XPathInductor { site, features, index }
+        XPathInductor {
+            site,
+            features,
+            index,
+        }
     }
 
     /// The site this inductor operates over.
@@ -75,16 +79,13 @@ impl<'a> XPathInductor<'a> {
 
     fn node_features(site: &Site, pn: PageNode) -> FeatureMap<XAttr, String> {
         let (doc, id) = site.resolve(pn);
+        let idx = doc.index();
         let mut map = FeatureMap::new();
-        if let Some(parent) = doc.parent(id) {
-            let k = doc
-                .children(parent)
-                .iter()
-                .filter(|&&c| doc.is_text(c))
-                .position(|&c| c == id);
-            if let Some(k) = k {
-                map.insert(XAttr::TextIndex, (k + 1).to_string());
-            }
+        // Cached 1-based position among text-node siblings (0 = n/a),
+        // replacing an O(siblings) rescan per labeled node.
+        let k = idx.text_pos(id);
+        if k > 0 {
+            map.insert(XAttr::TextIndex, k.to_string());
         }
         for (i, anc) in doc.ancestors(id).enumerate() {
             let pos = (i + 1) as u16;
@@ -92,7 +93,8 @@ impl<'a> XPathInductor<'a> {
                 break; // reached the document root
             };
             map.insert(XAttr::Tag(pos), el.tag.clone());
-            if let Some(k) = doc.same_tag_index(anc) {
+            let k = idx.same_tag_pos(anc);
+            if k > 0 {
                 map.insert(XAttr::ChildNum(pos), k.to_string());
             }
             for (name, value) in &el.attrs {
@@ -129,7 +131,11 @@ impl<'a> XPathInductor<'a> {
         let mut steps = Vec::new();
         // Outermost ancestor first.
         for pos in (1..=max_pos).rev() {
-            let axis = if pos == max_pos { Axis::Descendant } else { Axis::Child };
+            let axis = if pos == max_pos {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            };
             let tag = req.get(&XAttr::Tag(pos));
             let test = match tag {
                 Some(t) => NodeTest::Tag(t.clone()),
@@ -153,18 +159,30 @@ impl<'a> XPathInductor<'a> {
                     }
                 }
             }
-            steps.push(Step { axis, test, predicates });
+            steps.push(Step {
+                axis,
+                test,
+                predicates,
+            });
         }
         // The final text() step: descendant when no ancestor constraints
         // exist at all (the `//*`-like wrapper extracting every text node).
-        let text_axis = if max_pos == 0 { Axis::Descendant } else { Axis::Child };
+        let text_axis = if max_pos == 0 {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
         let mut text_preds = Vec::new();
         if let Some(k) = req.get(&XAttr::TextIndex) {
             if let Ok(k) = k.parse() {
                 text_preds.push(Predicate::Position(k));
             }
         }
-        steps.push(Step { axis: text_axis, test: NodeTest::Text, predicates: text_preds });
+        steps.push(Step {
+            axis: text_axis,
+            test: NodeTest::Text,
+            predicates: text_preds,
+        });
         XPath::new(steps)
     }
 }
@@ -274,7 +292,11 @@ mod tests {
         let ind = XPathInductor::new(&site);
         let labels = labels_of(
             &site,
-            &["PORTER FURNITURE", "WOODLAND FURNITURE", "NEW ALBANY, MS 38652"],
+            &[
+                "PORTER FURNITURE",
+                "WOODLAND FURNITURE",
+                "NEW ALBANY, MS 38652",
+            ],
         );
         let out = ind.extract(&labels);
         // The <u> constraint is lost: the wrapper now also pulls the
@@ -346,7 +368,13 @@ mod tests {
         let ind = XPathInductor::new(&site);
         let labels = labels_of(
             &site,
-            &["PORTER FURNITURE", "WOODLAND FURNITURE", "201 HWY", "ACME CHAIRS", "contact us"],
+            &[
+                "PORTER FURNITURE",
+                "WOODLAND FURNITURE",
+                "201 HWY",
+                "ACME CHAIRS",
+                "contact us",
+            ],
         );
         // "contact us" occurs on both pages, so 6 labels in total.
         assert_eq!(labels.len(), 6);

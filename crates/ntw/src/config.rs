@@ -62,12 +62,18 @@ impl Default for NtwConfig {
 impl NtwConfig {
     /// Convenience: default config with a specific enumeration.
     pub fn with_enumeration(enumeration: Enumeration) -> Self {
-        NtwConfig { enumeration, ..Default::default() }
+        NtwConfig {
+            enumeration,
+            ..Default::default()
+        }
     }
 
     /// Convenience: default config with a specific ranking mode.
     pub fn with_mode(mode: RankingMode) -> Self {
-        NtwConfig { mode, ..Default::default() }
+        NtwConfig {
+            mode,
+            ..Default::default()
+        }
     }
 }
 

@@ -12,8 +12,7 @@ use crate::config::{Enumeration, NtwConfig, WrapperLanguage};
 use aw_dom::PageNode;
 use aw_enum::{bottom_up, naive, top_down, EnumerationResult};
 use aw_induct::{
-    FeatureBased, HlrtInductor, ItemSet, LrInductor, NodeSet, Site, WrapperInductor,
-    XPathInductor,
+    FeatureBased, HlrtInductor, ItemSet, LrInductor, NodeSet, Site, WrapperInductor, XPathInductor,
 };
 use aw_rank::{RankingModel, WrapperScore};
 
@@ -137,7 +136,12 @@ pub fn naive_wrapper(site: &Site, language: WrapperLanguage, labels: &NodeSet) -
         extraction,
         rule,
         seed: labels.clone(),
-        score: WrapperScore { annotation: 0.0, publication: 0.0, features: None, total: 0.0 },
+        score: WrapperScore {
+            annotation: 0.0,
+            publication: 0.0,
+            features: None,
+            total: 0.0,
+        },
     }
 }
 
@@ -154,7 +158,12 @@ fn rank_space(
         .into_iter()
         .map(|w| {
             let score = model.score(site, labels, &w.extraction);
-            LearnedWrapper { extraction: w.extraction, rule: w.rule, seed: w.seed, score }
+            LearnedWrapper {
+                extraction: w.extraction,
+                rule: w.rule,
+                seed: w.seed,
+                score,
+            }
         })
         .collect();
     ranked.sort_by(|a, b| {
@@ -166,7 +175,11 @@ fn rank_space(
             .then_with(|| a.extraction.len().cmp(&b.extraction.len()))
             .then_with(|| a.rule.cmp(&b.rule))
     });
-    NtwOutcome { ranked, inductor_calls, wrapper_space_size }
+    NtwOutcome {
+        ranked,
+        inductor_calls,
+        wrapper_space_size,
+    }
 }
 
 /// Evenly subsamples an ordered label set down to `cap` elements.
@@ -176,7 +189,9 @@ pub(crate) fn subsample(labels: &NodeSet, cap: usize) -> ItemSet<PageNode> {
     }
     let items: Vec<PageNode> = labels.iter().copied().collect();
     let stride = items.len() as f64 / cap as f64;
-    (0..cap).map(|i| items[(i as f64 * stride) as usize]).collect()
+    (0..cap)
+        .map(|i| items[(i as f64 * stride) as usize])
+        .collect()
 }
 
 #[cfg(test)]
@@ -217,9 +232,18 @@ mod tests {
 
     fn model() -> RankingModel {
         let publication = PublicationModel::learn(&[
-            ListFeatures { schema_size: 4.0, alignment: 0.0 },
-            ListFeatures { schema_size: 4.0, alignment: 1.0 },
-            ListFeatures { schema_size: 3.0, alignment: 0.0 },
+            ListFeatures {
+                schema_size: 4.0,
+                alignment: 0.0,
+            },
+            ListFeatures {
+                schema_size: 4.0,
+                alignment: 1.0,
+            },
+            ListFeatures {
+                schema_size: 3.0,
+                alignment: 0.0,
+            },
         ]);
         RankingModel::new(AnnotatorModel::new(0.93, 0.5), publication)
     }
@@ -237,7 +261,13 @@ mod tests {
     fn ntw_recovers_gold_wrapper_from_noise() {
         let site = dealer_site();
         let labels = noisy_labels(&site);
-        let out = learn(&site, WrapperLanguage::XPath, &labels, &model(), &NtwConfig::default());
+        let out = learn(
+            &site,
+            WrapperLanguage::XPath,
+            &labels,
+            &model(),
+            &NtwConfig::default(),
+        );
         let best = out.best().expect("candidates");
         assert_eq!(best.extraction, gold(&site), "best rule: {}", best.rule);
         assert!(out.wrapper_space_size >= 3);
@@ -273,10 +303,7 @@ mod tests {
             &m,
             &NtwConfig::with_enumeration(Enumeration::BottomUp),
         );
-        assert_eq!(
-            td.best().unwrap().extraction,
-            bu.best().unwrap().extraction
-        );
+        assert_eq!(td.best().unwrap().extraction, bu.best().unwrap().extraction);
         assert!(td.inductor_calls <= bu.inductor_calls);
     }
 
@@ -284,7 +311,13 @@ mod tests {
     fn lr_learner_also_recovers() {
         let site = dealer_site();
         let labels = noisy_labels(&site);
-        let out = learn(&site, WrapperLanguage::Lr, &labels, &model(), &NtwConfig::default());
+        let out = learn(
+            &site,
+            WrapperLanguage::Lr,
+            &labels,
+            &model(),
+            &NtwConfig::default(),
+        );
         let best = out.best().expect("candidates");
         assert_eq!(best.extraction, gold(&site), "best rule: {}", best.rule);
     }
@@ -293,7 +326,13 @@ mod tests {
     fn hlrt_falls_back_to_bottom_up() {
         let site = dealer_site();
         let labels = noisy_labels(&site);
-        let out = learn(&site, WrapperLanguage::Hlrt, &labels, &model(), &NtwConfig::default());
+        let out = learn(
+            &site,
+            WrapperLanguage::Hlrt,
+            &labels,
+            &model(),
+            &NtwConfig::default(),
+        );
         assert!(out.best().is_some());
         assert!(out.inductor_calls > 0);
     }
@@ -305,7 +344,13 @@ mod tests {
         let site = dealer_site();
         let labels = noisy_labels(&site);
         let m = model();
-        let full = learn(&site, WrapperLanguage::XPath, &labels, &m, &NtwConfig::default());
+        let full = learn(
+            &site,
+            WrapperLanguage::XPath,
+            &labels,
+            &m,
+            &NtwConfig::default(),
+        );
         let l_only = learn(
             &site,
             WrapperLanguage::XPath,
@@ -322,7 +367,10 @@ mod tests {
     fn subsample_caps_enumeration_labels() {
         let site = dealer_site();
         let labels = gold(&site); // 8 labels
-        let cfg = NtwConfig { max_enumeration_labels: 3, ..Default::default() };
+        let cfg = NtwConfig {
+            max_enumeration_labels: 3,
+            ..Default::default()
+        };
         let out = learn(&site, WrapperLanguage::XPath, &labels, &model(), &cfg);
         // Still finds the gold wrapper from 3 seeds.
         assert_eq!(out.best().unwrap().extraction, gold(&site));

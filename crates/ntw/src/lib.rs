@@ -52,14 +52,12 @@ pub mod single_entity;
 
 pub use config::{Enumeration, NtwConfig, WrapperLanguage};
 pub use learner::{
-    learn, learn_with_blackbox, learn_with_feature_based, naive_wrapper, LearnedWrapper,
-    NtwOutcome,
+    learn, learn_with_blackbox, learn_with_feature_based, naive_wrapper, LearnedWrapper, NtwOutcome,
 };
 pub use multi_type::{
-    assemble_records, learn_multi_type, MultiTypeModel, MultiTypeOutcome, MultiTypeWrapper,
-    Record,
+    assemble_records, learn_multi_type, MultiTypeModel, MultiTypeOutcome, MultiTypeWrapper, Record,
 };
-pub use rule::LearnedRule;
+pub use rule::{LearnedRule, LearnedRuleSet};
 pub use single_entity::{
     learn_single_entity, learn_single_entity_with, SingleEntityOutcome, SingleEntityWrapper,
 };

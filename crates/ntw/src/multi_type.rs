@@ -116,15 +116,13 @@ pub fn learn_multi_type(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.rules.cmp(&b.rules))
     });
-    MultiTypeOutcome { ranked, inductor_calls: calls }
+    MultiTypeOutcome {
+        ranked,
+        inductor_calls: calls,
+    }
 }
 
-fn score_pair(
-    site: &Site,
-    labels: &[NodeSet; 2],
-    x: [&NodeSet; 2],
-    model: &MultiTypeModel,
-) -> f64 {
+fn score_pair(site: &Site, labels: &[NodeSet; 2], x: [&NodeSet; 2], model: &MultiTypeModel) -> f64 {
     // Annotation terms multiply (sum in log space).
     let mut total = 0.0;
     for t in 0..2 {
@@ -171,7 +169,10 @@ pub fn assemble_records(site: &Site, x0: &NodeSet, x1: &NodeSet) -> Vec<Record> 
                     if let Some(r) = current.take() {
                         page_records.push(r);
                     }
-                    current = Some(Record { primary: node, secondary: None });
+                    current = Some(Record {
+                        primary: node,
+                        secondary: None,
+                    });
                 }
                 _ => match &mut current {
                     Some(r) if r.secondary.is_none() => r.secondary = Some(node),
@@ -207,7 +208,12 @@ mod tests {
             format!("<tr><td><b>{n}</b></td><td>{i} Oak</td><td>CITY, ST 9400{i}</td><td>555-{i}</td></tr>")
         };
         Site::from_html(&[
-            format!("<table>{}{}{}</table>", rec("ALPHA", 1), rec("BETA", 2), rec("GAMMA", 3)),
+            format!(
+                "<table>{}{}{}</table>",
+                rec("ALPHA", 1),
+                rec("BETA", 2),
+                rec("GAMMA", 3)
+            ),
             format!("<table>{}{}</table>", rec("DELTA", 4), rec("EPSILON", 5)),
         ])
     }
@@ -233,10 +239,19 @@ mod tests {
 
     fn model() -> MultiTypeModel {
         MultiTypeModel {
-            annotators: vec![AnnotatorModel::new(0.93, 0.5), AnnotatorModel::new(0.9, 0.8)],
+            annotators: vec![
+                AnnotatorModel::new(0.93, 0.5),
+                AnnotatorModel::new(0.9, 0.8),
+            ],
             publication: PublicationModel::learn(&[
-                ListFeatures { schema_size: 4.0, alignment: 0.0 },
-                ListFeatures { schema_size: 4.0, alignment: 1.0 },
+                ListFeatures {
+                    schema_size: 4.0,
+                    alignment: 0.0,
+                },
+                ListFeatures {
+                    schema_size: 4.0,
+                    alignment: 1.0,
+                },
             ]),
             pin_indel_cost: 3,
         }
@@ -249,7 +264,12 @@ mod tests {
         // Noisy: drop one name, add a street as fake name; zips clean.
         let mut noisy_names: NodeSet = names.iter().skip(1).copied().collect();
         noisy_names.extend(s.find_text("1 Oak"));
-        let out = learn_multi_type(&s, &[noisy_names, zips.clone()], &model(), &NtwConfig::default());
+        let out = learn_multi_type(
+            &s,
+            &[noisy_names, zips.clone()],
+            &model(),
+            &NtwConfig::default(),
+        );
         let best = out.best().expect("candidates");
         assert_eq!(best.extractions[0], names, "names: {:?}", best.rules);
         assert_eq!(best.extractions[1], zips, "zips: {:?}", best.rules);
@@ -294,10 +314,8 @@ mod tests {
     #[test]
     fn missing_secondary_is_tolerated() {
         // One record has no zip line: assembly still succeeds with None.
-        let s = Site::from_html(&[
-            "<tr><td><b>ALPHA</b></td><td>CITY, ST 94001</td></tr>\
-             <tr><td><b>BETA</b></td></tr>",
-        ]);
+        let s = Site::from_html(&["<tr><td><b>ALPHA</b></td><td>CITY, ST 94001</td></tr>\
+             <tr><td><b>BETA</b></td></tr>"]);
         let [names, zips] = gold(&s);
         let records = assemble_records(&s, &names, &zips);
         assert_eq!(records.len(), 2);

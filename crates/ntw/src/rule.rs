@@ -31,9 +31,7 @@ impl LearnedRule {
     /// the top-ranked wrapper.
     pub fn learn(site: &Site, language: WrapperLanguage, seed: &NodeSet) -> LearnedRule {
         match language {
-            WrapperLanguage::XPath => {
-                LearnedRule::XPath(XPathInductor::new(site).xpath(seed))
-            }
+            WrapperLanguage::XPath => LearnedRule::XPath(XPathInductor::new(site).xpath(seed)),
             WrapperLanguage::Lr => LearnedRule::Lr(LrInductor::new(site).learn(seed)),
             WrapperLanguage::Hlrt => LearnedRule::Hlrt(HlrtInductor::new(site).learn(seed)),
         }
@@ -68,7 +66,9 @@ impl LearnedRule {
                 } else {
                     html.find(&rule.head).map(|i| i + rule.head.len())
                 };
-                let Some(start) = start else { return Vec::new() };
+                let Some(start) = start else {
+                    return Vec::new();
+                };
                 let end = if rule.tail.is_empty() {
                     Some(html.len())
                 } else {
@@ -111,14 +111,79 @@ impl std::fmt::Display for LearnedRule {
     }
 }
 
+/// A set of portable rules applied together.
+///
+/// XPath members are compiled once into a shared-prefix
+/// [`aw_xpath::BatchEvaluator`], so applying the set to each freshly
+/// crawled page evaluates every common step prefix once per page instead
+/// of once per rule. LR/HLRT members are applied individually (their
+/// scan shares the page serialization, computed once per call).
+#[derive(Debug)]
+pub struct LearnedRuleSet {
+    rules: Vec<LearnedRule>,
+    batch: aw_xpath::BatchEvaluator,
+    /// Rule index → slot in the batch evaluator (xpath rules only).
+    batch_slot: Vec<Option<usize>>,
+}
+
+impl LearnedRuleSet {
+    /// Builds the set, compiling the xpath members.
+    pub fn new(rules: Vec<LearnedRule>) -> LearnedRuleSet {
+        let mut xpaths: Vec<&XPath> = Vec::new();
+        let mut batch_slot = Vec::with_capacity(rules.len());
+        for rule in &rules {
+            batch_slot.push(match rule {
+                LearnedRule::XPath(xp) => {
+                    xpaths.push(xp);
+                    Some(xpaths.len() - 1)
+                }
+                _ => None,
+            });
+        }
+        let batch = aw_xpath::BatchEvaluator::from_xpaths(xpaths);
+        LearnedRuleSet {
+            rules,
+            batch,
+            batch_slot,
+        }
+    }
+
+    /// The rules, in construction order.
+    pub fn rules(&self) -> &[LearnedRule] {
+        &self.rules
+    }
+
+    /// Applies every rule to a page; results align with [`Self::rules`].
+    /// Each list equals what [`LearnedRule::apply`] returns for that rule.
+    pub fn apply(&self, doc: &Document) -> Vec<Vec<NodeId>> {
+        let mut xpath_results = self.batch.evaluate(doc);
+        self.rules
+            .iter()
+            .zip(&self.batch_slot)
+            .map(|(rule, slot)| match slot {
+                Some(i) => std::mem::take(&mut xpath_results[*i]),
+                None => rule.apply(doc),
+            })
+            .collect()
+    }
+}
+
 impl NtwOutcome {
     /// The portable rule of the top-ranked wrapper.
-    pub fn best_rule(
-        &self,
-        site: &Site,
-        language: WrapperLanguage,
-    ) -> Option<LearnedRule> {
-        self.best().map(|w| LearnedRule::learn(site, language, &w.seed))
+    pub fn best_rule(&self, site: &Site, language: WrapperLanguage) -> Option<LearnedRule> {
+        self.best()
+            .map(|w| LearnedRule::learn(site, language, &w.seed))
+    }
+
+    /// Portable rules for **all** ranked wrappers, ready for batched
+    /// application to unseen pages (best wrapper first).
+    pub fn rule_set(&self, site: &Site, language: WrapperLanguage) -> LearnedRuleSet {
+        LearnedRuleSet::new(
+            self.ranked
+                .iter()
+                .map(|w| LearnedRule::learn(site, language, &w.seed))
+                .collect(),
+        )
     }
 }
 
@@ -146,8 +211,14 @@ mod tests {
         RankingModel::new(
             AnnotatorModel::new(0.95, 0.5),
             PublicationModel::learn(&[
-                ListFeatures { schema_size: 2.0, alignment: 0.0 },
-                ListFeatures { schema_size: 2.0, alignment: 1.0 },
+                ListFeatures {
+                    schema_size: 2.0,
+                    alignment: 0.0,
+                },
+                ListFeatures {
+                    schema_size: 2.0,
+                    alignment: 1.0,
+                },
             ]),
         )
     }
@@ -162,7 +233,13 @@ mod tests {
     #[test]
     fn xpath_rule_applies_to_unseen_page() {
         let site = training_site();
-        let out = learn(&site, WrapperLanguage::XPath, &labels(&site), &model(), &NtwConfig::default());
+        let out = learn(
+            &site,
+            WrapperLanguage::XPath,
+            &labels(&site),
+            &model(),
+            &NtwConfig::default(),
+        );
         let rule = out.best_rule(&site, WrapperLanguage::XPath).unwrap();
 
         // A freshly "crawled" page from the same script.
@@ -180,12 +257,22 @@ mod tests {
     #[test]
     fn lr_rule_applies_to_unseen_page() {
         let site = training_site();
-        let out = learn(&site, WrapperLanguage::Lr, &labels(&site), &model(), &NtwConfig::default());
+        let out = learn(
+            &site,
+            WrapperLanguage::Lr,
+            &labels(&site),
+            &model(),
+            &NtwConfig::default(),
+        );
         let rule = out.best_rule(&site, WrapperLanguage::Lr).unwrap();
         let new_page = aw_dom::parse(
             "<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr></table>",
         );
-        assert_eq!(rule.extract_values(&new_page), vec!["OMEGA GROUP"], "rule: {rule}");
+        assert_eq!(
+            rule.extract_values(&new_page),
+            vec!["OMEGA GROUP"],
+            "rule: {rule}"
+        );
     }
 
     #[test]
@@ -199,7 +286,10 @@ mod tests {
         // HLRT's head was learned from pages whose prefix matches the new
         // page (same script), so the region resolves.
         let values = rule.extract_values(&new_page);
-        assert!(values.contains(&"OMEGA GROUP".to_string()), "rule: {rule} → {values:?}");
+        assert!(
+            values.contains(&"OMEGA GROUP".to_string()),
+            "rule: {rule} → {values:?}"
+        );
     }
 
     #[test]
@@ -207,7 +297,13 @@ mod tests {
         // Applying the portable rule back to the training pages must
         // reproduce the wrapper's own extraction.
         let site = training_site();
-        let out = learn(&site, WrapperLanguage::XPath, &labels(&site), &model(), &NtwConfig::default());
+        let out = learn(
+            &site,
+            WrapperLanguage::XPath,
+            &labels(&site),
+            &model(),
+            &NtwConfig::default(),
+        );
         let best = out.best().unwrap();
         let rule = out.best_rule(&site, WrapperLanguage::XPath).unwrap();
         let mut replayed = NodeSet::new();
@@ -219,6 +315,57 @@ mod tests {
             );
         }
         assert_eq!(replayed, best.extraction);
+    }
+
+    #[test]
+    fn rule_set_batches_xpaths_and_matches_individual_apply() {
+        let site = training_site();
+        let seed = labels(&site);
+        let out = learn(
+            &site,
+            WrapperLanguage::XPath,
+            &seed,
+            &model(),
+            &NtwConfig::default(),
+        );
+        let set = out.rule_set(&site, WrapperLanguage::XPath);
+        assert_eq!(set.rules().len(), out.ranked.len());
+        let new_page = aw_dom::parse(
+            "<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr>\
+             <tr><td><b>SIGMA BROS</b></td><td>7 Oak</td></tr></table>",
+        );
+        let batched = set.apply(&new_page);
+        assert_eq!(batched.len(), set.rules().len());
+        for (rule, got) in set.rules().iter().zip(&batched) {
+            assert_eq!(
+                got,
+                &rule.apply(&new_page),
+                "batched apply differs for {rule}"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_set_mixes_languages() {
+        let site = training_site();
+        let seed = labels(&site);
+        let set = LearnedRuleSet::new(vec![
+            LearnedRule::learn(&site, WrapperLanguage::XPath, &seed),
+            LearnedRule::learn(&site, WrapperLanguage::Lr, &seed),
+            LearnedRule::learn(&site, WrapperLanguage::Hlrt, &seed),
+        ]);
+        let page = aw_dom::parse(
+            "<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr></table>",
+        );
+        let results = set.apply(&page);
+        assert_eq!(results.len(), 3);
+        for (rule, got) in set.rules().iter().zip(&results) {
+            assert_eq!(
+                got,
+                &rule.apply(&page),
+                "mixed-language apply differs for {rule}"
+            );
+        }
     }
 
     #[test]

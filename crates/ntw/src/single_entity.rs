@@ -70,7 +70,11 @@ where
             extraction: w.extraction,
         })
         .collect();
-    candidates.sort_by(|a, b| b.coverage.cmp(&a.coverage).then_with(|| a.rule.cmp(&b.rule)));
+    candidates.sort_by(|a, b| {
+        b.coverage
+            .cmp(&a.coverage)
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
 
     let top = candidates.first().map_or(0, |c| c.coverage);
     let best = candidates
@@ -78,7 +82,11 @@ where
         .filter(|c| c.coverage == top && top > 0)
         .cloned()
         .collect();
-    SingleEntityOutcome { best, candidates, inductor_calls }
+    SingleEntityOutcome {
+        best,
+        candidates,
+        inductor_calls,
+    }
 }
 
 fn at_most_one_per_page(site: &Site, x: &NodeSet) -> bool {
@@ -102,9 +110,8 @@ mod tests {
     /// (noise locations, one node each but structurally inconsistent).
     fn disc_site() -> Site {
         let page = |title: &str, tracks: &[&str]| {
-            let mut s = format!(
-                "<div class='crumb'><span>{title}</span></div><h1>{title}</h1><ol>"
-            );
+            let mut s =
+                format!("<div class='crumb'><span>{title}</span></div><h1>{title}</h1><ol>");
             for t in tracks {
                 s.push_str(&format!("<li>{t}</li>"));
             }
@@ -113,7 +120,10 @@ mod tests {
         };
         Site::from_html(&[
             page("Abbey Road", &["Abbey Road", "Golden River", "Blue Sky"]),
-            page("Wild Horses", &["Silent Road", "Wild Horses", "Crimson Sun"]),
+            page(
+                "Wild Horses",
+                &["Silent Road", "Wild Horses", "Crimson Sun"],
+            ),
             page("Night Drive", &["Night Drive", "Cold Star", "Last Call"]),
         ])
     }
@@ -152,8 +162,11 @@ mod tests {
             }
         }
         // The paper observed multiple tied correct wrappers.
-        assert!(out.best.len() >= 2, "expected crumb + h1 ties: {:?}",
-            out.best.iter().map(|w| &w.rule).collect::<Vec<_>>());
+        assert!(
+            out.best.len() >= 2,
+            "expected crumb + h1 ties: {:?}",
+            out.best.iter().map(|w| &w.rule).collect::<Vec<_>>()
+        );
     }
 
     #[test]

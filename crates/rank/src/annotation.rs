@@ -25,7 +25,10 @@ impl AnnotatorModel {
     /// Creates a model, clamping both parameters into `(0.005, 0.995)` so
     /// the log-odds stay finite.
     pub fn new(p: f64, r: f64) -> Self {
-        AnnotatorModel { p: clamp(p), r: clamp(r) }
+        AnnotatorModel {
+            p: clamp(p),
+            r: clamp(r),
+        }
     }
 
     /// `ln(r / (1−p))`: the log-reward for each label the wrapper covers.
@@ -63,8 +66,16 @@ fn clamp(x: f64) -> f64 {
 /// nodes. (How the harness learns annotator parameters from the training
 /// half of a dataset, §7.)
 pub fn estimate_from_counts(gold: usize, non_gold: usize, tp: usize, fp: usize) -> AnnotatorModel {
-    let r = if gold == 0 { 0.5 } else { tp as f64 / gold as f64 };
-    let p = if non_gold == 0 { 0.995 } else { 1.0 - fp as f64 / non_gold as f64 };
+    let r = if gold == 0 {
+        0.5
+    } else {
+        tp as f64 / gold as f64
+    };
+    let p = if non_gold == 0 {
+        0.995
+    } else {
+        1.0 - fp as f64 / non_gold as f64
+    };
     AnnotatorModel::new(p, r)
 }
 

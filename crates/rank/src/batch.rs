@@ -1,0 +1,171 @@
+//! Batch scoring of xpath candidate sets.
+//!
+//! Ranking a wrapper space means computing each candidate's extraction
+//! over every page of the site, then scoring it (Equation 1). When the
+//! candidates are xpaths of the fragment — the `W(L)` that `aw-enum`
+//! produces for the XPATH language — their extractions share step
+//! prefixes, so this module evaluates the whole set through one
+//! [`BatchEvaluator`] per site instead of `|W|` independent evaluations
+//! per page.
+
+use crate::scorer::{RankingModel, WrapperScore};
+use aw_dom::PageNode;
+use aw_induct::{NodeSet, Site};
+use aw_xpath::{BatchEvaluator, XPath};
+
+/// The extraction of every candidate xpath over every page of `site`.
+///
+/// Result is aligned with `paths`; each `NodeSet` is the union over
+/// pages, in the same form the inductors produce (so scores computed on
+/// it are directly comparable to inductor-produced wrappers).
+pub fn batch_extractions(site: &Site, paths: &[XPath]) -> Vec<NodeSet> {
+    let batch = BatchEvaluator::from_xpaths(paths.iter());
+    let mut out: Vec<NodeSet> = vec![NodeSet::new(); paths.len()];
+    for p in 0..site.page_count() as u32 {
+        for (i, nodes) in batch.evaluate(site.page(p)).into_iter().enumerate() {
+            out[i].extend(nodes.into_iter().map(|id| PageNode::new(p, id)));
+        }
+    }
+    out
+}
+
+/// Scores every candidate xpath of a wrapper space in one pass:
+/// shared-prefix batch evaluation over the site's pages, then Equation 1
+/// per candidate. Returns `(extraction, score)` aligned with `paths`.
+pub fn score_xpath_space(
+    model: &RankingModel,
+    site: &Site,
+    labels: &NodeSet,
+    paths: &[XPath],
+) -> Vec<(NodeSet, WrapperScore)> {
+    batch_extractions(site, paths)
+        .into_iter()
+        .map(|x| {
+            let score = model.score(site, labels, &x);
+            (x, score)
+        })
+        .collect()
+}
+
+/// Ranks candidate xpaths best-first (deterministic tie-break on input
+/// order), analogous to [`RankingModel::rank`] but driven by the batch
+/// engine.
+pub fn rank_xpath_space(
+    model: &RankingModel,
+    site: &Site,
+    labels: &NodeSet,
+    paths: &[XPath],
+) -> Vec<(usize, NodeSet, WrapperScore)> {
+    let mut scored: Vec<(usize, NodeSet, WrapperScore)> =
+        score_xpath_space(model, site, labels, paths)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, s))| (i, x, s))
+            .collect();
+    scored.sort_by(|a, b| {
+        b.2.total
+            .partial_cmp(&a.2.total)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::AnnotatorModel;
+    use crate::publication::{ListFeatures, PublicationModel};
+    use aw_xpath::parse_xpath;
+
+    fn dealer_site() -> Site {
+        Site::from_html(&[
+            "<div class='list'>\
+               <tr><td><u>ALPHA FURNITURE</u><br>1 Elm St.<br>CITY, ST 38701</td></tr>\
+               <tr><td><u>BETA HOME</u><br>2 Oak St.<br>TOWN, ST 38702</td></tr>\
+             </div><div class='footer'>contact us</div>",
+            "<div class='list'>\
+               <tr><td><u>GAMMA DECOR</u><br>3 Fir St.<br>VILLE, ST 38703</td></tr>\
+             </div><div class='footer'>contact us</div>",
+        ])
+    }
+
+    fn model() -> RankingModel {
+        RankingModel::new(
+            AnnotatorModel::new(0.93, 0.5),
+            PublicationModel::learn(&[
+                ListFeatures {
+                    schema_size: 4.0,
+                    alignment: 0.0,
+                },
+                ListFeatures {
+                    schema_size: 4.0,
+                    alignment: 1.0,
+                },
+            ]),
+        )
+    }
+
+    fn space() -> Vec<XPath> {
+        [
+            "//div[@class='list']/tr/td/u/text()",
+            "//div[@class='list']/tr/td//text()",
+            "//div//text()",
+            "//text()",
+        ]
+        .iter()
+        .map(|s| parse_xpath(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn batch_extractions_match_per_path_evaluation() {
+        let site = dealer_site();
+        let paths = space();
+        let batched = batch_extractions(&site, &paths);
+        for (path, got) in paths.iter().zip(&batched) {
+            let solo: NodeSet = (0..site.page_count() as u32)
+                .flat_map(|p| {
+                    aw_xpath::reference::evaluate(path, site.page(p))
+                        .into_iter()
+                        .map(move |id| PageNode::new(p, id))
+                })
+                .collect();
+            assert_eq!(got, &solo, "mismatch for {path}");
+        }
+    }
+
+    #[test]
+    fn batch_ranking_agrees_with_direct_scorer() {
+        let site = dealer_site();
+        let paths = space();
+        // Labels: the three names (clean annotator).
+        let labels: NodeSet = ["ALPHA FURNITURE", "BETA HOME", "GAMMA DECOR"]
+            .iter()
+            .flat_map(|t| site.find_text(t))
+            .collect();
+        let m = model();
+        // Scores are identical to the per-candidate scorer path...
+        let scored = score_xpath_space(&m, &site, &labels, &paths);
+        for (x, s) in &scored {
+            let direct = m.score(&site, &labels, x);
+            assert!((s.total - direct.total).abs() < 1e-12);
+        }
+        // ...and the batch ranking equals `RankingModel::rank` over the
+        // same extractions.
+        let extractions: Vec<NodeSet> = scored.iter().map(|(x, _)| x.clone()).collect();
+        let direct_rank = m.rank(&site, &labels, extractions.iter());
+        let batch_rank = rank_xpath_space(&m, &site, &labels, &paths);
+        assert_eq!(
+            direct_rank.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            batch_rank.iter().map(|(i, _, _)| *i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_space_is_fine() {
+        let site = dealer_site();
+        assert!(batch_extractions(&site, &[]).is_empty());
+        assert!(rank_xpath_space(&model(), &site, &NodeSet::new(), &[]).is_empty());
+    }
+}

@@ -12,11 +12,15 @@
 //!   variants of §7.3.
 
 pub mod annotation;
+pub mod batch;
 pub mod publication;
 pub mod scorer;
 pub mod segmentation;
 
 pub use annotation::{estimate_from_counts, AnnotatorModel};
-pub use publication::{list_features, list_features_pinned, KernelOverride, ListFeatures, PublicationModel};
+pub use batch::{batch_extractions, rank_xpath_space, score_xpath_space};
+pub use publication::{
+    list_features, list_features_pinned, KernelOverride, ListFeatures, PublicationModel,
+};
 pub use scorer::{RankingMode, RankingModel, WrapperScore};
 pub use segmentation::{segment_site, segment_site_typed, Segment, TEXT_TOKEN};

@@ -122,7 +122,10 @@ impl PublicationModel {
     /// small sample of websites, look at the list of segments on each
     /// website and learn the distribution").
     pub fn learn(samples: &[ListFeatures]) -> Self {
-        assert!(!samples.is_empty(), "publication model needs training features");
+        assert!(
+            !samples.is_empty(),
+            "publication model needs training features"
+        );
         let schema: Vec<f64> = samples.iter().map(|f| f.schema_size).collect();
         let align: Vec<f64> = samples.iter().map(|f| f.alignment).collect();
         PublicationModel {
@@ -159,13 +162,11 @@ mod tests {
     use aw_induct::{NodeSet, Site};
 
     fn flat_site() -> Site {
-        Site::from_html(&[
-            "<ul>\
+        Site::from_html(&["<ul>\
              <li>addr1</li><li>NAME1</li><li>zip1</li><li>ph1</li>\
              <li>addr2</li><li>NAME2</li><li>zip2</li><li>ph2</li>\
              <li>addr3</li><li>NAME3</li><li>zip3</li><li>ph3</li>\
-             </ul>",
-        ])
+             </ul>"])
     }
 
     fn x_of(site: &Site, texts: &[&str]) -> NodeSet {
@@ -221,13 +222,26 @@ mod tests {
         // the schema-1 list and an irregular list.
         let site = flat_site();
         let train = vec![
-            ListFeatures { schema_size: 4.0, alignment: 0.0 },
-            ListFeatures { schema_size: 4.0, alignment: 1.0 },
-            ListFeatures { schema_size: 3.0, alignment: 0.0 },
+            ListFeatures {
+                schema_size: 4.0,
+                alignment: 0.0,
+            },
+            ListFeatures {
+                schema_size: 4.0,
+                alignment: 1.0,
+            },
+            ListFeatures {
+                schema_size: 3.0,
+                alignment: 0.0,
+            },
         ];
         let model = PublicationModel::learn(&train);
 
-        let good = list_features(&segment_site(&site, &x_of(&site, &["NAME1", "NAME2", "NAME3"]))).unwrap();
+        let good = list_features(&segment_site(
+            &site,
+            &x_of(&site, &["NAME1", "NAME2", "NAME3"]),
+        ))
+        .unwrap();
         let all: NodeSet = site.text_nodes().iter().copied().collect();
         let schema1 = list_features(&segment_site(&site, &all)).unwrap();
         let irregular = list_features(&segment_site(

@@ -56,7 +56,11 @@ pub struct WrapperScore {
 impl RankingModel {
     /// Creates a full-mode model.
     pub fn new(annotator: AnnotatorModel, publication: PublicationModel) -> Self {
-        RankingModel { annotator, publication, mode: RankingMode::Full }
+        RankingModel {
+            annotator,
+            publication,
+            mode: RankingMode::Full,
+        }
     }
 
     /// Returns a copy with a different mode.
@@ -86,7 +90,12 @@ impl RankingModel {
             RankingMode::AnnotationOnly => annotation,
             RankingMode::PublicationOnly => publication,
         };
-        WrapperScore { annotation, publication, features, total }
+        WrapperScore {
+            annotation,
+            publication,
+            features,
+            total,
+        }
     }
 
     /// Scores every candidate and returns indices sorted best-first
@@ -118,13 +127,11 @@ mod tests {
     use crate::publication::PublicationModel;
 
     fn flat_site() -> Site {
-        Site::from_html(&[
-            "<ul>\
+        Site::from_html(&["<ul>\
              <li>addr1</li><li>NAME1</li><li>zip1</li><li>ph1</li>\
              <li>addr2</li><li>NAME2</li><li>zip2</li><li>ph2</li>\
              <li>addr3</li><li>NAME3</li><li>zip3</li><li>ph3</li>\
-             </ul>",
-        ])
+             </ul>"])
     }
 
     fn x_of(site: &Site, texts: &[&str]) -> NodeSet {
@@ -134,10 +141,22 @@ mod tests {
     fn business_model() -> RankingModel {
         // Trained on business-like lists: ~4 fields per record, aligned.
         let publication = PublicationModel::learn(&[
-            ListFeatures { schema_size: 4.0, alignment: 0.0 },
-            ListFeatures { schema_size: 4.0, alignment: 1.0 },
-            ListFeatures { schema_size: 3.0, alignment: 0.0 },
-            ListFeatures { schema_size: 5.0, alignment: 2.0 },
+            ListFeatures {
+                schema_size: 4.0,
+                alignment: 0.0,
+            },
+            ListFeatures {
+                schema_size: 4.0,
+                alignment: 1.0,
+            },
+            ListFeatures {
+                schema_size: 3.0,
+                alignment: 0.0,
+            },
+            ListFeatures {
+                schema_size: 5.0,
+                alignment: 2.0,
+            },
         ]);
         RankingModel::new(AnnotatorModel::new(0.9, 0.6), publication)
     }
@@ -169,8 +188,12 @@ mod tests {
         let x = x_of(&site, &["NAME1", "NAME2", "NAME3"]);
         let model = business_model();
         let full = model.score(&site, &labels, &x);
-        let l_only = model.with_mode(RankingMode::AnnotationOnly).score(&site, &labels, &x);
-        let x_only = model.with_mode(RankingMode::PublicationOnly).score(&site, &labels, &x);
+        let l_only = model
+            .with_mode(RankingMode::AnnotationOnly)
+            .score(&site, &labels, &x);
+        let x_only = model
+            .with_mode(RankingMode::PublicationOnly)
+            .score(&site, &labels, &x);
         assert_eq!(l_only.total, full.annotation);
         assert_eq!(x_only.total, full.publication);
         assert!((full.total - (full.annotation + full.publication)).abs() < 1e-12);

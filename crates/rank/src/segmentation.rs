@@ -110,13 +110,11 @@ mod tests {
     /// Build the §6 example: a flat list a1 n1 z1 p1 a2 n2 z2 p2 …
     /// rendered as <li> items so tokens are predictable.
     fn flat_site() -> Site {
-        Site::from_html(&[
-            "<ul>\
+        Site::from_html(&["<ul>\
              <li>addr1</li><li>NAME1</li><li>zip1</li><li>ph1</li>\
              <li>addr2</li><li>NAME2</li><li>zip2</li><li>ph2</li>\
              <li>addr3</li><li>NAME3</li><li>zip3</li><li>ph3</li>\
-             </ul>",
-        ])
+             </ul>"])
     }
 
     fn names(site: &Site) -> NodeSet {

@@ -8,71 +8,200 @@
 
 /// Town-ish first words for business names ("ALBANY Industries" style).
 pub const TOWN_WORDS: &[&str] = &[
-    "ALBANY", "MADISON", "OAKDALE", "RIVERTON", "FAIRVIEW", "GREENWOOD", "BRISTOL", "CLINTON",
-    "GEORGETOWN", "SPRINGFIELD", "FRANKLIN", "SALEM", "DAYTON", "ARLINGTON", "ASHLAND",
-    "BURLINGTON", "CAMDEN", "DOVER", "EASTON", "FAIRFIELD", "GLENDALE", "HAMPTON", "HUDSON",
-    "JACKSON", "KINGSTON", "LEBANON", "MILFORD", "NEWPORT", "OXFORD", "PORTLAND", "QUINCY",
-    "RICHMOND", "SHELBY", "TRENTON", "UNION", "VERNON", "WARREN", "WINCHESTER", "YORK",
-    "CEDARVILLE", "ELMWOOD", "PINEHURST", "MAPLEWOOD", "LAKESIDE", "HILLCREST", "WESTBROOK",
-    "NORTHGATE", "SOUTHPORT", "EASTLAKE", "WOODLAND", "PORTER", "STANLEY", "HELLER", "LULLABY",
-    "KIDDIE", "SHERRILL", "ROYAL", "CRESCENT", "SUMMIT", "HARBOR",
+    "ALBANY",
+    "MADISON",
+    "OAKDALE",
+    "RIVERTON",
+    "FAIRVIEW",
+    "GREENWOOD",
+    "BRISTOL",
+    "CLINTON",
+    "GEORGETOWN",
+    "SPRINGFIELD",
+    "FRANKLIN",
+    "SALEM",
+    "DAYTON",
+    "ARLINGTON",
+    "ASHLAND",
+    "BURLINGTON",
+    "CAMDEN",
+    "DOVER",
+    "EASTON",
+    "FAIRFIELD",
+    "GLENDALE",
+    "HAMPTON",
+    "HUDSON",
+    "JACKSON",
+    "KINGSTON",
+    "LEBANON",
+    "MILFORD",
+    "NEWPORT",
+    "OXFORD",
+    "PORTLAND",
+    "QUINCY",
+    "RICHMOND",
+    "SHELBY",
+    "TRENTON",
+    "UNION",
+    "VERNON",
+    "WARREN",
+    "WINCHESTER",
+    "YORK",
+    "CEDARVILLE",
+    "ELMWOOD",
+    "PINEHURST",
+    "MAPLEWOOD",
+    "LAKESIDE",
+    "HILLCREST",
+    "WESTBROOK",
+    "NORTHGATE",
+    "SOUTHPORT",
+    "EASTLAKE",
+    "WOODLAND",
+    "PORTER",
+    "STANLEY",
+    "HELLER",
+    "LULLABY",
+    "KIDDIE",
+    "SHERRILL",
+    "ROYAL",
+    "CRESCENT",
+    "SUMMIT",
+    "HARBOR",
 ];
 
 /// Business categories.
 pub const CATEGORY_WORDS: &[&str] = &[
-    "FURNITURE", "APPLIANCE", "ELECTRONICS", "HARDWARE", "LIGHTING", "FLOORING", "KITCHENS",
-    "BEDDING", "CABINETS", "INTERIORS", "GALLERY", "DESIGN", "HOME CENTER", "TRADING",
-    "SUPPLY", "OUTFITTERS", "DEPOT", "WAREHOUSE", "SHOWROOM", "STUDIO", "WORKSHOP",
-    "EMPORIUM", "MERCANTILE", "OUTLET",
+    "FURNITURE",
+    "APPLIANCE",
+    "ELECTRONICS",
+    "HARDWARE",
+    "LIGHTING",
+    "FLOORING",
+    "KITCHENS",
+    "BEDDING",
+    "CABINETS",
+    "INTERIORS",
+    "GALLERY",
+    "DESIGN",
+    "HOME CENTER",
+    "TRADING",
+    "SUPPLY",
+    "OUTFITTERS",
+    "DEPOT",
+    "WAREHOUSE",
+    "SHOWROOM",
+    "STUDIO",
+    "WORKSHOP",
+    "EMPORIUM",
+    "MERCANTILE",
+    "OUTLET",
 ];
 
 /// Legal suffixes; ".Inc"-style words the paper calls out as name markers.
-pub const SUFFIX_WORDS: &[&str] =
-    &["", "", "", " CO.", " INC.", " LLC", " & SONS", " BROS.", " GROUP", " SHOP"];
+pub const SUFFIX_WORDS: &[&str] = &[
+    "", "", "", " CO.", " INC.", " LLC", " & SONS", " BROS.", " GROUP", " SHOP",
+];
 
 /// Street name stems.
 pub const STREET_WORDS: &[&str] = &[
-    "Main St.", "Oak Ave.", "Elm St.", "Maple Dr.", "Pine Rd.", "Cedar Ln.", "Market St.",
-    "Church St.", "High St.", "Park Ave.", "2nd Ave.", "3rd St.", "Washington Blvd.",
-    "Lincoln Way", "Jefferson Rd.", "Mill Rd.", "River Rd.", "Lake Dr.", "Sunset Blvd.",
-    "Hwy. 30 West", "Route 9", "Post Rd.", "Commerce Pkwy.", "Industrial Dr.",
+    "Main St.",
+    "Oak Ave.",
+    "Elm St.",
+    "Maple Dr.",
+    "Pine Rd.",
+    "Cedar Ln.",
+    "Market St.",
+    "Church St.",
+    "High St.",
+    "Park Ave.",
+    "2nd Ave.",
+    "3rd St.",
+    "Washington Blvd.",
+    "Lincoln Way",
+    "Jefferson Rd.",
+    "Mill Rd.",
+    "River Rd.",
+    "Lake Dr.",
+    "Sunset Blvd.",
+    "Hwy. 30 West",
+    "Route 9",
+    "Post Rd.",
+    "Commerce Pkwy.",
+    "Industrial Dr.",
 ];
 
 /// City/state pairs for address lines.
 pub const CITY_STATE: &[(&str, &str)] = &[
-    ("NEW ALBANY", "MS"), ("WOODLAND", "MS"), ("TUPELO", "MS"), ("SAN MATEO", "CA"),
-    ("SAN JOSE", "CA"), ("SAN BRUNO", "CA"), ("SAN RAFAEL", "CA"), ("AUSTIN", "TX"),
-    ("DALLAS", "TX"), ("MEMPHIS", "TN"), ("NASHVILLE", "TN"), ("ATLANTA", "GA"),
-    ("DENVER", "CO"), ("BOISE", "ID"), ("PORTLAND", "OR"), ("SEATTLE", "WA"),
-    ("MADISON", "WI"), ("COLUMBUS", "OH"), ("ALBANY", "NY"), ("BUFFALO", "NY"),
+    ("NEW ALBANY", "MS"),
+    ("WOODLAND", "MS"),
+    ("TUPELO", "MS"),
+    ("SAN MATEO", "CA"),
+    ("SAN JOSE", "CA"),
+    ("SAN BRUNO", "CA"),
+    ("SAN RAFAEL", "CA"),
+    ("AUSTIN", "TX"),
+    ("DALLAS", "TX"),
+    ("MEMPHIS", "TN"),
+    ("NASHVILLE", "TN"),
+    ("ATLANTA", "GA"),
+    ("DENVER", "CO"),
+    ("BOISE", "ID"),
+    ("PORTLAND", "OR"),
+    ("SEATTLE", "WA"),
+    ("MADISON", "WI"),
+    ("COLUMBUS", "OH"),
+    ("ALBANY", "NY"),
+    ("BUFFALO", "NY"),
 ];
 
 /// Words for track-title generation.
 pub const TRACK_ADJ: &[&str] = &[
-    "Midnight", "Golden", "Broken", "Silent", "Electric", "Crimson", "Lonely", "Wild",
-    "Faded", "Restless", "Velvet", "Hollow", "Burning", "Frozen", "Distant", "Gentle",
-    "Savage", "Tender", "Wicked", "Shining",
+    "Midnight", "Golden", "Broken", "Silent", "Electric", "Crimson", "Lonely", "Wild", "Faded",
+    "Restless", "Velvet", "Hollow", "Burning", "Frozen", "Distant", "Gentle", "Savage", "Tender",
+    "Wicked", "Shining",
 ];
 
 /// Nouns for track-title generation.
 pub const TRACK_NOUN: &[&str] = &[
-    "Train", "River", "Heart", "Road", "Sky", "Dream", "Mirror", "Garden", "Stranger",
-    "Shadow", "Harbor", "Window", "Letter", "Dancer", "Season", "Thunder", "Whisper",
-    "Horizon", "Lantern", "Echo",
+    "Train", "River", "Heart", "Road", "Sky", "Dream", "Mirror", "Garden", "Stranger", "Shadow",
+    "Harbor", "Window", "Letter", "Dancer", "Season", "Thunder", "Whisper", "Horizon", "Lantern",
+    "Echo",
 ];
 
 /// Optional track-title tails.
 pub const TRACK_TAIL: &[&str] = &[
-    "", "", "", " (Reprise)", " (Live)", " Pt. II", " Blues", " Serenade", " Lullaby",
-    " in Blue", " at Dawn", " Goodbye",
+    "",
+    "",
+    "",
+    " (Reprise)",
+    " (Live)",
+    " Pt. II",
+    " Blues",
+    " Serenade",
+    " Lullaby",
+    " in Blue",
+    " at Dawn",
+    " Goodbye",
 ];
 
 /// Artist surname pool for album credits.
 pub const ARTIST_NAMES: &[&str] = &[
-    "The O'Neill Brothers", "Michelle Suesens", "Danielle Woerner", "The Harbor Lights",
-    "Frank Castellano", "Nina Delacroix", "The Wandering Sons", "Eliza Thornton",
-    "Marcus Reed Trio", "The Velvet Foxes", "Clara Boswell", "Johnny Two Rivers",
-    "The Paper Kites Club", "Omar Bellamy", "Sister June",
+    "The O'Neill Brothers",
+    "Michelle Suesens",
+    "Danielle Woerner",
+    "The Harbor Lights",
+    "Frank Castellano",
+    "Nina Delacroix",
+    "The Wandering Sons",
+    "Eliza Thornton",
+    "Marcus Reed Trio",
+    "The Velvet Foxes",
+    "Clara Boswell",
+    "Johnny Two Rivers",
+    "The Paper Kites Club",
+    "Omar Bellamy",
+    "Sister June",
 ];
 
 /// Phone brands for the PRODUCTS domain (five, as in Appendix B.1).

@@ -62,7 +62,12 @@ impl Default for DealersConfig {
 impl DealersConfig {
     /// A small configuration for fast tests and examples.
     pub fn small(sites: usize, seed: u64) -> Self {
-        DealersConfig { sites, pages_per_site: 3, seed, ..Default::default() }
+        DealersConfig {
+            sites,
+            pages_per_site: 3,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -180,7 +185,7 @@ fn generate_site(
 fn render_sidebar(b: &mut PageBuilder, rng: &mut StdRng, fp_title: &str) {
     let mut titles: Vec<&str> = data::SIDEBAR_TITLES.to_vec();
     titles.shuffle(rng);
-    let n_items = rng.gen_range(4..=6).min(titles.len());
+    let n_items = rng.gen_range(4..=6usize).min(titles.len());
     let fp_slot = rng.gen_range(0..n_items);
     b.raw("<div class='sidebar'><ul>");
     for (i, title) in titles.iter().take(n_items).enumerate() {
@@ -210,10 +215,15 @@ fn record(
     let street = if rng.gen_bool(cfg.street_brand_prob) {
         // Street named after a brand → dictionary false positive.
         let brand = dictionary.choose(rng).expect("nonempty");
-        let suffix = *["Plaza", "Sq.", "Way", "Center"].choose(rng).expect("nonempty");
+        let suffix = *["Plaza", "Sq.", "Way", "Center"]
+            .choose(rng)
+            .expect("nonempty");
         format!("{number} {brand} {suffix}")
     } else {
-        format!("{number} {}", data::STREET_WORDS.choose(rng).expect("nonempty"))
+        format!(
+            "{number} {}",
+            data::STREET_WORDS.choose(rng).expect("nonempty")
+        )
     };
     let (city, state) = data::CITY_STATE.choose(rng).expect("nonempty");
     let phone = rng.gen_bool(0.85).then(|| {

@@ -65,7 +65,12 @@ impl Default for DiscConfig {
 impl DiscConfig {
     /// A small configuration for fast tests.
     pub fn small(sites: usize, seed: u64) -> Self {
-        DiscConfig { sites, albums_per_site: (3, 5), seed, ..Default::default() }
+        DiscConfig {
+            sites,
+            albums_per_site: (3, 5),
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -90,8 +95,10 @@ pub fn generate_disc(cfg: &DiscConfig) -> DiscDataset {
         .iter()
         .flat_map(|a| a.tracks.iter().cloned())
         .collect();
-    let title_dictionary: Vec<String> =
-        albums[..cfg.popular_albums].iter().map(|a| a.title.clone()).collect();
+    let title_dictionary: Vec<String> = albums[..cfg.popular_albums]
+        .iter()
+        .map(|a| a.title.clone())
+        .collect();
 
     let sites = (0..cfg.sites)
         .map(|id| {
@@ -99,7 +106,12 @@ pub fn generate_disc(cfg: &DiscConfig) -> DiscDataset {
             generate_site(id, cfg, &mut srng, &albums)
         })
         .collect();
-    DiscDataset { sites, albums, track_dictionary, title_dictionary }
+    DiscDataset {
+        sites,
+        albums,
+        track_dictionary,
+        title_dictionary,
+    }
 }
 
 fn album_pool(cfg: &DiscConfig, rng: &mut StdRng) -> Vec<Album> {
@@ -120,7 +132,10 @@ fn album_pool(cfg: &DiscConfig, rng: &mut StdRng) -> Vec<Album> {
                     break t;
                 }
             };
-            let artist = data::ARTIST_NAMES.choose(rng).expect("nonempty").to_string();
+            let artist = data::ARTIST_NAMES
+                .choose(rng)
+                .expect("nonempty")
+                .to_string();
             let n_tracks = rng.gen_range(6..=12);
             let mut tracks: Vec<String> = Vec::with_capacity(n_tracks);
             if rng.gen_bool(cfg.title_track_prob) {
@@ -138,7 +153,11 @@ fn album_pool(cfg: &DiscConfig, rng: &mut StdRng) -> Vec<Album> {
                     tracks.push(t);
                 }
             }
-            Album { title, artist, tracks }
+            Album {
+                title,
+                artist,
+                tracks,
+            }
         })
         .collect()
 }
@@ -314,8 +333,10 @@ mod tests {
             let gold = &s.gold_types[TYPE_TRACK];
             let annotated_pages: std::collections::HashSet<u32> =
                 labels.iter().map(|n| n.page).collect();
-            gold_on_annotated_pages +=
-                gold.iter().filter(|n| annotated_pages.contains(&n.page)).count();
+            gold_on_annotated_pages += gold
+                .iter()
+                .filter(|n| annotated_pages.contains(&n.page))
+                .count();
             for l in &labels {
                 if gold.contains(l) {
                     tp += 1;

@@ -45,7 +45,12 @@ impl Default for ProductsConfig {
 impl ProductsConfig {
     /// A small configuration for fast tests.
     pub fn small(sites: usize, seed: u64) -> Self {
-        ProductsConfig { sites, pages_per_site: 2, seed, ..Default::default() }
+        ProductsConfig {
+            sites,
+            pages_per_site: 2,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -138,7 +143,9 @@ fn generate_site(
 
 fn product_record(rng: &mut StdRng, name: String) -> ListingRecord {
     let storage = *[8, 16, 32, 64].choose(rng).expect("nonempty");
-    let color = *["Black", "Silver", "Blue", "Red", "White"].choose(rng).expect("nonempty");
+    let color = *["Black", "Silver", "Blue", "Red", "White"]
+        .choose(rng)
+        .expect("nonempty");
     ListingRecord {
         name,
         street: format!("{storage}GB, {color}"),

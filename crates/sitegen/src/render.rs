@@ -104,7 +104,9 @@ impl ListingScript {
             .expect("nonempty");
         let name_style = match rng.gen_range(0..12) {
             0..=4 => NameStyle::WrapTag(
-                ["u", "b", "strong", "h3", "em"].choose(rng).expect("nonempty"),
+                ["u", "b", "strong", "h3", "em"]
+                    .choose(rng)
+                    .expect("nonempty"),
             ),
             5..=6 => NameStyle::Link,
             7..=9 => NameStyle::ClassedSpan(
@@ -129,15 +131,26 @@ impl ListingScript {
             FieldLayout::BrSeparated
         };
         let container_class = [
-            "dealerlinks", "results", "store-list", "locator", "listing", "items",
+            "dealerlinks",
+            "results",
+            "store-list",
+            "locator",
+            "listing",
+            "items",
         ]
         .choose(rng)
         .expect("nonempty")
         .to_string();
-        let nav_items = ["Home", "About Us", "Our Products", "Dealer Locator", "Contact Us"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let nav_items = [
+            "Home",
+            "About Us",
+            "Our Products",
+            "Dealer Locator",
+            "Contact Us",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         ListingScript {
             container,
             container_class,
@@ -317,7 +330,11 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let script = ListingScript::random(&mut rng, "Dealer Locator", vec![]);
             let gs = build_site(&script, 3, 4);
-            assert_eq!(gs.gold_types[TYPE_NAME].len(), 12, "seed {seed}: {script:?}");
+            assert_eq!(
+                gs.gold_types[TYPE_NAME].len(),
+                12,
+                "seed {seed}: {script:?}"
+            );
             assert_eq!(gs.gold_types[TYPE_ZIP].len(), 12, "seed {seed}");
             for &n in gs.gold() {
                 let t = gs.site.text_of(n).unwrap();
@@ -351,9 +368,16 @@ mod tests {
         for seed in 0..40 {
             let mut rng = StdRng::seed_from_u64(seed);
             let s = ListingScript::random(&mut rng, "X", vec![]);
-            variants.insert(format!("{:?}/{:?}/{:?}", s.container, s.name_style, s.layout));
+            variants.insert(format!(
+                "{:?}/{:?}/{:?}",
+                s.container, s.name_style, s.layout
+            ));
         }
-        assert!(variants.len() >= 8, "only {} distinct scripts", variants.len());
+        assert!(
+            variants.len() >= 8,
+            "only {} distinct scripts",
+            variants.len()
+        );
     }
 
     #[test]

@@ -128,7 +128,12 @@ pub struct GeneratedSite {
 impl GeneratedSite {
     /// Assembles a site from built pages, resolving all gold marks.
     pub fn from_pages(id: usize, pages: Vec<(String, PageMarks)>) -> Self {
-        let n_types = pages.iter().map(|(_, m)| m.types()).max().unwrap_or(1).max(1);
+        let n_types = pages
+            .iter()
+            .map(|(_, m)| m.types())
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let html: Vec<&str> = pages.iter().map(|(h, _)| h.as_str()).collect();
         let site = aw_induct::Site::from_html(&html);
         let mut gold_types = vec![NodeSet::new(); n_types];
@@ -138,7 +143,11 @@ impl GeneratedSite {
                 gold_types[ty].extend(set);
             }
         }
-        GeneratedSite { id, site, gold_types }
+        GeneratedSite {
+            id,
+            site,
+            gold_types,
+        }
     }
 
     /// The primary gold set (type 0).

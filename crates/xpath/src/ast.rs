@@ -55,12 +55,20 @@ pub struct Step {
 impl Step {
     /// A bare child step with no predicates.
     pub fn child(tag: impl Into<String>) -> Self {
-        Step { axis: Axis::Child, test: NodeTest::Tag(tag.into()), predicates: Vec::new() }
+        Step {
+            axis: Axis::Child,
+            test: NodeTest::Tag(tag.into()),
+            predicates: Vec::new(),
+        }
     }
 
     /// A bare descendant step with no predicates.
     pub fn descendant(tag: impl Into<String>) -> Self {
-        Step { axis: Axis::Descendant, test: NodeTest::Tag(tag.into()), predicates: Vec::new() }
+        Step {
+            axis: Axis::Descendant,
+            test: NodeTest::Tag(tag.into()),
+            predicates: Vec::new(),
+        }
     }
 }
 
@@ -75,7 +83,11 @@ impl XPath {
     /// The trivial path `//*` that the XPATH inductor starts from (§5).
     pub fn any() -> Self {
         XPath {
-            steps: vec![Step { axis: Axis::Descendant, test: NodeTest::AnyElement, predicates: vec![] }],
+            steps: vec![Step {
+                axis: Axis::Descendant,
+                test: NodeTest::AnyElement,
+                predicates: vec![],
+            }],
         }
     }
 
@@ -138,7 +150,10 @@ mod tests {
             Step {
                 axis: Axis::Descendant,
                 test: NodeTest::Tag("div".into()),
-                predicates: vec![Predicate::Attr { name: "class".into(), value: "content".into() }],
+                predicates: vec![Predicate::Attr {
+                    name: "class".into(),
+                    value: "content".into(),
+                }],
             },
             Step {
                 axis: Axis::Child,
@@ -151,7 +166,11 @@ mod tests {
                 test: NodeTest::Tag("td".into()),
                 predicates: vec![Predicate::Position(2)],
             },
-            Step { axis: Axis::Child, test: NodeTest::Text, predicates: vec![] },
+            Step {
+                axis: Axis::Child,
+                test: NodeTest::Text,
+                predicates: vec![],
+            },
         ]);
         assert_eq!(
             p.to_string(),

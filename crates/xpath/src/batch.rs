@@ -1,0 +1,250 @@
+//! Shared-prefix batch evaluation of wrapper candidate sets.
+//!
+//! The wrapper space `W(L)` of §4 holds up to `2^k` structurally-similar
+//! xpaths: most candidates share long step prefixes (they were induced
+//! from overlapping label subsets of one site). Evaluating each candidate
+//! from the document root repeats the shared prefix work once per
+//! candidate; a [`BatchEvaluator`] instead arranges the compiled steps in
+//! a prefix trie and walks it depth-first, so every distinct step prefix
+//! is evaluated **once per document** and its intermediate context
+//! node-set is reused by all candidates below it.
+//!
+//! The evaluator is built once per candidate set and applied to any
+//! number of pages — compile cost and trie construction amortize across
+//! a whole site.
+
+use crate::ast::XPath;
+use crate::compile::{CompiledStep, CompiledXPath};
+use crate::indexed::{apply_step, materialize};
+use aw_dom::{Document, NodeId};
+
+/// A trie node: one compiled step plus the candidates ending here.
+#[derive(Debug)]
+struct TrieNode {
+    /// The step on the edge from the parent (unused sentinel for root).
+    step: CompiledStep,
+    /// Child trie nodes (indices into the arena).
+    children: Vec<u32>,
+    /// Indices of input paths that end at this node.
+    terminals: Vec<u32>,
+}
+
+/// Evaluates a fixed set of xpaths against documents with shared-prefix
+/// memoization.
+#[derive(Debug)]
+pub struct BatchEvaluator {
+    paths: usize,
+    /// Trie arena; index 0 is the root (empty prefix).
+    nodes: Vec<TrieNode>,
+}
+
+impl BatchEvaluator {
+    /// Builds an evaluator from compiled paths.
+    pub fn new(paths: &[CompiledXPath]) -> BatchEvaluator {
+        let sentinel = CompiledStep {
+            axis: crate::ast::Axis::Child,
+            test: crate::compile::CompiledTest::Text,
+            predicates: Vec::new(),
+        };
+        let mut nodes = vec![TrieNode {
+            step: sentinel,
+            children: Vec::new(),
+            terminals: Vec::new(),
+        }];
+        for (i, path) in paths.iter().enumerate() {
+            let mut at = 0usize;
+            for step in &path.steps {
+                let found = nodes[at]
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| nodes[c as usize].step == *step);
+                at = match found {
+                    Some(c) => c as usize,
+                    None => {
+                        let c = nodes.len() as u32;
+                        nodes.push(TrieNode {
+                            step: step.clone(),
+                            children: Vec::new(),
+                            terminals: Vec::new(),
+                        });
+                        nodes[at].children.push(c);
+                        c as usize
+                    }
+                };
+            }
+            nodes[at].terminals.push(i as u32);
+        }
+        BatchEvaluator {
+            paths: paths.len(),
+            nodes,
+        }
+    }
+
+    /// Convenience constructor compiling ASTs first.
+    pub fn from_xpaths<'a, I: IntoIterator<Item = &'a XPath>>(paths: I) -> BatchEvaluator {
+        let compiled: Vec<CompiledXPath> = paths.into_iter().map(CompiledXPath::compile).collect();
+        BatchEvaluator::new(&compiled)
+    }
+
+    /// Number of input paths.
+    pub fn len(&self) -> usize {
+        self.paths
+    }
+
+    /// True when built from no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths == 0
+    }
+
+    /// Number of distinct steps across the candidate set — the work the
+    /// trie actually performs per document. For a well-shared space this
+    /// is far below the sum of path lengths.
+    pub fn distinct_steps(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Evaluates every path against `doc`.
+    ///
+    /// Returns one node list per input path, aligned with the order the
+    /// paths were given in; each list is sorted in document order and
+    /// deduplicated, byte-identical to what
+    /// [`crate::reference::evaluate`] returns for that path alone.
+    pub fn evaluate(&self, doc: &Document) -> Vec<Vec<NodeId>> {
+        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); self.paths];
+        // Not `is_empty()`: that is true for root-only documents, which still
+        // evaluate (to nothing or to the root for the empty path). Only a
+        // zero-node `Document::default()` lacks the root entirely.
+        #[allow(clippy::len_zero)]
+        if doc.len() == 0 {
+            return results;
+        }
+        let idx = doc.index();
+        let root_ctx: Vec<u32> = vec![idx.rank_of(doc.root())];
+
+        // Depth-first over the trie, carrying the context node-set of the
+        // prefix evaluated so far. Each (prefix → context) pair is
+        // computed exactly once per document; each context is owned by
+        // exactly one stack entry.
+        let mut stack: Vec<(u32, Vec<u32>)> = vec![(0, root_ctx)];
+        while let Some((node_i, ctx)) = stack.pop() {
+            let node = &self.nodes[node_i as usize];
+            for &t in &node.terminals {
+                results[t as usize] = materialize(idx, &ctx);
+            }
+            if ctx.is_empty() {
+                // Empty context propagates to every candidate below; their
+                // results stay empty without further step work.
+                continue;
+            }
+            for &c in &node.children {
+                let child = &self.nodes[c as usize];
+                stack.push((c, apply_step(doc, idx, &ctx, &child.step)));
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use crate::reference;
+    use aw_dom::parse;
+
+    fn dealer_page() -> aw_dom::Document {
+        parse(
+            "<div class='dealerlinks'>\
+               <tr><td><u>PORTER FURNITURE</u><br>201 HWY<br>NEW ALBANY, MS 38652</td></tr>\
+               <tr><td><u>WOODLAND FURNITURE</u><br>123 Main St.<br>WOODLAND, MS 3977</td></tr>\
+             </div><div class='footer'>contact us</div>",
+        )
+    }
+
+    /// A wrapper-space-shaped candidate set: common prefix, diverging
+    /// suffixes (what enumeration actually produces).
+    fn candidate_set() -> Vec<XPath> {
+        [
+            "//div[@class='dealerlinks']/tr/td/u/text()",
+            "//div[@class='dealerlinks']/tr/td/u[1]/text()[1]",
+            "//div[@class='dealerlinks']/tr/td//text()",
+            "//div[@class='dealerlinks']/tr/td/text()",
+            "//div[@class='dealerlinks']/tr/td/text()[2]",
+            "//div/tr/td/u/text()",
+            "//div//text()",
+            "//text()",
+        ]
+        .iter()
+        .map(|s| parse_xpath(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn batch_matches_reference_per_path() {
+        let doc = dealer_page();
+        let paths = candidate_set();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        let results = batch.evaluate(&doc);
+        assert_eq!(results.len(), paths.len());
+        for (path, got) in paths.iter().zip(&results) {
+            assert_eq!(got, &reference::evaluate(path, &doc), "mismatch for {path}");
+        }
+    }
+
+    #[test]
+    fn trie_shares_prefixes() {
+        let paths = candidate_set();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        let total_steps: usize = paths.iter().map(|p| p.steps.len()).sum();
+        assert!(
+            batch.distinct_steps() < total_steps,
+            "no sharing: {} trie nodes for {} total steps",
+            batch.distinct_steps(),
+            total_steps
+        );
+        // The five rules sharing `//div[@class=..]/tr/td` contribute that
+        // prefix once: 30 total steps collapse to 17 distinct.
+        assert_eq!(batch.distinct_steps(), 17);
+    }
+
+    #[test]
+    fn empty_set_and_empty_doc() {
+        let batch = BatchEvaluator::new(&[]);
+        assert!(batch.is_empty());
+        assert!(batch.evaluate(&dealer_page()).is_empty());
+
+        let paths = candidate_set();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        let results = batch.evaluate(&aw_dom::Document::default());
+        assert_eq!(results.len(), paths.len());
+        assert!(results.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn duplicate_paths_each_get_results() {
+        let xp = parse_xpath("//td/u/text()").unwrap();
+        let batch = BatchEvaluator::from_xpaths(vec![&xp, &xp]);
+        let doc = dealer_page();
+        let results = batch.evaluate(&doc);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], reference::evaluate(&xp, &doc));
+    }
+
+    #[test]
+    fn reusable_across_pages() {
+        let paths = candidate_set();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        let page2 = parse(
+            "<div class='dealerlinks'>\
+               <tr><td><u>ACME CHAIRS</u><br>9 Low Rd<br>TUPELO, MS 38801</td></tr>\
+             </div><div class='footer'>contact us</div>",
+        );
+        for doc in [dealer_page(), page2] {
+            for (path, got) in paths.iter().zip(batch.evaluate(&doc)) {
+                assert_eq!(got, reference::evaluate(path, &doc), "mismatch for {path}");
+            }
+        }
+    }
+}

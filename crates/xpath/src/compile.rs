@@ -1,0 +1,132 @@
+//! Compilation of [`XPath`] ASTs into symbol-resolved forms.
+//!
+//! A [`CompiledXPath`] is the AST with every string resolved to an
+//! interned [`Sym`] ([`aw_dom::interner`]): tag tests, attribute names
+//! and attribute values. Compiled steps are plain `Eq + Hash` data, which
+//! is what lets [`crate::batch::BatchEvaluator`] arrange a candidate set
+//! into a shared-prefix trie.
+
+use crate::ast::{Axis, NodeTest, Predicate, Step, XPath};
+use aw_dom::{intern, Sym};
+
+/// A node test with the tag resolved to a symbol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CompiledTest {
+    /// A specific element tag.
+    Tag(Sym),
+    /// `*` — any element.
+    AnyElement,
+    /// `text()` — text nodes.
+    Text,
+}
+
+/// A predicate with attribute names/values resolved to symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CompiledPred {
+    /// `[@name='value']`.
+    Attr {
+        /// Interned attribute name.
+        name: Sym,
+        /// Interned attribute value (query literals are a bounded
+        /// vocabulary, so the global interner is appropriate; document
+        /// attribute values are interned per-`DocIndex` instead).
+        value: Sym,
+    },
+    /// `[k]`, 1-based among same-test siblings. Kept at full `u64` width:
+    /// truncating would make absurd positions like `[4294967297]` wrap
+    /// around and *match*, diverging from the reference interpreter.
+    Position(u64),
+}
+
+/// One compiled location step.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CompiledStep {
+    /// Axis of the step.
+    pub axis: Axis,
+    /// Symbol-resolved node test.
+    pub test: CompiledTest,
+    /// Symbol-resolved predicates, in source order.
+    pub predicates: Vec<CompiledPred>,
+}
+
+/// A compiled location path, ready for the indexed/batch engines.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct CompiledXPath {
+    /// Compiled steps in order.
+    pub steps: Vec<CompiledStep>,
+}
+
+impl CompiledXPath {
+    /// Compiles an AST. Interning is the only cost; compiling the same
+    /// path twice yields identical (and `Eq`-comparable) values.
+    pub fn compile(path: &XPath) -> CompiledXPath {
+        CompiledXPath {
+            steps: path.steps.iter().map(compile_step).collect(),
+        }
+    }
+}
+
+impl From<&XPath> for CompiledXPath {
+    fn from(path: &XPath) -> Self {
+        CompiledXPath::compile(path)
+    }
+}
+
+fn compile_step(step: &Step) -> CompiledStep {
+    CompiledStep {
+        axis: step.axis,
+        test: match &step.test {
+            NodeTest::Tag(t) => CompiledTest::Tag(intern(t)),
+            NodeTest::AnyElement => CompiledTest::AnyElement,
+            NodeTest::Text => CompiledTest::Text,
+        },
+        predicates: step
+            .predicates
+            .iter()
+            .map(|p| match p {
+                Predicate::Attr { name, value } => CompiledPred::Attr {
+                    name: intern(name),
+                    value: intern(value),
+                },
+                Predicate::Position(k) => CompiledPred::Position(*k as u64),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+
+    #[test]
+    fn compilation_is_stable_and_comparable() {
+        let xp = parse_xpath("//div[@class='content']/table[1]/tr/td[2]/text()").unwrap();
+        let a = CompiledXPath::compile(&xp);
+        let b = CompiledXPath::compile(&xp);
+        assert_eq!(a, b);
+        assert_eq!(a.steps.len(), 5);
+        assert_eq!(a.steps[0].test, CompiledTest::Tag(intern("div")));
+        assert_eq!(
+            a.steps[0].predicates,
+            vec![CompiledPred::Attr {
+                name: intern("class"),
+                value: intern("content")
+            }]
+        );
+        assert_eq!(a.steps[1].predicates, vec![CompiledPred::Position(1)]);
+        assert_eq!(a.steps[4].test, CompiledTest::Text);
+    }
+
+    #[test]
+    fn shared_prefixes_compile_to_equal_steps() {
+        let a = CompiledXPath::compile(&parse_xpath("//div/tr/td/u/text()").unwrap());
+        let b = CompiledXPath::compile(&parse_xpath("//div/tr/td/text()").unwrap());
+        assert_eq!(
+            a.steps[..3],
+            b.steps[..3],
+            "common prefix must compare equal"
+        );
+        assert_ne!(a.steps[3], b.steps[3]);
+    }
+}

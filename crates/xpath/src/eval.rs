@@ -10,85 +10,27 @@
 //!   of its parent (so `td[2]` is the second `td` child, as in the paper's
 //!   Equation (3));
 //! * results are deduplicated and returned in document order.
+//!
+//! Since the compiled-engine refactor, this entry point compiles the path
+//! ([`crate::compile`]) and evaluates it against the document's
+//! [`aw_dom::DocIndex`] ([`crate::indexed`]). The original tree-walking
+//! interpreter survives as [`crate::reference::evaluate`], the oracle the
+//! differential test suite holds the compiled engines to.
 
-use crate::ast::{Axis, NodeTest, Predicate, Step, XPath};
+use crate::ast::XPath;
+use crate::compile::CompiledXPath;
+use crate::indexed::evaluate_compiled;
 use aw_dom::{Document, NodeId};
 
 /// Evaluates `path` on `doc`, returning matching nodes in document order.
+///
+/// One-shot convenience: compiles and evaluates. Callers evaluating the
+/// same path against many pages should compile once
+/// ([`CompiledXPath::compile`]) and call
+/// [`crate::indexed::evaluate_compiled`]; callers evaluating many related
+/// paths should use a [`crate::BatchEvaluator`].
 pub fn evaluate(path: &XPath, doc: &Document) -> Vec<NodeId> {
-    let mut context: Vec<NodeId> = vec![doc.root()];
-    for step in &path.steps {
-        context = apply_step(doc, &context, step);
-        if context.is_empty() {
-            break;
-        }
-    }
-    context
-}
-
-fn apply_step(doc: &Document, context: &[NodeId], step: &Step) -> Vec<NodeId> {
-    let mut out: Vec<NodeId> = Vec::new();
-    for &ctx in context {
-        match step.axis {
-            Axis::Child => {
-                select_from(doc, doc.children(ctx).iter().copied(), step, &mut out);
-            }
-            Axis::Descendant => {
-                // Descendants of ctx, excluding ctx itself.
-                let iter = doc.preorder(ctx).skip(1);
-                select_from(doc, iter, step, &mut out);
-            }
-        }
-    }
-    // Document order + dedup. Arena ids are allocated in document order for
-    // parsed/built documents, so sorting by id is sorting by position.
-    out.sort_unstable();
-    out.dedup();
-    out
-}
-
-fn select_from(
-    doc: &Document,
-    candidates: impl Iterator<Item = NodeId>,
-    step: &Step,
-    out: &mut Vec<NodeId>,
-) {
-    for id in candidates {
-        if matches_test(doc, id, &step.test) && step.predicates.iter().all(|p| matches_pred(doc, id, &step.test, p))
-        {
-            out.push(id);
-        }
-    }
-}
-
-fn matches_test(doc: &Document, id: NodeId, test: &NodeTest) -> bool {
-    match test {
-        NodeTest::Tag(t) => doc.tag(id) == Some(t.as_str()),
-        NodeTest::AnyElement => doc.is_element(id),
-        NodeTest::Text => doc.is_text(id),
-    }
-}
-
-fn matches_pred(doc: &Document, id: NodeId, test: &NodeTest, pred: &Predicate) -> bool {
-    match pred {
-        Predicate::Attr { name, value } => doc.attr(id, name) == Some(value.as_str()),
-        Predicate::Position(k) => position_among_matching_siblings(doc, id, test) == Some(*k),
-    }
-}
-
-/// 1-based position of `id` among siblings matching the same node test.
-fn position_among_matching_siblings(doc: &Document, id: NodeId, test: &NodeTest) -> Option<usize> {
-    let parent = doc.parent(id)?;
-    let mut k = 0;
-    for &sib in doc.children(parent) {
-        if matches_test(doc, sib, test) {
-            k += 1;
-            if sib == id {
-                return Some(k);
-            }
-        }
-    }
-    None
+    evaluate_compiled(&CompiledXPath::compile(path), doc)
 }
 
 #[cfg(test)]
@@ -154,9 +96,7 @@ mod tests {
 
     #[test]
     fn multiple_predicates_conjunction() {
-        let doc = parse(
-            "<ul><li class='x'>1</li><li class='x'>2</li><li class='y'>3</li></ul>",
-        );
+        let doc = parse("<ul><li class='x'>1</li><li class='x'>2</li><li class='y'>3</li></ul>");
         // Position is evaluated among same-tag siblings, then attr must hold.
         assert_eq!(eval_texts(&doc, "//li[2][@class='x']/text()"), vec!["2"]);
         assert_eq!(eval_count(&doc, "//li[3][@class='x']"), 0);

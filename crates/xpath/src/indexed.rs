@@ -1,0 +1,242 @@
+//! The index-backed evaluation engine.
+//!
+//! Operates entirely in **pre-order rank space** over a
+//! [`aw_dom::DocIndex`]:
+//!
+//! * `//tag` steps intersect the tag's posting list with the context
+//!   nodes' subtree rank ranges (binary search per range — no tree walk);
+//! * `/tag` steps scan each context node's child list comparing interned
+//!   symbols (no string compares);
+//! * `[k]` predicates read the precomputed sibling-position arrays;
+//! * `[@a='v']` predicates resolve the value to the document's own
+//!   value id once per step, then compare `(name symbol, value id)`
+//!   integer pairs per node.
+//!
+//! Results are identical to [`crate::reference::evaluate`] — enforced by
+//! unit tests here and the differential property suite in
+//! `tests/xpath_differential.rs`.
+
+use crate::compile::{CompiledPred, CompiledStep, CompiledTest, CompiledXPath};
+use aw_dom::{DocIndex, Document, NodeId, Sym};
+
+/// Evaluates a compiled path, returning matching nodes in document order.
+pub fn evaluate_compiled(path: &CompiledXPath, doc: &Document) -> Vec<NodeId> {
+    // Not `is_empty()`: that is true for root-only documents, which still
+    // evaluate (to nothing or to the root for the empty path). Only a
+    // zero-node `Document::default()` lacks the root entirely.
+    #[allow(clippy::len_zero)]
+    if doc.len() == 0 {
+        return Vec::new();
+    }
+    let idx = doc.index();
+    let mut ctx: Vec<u32> = vec![idx.rank_of(doc.root())];
+    for step in &path.steps {
+        ctx = apply_step(doc, idx, &ctx, step);
+        if ctx.is_empty() {
+            break;
+        }
+    }
+    materialize(idx, &ctx)
+}
+
+/// Converts a rank-space node set into sorted `NodeId`s (the reference
+/// interpreter's output order).
+pub(crate) fn materialize(idx: &DocIndex, ranks: &[u32]) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = ranks.iter().map(|&r| idx.node_at(r)).collect();
+    out.sort_unstable();
+    out
+}
+
+/// A step's predicates resolved against one document, so the per-node
+/// check is integer compares only: attribute values map to the
+/// document's own value ids (`DocIndex::attr_value_id`), computed once
+/// per (step, document) instead of once per candidate node.
+enum ResolvedPred {
+    /// `[@name='v']` where `v` exists in this document as `value_id`.
+    Attr { name: Sym, value_id: u32 },
+    /// `[k]` against the position array the step's test selects.
+    Position(u64),
+}
+
+/// `None` means some attribute predicate's value occurs nowhere in the
+/// document — the step can't select anything.
+fn resolve_preds(idx: &DocIndex, step: &CompiledStep) -> Option<Vec<ResolvedPred>> {
+    step.predicates
+        .iter()
+        .map(|pred| match *pred {
+            CompiledPred::Attr { name, value } => idx
+                .attr_value_id(value.as_str())
+                .map(|value_id| ResolvedPred::Attr { name, value_id }),
+            CompiledPred::Position(k) => Some(ResolvedPred::Position(k)),
+        })
+        .collect()
+}
+
+/// Applies one step to a sorted, deduplicated rank-space context set,
+/// returning the same representation.
+pub(crate) fn apply_step(
+    doc: &Document,
+    idx: &DocIndex,
+    context: &[u32],
+    step: &CompiledStep,
+) -> Vec<u32> {
+    let Some(preds) = resolve_preds(idx, step) else {
+        return Vec::new(); // an attribute value absent from this document
+    };
+    let mut out: Vec<u32> = Vec::new();
+    match step.axis {
+        crate::ast::Axis::Child => {
+            for &r in context {
+                let node = idx.node_at(r);
+                for &c in doc.children(node) {
+                    if matches_test(doc, idx, c, &step.test) && passes_preds(idx, c, step, &preds) {
+                        out.push(idx.rank_of(c));
+                    }
+                }
+            }
+            // Context nodes can be nested (after a `//` step), so child
+            // blocks may interleave in rank space.
+            out.sort_unstable();
+            out.dedup();
+        }
+        crate::ast::Axis::Descendant => {
+            let postings = postings_for(idx, &step.test);
+            // Merge subtree ranges first: context is sorted by rank, and
+            // tree ranges either nest or are disjoint, so any range that
+            // starts before the running end is fully contained.
+            let mut end = 0u32;
+            for &r in context {
+                let span = idx.subtree(r);
+                if span.end <= end {
+                    continue; // nested inside an earlier context node
+                }
+                let lo = (r + 1).max(end); // exclude the context node itself
+                end = span.end;
+                let from = postings.partition_point(|&p| p < lo);
+                let to = postings.partition_point(|&p| p < span.end);
+                for &p in &postings[from..to] {
+                    // Posting-list membership already established the
+                    // node test.
+                    if passes_preds(idx, idx.node_at(p), step, &preds) {
+                        out.push(p);
+                    }
+                }
+            }
+            // Posting lists are ascending and merged ranges are disjoint,
+            // so `out` is already sorted and deduplicated.
+        }
+    }
+    out
+}
+
+fn postings_for<'i>(idx: &'i DocIndex, test: &CompiledTest) -> &'i [u32] {
+    match test {
+        CompiledTest::Tag(sym) => idx.tag_postings(*sym),
+        CompiledTest::AnyElement => idx.element_postings(),
+        CompiledTest::Text => idx.text_postings(),
+    }
+}
+
+fn matches_test(doc: &Document, idx: &DocIndex, id: NodeId, test: &CompiledTest) -> bool {
+    match *test {
+        CompiledTest::Tag(sym) => idx.tag_sym(id) == Some(sym),
+        CompiledTest::AnyElement => doc.is_element(id),
+        CompiledTest::Text => doc.is_text(id),
+    }
+}
+
+fn passes_preds(idx: &DocIndex, id: NodeId, step: &CompiledStep, preds: &[ResolvedPred]) -> bool {
+    preds.iter().all(|pred| match *pred {
+        ResolvedPred::Attr { name, value_id } => idx.has_attr(id, name, value_id),
+        ResolvedPred::Position(k) => {
+            let pos = match step.test {
+                CompiledTest::Tag(_) => idx.same_tag_pos(id),
+                CompiledTest::AnyElement => idx.elem_pos(id),
+                CompiledTest::Text => idx.text_pos(id),
+            };
+            u64::from(pos) == k
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use crate::reference;
+    use aw_dom::parse;
+
+    fn both(doc: &Document, xp: &str) -> (Vec<NodeId>, Vec<NodeId>) {
+        let ast = parse_xpath(xp).unwrap();
+        let compiled = CompiledXPath::compile(&ast);
+        (
+            reference::evaluate(&ast, doc),
+            evaluate_compiled(&compiled, doc),
+        )
+    }
+
+    #[test]
+    fn agrees_with_reference_on_fragment_shapes() {
+        let doc = parse(
+            "<div class='content'>\
+               <table><tr><td>r1c1</td><td>r1c2</td></tr>\
+                      <tr><td>r2c1</td><td>r2c2</td></tr></table>\
+               <table><tr><td>z1</td><td>z2</td></tr></table>\
+             </div>\
+             <div class='footer'><td>f</td>tail</div>",
+        );
+        for xp in [
+            "//div[@class='content']/table[1]/tr/td[2]/text()",
+            "//td/text()",
+            "//div//text()",
+            "//div//td",
+            "/div/table/tr/td",
+            "//*",
+            "//table[2]/tr/td[1]/text()",
+            "//div[@class='footer']/text()",
+            "//td[7]",
+            "//div/*",
+            "//div//*[1]",
+            "//text()[1]",
+            "/text()",
+        ] {
+            let (r, i) = both(&doc, xp);
+            assert_eq!(r, i, "mismatch for {xp}");
+        }
+    }
+
+    #[test]
+    fn nested_context_descendants_dedupe() {
+        // `//div//p`: the inner p is a descendant of both divs; subtree
+        // merging must not double-count it.
+        let doc = parse("<div><div><p>x</p></div></div>");
+        let (r, i) = both(&doc, "//div//p");
+        assert_eq!(r, i);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn empty_document_evaluates_to_nothing() {
+        let doc = Document::default();
+        let compiled = CompiledXPath::compile(&parse_xpath("//td").unwrap());
+        assert!(evaluate_compiled(&compiled, &doc).is_empty());
+    }
+
+    #[test]
+    fn oversized_positions_do_not_wrap() {
+        // Regression: positions beyond u32 once truncated during
+        // compilation, making `[2^32 + 1]` match position 1.
+        let doc = parse("<p>a</p><p>b</p>");
+        let k = (u32::MAX as usize) + 2; // wraps to 1 under truncation
+        let xp = parse_xpath(&format!("//p[{k}]")).unwrap();
+        assert!(reference::evaluate(&xp, &doc).is_empty());
+        assert!(evaluate_compiled(&CompiledXPath::compile(&xp), &doc).is_empty());
+    }
+
+    #[test]
+    fn empty_path_returns_root() {
+        let doc = parse("<p>x</p>");
+        let compiled = CompiledXPath::default();
+        assert_eq!(evaluate_compiled(&compiled, &doc), vec![doc.root()]);
+    }
+}

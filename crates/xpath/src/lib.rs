@@ -2,13 +2,52 @@
 //!
 //! Implements the simple xpath fragment of Dalvi et al. (SIGMOD 2009) that
 //! §5 of *Automatic Wrappers for Large Scale Web Extraction* (VLDB 2011)
-//! adopts as one of its two wrapper languages: child edges (`/`),
-//! descendant edges (`//`), attribute filters (`[@class='x']`),
-//! child-number filters (`td[2]`) and a `text()` node test.
+//! adopts as one of its two wrapper languages.
+//!
+//! ## Fragment semantics
+//!
+//! A path is a sequence of location steps, always absolute (anchored at
+//! the synthetic document root):
+//!
+//! * **`/test`** (child axis) selects the matching children of each
+//!   context node; **`//test`** (descendant axis) selects all matching
+//!   descendants, the context node excluded;
+//! * a **node test** is a tag name (`td`), the element wildcard (`*`) or
+//!   `text()`;
+//! * **`[@name='value']`** keeps nodes carrying exactly that attribute
+//!   value (never matches text nodes);
+//! * **`[k]`** (child-number filter) keeps a node iff it is the k-th
+//!   child of its parent *among siblings matching the step's node test* —
+//!   `td[2]` is the second `td` child (paper Equation 3), `text()[2]` the
+//!   second text-node child (the extension separating `<br>`-delimited
+//!   record fields);
+//! * predicates conjoin in source order; results are deduplicated and
+//!   returned in document order.
+//!
+//! ## Engines
+//!
+//! Three implementations share those semantics, byte-for-byte:
+//!
+//! * [`reference::evaluate`] — the tree-walking interpreter, kept as the
+//!   differential-testing oracle (`tests/xpath_differential.rs` holds the
+//!   others to it on thousands of random (page, path) pairs);
+//! * [`evaluate_compiled`] — evaluates a [`CompiledXPath`] (tags and
+//!   attributes resolved to interned [`aw_dom::Sym`]s) against the
+//!   document's [`aw_dom::DocIndex`]: `//` steps become posting-list
+//!   range probes over subtree spans, `[k]` filters read precomputed
+//!   sibling positions, attribute checks compare interned symbols;
+//! * [`BatchEvaluator`] — evaluates a whole candidate set (the wrapper
+//!   space `W(L)` of §4) at once: compiled steps are arranged in a prefix
+//!   trie so every shared prefix is evaluated once per page, and its
+//!   intermediate context node-set reused by all candidates below it.
+//!
+//! [`evaluate`] is the one-shot convenience (compile + indexed evaluate).
+//! Use [`CompiledXPath::compile`] + [`evaluate_compiled`] to apply one
+//! rule to many pages, and [`BatchEvaluator`] for many rules.
 //!
 //! ```
 //! use aw_dom::parse;
-//! use aw_xpath::{evaluate, parse_xpath};
+//! use aw_xpath::{evaluate, parse_xpath, BatchEvaluator};
 //!
 //! let doc = parse("<div class='dealerlinks'><tr><td><u>PORTER FURNITURE</u>\
 //!                  </td></tr></div>");
@@ -18,12 +57,27 @@
 //!     .filter_map(|id| doc.text(id))
 //!     .collect();
 //! assert_eq!(names, vec!["PORTER FURNITURE"]);
+//!
+//! // Batch: both rules share the `//div[..]/tr/td` prefix — it is
+//! // evaluated once.
+//! let wide = parse_xpath("//div[@class='dealerlinks']/tr/td//text()").unwrap();
+//! let batch = BatchEvaluator::from_xpaths([&rule, &wide]);
+//! let results = batch.evaluate(&doc);
+//! assert_eq!(results[0].len(), 1);
+//! assert_eq!(results[1].len(), 1);
 //! ```
 
 pub mod ast;
+pub mod batch;
+pub mod compile;
 pub mod eval;
+pub mod indexed;
 pub mod parser;
+pub mod reference;
 
 pub use ast::{Axis, NodeTest, Predicate, Step, XPath};
+pub use batch::BatchEvaluator;
+pub use compile::{CompiledPred, CompiledStep, CompiledTest, CompiledXPath};
 pub use eval::evaluate;
+pub use indexed::evaluate_compiled;
 pub use parser::{parse_xpath, ParseError};

@@ -31,7 +31,11 @@ impl std::error::Error for ParseError {}
 
 /// Parses an xpath string such as `//div[@class='x']/td[2]/text()`.
 pub fn parse_xpath(input: &str) -> Result<XPath, ParseError> {
-    let mut p = Parser { input, bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     let mut steps = Vec::new();
     if p.bytes.is_empty() {
         return Err(p.err("empty xpath"));
@@ -50,7 +54,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { at: self.pos, message: msg.into() }
+        ParseError {
+            at: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn step(&mut self) -> Result<Step, ParseError> {
@@ -69,11 +76,17 @@ impl<'a> Parser<'a> {
         // text() supports only position filters (`text()[2]` is the k-th
         // text-node child); attribute filters on text are meaningless.
         if test == NodeTest::Text
-            && predicates.iter().any(|p| matches!(p, Predicate::Attr { .. }))
+            && predicates
+                .iter()
+                .any(|p| matches!(p, Predicate::Attr { .. }))
         {
             return Err(self.err("text() takes no attribute filters"));
         }
-        Ok(Step { axis, test, predicates })
+        Ok(Step {
+            axis,
+            test,
+            predicates,
+        })
     }
 
     fn node_test(&mut self) -> Result<NodeTest, ParseError> {
@@ -196,16 +209,16 @@ mod tests {
     fn rejects_malformed() {
         for s in [
             "",
-            "div",           // missing axis
-            "//",            // missing test
-            "//div[",        // unterminated predicate
-            "//div[@]",      // missing attr name
-            "//div[@a=b]",   // unquoted value
-            "//div[@a='b]",  // unterminated value
-            "//div[0]",      // 0 position
-            "//div[x]",      // junk predicate
+            "div",              // missing axis
+            "//",               // missing test
+            "//div[",           // unterminated predicate
+            "//div[@]",         // missing attr name
+            "//div[@a=b]",      // unquoted value
+            "//div[@a='b]",     // unterminated value
+            "//div[0]",         // 0 position
+            "//div[x]",         // junk predicate
             "//text()[@a='b']", // attribute filter on text()
-            "//div]extra",   // trailing junk
+            "//div]extra",      // trailing junk
         ] {
             assert!(parse_xpath(s).is_err(), "should reject {s:?}");
         }

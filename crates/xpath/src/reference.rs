@@ -1,0 +1,125 @@
+//! The reference interpreter: a direct, tree-walking implementation of
+//! the fragment semantics.
+//!
+//! This is the original `evaluate` of this crate, kept verbatim in
+//! behavior as the differential-testing oracle for the compiled engines
+//! ([`crate::indexed`], [`crate::batch`]). It stays deliberately simple —
+//! string tag comparisons, a pre-order walk per `//` step — with one
+//! algorithmic fix: `[k]` positions are computed **once per parent**
+//! rather than once per candidate node, which removes the accidental
+//! O(siblings²) behavior the naive formulation had on wide rows.
+//!
+//! Semantics follow XPath 1.0 restricted to the fragment:
+//!
+//! * a path is absolute (anchored at the document root);
+//! * `/test` selects matching children of each context node;
+//! * `//test` selects matching descendants of each context node;
+//! * `[@a='v']` keeps elements with that attribute value;
+//! * `[k]` keeps a node if it is the k-th child *among same-test
+//!   siblings* of its parent (so `td[2]` is the second `td` child, as in
+//!   the paper's Equation (3));
+//! * results are deduplicated and returned in document order.
+
+use crate::ast::{Axis, NodeTest, Predicate, Step, XPath};
+use aw_dom::{Document, NodeId};
+use std::collections::HashMap;
+
+/// Evaluates `path` on `doc`, returning matching nodes in document order.
+pub fn evaluate(path: &XPath, doc: &Document) -> Vec<NodeId> {
+    let mut context: Vec<NodeId> = vec![doc.root()];
+    for step in &path.steps {
+        context = apply_step(doc, &context, step);
+        if context.is_empty() {
+            break;
+        }
+    }
+    context
+}
+
+/// Per-step memo: parent → 1-based position of each test-matching child.
+/// Filled lazily, once per distinct parent encountered by the step.
+type PositionCache = HashMap<NodeId, HashMap<NodeId, usize>>;
+
+fn apply_step(doc: &Document, context: &[NodeId], step: &Step) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::new();
+    let mut positions: PositionCache = HashMap::new();
+    for &ctx in context {
+        match step.axis {
+            Axis::Child => {
+                select_from(
+                    doc,
+                    doc.children(ctx).iter().copied(),
+                    step,
+                    &mut positions,
+                    &mut out,
+                );
+            }
+            Axis::Descendant => {
+                // Descendants of ctx, excluding ctx itself.
+                let iter = doc.preorder(ctx).skip(1);
+                select_from(doc, iter, step, &mut positions, &mut out);
+            }
+        }
+    }
+    // Document order + dedup. Arena ids are allocated in document order for
+    // parsed/built documents, so sorting by id is sorting by position.
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn select_from(
+    doc: &Document,
+    candidates: impl Iterator<Item = NodeId>,
+    step: &Step,
+    positions: &mut PositionCache,
+    out: &mut Vec<NodeId>,
+) {
+    for id in candidates {
+        if matches_test(doc, id, &step.test)
+            && step
+                .predicates
+                .iter()
+                .all(|p| matches_pred(doc, id, step, positions, p))
+        {
+            out.push(id);
+        }
+    }
+}
+
+fn matches_test(doc: &Document, id: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Tag(t) => doc.tag(id) == Some(t.as_str()),
+        NodeTest::AnyElement => doc.is_element(id),
+        NodeTest::Text => doc.is_text(id),
+    }
+}
+
+fn matches_pred(
+    doc: &Document,
+    id: NodeId,
+    step: &Step,
+    positions: &mut PositionCache,
+    pred: &Predicate,
+) -> bool {
+    match pred {
+        Predicate::Attr { name, value } => doc.attr(id, name) == Some(value.as_str()),
+        Predicate::Position(k) => {
+            let Some(parent) = doc.parent(id) else {
+                return false;
+            };
+            let by_child = positions.entry(parent).or_insert_with(|| {
+                let mut map = HashMap::new();
+                let mut pos = 0;
+                for &sib in doc.children(parent) {
+                    if matches_test(doc, sib, &step.test) {
+                        pos += 1;
+                        map.insert(sib, pos);
+                    }
+                }
+                map
+            });
+            by_child.get(&id) == Some(k)
+        }
+    }
+}

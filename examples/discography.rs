@@ -38,7 +38,11 @@ fn main() {
     if let Some(best) = outcome.best() {
         println!("\nsite {}: {} noisy labels", sample.id, labels.len());
         println!("learned wrapper: {}", best.rule);
-        let known: Vec<&str> = dataset.track_dictionary.iter().map(|s| s.as_str()).collect();
+        let known: Vec<&str> = dataset
+            .track_dictionary
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
         let mut unseen = 0;
         for &n in &best.extraction {
             let t = sample.site.text_of(n).unwrap();

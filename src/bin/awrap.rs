@@ -72,12 +72,7 @@ fn read_pages(dir: &str) -> Result<Vec<String>, String> {
     let mut files: Vec<_> = std::fs::read_dir(Path::new(dir))
         .map_err(|e| format!("cannot read {dir}: {e}"))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| {
-            matches!(
-                p.extension().and_then(|x| x.to_str()),
-                Some("html" | "htm")
-            )
-        })
+        .filter(|p| matches!(p.extension().and_then(|x| x.to_str()), Some("html" | "htm")))
         .collect();
     files.sort();
     if files.is_empty() {
@@ -93,11 +88,26 @@ fn read_pages(dir: &str) -> Result<Vec<String>, String> {
 /// listing records typically carry 2–6 text fields and align well.
 fn default_publication_model() -> PublicationModel {
     PublicationModel::learn(&[
-        ListFeatures { schema_size: 2.0, alignment: 0.0 },
-        ListFeatures { schema_size: 3.0, alignment: 0.0 },
-        ListFeatures { schema_size: 4.0, alignment: 0.0 },
-        ListFeatures { schema_size: 5.0, alignment: 1.0 },
-        ListFeatures { schema_size: 3.0, alignment: 2.0 },
+        ListFeatures {
+            schema_size: 2.0,
+            alignment: 0.0,
+        },
+        ListFeatures {
+            schema_size: 3.0,
+            alignment: 0.0,
+        },
+        ListFeatures {
+            schema_size: 4.0,
+            alignment: 0.0,
+        },
+        ListFeatures {
+            schema_size: 5.0,
+            alignment: 1.0,
+        },
+        ListFeatures {
+            schema_size: 3.0,
+            alignment: 2.0,
+        },
     ])
 }
 
@@ -107,11 +117,24 @@ fn demo() -> Result<(), String> {
     let gs = &ds.sites[0];
     let annotator = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
     let labels = annotator.annotate(&gs.site);
-    println!("demo site: {} pages, {} text nodes", gs.site.page_count(), gs.site.text_nodes().len());
-    println!("dictionary annotator produced {} noisy labels", labels.len());
+    println!(
+        "demo site: {} pages, {} text nodes",
+        gs.site.page_count(),
+        gs.site.text_nodes().len()
+    );
+    println!(
+        "dictionary annotator produced {} noisy labels",
+        labels.len()
+    );
 
     let model = RankingModel::new(AnnotatorModel::new(0.9, 0.3), default_publication_model());
-    let out = learn(&gs.site, WrapperLanguage::XPath, &labels, &model, &NtwConfig::default());
+    let out = learn(
+        &gs.site,
+        WrapperLanguage::XPath,
+        &labels,
+        &model,
+        &NtwConfig::default(),
+    );
     let best = out.best().ok_or("no labels, no wrapper")?;
     println!("\nlearned wrapper: {}", best.rule);
     println!("extraction ({} nodes):", best.extraction.len());
@@ -119,7 +142,10 @@ fn demo() -> Result<(), String> {
         println!("  {}", gs.site.text_of(n).unwrap_or("?"));
     }
     let score = aw_eval::prf1(&best.extraction, gs.gold());
-    println!("\nvs (hidden) gold labels: P={:.3} R={:.3} F1={:.3}", score.precision, score.recall, score.f1);
+    println!(
+        "\nvs (hidden) gold labels: P={:.3} R={:.3} F1={:.3}",
+        score.precision, score.recall, score.f1
+    );
     Ok(())
 }
 
@@ -137,26 +163,52 @@ fn learn_cmd(args: &[String]) -> Result<(), String> {
         Some("exact") => MatchMode::Exact,
         Some(other) => return Err(format!("unknown match mode {other:?}")),
     };
-    let p: f64 = flag(args, "--p").map(|s| s.parse()).transpose().map_err(|e| format!("--p: {e}"))?.unwrap_or(0.9);
-    let r: f64 = flag(args, "--r").map(|s| s.parse()).transpose().map_err(|e| format!("--r: {e}"))?.unwrap_or(0.3);
-    let top: usize = flag(args, "--top").map(|s| s.parse()).transpose().map_err(|e| format!("--top: {e}"))?.unwrap_or(5);
+    let p: f64 = flag(args, "--p")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--p: {e}"))?
+        .unwrap_or(0.9);
+    let r: f64 = flag(args, "--r")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--r: {e}"))?
+        .unwrap_or(0.3);
+    let top: usize = flag(args, "--top")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--top: {e}"))?
+        .unwrap_or(5);
 
     let pages = read_pages(&dir)?;
     let site = Site::from_html(&pages);
-    let dict = std::fs::read_to_string(&dict_path)
-        .map_err(|e| format!("{dict_path}: {e}"))?;
-    let annotator = DictionaryAnnotator::new(dict.lines().filter(|l| !l.trim().is_empty()), match_mode);
+    let dict = std::fs::read_to_string(&dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
+    let annotator =
+        DictionaryAnnotator::new(dict.lines().filter(|l| !l.trim().is_empty()), match_mode);
     let labels = annotator.annotate(&site);
-    println!("{} pages, {} dictionary entries, {} noisy labels", site.page_count(), annotator.len(), labels.len());
+    println!(
+        "{} pages, {} dictionary entries, {} noisy labels",
+        site.page_count(),
+        annotator.len(),
+        labels.len()
+    );
     if labels.is_empty() {
         return Err("the annotator labeled nothing; check the dictionary".into());
     }
 
     let model = RankingModel::new(AnnotatorModel::new(p, r), default_publication_model());
     let out = learn(&site, language, &labels, &model, &NtwConfig::default());
-    println!("\nwrapper space: {} candidates ({} inductor calls)", out.wrapper_space_size, out.inductor_calls);
+    println!(
+        "\nwrapper space: {} candidates ({} inductor calls)",
+        out.wrapper_space_size, out.inductor_calls
+    );
     for (i, w) in out.ranked.iter().take(top).enumerate() {
-        println!("  #{:<2} score {:9.3}  n={:<4} {}", i + 1, w.score.total, w.extraction.len(), w.rule);
+        println!(
+            "  #{:<2} score {:9.3}  n={:<4} {}",
+            i + 1,
+            w.score.total,
+            w.extraction.len(),
+            w.rule
+        );
     }
     let best = out.best().expect("nonempty labels");
     println!("\nbest wrapper extraction:");
@@ -185,7 +237,10 @@ fn extract_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn experiment_cmd(args: &[String]) -> Result<(), String> {
-    let name = args.first().ok_or("experiment NAME required; see --help")?.as_str();
+    let name = args
+        .first()
+        .ok_or("experiment NAME required; see --help")?
+        .as_str();
     if has_flag(args, "--quick") {
         std::env::set_var("AW_SCALE", "quick");
     }
@@ -193,7 +248,9 @@ fn experiment_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn run_experiments(name: &str) -> Result<(), String> {
-    use aw_eval::experiments::{accuracy, calls, multitype, single_entity, table1, timing, variants};
+    use aw_eval::experiments::{
+        accuracy, calls, multitype, single_entity, table1, timing, variants,
+    };
     use aw_eval::Method;
 
     let dealers = || {
@@ -216,19 +273,25 @@ fn run_experiments(name: &str) -> Result<(), String> {
     };
 
     let known = [
-        "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f", "fig2g", "fig2h", "fig2i",
-        "table1", "fig3a", "fig3b", "fig3c", "b2",
+        "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f", "fig2g", "fig2h", "fig2i", "table1",
+        "fig3a", "fig3b", "fig3c", "b2",
     ];
     let run_one = |id: &str| -> Result<(), String> {
         println!("── {id} ───────────────────────────────────────────");
         match id {
             "fig2a" => {
                 let (ds, a) = dealers();
-                println!("{}", calls::run(&ds.sites, |s| a.annotate(&s.site), WrapperLanguage::Lr));
+                println!(
+                    "{}",
+                    calls::run(&ds.sites, |s| a.annotate(&s.site), WrapperLanguage::Lr)
+                );
             }
             "fig2b" => {
                 let (ds, a) = dealers();
-                println!("{}", calls::run(&ds.sites, |s| a.annotate(&s.site), WrapperLanguage::XPath));
+                println!(
+                    "{}",
+                    calls::run(&ds.sites, |s| a.annotate(&s.site), WrapperLanguage::XPath)
+                );
             }
             "fig2c" => {
                 let (ds, a) = dealers();
@@ -236,18 +299,51 @@ fn run_experiments(name: &str) -> Result<(), String> {
             }
             "fig2d" | "fig2e" => {
                 let (ds, a) = dealers();
-                let lang = if id == "fig2d" { WrapperLanguage::XPath } else { WrapperLanguage::Lr };
-                println!("{}", accuracy::run("DEALERS", &ds.sites, |s| a.annotate(&s.site), lang, &[Method::Naive, Method::Ntw]));
+                let lang = if id == "fig2d" {
+                    WrapperLanguage::XPath
+                } else {
+                    WrapperLanguage::Lr
+                };
+                println!(
+                    "{}",
+                    accuracy::run(
+                        "DEALERS",
+                        &ds.sites,
+                        |s| a.annotate(&s.site),
+                        lang,
+                        &[Method::Naive, Method::Ntw]
+                    )
+                );
             }
             "fig2f" | "fig2g" => {
                 let (ds, a) = disc();
-                let lang = if id == "fig2f" { WrapperLanguage::XPath } else { WrapperLanguage::Lr };
-                println!("{}", accuracy::run("DISC", &ds.sites, |s| a.annotate(&s.site), lang, &[Method::Naive, Method::Ntw]));
+                let lang = if id == "fig2f" {
+                    WrapperLanguage::XPath
+                } else {
+                    WrapperLanguage::Lr
+                };
+                println!(
+                    "{}",
+                    accuracy::run(
+                        "DISC",
+                        &ds.sites,
+                        |s| a.annotate(&s.site),
+                        lang,
+                        &[Method::Naive, Method::Ntw]
+                    )
+                );
             }
             "fig2h" | "fig2i" => {
                 let (ds, a) = dealers();
-                let lang = if id == "fig2h" { WrapperLanguage::XPath } else { WrapperLanguage::Lr };
-                println!("{}", variants::run("DEALERS", &ds.sites, |s| a.annotate(&s.site), lang));
+                let lang = if id == "fig2h" {
+                    WrapperLanguage::XPath
+                } else {
+                    WrapperLanguage::Lr
+                };
+                println!(
+                    "{}",
+                    variants::run("DEALERS", &ds.sites, |s| a.annotate(&s.site), lang)
+                );
             }
             "table1" => {
                 let (ds, _) = dealers();
@@ -264,7 +360,16 @@ fn run_experiments(name: &str) -> Result<(), String> {
                 };
                 let ds = aw_sitegen::generate_products(&cfg);
                 let a = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
-                println!("{}", accuracy::run("PRODUCTS", &ds.sites, |s| a.annotate(&s.site), WrapperLanguage::XPath, &[Method::Naive, Method::Ntw]));
+                println!(
+                    "{}",
+                    accuracy::run(
+                        "PRODUCTS",
+                        &ds.sites,
+                        |s| a.annotate(&s.site),
+                        WrapperLanguage::XPath,
+                        &[Method::Naive, Method::Ntw]
+                    )
+                );
             }
             "b2" => {
                 let (ds, _) = disc();

@@ -47,9 +47,15 @@ fn dealers_hlrt_pipeline() {
     // HLRT is blackbox-only; exercises the BottomUp fallback path.
     let ds = generate_dealers(&DealersConfig::small(10, 1003));
     let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
-    let (naive_f1, ntw_f1) =
-        run_domain(&ds.sites, |s| annot.annotate(&s.site), WrapperLanguage::Hlrt);
-    assert!(ntw_f1 >= naive_f1 - 0.05, "NTW {ntw_f1} vs NAIVE {naive_f1}");
+    let (naive_f1, ntw_f1) = run_domain(
+        &ds.sites,
+        |s| annot.annotate(&s.site),
+        WrapperLanguage::Hlrt,
+    );
+    assert!(
+        ntw_f1 >= naive_f1 - 0.05,
+        "NTW {ntw_f1} vs NAIVE {naive_f1}"
+    );
     assert!(ntw_f1 > 0.5, "HLRT NTW too weak: {ntw_f1}");
 }
 
@@ -91,13 +97,17 @@ fn learned_rules_are_reparsable_xpaths() {
         if labels.is_empty() {
             continue;
         }
-        let out = learn(&gs.site, WrapperLanguage::XPath, &labels, &model, &NtwConfig::default());
+        let out = learn(
+            &gs.site,
+            WrapperLanguage::XPath,
+            &labels,
+            &model,
+            &NtwConfig::default(),
+        );
         let best = out.best().unwrap();
         let xp = parse_xpath(&best.rule).unwrap_or_else(|e| panic!("{}: {e}", best.rule));
         let by_eval: NodeSet = (0..gs.site.page_count() as u32)
-            .flat_map(|p| {
-                evaluate_xpath_on_page(&xp, &gs.site, p)
-            })
+            .flat_map(|p| evaluate_xpath_on_page(&xp, &gs.site, p))
             .collect();
         assert_eq!(by_eval, best.extraction, "rule {}", best.rule);
     }
@@ -135,5 +145,8 @@ fn multi_type_end_to_end() {
             }
         }
     }
-    assert!(assembled_ok >= test.len() / 2, "only {assembled_ok} sites assembled");
+    assert!(
+        assembled_ok >= test.len() / 2,
+        "only {assembled_ok} sites assembled"
+    );
 }

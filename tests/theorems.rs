@@ -32,7 +32,9 @@ fn noisy_labels(seed: u64, cap: usize) -> (aw_sitegen::DealersDataset, NodeSet) 
         items.into_iter().collect()
     } else {
         let stride = items.len() as f64 / cap as f64;
-        (0..cap).map(|i| items[(i as f64 * stride) as usize]).collect()
+        (0..cap)
+            .map(|i| items[(i as f64 * stride) as usize])
+            .collect()
     };
     (ds, labels)
 }

@@ -1,0 +1,247 @@
+//! Differential testing of the xpath engines.
+//!
+//! The compiled engines (`aw_xpath::indexed`, `aw_xpath::BatchEvaluator`)
+//! must return **byte-identical node sets** to the reference interpreter
+//! (`aw_xpath::reference`) on every (page, xpath) pair. This suite drives
+//! all three over:
+//!
+//! * ≥ 1000 random pairs — sitegen pages (DEALERS and DISC shapes) ×
+//!   random xpaths drawn from the fragment grammar;
+//! * fuzz-shaped documents (markup soup) × the same grammar;
+//! * learned rules: every wrapper enumerated from noisy labels on a
+//!   dealer site, replayed through single and batch evaluation.
+
+use aw_dom::Document;
+use aw_sitegen::{generate_dealers, generate_disc, DealersConfig, DiscConfig};
+use aw_xpath::{reference, Axis, BatchEvaluator, CompiledXPath, NodeTest, Predicate, Step, XPath};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Tags that occur in generated sites, plus misses and junk.
+const TAGS: &[&str] = &[
+    "div",
+    "table",
+    "tr",
+    "td",
+    "u",
+    "b",
+    "ul",
+    "ol",
+    "li",
+    "span",
+    "h1",
+    "h2",
+    "p",
+    "a",
+    "br",
+    "em",
+    "nonexistent",
+    "q7z",
+];
+const ATTR_NAMES: &[&str] = &["class", "id", "href", "colspan"];
+const ATTR_VALUES: &[&str] = &[
+    "dealerlinks",
+    "list",
+    "content",
+    "footer",
+    "sidebar",
+    "stores",
+    "row",
+    "x",
+    "missing",
+];
+
+/// A random xpath of the fragment: 1–5 steps, each with optional
+/// position/attribute predicates, optionally ending in `text()`.
+fn random_xpath(rng: &mut StdRng) -> XPath {
+    let n_steps = rng.gen_range(1..=5usize);
+    let mut steps = Vec::with_capacity(n_steps);
+    for i in 0..n_steps {
+        let last = i + 1 == n_steps;
+        let test = if last && rng.gen_bool(0.4) {
+            NodeTest::Text
+        } else if rng.gen_bool(0.1) {
+            NodeTest::AnyElement
+        } else {
+            NodeTest::Tag(TAGS.choose(rng).unwrap().to_string())
+        };
+        let mut predicates = Vec::new();
+        if rng.gen_bool(0.3) {
+            predicates.push(Predicate::Position(rng.gen_range(1..=3usize)));
+        }
+        if !matches!(test, NodeTest::Text) && rng.gen_bool(0.25) {
+            predicates.push(Predicate::Attr {
+                name: ATTR_NAMES.choose(rng).unwrap().to_string(),
+                value: ATTR_VALUES.choose(rng).unwrap().to_string(),
+            });
+        }
+        steps.push(Step {
+            // Descendant-heavy: absolute child paths from the root rarely
+            // reach into a real page, and misses exercise less code.
+            axis: if i == 0 || rng.gen_bool(0.6) {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            },
+            test,
+            predicates,
+        });
+    }
+    XPath::new(steps)
+}
+
+/// Asserts all three engines agree on one (doc, path) pair.
+#[track_caller]
+fn assert_engines_agree(doc: &Document, path: &XPath) {
+    let expected = reference::evaluate(path, doc);
+    let compiled = CompiledXPath::compile(path);
+    let indexed = aw_xpath::evaluate_compiled(&compiled, doc);
+    assert_eq!(indexed, expected, "indexed engine differs for {path}");
+    let batch = BatchEvaluator::new(&[compiled]);
+    let batched = batch.evaluate(doc).remove(0);
+    assert_eq!(batched, expected, "batch engine differs for {path}");
+}
+
+#[test]
+fn engines_agree_on_1000_random_site_page_pairs() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut pages: Vec<Document> = Vec::new();
+    for seed in 0..6 {
+        let ds = generate_dealers(&DealersConfig {
+            sites: 2,
+            pages_per_site: 2,
+            seed: 100 + seed,
+            ..DealersConfig::default()
+        });
+        for gs in &ds.sites {
+            for p in 0..gs.site.page_count() as u32 {
+                pages.push(gs.site.page(p).clone());
+            }
+        }
+        let disc = generate_disc(&DiscConfig {
+            sites: 1,
+            albums_per_site: (2, 3),
+            seed: 300 + seed,
+            ..DiscConfig::default()
+        });
+        for p in 0..disc.sites[0].site.page_count() as u32 {
+            pages.push(disc.sites[0].site.page(p).clone());
+        }
+    }
+    assert!(pages.len() >= 20, "corpus too small: {}", pages.len());
+
+    let mut checked = 0usize;
+    let mut nonempty = 0usize;
+    while checked < 1200 {
+        let doc = pages.choose(&mut rng).unwrap();
+        let path = random_xpath(&mut rng);
+        if !reference::evaluate(&path, doc).is_empty() {
+            nonempty += 1;
+        }
+        assert_engines_agree(doc, &path);
+        checked += 1;
+    }
+    // The grammar must actually exercise matching paths, not just misses.
+    assert!(
+        nonempty > 100,
+        "only {nonempty} of {checked} pairs matched anything"
+    );
+}
+
+#[test]
+fn engines_agree_on_markup_soup() {
+    let mut rng = StdRng::seed_from_u64(0x50FA);
+    let fragments = [
+        "<div>",
+        "</div>",
+        "<td class='x'>",
+        "text",
+        "<u>",
+        "</u>",
+        "<br>",
+        "<tr>",
+        "</tr>",
+        "more words",
+        "<table>",
+        "</table>",
+        "<li>",
+        "&amp;",
+        "<p",
+        "'",
+        ">",
+    ];
+    for _ in 0..300 {
+        let n = rng.gen_range(0..30usize);
+        let soup: String = (0..n)
+            .map(|_| *fragments.choose(&mut rng).unwrap())
+            .collect::<Vec<_>>()
+            .concat();
+        let doc = aw_dom::parse(&soup);
+        for _ in 0..4 {
+            assert_engines_agree(&doc, &random_xpath(&mut rng));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_every_enumerated_wrapper() {
+    use aw_annotate::{DictionaryAnnotator, MatchMode};
+    use aw_enum::top_down;
+    use aw_induct::{NodeSet, XPathInductor};
+
+    let ds = generate_dealers(&DealersConfig {
+        sites: 2,
+        pages_per_site: 3,
+        seed: 0xBA7C,
+        ..DealersConfig::default()
+    });
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+    for gs in &ds.sites {
+        let labels: NodeSet = annot.annotate(&gs.site);
+        if labels.is_empty() {
+            continue;
+        }
+        let ind = XPathInductor::new(&gs.site);
+        let space = top_down(&ind, &labels);
+        let candidates = space.xpath_candidates();
+        assert!(!candidates.is_empty());
+
+        // Batch evaluation of the whole space, page by page, must equal
+        // per-wrapper reference evaluation.
+        let paths: Vec<XPath> = candidates.iter().map(|(_, xp)| xp.clone()).collect();
+        let batch = BatchEvaluator::from_xpaths(paths.iter());
+        for p in 0..gs.site.page_count() as u32 {
+            let doc = gs.site.page(p);
+            let results = batch.evaluate(doc);
+            for (path, got) in paths.iter().zip(&results) {
+                assert_eq!(
+                    got,
+                    &reference::evaluate(path, doc),
+                    "wrapper {path} on page {p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn display_roundtrip_preserves_engine_agreement() {
+    // Parsing a rendered path and evaluating both forms through both
+    // engines closes the loop between the parser, Display, and the
+    // compiled representations.
+    let mut rng = StdRng::seed_from_u64(0x0DD);
+    let ds = generate_dealers(&DealersConfig {
+        sites: 1,
+        pages_per_site: 1,
+        seed: 77,
+        ..DealersConfig::default()
+    });
+    let doc = ds.sites[0].site.page(0);
+    for _ in 0..200 {
+        let path = random_xpath(&mut rng);
+        let reparsed = aw_xpath::parse_xpath(&path.to_string()).expect("rendered path parses");
+        assert_eq!(reparsed, path);
+        assert_engines_agree(doc, &reparsed);
+    }
+}
