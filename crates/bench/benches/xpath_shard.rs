@@ -1,0 +1,420 @@
+//! Site-sharded wrapper-space evaluation with a machine-readable report.
+//!
+//! The cross-site workload behind the scale story (§7: hundreds of sites
+//! × thousands of pages). Before sharding, the pipeline carried one
+//! **deduplicated cross-site space** — the union of every site's
+//! candidates — and evaluated all of it over every page (rule replay
+//! applies the whole rule set to each crawled page). Site-sharding
+//! observes that a rule only matters on its own site: one
+//! predicate-aware trie per site, each evaluated only against that
+//! site's pages, page-parallel through a `WorkPool`.
+//!
+//! Strategies timed on the **global workload** (dedup space × all
+//! pages, the pre-sharding pipeline):
+//!
+//! * `reference` — per-rule tree-walking interpretation;
+//! * `indexed`   — per-rule compiled evaluation against the `DocIndex`;
+//! * `global batch` — the whole dedup space in one `BatchEvaluator`.
+//!
+//! Strategies timed on the **sharded workload** (each site's candidates
+//! × that site's pages — the part of the global workload the pipeline
+//! actually needs):
+//!
+//! * `indexed (site-local)` — per-rule compiled evaluation;
+//! * `sharded` — `ShardedBatch`, sequential;
+//! * `sharded ×N` — the same tries, page-parallel with N threads
+//!   (measured only when more than one core is available).
+//!
+//! The run writes `BENCH_xpath.json` (schema documented in
+//! `crates/bench/README.md`) to `$BENCH_JSON` (default
+//! `<workspace>/target/BENCH_xpath.json`). When `$BENCH_BASELINE` names
+//! a committed baseline file, measured speedups below its thresholds
+//! fail the process — the CI perf gate.
+
+use aw_annotate::{DictionaryAnnotator, MatchMode};
+use aw_dom::Document;
+use aw_enum::top_down;
+use aw_eval::WorkPool;
+use aw_induct::{NodeSet, XPathInductor};
+use aw_sitegen::{generate_dealers, DealersConfig};
+use aw_xpath::{evaluate_compiled, reference, BatchEvaluator, CompiledXPath, ShardedBatch, XPath};
+use serde::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct SiteData {
+    pages: Vec<Document>,
+    paths: Vec<XPath>,
+    compiled: Vec<CompiledXPath>,
+}
+
+/// Dealer sites with their enumerated per-site candidate spaces.
+fn corpus() -> Vec<SiteData> {
+    let quick = matches!(std::env::var("AW_SCALE").as_deref(), Ok("quick"));
+    let (sites, pages_per_site) = if quick { (6, 4) } else { (24, 12) };
+    let ds = generate_dealers(&DealersConfig {
+        sites,
+        pages_per_site,
+        seed: 0x5AAD,
+        ..DealersConfig::default()
+    });
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+
+    let mut out: Vec<SiteData> = Vec::new();
+    for gs in &ds.sites {
+        let labels: NodeSet = annot.annotate(&gs.site);
+        if labels.is_empty() {
+            continue;
+        }
+        let ind = XPathInductor::new(&gs.site);
+        let paths: Vec<XPath> = top_down(&ind, &labels)
+            .xpath_candidates()
+            .into_iter()
+            .map(|(_, xp)| xp)
+            .collect();
+        if paths.is_empty() {
+            continue;
+        }
+        let compiled = paths.iter().map(CompiledXPath::compile).collect();
+        out.push(SiteData {
+            pages: gs.site.pages().to_vec(),
+            paths,
+            compiled,
+        });
+    }
+    assert!(out.len() >= 3, "corpus too small: {} sites", out.len());
+    out
+}
+
+/// Global workload: every dedup'd rule over every page, per-rule
+/// reference interpretation.
+fn eval_reference_global(pages: &[(usize, &Document)], space: &[XPath]) -> usize {
+    let mut nodes = 0;
+    for (_, page) in pages {
+        for path in space {
+            nodes += reference::evaluate(path, page).len();
+        }
+    }
+    nodes
+}
+
+/// Global workload, per-rule indexed evaluation (the pre-sharding
+/// production strategy and the acceptance baseline).
+fn eval_indexed_global(pages: &[(usize, &Document)], space: &[CompiledXPath]) -> usize {
+    let mut nodes = 0;
+    for (_, page) in pages {
+        for path in space {
+            nodes += evaluate_compiled(path, page).len();
+        }
+    }
+    nodes
+}
+
+/// Sharded workload, per-rule indexed evaluation (same output as the
+/// sharded engine, no trie sharing).
+fn eval_indexed_local(sites: &[SiteData]) -> usize {
+    let mut nodes = 0;
+    for site in sites {
+        for page in &site.pages {
+            for path in &site.compiled {
+                nodes += evaluate_compiled(path, page).len();
+            }
+        }
+    }
+    nodes
+}
+
+fn eval_sharded(sharded: &ShardedBatch, pages: &[(usize, &Document)], pool: &WorkPool) -> usize {
+    sharded
+        .evaluate_pages(pages, pool)
+        .iter()
+        .flat_map(|page| page.iter().map(|(_, nodes)| nodes.len()))
+        .sum()
+}
+
+/// Best wall-clock of `passes` runs, in seconds.
+fn time(passes: u32, f: &dyn Fn() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn num(n: f64) -> Value {
+    Value::Number(n)
+}
+
+fn main() {
+    let sites = corpus();
+    let tagged: Vec<(usize, CompiledXPath)> = sites
+        .iter()
+        .enumerate()
+        .flat_map(|(s, site)| site.compiled.iter().cloned().map(move |c| (s, c)))
+        .collect();
+    let sharded = ShardedBatch::new(tagged);
+    let pages: Vec<(usize, &Document)> = sites
+        .iter()
+        .enumerate()
+        .flat_map(|(s, site)| site.pages.iter().map(move |p| (s, p)))
+        .collect();
+
+    // The deduplicated cross-site space the pre-sharding pipeline carried.
+    let mut seen = std::collections::BTreeSet::new();
+    let global_space: Vec<XPath> = sites
+        .iter()
+        .flat_map(|site| site.paths.iter())
+        .filter(|xp| seen.insert(xp.to_string()))
+        .cloned()
+        .collect();
+    let global_compiled: Vec<CompiledXPath> =
+        global_space.iter().map(CompiledXPath::compile).collect();
+    let global_batch = BatchEvaluator::new(&global_compiled);
+
+    // Warm the per-document indexes so every engine measures steady-state
+    // evaluation (`reference` does not use them at all).
+    for (_, page) in &pages {
+        page.index();
+    }
+
+    // All engines must agree before anything is timed: the sharded pairs
+    // element-wise against per-rule indexed evaluation (identical
+    // site-local workload), and the global trie against per-rule indexed
+    // node totals on the global workload.
+    let seq = WorkPool::with_threads(1);
+    for (&(key, page), results) in pages.iter().zip(sharded.evaluate_pages(&pages, &seq)) {
+        let site = &sites[key];
+        assert_eq!(results.len(), site.compiled.len());
+        for ((_, nodes), compiled) in results.iter().zip(&site.compiled) {
+            assert_eq!(nodes, &evaluate_compiled(compiled, page), "site {key}");
+        }
+    }
+    let global_nodes = eval_indexed_global(&pages, &global_compiled);
+    assert_eq!(eval_reference_global(&pages, &global_space), global_nodes);
+    assert_eq!(
+        pages
+            .iter()
+            .map(|(_, p)| global_batch.evaluate(p).iter().map(Vec::len).sum::<usize>())
+            .sum::<usize>(),
+        global_nodes
+    );
+
+    let candidates: usize = sites.iter().map(|s| s.paths.len()).sum();
+    let local_pairs: usize = sites.iter().map(|s| s.paths.len() * s.pages.len()).sum();
+    let global_pairs = global_space.len() * pages.len();
+    println!(
+        "corpus: {} sites, {} pages, {} candidates ({} deduplicated globally); \
+         global workload {} (rule, page) pairs, site-local {} pairs",
+        sites.len(),
+        pages.len(),
+        candidates,
+        global_space.len(),
+        global_pairs,
+        local_pairs,
+    );
+    println!(
+        "sharded tries: {} bare steps / {} variants; global trie: {} / {}",
+        sharded.distinct_steps(),
+        sharded.distinct_variants(),
+        global_batch.distinct_steps(),
+        global_batch.distinct_variants(),
+    );
+
+    let passes: u32 = std::env::var("BENCH_PASSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let t_ref = time(passes, &|| eval_reference_global(&pages, &global_space));
+    let t_idx = time(passes, &|| eval_indexed_global(&pages, &global_compiled));
+    let t_gbatch = time(passes, &|| {
+        pages
+            .iter()
+            .map(|(_, p)| global_batch.evaluate(p).iter().map(Vec::len).sum::<usize>())
+            .sum()
+    });
+    let t_idx_local = time(passes, &|| eval_indexed_local(&sites));
+    let t_shard = time(passes, &|| eval_sharded(&sharded, &pages, &seq));
+
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut parallel: Vec<(usize, f64)> = Vec::new();
+    if available > 1 {
+        let mut counts = vec![2usize];
+        if available >= 4 {
+            counts.push(4);
+        }
+        if !counts.contains(&available) {
+            counts.push(available);
+        }
+        for k in counts {
+            let pool = WorkPool::with_threads(k);
+            parallel.push((k, time(passes, &|| eval_sharded(&sharded, &pages, &pool))));
+        }
+    }
+
+    let ms = 1e3;
+    println!(
+        "global workload:  reference {:.3} ms, per-rule indexed {:.3} ms, \
+         global batch trie {:.3} ms",
+        t_ref * ms,
+        t_idx * ms,
+        t_gbatch * ms,
+    );
+    println!(
+        "sharded workload: per-rule indexed {:.3} ms, sharded batch {:.3} ms",
+        t_idx_local * ms,
+        t_shard * ms,
+    );
+    println!(
+        "speedups: sharded vs per-rule indexed (dedup cross-site space) {:.1}x, \
+         vs global batch trie {:.1}x, vs site-local per-rule indexed {:.1}x; \
+         global batch vs reference {:.1}x",
+        t_idx / t_shard,
+        t_gbatch / t_shard,
+        t_idx_local / t_shard,
+        t_ref / t_gbatch,
+    );
+    if parallel.is_empty() {
+        println!("parallel scaling: skipped ({available} core available)");
+    }
+    for &(k, t) in &parallel {
+        println!(
+            "  sharded x{k} threads: {:.3} ms ({:.2}x over sequential sharded)",
+            t * ms,
+            t_shard / t,
+        );
+    }
+
+    let scaling = |pairs: &[(usize, f64)]| -> Value {
+        Value::Object(
+            pairs
+                .iter()
+                .map(|&(k, t)| (k.to_string(), num(t_shard / t)))
+                .collect(),
+        )
+    };
+    let report = obj(vec![
+        ("schema", num(1.0)),
+        ("bench", Value::String("xpath_shard".into())),
+        (
+            "corpus",
+            obj(vec![
+                ("sites", num(sites.len() as f64)),
+                ("pages", num(pages.len() as f64)),
+                ("candidates", num(candidates as f64)),
+                ("candidates_deduplicated", num(global_space.len() as f64)),
+                ("global_pairs", num(global_pairs as f64)),
+                ("site_local_pairs", num(local_pairs as f64)),
+                (
+                    "sharded_distinct_steps",
+                    num(sharded.distinct_steps() as f64),
+                ),
+                (
+                    "sharded_distinct_variants",
+                    num(sharded.distinct_variants() as f64),
+                ),
+            ]),
+        ),
+        (
+            "timings_ms",
+            obj(vec![
+                ("reference_global", num(t_ref * ms)),
+                ("indexed_global", num(t_idx * ms)),
+                ("global_batch", num(t_gbatch * ms)),
+                ("indexed_local", num(t_idx_local * ms)),
+                ("sharded", num(t_shard * ms)),
+                (
+                    "sharded_parallel",
+                    Value::Object(
+                        parallel
+                            .iter()
+                            .map(|&(k, t)| (k.to_string(), num(t * ms)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "speedups",
+            obj(vec![
+                ("sharded_vs_indexed", num(t_idx / t_shard)),
+                ("sharded_vs_global_batch", num(t_gbatch / t_shard)),
+                ("sharded_vs_indexed_local", num(t_idx_local / t_shard)),
+                ("batch_vs_reference", num(t_ref / t_gbatch)),
+                ("indexed_vs_reference", num(t_ref / t_idx)),
+                ("parallel_scaling", scaling(&parallel)),
+            ]),
+        ),
+        ("threads_available", num(available as f64)),
+        ("passes", num(passes as f64)),
+    ]);
+
+    let json_path = std::env::var("BENCH_JSON").unwrap_or_else(|_| {
+        // CARGO_MANIFEST_DIR is crates/bench; the workspace target dir
+        // sits two levels up.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_xpath.json").to_string()
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&json_path, rendered + "\n")
+        .unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    println!("wrote {json_path}");
+
+    if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
+        gate(&report, &baseline_path);
+    }
+}
+
+/// Fails the process when a measured speedup drops below the committed
+/// baseline's `min_speedup` thresholds (kept generous: CI runners are
+/// noisy and slow).
+fn gate(report: &Value, baseline_path: &str) {
+    // Cargo runs bench binaries with the package as working directory;
+    // fall back to resolving workspace-root-relative paths.
+    let from_root = format!(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../{}"),
+        baseline_path
+    );
+    let text = std::fs::read_to_string(baseline_path)
+        .or_else(|_| std::fs::read_to_string(&from_root))
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse baseline {baseline_path}: {e}"));
+    let minimums = baseline
+        .get("min_speedup")
+        .expect("baseline has a min_speedup object");
+    let Value::Object(entries) = minimums else {
+        panic!("min_speedup must be an object");
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+    for (metric, min) in entries {
+        let min = min.as_f64().expect("threshold is a number");
+        let measured = report
+            .get("speedups")
+            .and_then(|s| s.get(metric))
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("baseline names unknown speedup metric '{metric}'"));
+        if measured < min {
+            failures.push(format!(
+                "  {metric}: measured {measured:.2}x < baseline minimum {min:.2}x"
+            ));
+        } else {
+            println!("gate ok: {metric} {measured:.2}x >= {min:.2}x");
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("BENCH GATE FAILED against {baseline_path}:");
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench gate passed ({baseline_path})");
+}

@@ -14,5 +14,5 @@ pub mod report;
 
 pub use harness::{evaluate, learn_annotator, learn_model, split_half, EvalOutcome, Method};
 pub use metrics::{macro_average, prf1, PrF1};
-pub use parallel::par_map;
+pub use parallel::{par_map, WorkPool};
 pub use report::{to_json, write_json};

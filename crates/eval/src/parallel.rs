@@ -1,55 +1,25 @@
-//! Tiny scoped parallel map used by the harness (330 sites × enumeration
-//! is embarrassingly parallel).
+//! Parallel execution facade for the experiment harness.
+//!
+//! The implementation lives in [`aw_pool`] (a dependency-free crate low
+//! enough in the workspace graph that the xpath/rank/core layers use it
+//! too); this module re-exports [`WorkPool`] and keeps the historical
+//! [`par_map`] entry point (330 sites × enumeration is embarrassingly
+//! parallel).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+pub use aw_pool::WorkPool;
 
 /// Applies `f` to every item on all available cores, preserving order.
+///
+/// Equivalent to `WorkPool::auto().map(items, f)`: chunked dynamic
+/// scheduling with per-thread outputs stitched in input order (no shared
+/// output lock), deterministic across thread counts.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len());
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let r = f(&items[i]);
-                    out.lock().expect("no poisoned worker")[i] = Some(r);
-                })
-            })
-            .collect();
-        // Surface worker panics (scope would re-raise anyway; this keeps
-        // the panic payload of the *first* failing worker).
-        for h in handles {
-            if let Err(panic) = h.join() {
-                std::panic::resume_unwind(panic);
-            }
-        }
-    });
-    out.into_inner()
-        .expect("no poisoned worker")
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    WorkPool::auto().map(items, f)
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use crate::learner::NtwOutcome;
 use aw_dom::{serialize_with_spans, Document, NodeId};
 use aw_induct::lr::scan_spans;
 use aw_induct::{HlrtInductor, HlrtRule, LrInductor, LrRule, NodeSet, Site, XPathInductor};
+use aw_pool::WorkPool;
 use aw_xpath::XPath;
 
 /// A wrapper rule detached from its training site.
@@ -48,8 +49,18 @@ impl LearnedRule {
     pub fn apply(&self, doc: &Document) -> Vec<NodeId> {
         match self {
             LearnedRule::XPath(xp) => aw_xpath::evaluate(xp, doc),
+            _ => self.apply_serialized(&serialize_with_spans(doc)),
+        }
+    }
+
+    /// Applies an LR/HLRT rule against a pre-serialized page, so a rule
+    /// *set* serializes each page once, not once per rule.
+    fn apply_serialized(&self, page: &aw_dom::SerializedPage) -> Vec<NodeId> {
+        match self {
+            // XPath rules never take this path: they evaluate against the
+            // document index, not the serialized byte stream.
+            LearnedRule::XPath(xp) => unreachable!("xpath rule {xp} applied as serialized"),
             LearnedRule::Lr(rule) => {
-                let page = serialize_with_spans(doc);
                 let mut out: Vec<NodeId> = scan_spans(&page.html, &rule.left, &rule.right)
                     .into_iter()
                     .flat_map(|(s, e)| page.nodes_in_range(s, e))
@@ -59,7 +70,6 @@ impl LearnedRule {
                 out
             }
             LearnedRule::Hlrt(rule) => {
-                let page = serialize_with_spans(doc);
                 let html = &page.html;
                 let start = if rule.head.is_empty() {
                     Some(0)
@@ -157,14 +167,32 @@ impl LearnedRuleSet {
     /// Each list equals what [`LearnedRule::apply`] returns for that rule.
     pub fn apply(&self, doc: &Document) -> Vec<Vec<NodeId>> {
         let mut xpath_results = self.batch.evaluate(doc);
+        // One serialization shared by every LR/HLRT member (skipped for
+        // all-xpath sets).
+        let page = self
+            .batch_slot
+            .iter()
+            .any(Option::is_none)
+            .then(|| serialize_with_spans(doc));
         self.rules
             .iter()
             .zip(&self.batch_slot)
             .map(|(rule, slot)| match slot {
                 Some(i) => std::mem::take(&mut xpath_results[*i]),
-                None => rule.apply(doc),
+                None => rule.apply_serialized(page.as_ref().expect("serialized for LR/HLRT")),
             })
             .collect()
+    }
+
+    /// Batch-replays the whole rule set over a crawl, page-parallel.
+    ///
+    /// Pages are independent, so they are driven through `pool` (chunked
+    /// work stealing with order-preserving output): `out[p]` equals
+    /// [`Self::apply`] on `docs[p]` regardless of thread count. This is
+    /// the production hot loop — one learned rule set, thousands of
+    /// freshly crawled pages.
+    pub fn apply_pages(&self, docs: &[Document], pool: &WorkPool) -> Vec<Vec<Vec<NodeId>>> {
+        pool.map(docs, |doc| self.apply(doc))
     }
 }
 
@@ -176,14 +204,26 @@ impl NtwOutcome {
     }
 
     /// Portable rules for **all** ranked wrappers, ready for batched
-    /// application to unseen pages (best wrapper first).
+    /// application to unseen pages (best wrapper first). The site's
+    /// inductor (feature maps, posting indexes) is built once and reused
+    /// across wrappers, unlike repeated [`LearnedRule::learn`] calls.
     pub fn rule_set(&self, site: &Site, language: WrapperLanguage) -> LearnedRuleSet {
-        LearnedRuleSet::new(
-            self.ranked
-                .iter()
-                .map(|w| LearnedRule::learn(site, language, &w.seed))
-                .collect(),
-        )
+        let seeds = self.ranked.iter().map(|w| &w.seed);
+        let rules: Vec<LearnedRule> = match language {
+            WrapperLanguage::XPath => {
+                let ind = XPathInductor::new(site);
+                seeds.map(|s| LearnedRule::XPath(ind.xpath(s))).collect()
+            }
+            WrapperLanguage::Lr => {
+                let ind = LrInductor::new(site);
+                seeds.map(|s| LearnedRule::Lr(ind.learn(s))).collect()
+            }
+            WrapperLanguage::Hlrt => {
+                let ind = HlrtInductor::new(site);
+                seeds.map(|s| LearnedRule::Hlrt(ind.learn(s))).collect()
+            }
+        };
+        LearnedRuleSet::new(rules)
     }
 }
 
@@ -364,6 +404,37 @@ mod tests {
                 got,
                 &rule.apply(&page),
                 "mixed-language apply differs for {rule}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_replay_is_identical_across_thread_counts() {
+        let site = training_site();
+        let seed = labels(&site);
+        let set = LearnedRuleSet::new(vec![
+            LearnedRule::learn(&site, WrapperLanguage::XPath, &seed),
+            LearnedRule::learn(&site, WrapperLanguage::Lr, &seed),
+            LearnedRule::learn(&site, WrapperLanguage::Hlrt, &seed),
+        ]);
+        // A small "crawl": fresh pages of the same script, plus junk.
+        let crawl: Vec<aw_dom::Document> = [
+            "<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr></table>",
+            "<table class='stores'><tr><td><b>SIGMA BROS</b></td><td>7 Oak</td></tr>\
+             <tr><td><b>KAPPA SONS</b></td><td>4 Fir</td></tr></table>",
+            "<p>just a paragraph</p>",
+            "",
+        ]
+        .iter()
+        .map(|html| aw_dom::parse(html))
+        .collect();
+        let sequential: Vec<Vec<Vec<aw_dom::NodeId>>> =
+            crawl.iter().map(|doc| set.apply(doc)).collect();
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                set.apply_pages(&crawl, &WorkPool::with_threads(threads)),
+                sequential,
+                "thread count {threads}"
             );
         }
     }

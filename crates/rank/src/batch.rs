@@ -9,9 +9,10 @@
 //! per page.
 
 use crate::scorer::{RankingModel, WrapperScore};
-use aw_dom::PageNode;
+use aw_dom::{Document, PageNode};
 use aw_induct::{NodeSet, Site};
-use aw_xpath::{BatchEvaluator, XPath};
+use aw_pool::WorkPool;
+use aw_xpath::{BatchEvaluator, CompiledXPath, ShardedBatch, XPath};
 
 /// The extraction of every candidate xpath over every page of `site`.
 ///
@@ -25,6 +26,88 @@ pub fn batch_extractions(site: &Site, paths: &[XPath]) -> Vec<NodeSet> {
         for (i, nodes) in batch.evaluate(site.page(p)).into_iter().enumerate() {
             out[i].extend(nodes.into_iter().map(|id| PageNode::new(p, id)));
         }
+    }
+    out
+}
+
+/// The extraction of every site's candidate space over **that site's
+/// own pages**, site-sharded and page-parallel.
+///
+/// One trie per site (prefix sharing is strongest within a site's
+/// space); all `(site, page)` pairs are driven through `pool`, so the
+/// output is deterministic regardless of thread count. `out[s]` is
+/// aligned with `spaces[s].1`, each `NodeSet` the union over site `s`'s
+/// pages — exactly [`batch_extractions`] of that site alone.
+pub fn sharded_extractions(spaces: &[(&Site, &[XPath])], pool: &WorkPool) -> Vec<Vec<NodeSet>> {
+    // Global slots are site-major: site s's paths occupy
+    // offsets[s] .. offsets[s] + paths_s.
+    let mut offsets = Vec::with_capacity(spaces.len());
+    let mut tagged: Vec<(usize, CompiledXPath)> = Vec::new();
+    for (s, (_, paths)) in spaces.iter().enumerate() {
+        offsets.push(tagged.len());
+        tagged.extend(paths.iter().map(|p| (s, CompiledXPath::compile(p))));
+    }
+    let batch = ShardedBatch::new(tagged);
+
+    let pages: Vec<(usize, u32, &Document)> = spaces
+        .iter()
+        .enumerate()
+        .flat_map(|(s, (site, _))| (0..site.page_count() as u32).map(move |p| (s, p, site.page(p))))
+        .collect();
+    let per_page = pool.map(&pages, |&(key, _, doc)| batch.evaluate_page(key, doc));
+
+    let mut out: Vec<Vec<NodeSet>> = spaces
+        .iter()
+        .map(|(_, paths)| vec![NodeSet::new(); paths.len()])
+        .collect();
+    for (&(s, p, _), results) in pages.iter().zip(per_page) {
+        for (slot, nodes) in results {
+            // A page's results only name its own shard's slots.
+            let local = slot as usize - offsets[s];
+            out[s][local].extend(nodes.into_iter().map(|id| PageNode::new(p, id)));
+        }
+    }
+    out
+}
+
+/// One site's candidate space for multi-site sharded scoring.
+#[derive(Clone, Copy)]
+pub struct SiteSpace<'a> {
+    /// The site the space was enumerated on.
+    pub site: &'a Site,
+    /// The (noisy) labels the space is scored against.
+    pub labels: &'a NodeSet,
+    /// The candidate xpaths of the site's wrapper space.
+    pub paths: &'a [XPath],
+}
+
+/// Scores many sites' candidate spaces in one site-sharded,
+/// page-parallel pass: per-site tries for extraction, then Equation 1
+/// per candidate (also through the pool). `out[s]` is aligned with
+/// `spaces[s].paths` and identical to [`score_xpath_space`] run on site
+/// `s` alone.
+pub fn score_xpath_spaces(
+    model: &RankingModel,
+    spaces: &[SiteSpace<'_>],
+    pool: &WorkPool,
+) -> Vec<Vec<(NodeSet, WrapperScore)>> {
+    let groups: Vec<(&Site, &[XPath])> = spaces.iter().map(|s| (s.site, s.paths)).collect();
+    let extractions = sharded_extractions(&groups, pool);
+
+    // Score site-major through the pool as well (Equation 1 walks every
+    // extracted node; for big spaces it rivals extraction cost).
+    let tasks: Vec<(usize, NodeSet)> = extractions
+        .into_iter()
+        .enumerate()
+        .flat_map(|(s, xs)| xs.into_iter().map(move |x| (s, x)))
+        .collect();
+    let scores = pool.map(&tasks, |(s, x)| {
+        model.score(spaces[*s].site, spaces[*s].labels, x)
+    });
+
+    let mut out: Vec<Vec<(NodeSet, WrapperScore)>> = spaces.iter().map(|_| Vec::new()).collect();
+    for ((s, x), score) in tasks.into_iter().zip(scores) {
+        out[s].push((x, score));
     }
     out
 }
@@ -167,5 +250,81 @@ mod tests {
         let site = dealer_site();
         assert!(batch_extractions(&site, &[]).is_empty());
         assert!(rank_xpath_space(&model(), &site, &NodeSet::new(), &[]).is_empty());
+    }
+
+    fn stores_site() -> Site {
+        Site::from_html(&[
+            "<table class='stores'><tr><td><b>OMEGA</b></td><td>9 Elm</td></tr>\
+             <tr><td><b>SIGMA</b></td><td>7 Oak</td></tr></table>",
+            "<table class='stores'><tr><td><b>KAPPA</b></td><td>4 Fir</td></tr></table>",
+        ])
+    }
+
+    fn stores_space() -> Vec<XPath> {
+        [
+            "//table[@class='stores']/tr/td/b/text()",
+            "//table[@class='stores']/tr/td[1]/b/text()",
+            "//table//text()",
+        ]
+        .iter()
+        .map(|s| aw_xpath::parse_xpath(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn sharded_extractions_match_per_site_batch() {
+        let a = dealer_site();
+        let b = stores_site();
+        let pa = space();
+        let pb = stores_space();
+        for threads in [1, 2, 4] {
+            let pool = WorkPool::with_threads(threads);
+            let sharded = sharded_extractions(&[(&a, pa.as_slice()), (&b, pb.as_slice())], &pool);
+            assert_eq!(sharded.len(), 2);
+            assert_eq!(sharded[0], batch_extractions(&a, &pa), "threads {threads}");
+            assert_eq!(sharded[1], batch_extractions(&b, &pb), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_scoring_matches_single_site_scoring() {
+        let a = dealer_site();
+        let b = stores_site();
+        let pa = space();
+        let pb = stores_space();
+        let labels_a: NodeSet = ["ALPHA FURNITURE", "BETA HOME", "GAMMA DECOR"]
+            .iter()
+            .flat_map(|t| a.find_text(t))
+            .collect();
+        let labels_b: NodeSet = ["OMEGA", "SIGMA", "KAPPA"]
+            .iter()
+            .flat_map(|t| b.find_text(t))
+            .collect();
+        let m = model();
+        let sharded = score_xpath_spaces(
+            &m,
+            &[
+                SiteSpace {
+                    site: &a,
+                    labels: &labels_a,
+                    paths: &pa,
+                },
+                SiteSpace {
+                    site: &b,
+                    labels: &labels_b,
+                    paths: &pb,
+                },
+            ],
+            &WorkPool::with_threads(3),
+        );
+        let solo_a = score_xpath_space(&m, &a, &labels_a, &pa);
+        let solo_b = score_xpath_space(&m, &b, &labels_b, &pb);
+        for (got, want) in [(&sharded[0], &solo_a), (&sharded[1], &solo_b)] {
+            assert_eq!(got.len(), want.len());
+            for ((gx, gs), (wx, ws)) in got.iter().zip(want.iter()) {
+                assert_eq!(gx, wx);
+                assert!((gs.total - ws.total).abs() < 1e-12);
+            }
+        }
     }
 }

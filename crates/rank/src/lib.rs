@@ -18,7 +18,10 @@ pub mod scorer;
 pub mod segmentation;
 
 pub use annotation::{estimate_from_counts, AnnotatorModel};
-pub use batch::{batch_extractions, rank_xpath_space, score_xpath_space};
+pub use batch::{
+    batch_extractions, rank_xpath_space, score_xpath_space, score_xpath_spaces,
+    sharded_extractions, SiteSpace,
+};
 pub use publication::{
     list_features, list_features_pinned, KernelOverride, ListFeatures, PublicationModel,
 };

@@ -9,24 +9,49 @@
 //! is evaluated **once per document** and its intermediate context
 //! node-set is reused by all candidates below it.
 //!
+//! The trie is **predicate-aware**: edges are keyed by the step's
+//! `(axis, node test)` pair only, and steps differing just in their
+//! `[k]` / `[@a='v']` predicates become *variants* of one trie node.
+//! Enumerated spaces are full of such pairs (`u` vs `u[1]`, `text()` vs
+//! `text()[2]`), so the expensive part — traversing children or probing
+//! posting lists — runs once per node, and each variant fans out with an
+//! integer-only predicate filter over the shared bare node-set.
+//!
 //! The evaluator is built once per candidate set and applied to any
 //! number of pages — compile cost and trie construction amortize across
-//! a whole site.
+//! a whole site. For a multi-site candidate set, shard it per site first
+//! ([`crate::ShardedBatch`]): prefix sharing is strongest within one
+//! site's space.
 
-use crate::ast::XPath;
-use crate::compile::{CompiledStep, CompiledXPath};
-use crate::indexed::{apply_step, materialize};
+use crate::ast::{Axis, XPath};
+use crate::compile::{CompiledPred, CompiledTest, CompiledXPath};
+use crate::indexed::{
+    apply_step_bare, apply_step_with, filter_resolved, materialize, resolve_preds,
+};
 use aw_dom::{Document, NodeId};
 
-/// A trie node: one compiled step plus the candidates ending here.
+/// One predicate list under a trie node: candidates whose step here has
+/// exactly these predicates, plus the subtrie that follows them.
 #[derive(Debug)]
-struct TrieNode {
-    /// The step on the edge from the parent (unused sentinel for root).
-    step: CompiledStep,
+struct Variant {
+    /// The step's predicates (often empty), in source order.
+    predicates: Vec<CompiledPred>,
     /// Child trie nodes (indices into the arena).
     children: Vec<u32>,
-    /// Indices of input paths that end at this node.
+    /// Indices of input paths that end at this variant.
     terminals: Vec<u32>,
+}
+
+/// A trie node: one shared `(axis, test)` application plus its predicate
+/// variants.
+#[derive(Debug)]
+struct TrieNode {
+    /// Axis of the shared step.
+    axis: Axis,
+    /// Node test of the shared step.
+    test: CompiledTest,
+    /// Distinct predicate lists observed for this `(axis, test)` edge.
+    variants: Vec<Variant>,
 }
 
 /// Evaluates a fixed set of xpaths against documents with shared-prefix
@@ -34,49 +59,77 @@ struct TrieNode {
 #[derive(Debug)]
 pub struct BatchEvaluator {
     paths: usize,
-    /// Trie arena; index 0 is the root (empty prefix).
+    /// Children/terminals of the empty prefix (the document root).
+    root: Variant,
+    /// Trie arena.
     nodes: Vec<TrieNode>,
 }
 
 impl BatchEvaluator {
     /// Builds an evaluator from compiled paths.
     pub fn new(paths: &[CompiledXPath]) -> BatchEvaluator {
-        let sentinel = CompiledStep {
-            axis: crate::ast::Axis::Child,
-            test: crate::compile::CompiledTest::Text,
+        let mut root = Variant {
             predicates: Vec::new(),
-        };
-        let mut nodes = vec![TrieNode {
-            step: sentinel,
             children: Vec::new(),
             terminals: Vec::new(),
-        }];
+        };
+        let mut nodes: Vec<TrieNode> = Vec::new();
         for (i, path) in paths.iter().enumerate() {
-            let mut at = 0usize;
+            // `at` addresses the variant whose subtrie we extend next;
+            // `None` is the root (empty prefix).
+            let mut at: Option<(usize, usize)> = None;
             for step in &path.steps {
-                let found = nodes[at]
-                    .children
-                    .iter()
-                    .copied()
-                    .find(|&c| nodes[c as usize].step == *step);
-                at = match found {
+                let found = {
+                    let children: &[u32] = match at {
+                        None => &root.children,
+                        Some((n, v)) => &nodes[n].variants[v].children,
+                    };
+                    children.iter().copied().find(|&c| {
+                        let node = &nodes[c as usize];
+                        node.axis == step.axis && node.test == step.test
+                    })
+                };
+                let node_i = match found {
                     Some(c) => c as usize,
                     None => {
-                        let c = nodes.len() as u32;
+                        let c = nodes.len();
                         nodes.push(TrieNode {
-                            step: step.clone(),
+                            axis: step.axis,
+                            test: step.test,
+                            variants: Vec::new(),
+                        });
+                        match at {
+                            None => root.children.push(c as u32),
+                            Some((n, v)) => nodes[n].variants[v].children.push(c as u32),
+                        }
+                        c
+                    }
+                };
+                let var_i = match nodes[node_i]
+                    .variants
+                    .iter()
+                    .position(|v| v.predicates == step.predicates)
+                {
+                    Some(v) => v,
+                    None => {
+                        nodes[node_i].variants.push(Variant {
+                            predicates: step.predicates.clone(),
                             children: Vec::new(),
                             terminals: Vec::new(),
                         });
-                        nodes[at].children.push(c);
-                        c as usize
+                        nodes[node_i].variants.len() - 1
                     }
                 };
+                at = Some((node_i, var_i));
             }
-            nodes[at].terminals.push(i as u32);
+            match at {
+                None => root.terminals.push(i as u32),
+                Some((n, v)) => nodes[n].variants[v].terminals.push(i as u32),
+            }
         }
         BatchEvaluator {
             paths: paths.len(),
+            root,
             nodes,
         }
     }
@@ -97,11 +150,19 @@ impl BatchEvaluator {
         self.paths == 0
     }
 
-    /// Number of distinct steps across the candidate set — the work the
-    /// trie actually performs per document. For a well-shared space this
-    /// is far below the sum of path lengths.
+    /// Number of distinct `(prefix, axis, test)` applications — the
+    /// traversal work the trie performs per document. Predicate-aware
+    /// merging makes this lower than the number of distinct full steps.
     pub fn distinct_steps(&self) -> usize {
-        self.nodes.len() - 1
+        self.nodes.len()
+    }
+
+    /// Number of distinct `(prefix, full step)` pairs — what
+    /// [`Self::distinct_steps`] counted before predicate variants shared
+    /// their bare application. The gap to `distinct_steps` is the work
+    /// predicate-aware merging saves.
+    pub fn distinct_variants(&self) -> usize {
+        self.nodes.iter().map(|n| n.variants.len()).sum()
     }
 
     /// Evaluates every path against `doc`.
@@ -121,25 +182,69 @@ impl BatchEvaluator {
         }
         let idx = doc.index();
         let root_ctx: Vec<u32> = vec![idx.rank_of(doc.root())];
+        for &t in &self.root.terminals {
+            results[t as usize] = materialize(idx, &root_ctx);
+        }
 
         // Depth-first over the trie, carrying the context node-set of the
-        // prefix evaluated so far. Each (prefix → context) pair is
-        // computed exactly once per document; each context is owned by
-        // exactly one stack entry.
-        let mut stack: Vec<(u32, Vec<u32>)> = vec![(0, root_ctx)];
+        // prefix evaluated so far. Each (prefix → bare context) pair is
+        // computed exactly once per document.
+        let mut stack: Vec<(u32, Vec<u32>)> = Vec::with_capacity(self.root.children.len());
+        for &c in &self.root.children {
+            stack.push((c, root_ctx.clone()));
+        }
         while let Some((node_i, ctx)) = stack.pop() {
             let node = &self.nodes[node_i as usize];
-            for &t in &node.terminals {
-                results[t as usize] = materialize(idx, &ctx);
-            }
-            if ctx.is_empty() {
-                // Empty context propagates to every candidate below; their
-                // results stay empty without further step work.
-                continue;
-            }
-            for &c in &node.children {
-                let child = &self.nodes[c as usize];
-                stack.push((c, apply_step(doc, idx, &ctx, &child.step)));
+            // With a single predicate variant there is nothing to share:
+            // use the fused path (predicates checked during collection,
+            // no intermediate bare node-set) — otherwise a lone
+            // `//div[@class=..]` would materialize every div first.
+            let mut bare: Vec<u32> = if node.variants.len() == 1 {
+                Vec::new()
+            } else {
+                let b = apply_step_bare(doc, idx, &ctx, node.axis, &node.test);
+                if b.is_empty() {
+                    // Empty context propagates to every candidate below;
+                    // their results stay empty without further work.
+                    continue;
+                }
+                b
+            };
+            let last = node.variants.len() - 1;
+            for (vi, variant) in node.variants.iter().enumerate() {
+                let selected: Vec<u32> = if node.variants.len() == 1 {
+                    match resolve_preds(idx, &variant.predicates) {
+                        Some(preds) => {
+                            apply_step_with(doc, idx, &ctx, node.axis, &node.test, &preds)
+                        }
+                        // An attribute value absent from this document.
+                        None => Vec::new(),
+                    }
+                } else if variant.predicates.is_empty() {
+                    if vi == last {
+                        std::mem::take(&mut bare)
+                    } else {
+                        bare.clone()
+                    }
+                } else {
+                    match resolve_preds(idx, &variant.predicates) {
+                        Some(preds) => filter_resolved(idx, &node.test, &preds, &bare),
+                        // An attribute value absent from this document.
+                        None => Vec::new(),
+                    }
+                };
+                if selected.is_empty() {
+                    continue;
+                }
+                for &t in &variant.terminals {
+                    results[t as usize] = materialize(idx, &selected);
+                }
+                if let Some((&last_child, rest)) = variant.children.split_last() {
+                    for &c in rest {
+                        stack.push((c, selected.clone()));
+                    }
+                    stack.push((last_child, selected));
+                }
             }
         }
         results
@@ -193,7 +298,7 @@ mod tests {
     }
 
     #[test]
-    fn trie_shares_prefixes() {
+    fn trie_shares_prefixes_and_merges_predicates() {
         let paths = candidate_set();
         let batch = BatchEvaluator::from_xpaths(&paths);
         let total_steps: usize = paths.iter().map(|p| p.steps.len()).sum();
@@ -204,8 +309,35 @@ mod tests {
             total_steps
         );
         // The five rules sharing `//div[@class=..]/tr/td` contribute that
-        // prefix once: 30 total steps collapse to 17 distinct.
-        assert_eq!(batch.distinct_steps(), 17);
+        // prefix once: 30 total steps collapse to 17 distinct full steps
+        // (the predicate variants), and predicate-aware merging shares
+        // the bare application of `//div`↔`//div[@class=..]`, `u`↔`u[1]`
+        // and `text()`↔`text()[2]`, leaving 14 traversals.
+        assert_eq!(batch.distinct_variants(), 17);
+        assert_eq!(batch.distinct_steps(), 14);
+    }
+
+    #[test]
+    fn predicate_variants_agree_with_reference() {
+        // Steps identical up to predicates: all four share one `//td`
+        // traversal, and each `td` variant context shares one `/text()`
+        // traversal — 3 bare applications for 6 distinct full steps.
+        let doc = dealer_page();
+        let paths: Vec<XPath> = [
+            "//td/text()",
+            "//td[1]/text()",
+            "//td/text()[2]",
+            "//td[1]/text()[3]",
+        ]
+        .iter()
+        .map(|s| parse_xpath(s).unwrap())
+        .collect();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        assert_eq!(batch.distinct_steps(), 3);
+        assert_eq!(batch.distinct_variants(), 6);
+        for (path, got) in paths.iter().zip(batch.evaluate(&doc)) {
+            assert_eq!(got, reference::evaluate(path, &doc), "mismatch for {path}");
+        }
     }
 
     #[test]

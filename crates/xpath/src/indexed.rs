@@ -51,7 +51,7 @@ pub(crate) fn materialize(idx: &DocIndex, ranks: &[u32]) -> Vec<NodeId> {
 /// check is integer compares only: attribute values map to the
 /// document's own value ids (`DocIndex::attr_value_id`), computed once
 /// per (step, document) instead of once per candidate node.
-enum ResolvedPred {
+pub(crate) enum ResolvedPred {
     /// `[@name='v']` where `v` exists in this document as `value_id`.
     Attr { name: Sym, value_id: u32 },
     /// `[k]` against the position array the step's test selects.
@@ -60,8 +60,11 @@ enum ResolvedPred {
 
 /// `None` means some attribute predicate's value occurs nowhere in the
 /// document — the step can't select anything.
-fn resolve_preds(idx: &DocIndex, step: &CompiledStep) -> Option<Vec<ResolvedPred>> {
-    step.predicates
+pub(crate) fn resolve_preds(
+    idx: &DocIndex,
+    predicates: &[CompiledPred],
+) -> Option<Vec<ResolvedPred>> {
+    predicates
         .iter()
         .map(|pred| match *pred {
             CompiledPred::Attr { name, value } => idx
@@ -80,16 +83,72 @@ pub(crate) fn apply_step(
     context: &[u32],
     step: &CompiledStep,
 ) -> Vec<u32> {
-    let Some(preds) = resolve_preds(idx, step) else {
+    let Some(preds) = resolve_preds(idx, &step.predicates) else {
         return Vec::new(); // an attribute value absent from this document
     };
+    apply_step_with(doc, idx, context, step.axis, &step.test, &preds)
+}
+
+/// Applies an `(axis, test)` pair with pre-resolved predicates checked
+/// **during** collection (no intermediate bare node-set) — the fused
+/// path for single steps and single-variant trie nodes.
+pub(crate) fn apply_step_with(
+    doc: &Document,
+    idx: &DocIndex,
+    context: &[u32],
+    axis: crate::ast::Axis,
+    test: &CompiledTest,
+    preds: &[ResolvedPred],
+) -> Vec<u32> {
+    step_nodes(doc, idx, context, axis, test, |id| {
+        passes_resolved(idx, id, test, preds)
+    })
+}
+
+/// Applies a step's (axis, test) pair with **no predicates** — the shared
+/// part that predicate variants of a batch-trie node fan out from.
+pub(crate) fn apply_step_bare(
+    doc: &Document,
+    idx: &DocIndex,
+    context: &[u32],
+    axis: crate::ast::Axis,
+    test: &CompiledTest,
+) -> Vec<u32> {
+    step_nodes(doc, idx, context, axis, test, |_| true)
+}
+
+/// Keeps the ranks whose nodes pass every resolved predicate (the
+/// integer-only fan-out check applied per trie variant).
+pub(crate) fn filter_resolved(
+    idx: &DocIndex,
+    test: &CompiledTest,
+    preds: &[ResolvedPred],
+    ranks: &[u32],
+) -> Vec<u32> {
+    ranks
+        .iter()
+        .copied()
+        .filter(|&r| passes_resolved(idx, idx.node_at(r), test, preds))
+        .collect()
+}
+
+/// The axis/test traversal shared by [`apply_step`] (predicate check
+/// inlined) and [`apply_step_bare`] (`keep` ≡ true, monomorphized away).
+fn step_nodes(
+    doc: &Document,
+    idx: &DocIndex,
+    context: &[u32],
+    axis: crate::ast::Axis,
+    test: &CompiledTest,
+    keep: impl Fn(NodeId) -> bool,
+) -> Vec<u32> {
     let mut out: Vec<u32> = Vec::new();
-    match step.axis {
+    match axis {
         crate::ast::Axis::Child => {
             for &r in context {
                 let node = idx.node_at(r);
                 for &c in doc.children(node) {
-                    if matches_test(doc, idx, c, &step.test) && passes_preds(idx, c, step, &preds) {
+                    if matches_test(doc, idx, c, test) && keep(c) {
                         out.push(idx.rank_of(c));
                     }
                 }
@@ -100,7 +159,7 @@ pub(crate) fn apply_step(
             out.dedup();
         }
         crate::ast::Axis::Descendant => {
-            let postings = postings_for(idx, &step.test);
+            let postings = postings_for(idx, test);
             // Merge subtree ranges first: context is sorted by rank, and
             // tree ranges either nest or are disjoint, so any range that
             // starts before the running end is fully contained.
@@ -117,7 +176,7 @@ pub(crate) fn apply_step(
                 for &p in &postings[from..to] {
                     // Posting-list membership already established the
                     // node test.
-                    if passes_preds(idx, idx.node_at(p), step, &preds) {
+                    if keep(idx.node_at(p)) {
                         out.push(p);
                     }
                 }
@@ -145,11 +204,16 @@ fn matches_test(doc: &Document, idx: &DocIndex, id: NodeId, test: &CompiledTest)
     }
 }
 
-fn passes_preds(idx: &DocIndex, id: NodeId, step: &CompiledStep, preds: &[ResolvedPred]) -> bool {
+fn passes_resolved(
+    idx: &DocIndex,
+    id: NodeId,
+    test: &CompiledTest,
+    preds: &[ResolvedPred],
+) -> bool {
     preds.iter().all(|pred| match *pred {
         ResolvedPred::Attr { name, value_id } => idx.has_attr(id, name, value_id),
         ResolvedPred::Position(k) => {
-            let pos = match step.test {
+            let pos = match test {
                 CompiledTest::Tag(_) => idx.same_tag_pos(id),
                 CompiledTest::AnyElement => idx.elem_pos(id),
                 CompiledTest::Text => idx.text_pos(id),

@@ -37,13 +37,21 @@
 //!   range probes over subtree spans, `[k]` filters read precomputed
 //!   sibling positions, attribute checks compare interned symbols;
 //! * [`BatchEvaluator`] — evaluates a whole candidate set (the wrapper
-//!   space `W(L)` of §4) at once: compiled steps are arranged in a prefix
-//!   trie so every shared prefix is evaluated once per page, and its
-//!   intermediate context node-set reused by all candidates below it.
+//!   space `W(L)` of §4) at once: compiled steps are arranged in a
+//!   predicate-aware prefix trie so every shared prefix is evaluated once
+//!   per page (steps differing only in `[k]`/`[@a='v']` predicates share
+//!   one traversal and fan out integer-only filters), and each
+//!   intermediate context node-set is reused by all candidates below it.
+//!
+//! [`ShardedBatch`] extends the batch engine to multi-site candidate
+//! sets: one trie per site (prefix sharing is strongest within a site's
+//! space), each applied only to its own site's pages, page-parallel
+//! through an [`aw_pool::WorkPool`].
 //!
 //! [`evaluate`] is the one-shot convenience (compile + indexed evaluate).
 //! Use [`CompiledXPath::compile`] + [`evaluate_compiled`] to apply one
-//! rule to many pages, and [`BatchEvaluator`] for many rules.
+//! rule to many pages, [`BatchEvaluator`] for many rules, and
+//! [`ShardedBatch`] for many rules across many sites.
 //!
 //! ```
 //! use aw_dom::parse;
@@ -74,6 +82,7 @@ pub mod eval;
 pub mod indexed;
 pub mod parser;
 pub mod reference;
+pub mod shard;
 
 pub use ast::{Axis, NodeTest, Predicate, Step, XPath};
 pub use batch::BatchEvaluator;
@@ -81,3 +90,4 @@ pub use compile::{CompiledPred, CompiledStep, CompiledTest, CompiledXPath};
 pub use eval::evaluate;
 pub use indexed::evaluate_compiled;
 pub use parser::{parse_xpath, ParseError};
+pub use shard::ShardedBatch;

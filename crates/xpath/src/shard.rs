@@ -1,0 +1,258 @@
+//! Site-sharded, page-parallel batch evaluation.
+//!
+//! A [`crate::BatchEvaluator`] amortizes shared step prefixes across one
+//! candidate set — but across *sites* there is little to share: a
+//! deduplicated multi-site space gains only marginally over per-rule
+//! indexed evaluation, because each site's rules share prefixes with
+//! their own siblings, not with other sites' (measured in the
+//! `xpath_shard` bench). A [`ShardedBatch`] therefore splits a tagged
+//! candidate set per site **before** trie construction: one tight trie
+//! per site, each evaluated only against that site's pages — which is
+//! exactly the production workload (a wrapper learned on site *S*
+//! extracts from pages of *S*, never from another site's pages).
+//!
+//! Pages are independent, so [`ShardedBatch::evaluate_pages`] drives
+//! them through an [`aw_pool::WorkPool`] — chunked work stealing with
+//! deterministic output ordering — making the hot loop page-parallel
+//! while staying byte-identical to sequential evaluation.
+
+use crate::batch::BatchEvaluator;
+use crate::compile::CompiledXPath;
+use aw_dom::{Document, NodeId};
+use aw_pool::WorkPool;
+use std::collections::BTreeMap;
+
+/// One site's slice of the candidate set.
+#[derive(Debug)]
+struct Shard {
+    batch: BatchEvaluator,
+    /// Global slot (input-order index) of each shard-local path.
+    slots: Vec<u32>,
+}
+
+/// A candidate set split per site, each shard a [`BatchEvaluator`] of
+/// its own.
+#[derive(Debug)]
+pub struct ShardedBatch {
+    /// Shard keys, ascending (parallel to `shards`).
+    keys: Vec<usize>,
+    shards: Vec<Shard>,
+    paths: usize,
+}
+
+impl ShardedBatch {
+    /// Builds shards from `(site key, compiled path)` pairs. The *global
+    /// slot* of a path is its position in the input iteration, whatever
+    /// its key — results refer back to it, so interleaved tagging is
+    /// fine.
+    pub fn new(tagged: impl IntoIterator<Item = (usize, CompiledXPath)>) -> ShardedBatch {
+        let mut groups: BTreeMap<usize, (Vec<CompiledXPath>, Vec<u32>)> = BTreeMap::new();
+        let mut paths = 0usize;
+        for (slot, (key, path)) in tagged.into_iter().enumerate() {
+            let group = groups.entry(key).or_default();
+            group.0.push(path);
+            group.1.push(slot as u32);
+            paths += 1;
+        }
+        let mut keys = Vec::with_capacity(groups.len());
+        let mut shards = Vec::with_capacity(groups.len());
+        for (key, (compiled, slots)) in groups {
+            keys.push(key);
+            shards.push(Shard {
+                batch: BatchEvaluator::new(&compiled),
+                slots,
+            });
+        }
+        ShardedBatch {
+            keys,
+            shards,
+            paths,
+        }
+    }
+
+    /// Convenience constructor compiling tagged ASTs first.
+    pub fn from_xpaths<'a>(
+        tagged: impl IntoIterator<Item = (usize, &'a crate::ast::XPath)>,
+    ) -> ShardedBatch {
+        ShardedBatch::new(
+            tagged
+                .into_iter()
+                .map(|(key, xp)| (key, CompiledXPath::compile(xp))),
+        )
+    }
+
+    /// Total number of input paths across all shards.
+    pub fn len(&self) -> usize {
+        self.paths
+    }
+
+    /// True when built from no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths == 0
+    }
+
+    /// Number of shards (distinct site keys).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard keys, ascending.
+    pub fn keys(&self) -> &[usize] {
+        &self.keys
+    }
+
+    /// Total bare `(axis, test)` applications per page across shards
+    /// (cf. [`BatchEvaluator::distinct_steps`]).
+    pub fn distinct_steps(&self) -> usize {
+        self.shards.iter().map(|s| s.batch.distinct_steps()).sum()
+    }
+
+    /// Total predicate variants across shards
+    /// (cf. [`BatchEvaluator::distinct_variants`]).
+    pub fn distinct_variants(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.batch.distinct_variants())
+            .sum()
+    }
+
+    fn shard_for(&self, key: usize) -> Option<&Shard> {
+        self.keys.binary_search(&key).ok().map(|i| &self.shards[i])
+    }
+
+    /// Evaluates the shard tagged `key` against one of its site's pages.
+    ///
+    /// Returns `(global slot, nodes)` pairs for that shard's paths only,
+    /// each node list byte-identical to [`crate::reference::evaluate`]
+    /// for the path alone; an unknown key (a page of a site that
+    /// contributed no candidates) yields no pairs.
+    pub fn evaluate_page(&self, key: usize, doc: &Document) -> Vec<(u32, Vec<NodeId>)> {
+        match self.shard_for(key) {
+            None => Vec::new(),
+            Some(shard) => shard
+                .slots
+                .iter()
+                .copied()
+                .zip(shard.batch.evaluate(doc))
+                .collect(),
+        }
+    }
+
+    /// Evaluates every `(site key, page)` pair, page-parallel.
+    ///
+    /// Output is aligned with `pages` and independent of the pool's
+    /// thread count (the pool preserves input order).
+    pub fn evaluate_pages(
+        &self,
+        pages: &[(usize, &Document)],
+        pool: &WorkPool,
+    ) -> Vec<Vec<(u32, Vec<NodeId>)>> {
+        pool.map(pages, |&(key, doc)| self.evaluate_page(key, doc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use crate::reference;
+    use aw_dom::parse;
+
+    fn site_a_pages() -> Vec<Document> {
+        vec![
+            parse(
+                "<div class='list'><tr><td><u>ALPHA</u><br>1 Elm</td></tr>\
+                 <tr><td><u>BETA</u><br>2 Oak</td></tr></div>",
+            ),
+            parse("<div class='list'><tr><td><u>GAMMA</u><br>3 Fir</td></tr></div>"),
+        ]
+    }
+
+    fn site_b_pages() -> Vec<Document> {
+        vec![parse(
+            "<table class='stores'><tr><td><b>OMEGA</b></td><td>9 Elm</td></tr>\
+             <tr><td><b>SIGMA</b></td><td>7 Oak</td></tr></table>",
+        )]
+    }
+
+    /// (key, path) pairs interleaved across two sites.
+    fn tagged_space() -> Vec<(usize, crate::ast::XPath)> {
+        [
+            (0, "//div[@class='list']/tr/td/u/text()"),
+            (7, "//table[@class='stores']/tr/td/b/text()"),
+            (0, "//div[@class='list']/tr/td//text()"),
+            (7, "//table//td[2]/text()"),
+            (0, "//div//text()"),
+        ]
+        .iter()
+        .map(|&(k, s)| (k, parse_xpath(s).unwrap()))
+        .collect()
+    }
+
+    #[test]
+    fn shards_group_by_key_and_keep_global_slots() {
+        let sharded = ShardedBatch::from_xpaths(tagged_space().iter().map(|(k, xp)| (*k, xp)));
+        assert_eq!(sharded.len(), 5);
+        assert_eq!(sharded.shard_count(), 2);
+        assert_eq!(sharded.keys(), &[0, 7]);
+
+        let tagged = tagged_space();
+        let page = &site_a_pages()[0];
+        let results = sharded.evaluate_page(0, page);
+        // Site 0's paths sit at global slots 0, 2, 4 — in input order.
+        assert_eq!(
+            results.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+        for (slot, nodes) in &results {
+            assert_eq!(
+                nodes,
+                &reference::evaluate(&tagged[*slot as usize].1, page),
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_key_yields_nothing() {
+        let sharded = ShardedBatch::from_xpaths(tagged_space().iter().map(|(k, xp)| (*k, xp)));
+        assert!(sharded.evaluate_page(3, &site_a_pages()[0]).is_empty());
+    }
+
+    #[test]
+    fn empty_sharded_batch() {
+        let sharded = ShardedBatch::new(std::iter::empty());
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.shard_count(), 0);
+        assert!(sharded.evaluate_page(0, &site_a_pages()[0]).is_empty());
+    }
+
+    #[test]
+    fn parallel_pages_match_sequential_across_thread_counts() {
+        let sharded = ShardedBatch::from_xpaths(tagged_space().iter().map(|(k, xp)| (*k, xp)));
+        let a = site_a_pages();
+        let b = site_b_pages();
+        let mut pages: Vec<(usize, &Document)> = Vec::new();
+        for doc in &a {
+            pages.push((0, doc));
+        }
+        for doc in &b {
+            pages.push((7, doc));
+        }
+        // A page keyed to a site with no candidates is fine mid-stream.
+        pages.push((3, &a[0]));
+
+        let sequential: Vec<_> = pages
+            .iter()
+            .map(|&(k, doc)| sharded.evaluate_page(k, doc))
+            .collect();
+        for threads in [1, 2, 5] {
+            let pool = WorkPool::with_threads(threads);
+            assert_eq!(
+                sharded.evaluate_pages(&pages, &pool),
+                sequential,
+                "thread count {threads}"
+            );
+        }
+    }
+}

@@ -9,11 +9,16 @@
 //!   random xpaths drawn from the fragment grammar;
 //! * fuzz-shaped documents (markup soup) × the same grammar;
 //! * learned rules: every wrapper enumerated from noisy labels on a
-//!   dealer site, replayed through single and batch evaluation.
+//!   dealer site, replayed through single and batch evaluation;
+//! * whole random candidate sets through one predicate-aware batch trie,
+//!   and site-sharded page-parallel evaluation across thread counts.
 
 use aw_dom::Document;
+use aw_eval::WorkPool;
 use aw_sitegen::{generate_dealers, generate_disc, DealersConfig, DiscConfig};
-use aw_xpath::{reference, Axis, BatchEvaluator, CompiledXPath, NodeTest, Predicate, Step, XPath};
+use aw_xpath::{
+    reference, Axis, BatchEvaluator, CompiledXPath, NodeTest, Predicate, ShardedBatch, Step, XPath,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -221,6 +226,114 @@ fn engines_agree_on_every_enumerated_wrapper() {
                     "wrapper {path} on page {p}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn whole_random_sets_agree_through_one_batch_trie() {
+    // `assert_engines_agree` exercises single-path tries only; this
+    // drives whole random candidate sets through ONE evaluator, so
+    // predicate-aware merging (steps differing only in `[k]`/attribute
+    // predicates sharing a bare traversal) is hit hard.
+    let mut rng = StdRng::seed_from_u64(0x3AEE);
+    let ds = generate_dealers(&DealersConfig {
+        sites: 2,
+        pages_per_site: 2,
+        seed: 0x9e1,
+        ..DealersConfig::default()
+    });
+    let mut pages: Vec<Document> = Vec::new();
+    for gs in &ds.sites {
+        for p in 0..gs.site.page_count() as u32 {
+            pages.push(gs.site.page(p).clone());
+        }
+    }
+    for round in 0..8 {
+        let paths: Vec<XPath> = (0..150).map(|_| random_xpath(&mut rng)).collect();
+        let batch = BatchEvaluator::from_xpaths(paths.iter());
+        assert!(
+            batch.distinct_steps() <= batch.distinct_variants(),
+            "round {round}: merging can only reduce traversals"
+        );
+        for doc in &pages {
+            for (path, got) in paths.iter().zip(batch.evaluate(doc)) {
+                assert_eq!(got, reference::evaluate(path, doc), "round {round}: {path}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_parallel_evaluation_is_byte_identical_across_thread_counts() {
+    use aw_annotate::{DictionaryAnnotator, MatchMode};
+    use aw_enum::{sharded_xpath_space, top_down};
+    use aw_induct::{NodeSet, XPathInductor};
+
+    let ds = generate_dealers(&DealersConfig {
+        sites: 4,
+        pages_per_site: 3,
+        seed: 0x51AD,
+        ..DealersConfig::default()
+    });
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+
+    // Per-site enumerated spaces, tagged by site for sharding; keep the
+    // parsed paths for the reference oracle.
+    let mut spaces: Vec<aw_enum::EnumerationResult<aw_dom::PageNode>> = Vec::new();
+    let mut site_paths: Vec<Vec<XPath>> = Vec::new();
+    let mut pages: Vec<(usize, &Document)> = Vec::new();
+    for gs in &ds.sites {
+        let labels: NodeSet = annot.annotate(&gs.site);
+        assert!(!labels.is_empty(), "annotator found nothing");
+        let ind = XPathInductor::new(&gs.site);
+        let space = top_down(&ind, &labels);
+        site_paths.push(
+            space
+                .xpath_candidates()
+                .into_iter()
+                .map(|(_, xp)| xp)
+                .collect(),
+        );
+        spaces.push(space);
+    }
+    for (s, gs) in ds.sites.iter().enumerate() {
+        for page in gs.site.pages() {
+            pages.push((s, page));
+        }
+    }
+    let sharded = ShardedBatch::new(sharded_xpath_space(spaces.iter()));
+    assert_eq!(sharded.shard_count(), ds.sites.len());
+    assert_eq!(
+        sharded.len(),
+        site_paths.iter().map(Vec::len).sum::<usize>()
+    );
+
+    // Global slots are site-major (sharded_xpath_space documents this).
+    let mut slot_to_path: Vec<&XPath> = Vec::new();
+    for paths in &site_paths {
+        slot_to_path.extend(paths.iter());
+    }
+
+    type PageResults = Vec<Vec<(u32, Vec<aw_dom::NodeId>)>>;
+    let mut first: Option<PageResults> = None;
+    for threads in [1, 2, 3, 8] {
+        let pool = WorkPool::with_threads(threads);
+        let results = sharded.evaluate_pages(&pages, &pool);
+        // Byte-identical to the reference interpreter per (rule, page)...
+        for (&(_, page), page_results) in pages.iter().zip(&results) {
+            for (slot, nodes) in page_results {
+                assert_eq!(
+                    nodes,
+                    &reference::evaluate(slot_to_path[*slot as usize], page),
+                    "threads {threads}, slot {slot}"
+                );
+            }
+        }
+        // ...and across thread counts.
+        match &first {
+            None => first = Some(results),
+            Some(expected) => assert_eq!(&results, expected, "threads {threads}"),
         }
     }
 }
