@@ -143,7 +143,7 @@ impl Strategy for str {
     }
 }
 
-/// Sizes accepted by [`vec`].
+/// Sizes accepted by [`vec()`].
 pub trait SizeRange {
     /// Samples a length.
     fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -172,7 +172,7 @@ pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> 
     VecStrategy { element, size }
 }
 
-/// The output of [`vec`].
+/// The output of [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S, R> {
     element: S,

@@ -4,10 +4,15 @@
 //! efficiently enumerate the wrapper space `W(L) = {φ(L₁) | L₁ ⊆ L}`
 //! without 2^|L| inductor calls.
 //!
-//! * [`naive`] — the exhaustive baseline (2^|L| − 1 calls);
-//! * [`bottom_up`] — Algorithm 1, blackbox, ≤ `k·|L|` calls (Theorems 1–2);
-//! * [`top_down`] — Algorithm 2 for feature-based inductors, exactly `k`
+//! * [`naive()`] — the exhaustive baseline (2^|L| − 1 calls);
+//! * [`bottom_up()`] — Algorithm 1, blackbox, ≤ `k·|L|` calls (Theorems 1–2);
+//! * [`top_down()`] — Algorithm 2 for feature-based inductors, exactly `k`
 //!   calls (Theorem 3).
+//!
+//! Applications normally reach this crate through `aw_core::Engine`
+//! (`engine.enumerate` returns the typed `WrapperSpace` wrapper around
+//! an [`EnumerationResult`]); the algorithms stay public for custom
+//! inductors.
 //!
 //! ```
 //! use aw_enum::{bottom_up, naive, top_down};

@@ -2,7 +2,7 @@
 //!
 //! §4: the wrapper space `W(L) = {φ(L₁) | L₁ ⊆ L}` is a set of *wrappers*,
 //! and wrappers are identified by their output ("the score of a wrapper
-//! only depends on its output", §6). [`WrapperSpace`] deduplicates by
+//! only depends on its output", §6). [`EnumerationResult`] deduplicates by
 //! extraction and remembers, for each distinct wrapper, the smallest label
 //! subset that produced it plus the rule string.
 

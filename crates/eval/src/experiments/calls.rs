@@ -62,6 +62,12 @@ where
                 let bu = bottom_up(&ind, &labels);
                 (td.inductor_calls, bu.inductor_calls, td.len())
             }
+            WrapperLanguage::Table => {
+                let ind = aw_induct::DomTableInductor::new(&gs.site);
+                let td = top_down(&ind, &labels);
+                let bu = bottom_up(&ind, &labels);
+                (td.inductor_calls, bu.inductor_calls, td.len())
+            }
             WrapperLanguage::Hlrt => unimplemented!("HLRT has no feature-based form"),
         };
         Some(CallsRow {

@@ -8,7 +8,7 @@
 
 use crate::metrics::{macro_average, prf1, PrF1};
 use crate::parallel::par_map;
-use aw_core::{learn, LearnedRule, LearnedRuleSet, NtwConfig, WrapperLanguage};
+use aw_core::{Engine, WrapperLanguage};
 use aw_dom::PageNode;
 use aw_induct::{NodeSet, Site};
 use aw_rank::RankingModel;
@@ -42,6 +42,7 @@ pub fn run<F>(
 where
     F: Fn(&GeneratedSite) -> NodeSet + Sync,
 {
+    let engine = Engine::builder(model.clone()).language(language).build();
     let scores: Vec<(PrF1, PrF1)> = par_map(sites, |gs| {
         let total_pages = gs.site.page_count();
         if total_pages <= train_pages {
@@ -64,14 +65,15 @@ where
         // Node ids are preserved by re-parsing the serialized pages
         // (serialize∘parse is a fixpoint for parsed documents), so labels
         // carry over directly.
-        let out = learn(&train_site, language, &labels, model, &NtwConfig::default());
+        let Ok(out) = engine.learn(&train_site, &labels) else {
+            return Some((PrF1::ZERO, PrF1::ZERO));
+        };
         let Some(best) = out.best() else {
             return Some((PrF1::ZERO, PrF1::ZERO));
         };
-        // Compile the portable rule once per site (xpath rules go through
-        // the batch engine), then replay it over every page.
-        let rules =
-            LearnedRuleSet::new(vec![LearnedRule::learn(&train_site, language, &best.seed)]);
+        // Compile the portable serving artifact once per site (xpath
+        // rules carry their batch trie), then replay it over every page.
+        let wrapper = best.compile();
 
         // Score on training pages and held-out pages separately.
         let score_on = |range: std::ops::Range<usize>| {
@@ -79,9 +81,8 @@ where
             let mut gold = NodeSet::new();
             for p in range {
                 extracted.extend(
-                    rules
-                        .apply(gs.site.page(p as u32))
-                        .remove(0)
+                    wrapper
+                        .extract(gs.site.page(p as u32))
                         .into_iter()
                         .map(|id| PageNode::new(p as u32, id)),
                 );

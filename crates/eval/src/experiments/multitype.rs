@@ -5,9 +5,7 @@ use crate::harness::{learn_annotator, learn_model, split_half, Method};
 use crate::metrics::{macro_average, prf1, PrF1};
 use crate::parallel::par_map;
 use aw_annotate::{annotate_zipcodes, DictionaryAnnotator};
-use aw_core::{
-    assemble_records, learn, learn_multi_type, MultiTypeModel, NtwConfig, WrapperLanguage,
-};
+use aw_core::{assemble_records, learn_multi_type, Engine, MultiTypeModel, NtwConfig};
 use aw_induct::{NodeSet, Site, WrapperInductor, XPathInductor};
 use aw_sitegen::{DealersDataset, GeneratedSite};
 use serde::Serialize;
@@ -73,33 +71,25 @@ pub fn run(ds: &DealersDataset) -> MultiTypeResult {
         score_records(gs, &x0, &x1)
     });
 
-    // Single-type baselines (Figure 3b).
+    // Single-type baselines (Figure 3b), each through its own Engine.
+    let name_engine = Engine::builder(name_model.clone()).build();
     let single_names = macro_average(&par_map(&test, |gs| {
-        let out = learn(
-            &gs.site,
-            WrapperLanguage::XPath,
-            &name_labels(gs),
-            &name_model,
-            &NtwConfig::default(),
-        );
-        prf1(
-            &out.best().map(|w| w.extraction.clone()).unwrap_or_default(),
-            &gs.gold_types[0],
-        )
+        let extraction = name_engine
+            .learn(&gs.site, &name_labels(gs))
+            .ok()
+            .and_then(|out| out.best().map(|w| w.extraction.clone()))
+            .unwrap_or_default();
+        prf1(&extraction, &gs.gold_types[0])
     }));
     let zip_model = learn_model_for_zips(&train, zip_labels);
+    let zip_engine = Engine::builder(zip_model).build();
     let single_zips = macro_average(&par_map(&test, |gs| {
-        let out = learn(
-            &gs.site,
-            WrapperLanguage::XPath,
-            &zip_labels(gs),
-            &zip_model,
-            &NtwConfig::default(),
-        );
-        prf1(
-            &out.best().map(|w| w.extraction.clone()).unwrap_or_default(),
-            &gs.gold_types[1],
-        )
+        let extraction = zip_engine
+            .learn(&gs.site, &zip_labels(gs))
+            .ok()
+            .and_then(|out| out.best().map(|w| w.extraction.clone()))
+            .unwrap_or_default();
+        prf1(&extraction, &gs.gold_types[1])
     }));
 
     let collect = |method, scores: Vec<(PrF1, PrF1, PrF1)>| MultiTypeOutcomeRow {

@@ -7,7 +7,7 @@
 
 use crate::metrics::{macro_average, prf1, PrF1};
 use crate::parallel::par_map;
-use aw_core::{learn, naive_wrapper, NtwConfig, WrapperLanguage};
+use aw_core::{Engine, NtwConfig, WrapperLanguage};
 use aw_induct::NodeSet;
 use aw_rank::{
     estimate_from_counts, list_features, segment_site, AnnotatorModel, ListFeatures,
@@ -131,6 +131,10 @@ pub struct EvalOutcome {
 }
 
 /// Evaluates one method over the test sites.
+///
+/// One [`Engine`] is built per call (language + ranking mode baked in)
+/// and shared across the site-parallel map; NAIVE rides the same engine
+/// through [`Engine::naive`].
 pub fn evaluate<F>(
     test: &[&GeneratedSite],
     labels_of: F,
@@ -141,26 +145,27 @@ pub fn evaluate<F>(
 where
     F: Fn(&GeneratedSite) -> NodeSet + Sync,
 {
+    // NAIVE never ranks, so the mode default is irrelevant for it.
+    let config = NtwConfig {
+        mode: method.mode().unwrap_or(RankingMode::Full),
+        ..Default::default()
+    };
+    let engine = Engine::builder(model.clone())
+        .language(language)
+        .config(config)
+        .build();
     let per_site = par_map(test, |site| {
         let labels = labels_of(site);
         let extraction = match method {
-            Method::Naive => {
-                if labels.is_empty() {
-                    NodeSet::new()
-                } else {
-                    naive_wrapper(&site.site, language, &labels).extraction
-                }
-            }
-            _ => {
-                let config = NtwConfig {
-                    mode: method.mode().expect("ntw methods have a mode"),
-                    ..Default::default()
-                };
-                learn(&site.site, language, &labels, model, &config)
-                    .best()
-                    .map(|w| w.extraction.clone())
-                    .unwrap_or_default()
-            }
+            Method::Naive => engine
+                .naive(&site.site, &labels)
+                .map(|w| w.extraction)
+                .unwrap_or_default(),
+            _ => engine
+                .learn(&site.site, &labels)
+                .ok()
+                .and_then(|ranked| ranked.best().map(|w| w.extraction.clone()))
+                .unwrap_or_default(),
         };
         prf1(&extraction, site.gold())
     });

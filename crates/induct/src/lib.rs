@@ -6,6 +6,9 @@
 //! * [`table::TableInductor`] — the paper's didactic running example
 //!   (Example 1), used as the reference implementation for the
 //!   enumeration theorems;
+//! * [`table_dom::DomTableInductor`] — the same TABLE language grounded
+//!   in real DOM pages (`<tr>`/`<td>` grid coordinates), with a portable
+//!   [`table_dom::TableRule`];
 //! * [`lr::LrInductor`] — the LR class of the WIEN system (Kushmerick et
 //!   al.): longest common prefix/suffix delimiter pairs over the page
 //!   character stream;
@@ -24,6 +27,7 @@ pub mod hlrt;
 pub mod lr;
 pub mod site;
 pub mod table;
+pub mod table_dom;
 pub mod traits;
 pub mod xpath_ind;
 
@@ -31,6 +35,7 @@ pub use hlrt::{HlrtInductor, HlrtRule};
 pub use lr::{LrInductor, LrRule};
 pub use site::Site;
 pub use table::{Cell, TableInductor};
+pub use table_dom::{DomTableInductor, TableRule};
 pub use traits::{check_well_behaved, FeatureBased, ItemSet, WellBehavedReport, WrapperInductor};
 pub use xpath_ind::XPathInductor;
 

@@ -1,0 +1,352 @@
+//! The TABLE wrapper language over real DOM pages.
+//!
+//! [`crate::table::TableInductor`] is the paper's didactic running example
+//! over an abstract *n × m* grid. This module grounds the same language in
+//! actual HTML: every text node of a page gets a grid coordinate derived
+//! from the markup — its 1-based `<tr>` index within the page and the
+//! 1-based `<td>`/`<th>` index within that row (0 marks "outside any
+//! row/cell") — and the four TABLE generalizations (cell, row, column,
+//! whole table) select text nodes by coordinate.
+//!
+//! The resulting [`DomTableInductor`] is well-behaved (Definition 1) and
+//! feature-based with the same `row`/`col` attributes as Example 3, so it
+//! plugs into every enumeration algorithm. [`TableRule`] is the portable
+//! form: detached from the training site, it applies to any freshly
+//! crawled [`Document`].
+
+use crate::site::Site;
+use crate::table::TableAttr;
+use crate::traits::{FeatureBased, ItemSet, WrapperInductor};
+use aw_dom::{Document, NodeId, PageNode};
+use std::collections::BTreeMap;
+
+/// Grid coordinate of a text node: `(row, col)`, both 1-based; 0 means
+/// the node sits outside any `<tr>` (row) or `<td>`/`<th>` (col).
+pub type TableCell = (u32, u32);
+
+/// A portable TABLE rule: one of the language's four generalizations
+/// (plus the empty rule φ(∅) = ∅), detached from any site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TableRule {
+    /// φ(∅): extracts nothing.
+    Empty,
+    /// One grid cell: text nodes at exactly `(row, col)`.
+    Cell {
+        /// 1-based row (`<tr>` index within the page).
+        row: u32,
+        /// 1-based column (`<td>`/`<th>` index within the row).
+        col: u32,
+    },
+    /// A whole row: every text node with this row coordinate.
+    Row(u32),
+    /// A whole column: every text node with this column coordinate.
+    Col(u32),
+    /// The whole table (here: every text node of the page).
+    Table,
+}
+
+impl TableRule {
+    /// Whether the rule selects a node at grid coordinate `cell`.
+    pub fn selects(&self, (row, col): TableCell) -> bool {
+        match *self {
+            TableRule::Empty => false,
+            TableRule::Cell { row: r, col: c } => row == r && col == c,
+            TableRule::Row(r) => row == r,
+            TableRule::Col(c) => col == c,
+            TableRule::Table => true,
+        }
+    }
+
+    /// Applies the rule to a page it has never seen, returning matched
+    /// text nodes in document order.
+    pub fn apply(&self, doc: &Document) -> Vec<NodeId> {
+        page_cells(doc)
+            .into_iter()
+            .filter(|&(_, cell)| self.selects(cell))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for TableRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TableRule::Empty => f.write_str("∅"),
+            TableRule::Cell { row, col } => write!(f, "cell({row},{col})"),
+            TableRule::Row(r) => write!(f, "R{r}"),
+            TableRule::Col(c) => write!(f, "C{c}"),
+            TableRule::Table => f.write_str("T"),
+        }
+    }
+}
+
+/// The grid coordinate of every text node of a page, in document order.
+///
+/// Rows number `<tr>` elements consecutively across the whole page (a
+/// page with several tables keeps one global row counter — same-script
+/// pages agree on the numbering); columns number `<td>`/`<th>` cells
+/// within their row. Text outside any row lands at row 0, text in a row
+/// but outside any cell at column 0, so every text node has a coordinate
+/// and TABLE rules keep the fidelity property on arbitrary labels.
+pub fn page_cells(doc: &Document) -> Vec<(NodeId, TableCell)> {
+    let mut out = Vec::new();
+    let mut trs = 0u32;
+    walk(doc, doc.root(), (0, 0), &mut trs, &mut 0, &mut out);
+    out
+}
+
+fn walk(
+    doc: &Document,
+    id: NodeId,
+    cell: TableCell,
+    trs: &mut u32,
+    tds: &mut u32,
+    out: &mut Vec<(NodeId, TableCell)>,
+) {
+    if doc.is_text(id) {
+        out.push((id, cell));
+        return;
+    }
+    match doc.tag(id) {
+        Some("tr") => {
+            *trs += 1;
+            let row = *trs;
+            let mut row_tds = 0u32;
+            for &child in doc.children(id) {
+                walk(doc, child, (row, 0), trs, &mut row_tds, out);
+            }
+        }
+        Some("td" | "th") if cell.0 > 0 => {
+            *tds += 1;
+            let col = *tds;
+            for &child in doc.children(id) {
+                walk(doc, child, (cell.0, col), trs, tds, out);
+            }
+        }
+        _ => {
+            for &child in doc.children(id) {
+                walk(doc, child, cell, trs, tds, out);
+            }
+        }
+    }
+}
+
+/// The TABLE inductor bound to a [`Site`]: grid coordinates are computed
+/// once per page at construction, generalization is pure coordinate
+/// comparison.
+#[derive(Clone, Debug)]
+pub struct DomTableInductor<'a> {
+    site: &'a Site,
+    cells: BTreeMap<PageNode, TableCell>,
+}
+
+impl<'a> DomTableInductor<'a> {
+    /// Builds the inductor, computing every text node's grid coordinate.
+    pub fn new(site: &'a Site) -> Self {
+        let mut cells = BTreeMap::new();
+        for (p, doc) in site.pages().iter().enumerate() {
+            for (id, cell) in page_cells(doc) {
+                cells.insert(PageNode::new(p as u32, id), cell);
+            }
+        }
+        DomTableInductor { site, cells }
+    }
+
+    /// The site this inductor operates over.
+    pub fn site(&self) -> &Site {
+        self.site
+    }
+
+    fn cell_of(&self, node: PageNode) -> TableCell {
+        self.cells.get(&node).copied().unwrap_or((0, 0))
+    }
+
+    /// Learns the portable rule for a label set: the TABLE generalization
+    /// of the labels' grid coordinates (Example 1's case analysis).
+    pub fn learn(&self, labels: &ItemSet<PageNode>) -> TableRule {
+        let Some(&first) = labels.iter().next() else {
+            return TableRule::Empty;
+        };
+        let (row, col) = self.cell_of(first);
+        let same_row = labels.iter().all(|&n| self.cell_of(n).0 == row);
+        let same_col = labels.iter().all(|&n| self.cell_of(n).1 == col);
+        match (same_row, same_col) {
+            (true, true) => TableRule::Cell { row, col },
+            (false, true) => TableRule::Col(col),
+            (true, false) => TableRule::Row(row),
+            (false, false) => TableRule::Table,
+        }
+    }
+}
+
+impl WrapperInductor for DomTableInductor<'_> {
+    type Item = PageNode;
+
+    fn extract(&self, labels: &ItemSet<PageNode>) -> ItemSet<PageNode> {
+        let rule = self.learn(labels);
+        if rule == TableRule::Empty {
+            return ItemSet::new();
+        }
+        self.cells
+            .iter()
+            .filter(|&(_, &cell)| rule.selects(cell))
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    fn rule(&self, labels: &ItemSet<PageNode>) -> String {
+        self.learn(labels).to_string()
+    }
+
+    fn universe(&self) -> ItemSet<PageNode> {
+        self.cells.keys().copied().collect()
+    }
+}
+
+impl FeatureBased for DomTableInductor<'_> {
+    type Attr = TableAttr;
+
+    fn attributes(&self, _labels: &ItemSet<PageNode>) -> Vec<TableAttr> {
+        vec![TableAttr::Col, TableAttr::Row]
+    }
+
+    fn subdivision(&self, s: &ItemSet<PageNode>, attr: &TableAttr) -> Vec<ItemSet<PageNode>> {
+        let mut groups: BTreeMap<u32, ItemSet<PageNode>> = BTreeMap::new();
+        for &n in s {
+            let (row, col) = self.cell_of(n);
+            let key = match attr {
+                TableAttr::Row => row,
+                TableAttr::Col => col,
+            };
+            groups.entry(key).or_default().insert(n);
+        }
+        groups.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::check_well_behaved;
+
+    fn grid_site() -> Site {
+        let page = |rows: &[(&str, &str, &str)]| {
+            let mut s = String::from("<h1>Dealers</h1><table>");
+            for (a, b, c) in rows {
+                s.push_str(&format!("<tr><td>{a}</td><td>{b}</td><td>{c}</td></tr>"));
+            }
+            s + "</table><div class='footer'>contact</div>"
+        };
+        Site::from_html(&[
+            page(&[
+                ("ALPHA", "1 Elm", "38701"),
+                ("BETA", "2 Oak", "38702"),
+                ("GAMMA", "3 Fir", "38703"),
+            ]),
+            page(&[("DELTA", "4 Ash", "38704"), ("EPSILON", "5 Ivy", "38705")]),
+        ])
+    }
+
+    fn find(site: &Site, texts: &[&str]) -> ItemSet<PageNode> {
+        texts.iter().flat_map(|t| site.find_text(t)).collect()
+    }
+
+    #[test]
+    fn coordinates_cover_every_text_node() {
+        let site = grid_site();
+        let ind = DomTableInductor::new(&site);
+        assert_eq!(
+            ind.universe(),
+            site.text_nodes().iter().copied().collect::<ItemSet<_>>()
+        );
+        // Headline and footer live outside the grid.
+        let (doc, h1) = site.resolve(site.find_text("Dealers")[0]);
+        let cells = page_cells(doc);
+        let h1_cell = cells.iter().find(|(id, _)| *id == h1).unwrap().1;
+        assert_eq!(h1_cell, (0, 0));
+    }
+
+    #[test]
+    fn column_generalization_extracts_all_names() {
+        let site = grid_site();
+        let ind = DomTableInductor::new(&site);
+        // Two names in different rows → column 1 on every page.
+        let labels = find(&site, &["ALPHA", "EPSILON"]);
+        assert_eq!(ind.rule(&labels), "C1");
+        let extraction = ind.extract(&labels);
+        assert_eq!(
+            extraction,
+            find(&site, &["ALPHA", "BETA", "GAMMA", "DELTA", "EPSILON"])
+        );
+    }
+
+    #[test]
+    fn row_and_cell_and_table_generalizations() {
+        let site = grid_site();
+        let ind = DomTableInductor::new(&site);
+        // Same row, different columns → the whole row (on both pages).
+        let row = find(&site, &["ALPHA", "38701"]);
+        assert_eq!(ind.rule(&row), "R1");
+        assert!(ind.extract(&row).contains(&site.find_text("1 Elm")[0]));
+        assert!(ind.extract(&row).contains(&site.find_text("DELTA")[0]));
+        // One label → its cell.
+        let cell = find(&site, &["2 Oak"]);
+        assert_eq!(ind.rule(&cell), "cell(2,2)");
+        assert_eq!(ind.extract(&cell), find(&site, &["2 Oak", "5 Ivy"]));
+        // Spanning rows and columns → everything.
+        let spread = find(&site, &["ALPHA", "38702"]);
+        assert_eq!(ind.rule(&spread), "T");
+        assert_eq!(ind.extract(&spread), ind.universe());
+        // Empty in, empty out.
+        assert_eq!(ind.extract(&ItemSet::new()), ItemSet::new());
+        assert_eq!(ind.rule(&ItemSet::new()), "∅");
+    }
+
+    #[test]
+    fn dom_table_is_well_behaved() {
+        let site = grid_site();
+        let ind = DomTableInductor::new(&site);
+        let labels = find(&site, &["ALPHA", "2 Oak", "38703", "DELTA", "Dealers"]);
+        let report = check_well_behaved(&ind, &labels);
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn portable_rule_replays_site_extraction() {
+        let site = grid_site();
+        let ind = DomTableInductor::new(&site);
+        let labels = find(&site, &["ALPHA", "EPSILON"]);
+        let rule = ind.learn(&labels);
+        let mut replayed = ItemSet::new();
+        for p in 0..site.page_count() as u32 {
+            replayed.extend(
+                rule.apply(site.page(p))
+                    .into_iter()
+                    .map(|id| PageNode::new(p, id)),
+            );
+        }
+        assert_eq!(replayed, ind.extract(&labels));
+        // And it generalizes to an unseen page of the same script.
+        let fresh = aw_dom::parse(
+            "<h1>Dealers</h1><table><tr><td>OMEGA</td><td>9 Elm</td><td>38709</td></tr>\
+             </table><div class='footer'>contact</div>",
+        );
+        let values: Vec<&str> = rule
+            .apply(&fresh)
+            .into_iter()
+            .filter_map(|id| fresh.text(id))
+            .collect();
+        assert_eq!(values, vec!["OMEGA"]);
+    }
+
+    #[test]
+    fn feature_based_subdivision_groups_by_coordinate() {
+        let site = grid_site();
+        let ind = DomTableInductor::new(&site);
+        let labels = find(&site, &["ALPHA", "BETA", "2 Oak"]);
+        let by_col = ind.subdivision(&labels, &TableAttr::Col);
+        assert_eq!(by_col.len(), 2); // col 1 {ALPHA, BETA}, col 2 {2 Oak}
+        let by_row = ind.subdivision(&labels, &TableAttr::Row);
+        assert_eq!(by_row.len(), 2); // row 1 {ALPHA}, row 2 {BETA, 2 Oak}
+    }
+}

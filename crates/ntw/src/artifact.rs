@@ -1,0 +1,406 @@
+//! Portable, serializable wrapper artifacts.
+//!
+//! The paper's deployment learns a wrapper once and extracts from pages
+//! crawled later ("our system is used in production in Yahoo!"). Before
+//! this module a learned wrapper could not leave the process that
+//! learned it; a [`CompiledWrapper`] is the serving artifact that can:
+//!
+//! * **learn offline** — [`crate::RankedWrapper::compile`] packages the
+//!   top-ranked wrapper's portable rule;
+//! * **ship** — [`CompiledWrapper::to_json`] / [`CompiledWrapper::from_json`]
+//!   carry a versioned JSON payload for all four rule languages
+//!   (TABLE/LR/HLRT/XPATH);
+//! * **serve** — [`CompiledWrapper::extract`] /
+//!   [`CompiledWrapper::extract_pages`] amortize the compiled xpath trie
+//!   and the work pool across requests.
+//!
+//! The payload is deliberately small and self-describing (the offline
+//! serde_json stand-in renders whole numbers with a decimal point, so
+//! `version` reads `1.0` on the wire; readers accept any integral form):
+//!
+//! ```json
+//! {
+//!   "format": "aw-wrapper",
+//!   "version": 1.0,
+//!   "language": "XPATH",
+//!   "rule": { "xpath": "/html/body/table/tr/td/b/text()" }
+//! }
+//! ```
+
+use crate::config::WrapperLanguage;
+use crate::error::AwError;
+use crate::rule::{LearnedRule, LearnedRuleSet};
+use aw_dom::{Document, NodeId};
+use aw_induct::{HlrtRule, LrRule, TableRule};
+use aw_pool::WorkPool;
+use serde::Value;
+
+/// The `format` marker every wrapper artifact carries.
+pub const ARTIFACT_FORMAT: &str = "aw-wrapper";
+
+/// The artifact schema version this build reads and writes.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// A learned wrapper compiled for serving: the portable rule plus its
+/// pre-built execution state (xpath batch trie, work pool).
+#[derive(Debug)]
+pub struct CompiledWrapper {
+    /// One-rule set: owns the rule and reuses the batched replay
+    /// machinery (compiled trie for xpath, shared page serialization for
+    /// LR/HLRT).
+    set: LearnedRuleSet,
+    pool: WorkPool,
+}
+
+impl CompiledWrapper {
+    /// Compiles a portable rule into a serving wrapper.
+    pub fn from_rule(rule: LearnedRule) -> CompiledWrapper {
+        CompiledWrapper {
+            set: LearnedRuleSet::new(vec![rule]),
+            pool: WorkPool::auto(),
+        }
+    }
+
+    /// Replaces the work pool driving [`CompiledWrapper::extract_pages`].
+    pub fn with_pool(mut self, pool: WorkPool) -> CompiledWrapper {
+        self.pool = pool;
+        self
+    }
+
+    /// The wrapper language of the compiled rule.
+    pub fn language(&self) -> WrapperLanguage {
+        self.rule().language()
+    }
+
+    /// The portable rule.
+    pub fn rule(&self) -> &LearnedRule {
+        &self.set.rules()[0]
+    }
+
+    /// Extracts from one page, returning matched text nodes in document
+    /// order (identical to [`LearnedRule::apply`]).
+    pub fn extract(&self, doc: &Document) -> Vec<NodeId> {
+        self.set.apply(doc).pop().unwrap_or_default()
+    }
+
+    /// Extracts the matched text *values* from one page.
+    pub fn extract_values(&self, doc: &Document) -> Vec<String> {
+        self.extract(doc)
+            .into_iter()
+            .filter_map(|id| doc.text(id).map(str::to_string))
+            .collect()
+    }
+
+    /// Extracts from a whole crawl, page-parallel through the wrapper's
+    /// pool; `out[p]` equals [`CompiledWrapper::extract`] on `docs[p]`
+    /// for every thread count.
+    pub fn extract_pages(&self, docs: &[Document]) -> Vec<Vec<NodeId>> {
+        self.set
+            .apply_pages(docs, &self.pool)
+            .into_iter()
+            .map(|mut per_rule| per_rule.pop().unwrap_or_default())
+            .collect()
+    }
+
+    /// Serializes the wrapper to its versioned JSON artifact.
+    pub fn to_json(&self) -> String {
+        let rule = match self.rule() {
+            LearnedRule::XPath(xp) => obj(vec![("xpath", Value::String(xp.to_string()))]),
+            LearnedRule::Lr(r) => obj(vec![
+                ("left", Value::String(r.left.clone())),
+                ("right", Value::String(r.right.clone())),
+            ]),
+            LearnedRule::Hlrt(r) => obj(vec![
+                ("head", Value::String(r.head.clone())),
+                ("tail", Value::String(r.tail.clone())),
+                ("left", Value::String(r.lr.left.clone())),
+                ("right", Value::String(r.lr.right.clone())),
+            ]),
+            LearnedRule::Table(r) => table_to_value(r),
+        };
+        let artifact = obj(vec![
+            ("format", Value::String(ARTIFACT_FORMAT.into())),
+            ("version", Value::Number(ARTIFACT_VERSION as f64)),
+            ("language", Value::String(self.language().name().into())),
+            ("rule", rule),
+        ]);
+        serde_json::to_string_pretty(&artifact).expect("artifact serialization is infallible")
+    }
+
+    /// Deserializes a wrapper artifact produced by
+    /// [`CompiledWrapper::to_json`] — in this process or any other.
+    ///
+    /// Rejects payloads that are not valid JSON, lack the
+    /// `aw-wrapper` format marker or required fields
+    /// ([`AwError::MalformedArtifact`]), carry an incompatible version
+    /// ([`AwError::UnsupportedVersion`]), or name an unknown language
+    /// ([`AwError::UnknownLanguage`]).
+    pub fn from_json(payload: &str) -> Result<CompiledWrapper, AwError> {
+        let v = serde_json::from_str(payload).map_err(|e| malformed(e.to_string()))?;
+        match v.get("format").and_then(Value::as_str) {
+            Some(ARTIFACT_FORMAT) => {}
+            Some(other) => return Err(malformed(format!("unknown format marker {other:?}"))),
+            None => return Err(malformed("missing \"format\" marker")),
+        }
+        let version = u32_field(&v, "version")?;
+        if version != ARTIFACT_VERSION {
+            return Err(AwError::UnsupportedVersion {
+                found: version,
+                supported: ARTIFACT_VERSION,
+            });
+        }
+        let language: WrapperLanguage = v
+            .get("language")
+            .and_then(Value::as_str)
+            .ok_or_else(|| malformed("missing \"language\""))?
+            .parse()?;
+        let rule_v = v.get("rule").ok_or_else(|| malformed("missing \"rule\""))?;
+        let rule = match language {
+            WrapperLanguage::XPath => {
+                let xp = str_field(rule_v, "xpath")?;
+                LearnedRule::XPath(
+                    aw_xpath::parse_xpath(xp).map_err(|e| AwError::InvalidRule(e.to_string()))?,
+                )
+            }
+            WrapperLanguage::Lr => LearnedRule::Lr(LrRule {
+                left: str_field(rule_v, "left")?.to_string(),
+                right: str_field(rule_v, "right")?.to_string(),
+            }),
+            WrapperLanguage::Hlrt => LearnedRule::Hlrt(HlrtRule {
+                head: str_field(rule_v, "head")?.to_string(),
+                tail: str_field(rule_v, "tail")?.to_string(),
+                lr: LrRule {
+                    left: str_field(rule_v, "left")?.to_string(),
+                    right: str_field(rule_v, "right")?.to_string(),
+                },
+            }),
+            WrapperLanguage::Table => LearnedRule::Table(table_from_value(rule_v)?),
+        };
+        Ok(CompiledWrapper::from_rule(rule))
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn malformed(msg: impl Into<String>) -> AwError {
+    AwError::MalformedArtifact(msg.into())
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, AwError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed(format!("missing string field \"{key}\"")))
+}
+
+/// Reads a numeric field that must hold an integral `u32` (the stand-in
+/// JSON parser stores all numbers as `f64`).
+fn u32_field(v: &Value, key: &str) -> Result<u32, AwError> {
+    let n = v
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| malformed(format!("missing numeric field \"{key}\"")))?;
+    if n.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&n) {
+        return Err(malformed(format!(
+            "field \"{key}\" is not a non-negative integer"
+        )));
+    }
+    Ok(n as u32)
+}
+
+fn table_to_value(rule: &TableRule) -> Value {
+    match *rule {
+        TableRule::Empty => obj(vec![("scope", Value::String("empty".into()))]),
+        TableRule::Cell { row, col } => obj(vec![
+            ("scope", Value::String("cell".into())),
+            ("row", Value::Number(row as f64)),
+            ("col", Value::Number(col as f64)),
+        ]),
+        TableRule::Row(row) => obj(vec![
+            ("scope", Value::String("row".into())),
+            ("row", Value::Number(row as f64)),
+        ]),
+        TableRule::Col(col) => obj(vec![
+            ("scope", Value::String("col".into())),
+            ("col", Value::Number(col as f64)),
+        ]),
+        TableRule::Table => obj(vec![("scope", Value::String("table".into()))]),
+    }
+}
+
+fn table_from_value(v: &Value) -> Result<TableRule, AwError> {
+    match str_field(v, "scope")? {
+        "empty" => Ok(TableRule::Empty),
+        "cell" => Ok(TableRule::Cell {
+            row: u32_field(v, "row")?,
+            col: u32_field(v, "col")?,
+        }),
+        "row" => Ok(TableRule::Row(u32_field(v, "row")?)),
+        "col" => Ok(TableRule::Col(u32_field(v, "col")?)),
+        "table" => Ok(TableRule::Table),
+        other => Err(malformed(format!("unknown table scope {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_induct::{NodeSet, Site};
+
+    fn training_site() -> Site {
+        let page = |rows: &[(&str, &str)]| {
+            let mut s = String::from("<table class='stores'>");
+            for (n, a) in rows {
+                s.push_str(&format!("<tr><td><b>{n}</b></td><td>{a}</td></tr>"));
+            }
+            s + "</table>"
+        };
+        Site::from_html(&[
+            page(&[("ALPHA CO", "1 Elm"), ("BETA LLC", "2 Oak")]),
+            page(&[("GAMMA INC", "3 Fir"), ("DELTA LTD", "4 Ash")]),
+        ])
+    }
+
+    fn seed(site: &Site) -> NodeSet {
+        let mut l = NodeSet::new();
+        l.extend(site.find_text("ALPHA CO"));
+        l.extend(site.find_text("DELTA LTD"));
+        l
+    }
+
+    fn fresh_page() -> Document {
+        aw_dom::parse(
+            "<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr>\
+             <tr><td><b>SIGMA BROS</b></td><td>7 Oak</td></tr></table>",
+        )
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical_for_every_language() {
+        let site = training_site();
+        let labels = seed(&site);
+        let crawl = [fresh_page(), aw_dom::parse("<p>unrelated</p>")];
+        for language in WrapperLanguage::ALL {
+            let rule = LearnedRule::learn(&site, language, &labels);
+            let wrapper = CompiledWrapper::from_rule(rule.clone());
+            let restored = CompiledWrapper::from_json(&wrapper.to_json()).unwrap();
+            assert_eq!(restored.rule(), &rule, "{language}");
+            assert_eq!(restored.language(), language);
+            for doc in &crawl {
+                assert_eq!(
+                    restored.extract(doc),
+                    wrapper.extract(doc),
+                    "{language} extraction differs after round trip"
+                );
+                assert_eq!(restored.extract(doc), rule.apply(doc), "{language}");
+            }
+            // And the serialized form itself is stable.
+            assert_eq!(restored.to_json(), wrapper.to_json(), "{language}");
+        }
+    }
+
+    #[test]
+    fn extract_pages_matches_extract_for_all_thread_counts() {
+        let site = training_site();
+        let rule = LearnedRule::learn(&site, WrapperLanguage::XPath, &seed(&site));
+        let crawl: Vec<Document> = vec![
+            fresh_page(),
+            aw_dom::parse("<p>nothing here</p>"),
+            fresh_page(),
+        ];
+        let sequential: Vec<Vec<NodeId>> = {
+            let w = CompiledWrapper::from_rule(rule.clone());
+            crawl.iter().map(|d| w.extract(d)).collect()
+        };
+        for threads in [1, 2, 4] {
+            let w =
+                CompiledWrapper::from_rule(rule.clone()).with_pool(WorkPool::with_threads(threads));
+            assert_eq!(w.extract_pages(&crawl), sequential, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let site = training_site();
+        let wrapper = CompiledWrapper::from_rule(LearnedRule::learn(
+            &site,
+            WrapperLanguage::XPath,
+            &seed(&site),
+        ));
+        let payload = wrapper
+            .to_json()
+            .replace("\"version\": 1.0", "\"version\": 2.0");
+        assert_eq!(
+            CompiledWrapper::from_json(&payload).unwrap_err(),
+            AwError::UnsupportedVersion {
+                found: 2,
+                supported: ARTIFACT_VERSION
+            }
+        );
+        let fractional = wrapper
+            .to_json()
+            .replace("\"version\": 1.0", "\"version\": 1.5");
+        assert!(matches!(
+            CompiledWrapper::from_json(&fractional).unwrap_err(),
+            AwError::MalformedArtifact(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        for payload in [
+            "",
+            "not json",
+            "{}",
+            r#"{"format":"aw-wrapper"}"#,
+            r#"{"format":"other","version":1,"language":"XPATH","rule":{"xpath":"//a"}}"#,
+            r#"{"format":"aw-wrapper","version":1,"language":"XPATH"}"#,
+            r#"{"format":"aw-wrapper","version":1,"language":"XPATH","rule":{}}"#,
+            r#"{"format":"aw-wrapper","version":1,"language":"LR","rule":{"left":"<b>"}}"#,
+            r#"{"format":"aw-wrapper","version":1,"language":"TABLE","rule":{"scope":"cell","row":1.5,"col":2}}"#,
+            r#"{"format":"aw-wrapper","version":1,"language":"TABLE","rule":{"scope":"diagonal"}}"#,
+        ] {
+            assert!(
+                matches!(
+                    CompiledWrapper::from_json(payload),
+                    Err(AwError::MalformedArtifact(_))
+                ),
+                "accepted: {payload}"
+            );
+        }
+        assert_eq!(
+            CompiledWrapper::from_json(
+                r#"{"format":"aw-wrapper","version":1,"language":"CSV","rule":{}}"#
+            )
+            .unwrap_err(),
+            AwError::UnknownLanguage("CSV".into())
+        );
+        assert!(matches!(
+            CompiledWrapper::from_json(
+                r#"{"format":"aw-wrapper","version":1,"language":"XPATH","rule":{"xpath":"///"}}"#
+            )
+            .unwrap_err(),
+            AwError::InvalidRule(_)
+        ));
+    }
+
+    #[test]
+    fn artifact_declares_format_version_and_language() {
+        let site = training_site();
+        let wrapper = CompiledWrapper::from_rule(LearnedRule::learn(
+            &site,
+            WrapperLanguage::Hlrt,
+            &seed(&site),
+        ));
+        let json = wrapper.to_json();
+        assert!(json.contains("\"format\": \"aw-wrapper\""), "{json}");
+        assert!(json.contains("\"version\": 1.0"), "{json}");
+        assert!(json.contains("\"language\": \"HLRT\""), "{json}");
+    }
+}

@@ -14,7 +14,7 @@ pub enum Enumeration {
 }
 
 /// Which wrapper language to learn (§5).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WrapperLanguage {
     /// The xpath fragment of Dalvi et al. (SIGMOD 2009).
     XPath,
@@ -23,15 +23,50 @@ pub enum WrapperLanguage {
     /// WIEN's HLRT (head/tail + LR). Blackbox only (no feature form here),
     /// so it always enumerates with `BottomUp`.
     Hlrt,
+    /// The TABLE language of Example 1, grounded in the DOM grid
+    /// (`aw_induct::DomTableInductor`): `<tr>`/`<td>` coordinates.
+    Table,
 }
 
 impl WrapperLanguage {
-    /// Display name used in figures.
+    /// Every supported language, in the paper's presentation order.
+    pub const ALL: [WrapperLanguage; 4] = [
+        WrapperLanguage::Table,
+        WrapperLanguage::Lr,
+        WrapperLanguage::Hlrt,
+        WrapperLanguage::XPath,
+    ];
+
+    /// Display name used in figures and serialized artifacts.
     pub fn name(self) -> &'static str {
         match self {
             WrapperLanguage::XPath => "XPATH",
             WrapperLanguage::Lr => "LR",
             WrapperLanguage::Hlrt => "HLRT",
+            WrapperLanguage::Table => "TABLE",
+        }
+    }
+}
+
+impl std::fmt::Display for WrapperLanguage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for WrapperLanguage {
+    type Err = crate::error::AwError;
+
+    /// Parses a language name, case-insensitively (`"xpath"`, `"XPATH"`,
+    /// …) — the inverse of [`WrapperLanguage::name`], also used by the
+    /// CLI `--lang` flag and the wrapper artifact codec.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "xpath" => Ok(WrapperLanguage::XPath),
+            "lr" => Ok(WrapperLanguage::Lr),
+            "hlrt" => Ok(WrapperLanguage::Hlrt),
+            "table" => Ok(WrapperLanguage::Table),
+            _ => Err(crate::error::AwError::UnknownLanguage(s.to_string())),
         }
     }
 }
@@ -94,5 +129,22 @@ mod tests {
         assert_eq!(WrapperLanguage::XPath.name(), "XPATH");
         assert_eq!(WrapperLanguage::Lr.name(), "LR");
         assert_eq!(WrapperLanguage::Hlrt.name(), "HLRT");
+        assert_eq!(WrapperLanguage::Table.name(), "TABLE");
+    }
+
+    #[test]
+    fn language_display_and_parse_round_trip() {
+        for lang in WrapperLanguage::ALL {
+            assert_eq!(lang.to_string(), lang.name());
+            assert_eq!(lang.name().parse::<WrapperLanguage>().unwrap(), lang);
+            assert_eq!(
+                lang.name()
+                    .to_ascii_lowercase()
+                    .parse::<WrapperLanguage>()
+                    .unwrap(),
+                lang
+            );
+        }
+        assert!("csv".parse::<WrapperLanguage>().is_err());
     }
 }

@@ -1,0 +1,86 @@
+//! The error type of the [`crate::Engine`] pipeline.
+//!
+//! Before the Engine API, stage boundaries signalled failure with
+//! `Option`s (`NtwOutcome::best`) or panics (`expect("nonempty labels")`
+//! at call sites); callers could not tell "no labels" from "space
+//! enumerated but empty". Every fallible Engine stage and the wrapper
+//! artifact codec return [`AwError`] instead.
+
+use std::fmt;
+
+/// Everything that can go wrong in the Engine pipeline or the portable
+/// wrapper artifact codec.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AwError {
+    /// [`crate::Engine::annotate`] (or a multi-site learn) was called on
+    /// an engine built without an annotator.
+    NoAnnotator,
+    /// The label set is empty — there is nothing to enumerate or rank.
+    NoLabels,
+    /// Enumeration produced no candidate wrappers.
+    EmptyWrapperSpace,
+    /// A rule failed to parse in its wrapper language (e.g. an xpath
+    /// outside the fragment).
+    InvalidRule(String),
+    /// A serialized wrapper artifact is not valid JSON, is missing
+    /// required fields, or carries fields of the wrong type.
+    MalformedArtifact(String),
+    /// A wrapper artifact was produced by an incompatible format version.
+    UnsupportedVersion {
+        /// The version found in the payload.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// A wrapper-language name that is none of TABLE/LR/HLRT/XPATH.
+    UnknownLanguage(String),
+    /// An I/O failure while reading or writing an artifact (constructed
+    /// by callers that touch the filesystem, e.g. the `awrap` CLI's
+    /// `learn --out` / `apply --wrapper` paths).
+    Io(String),
+}
+
+impl fmt::Display for AwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AwError::NoAnnotator => {
+                f.write_str("engine has no annotator (EngineBuilder::annotator was not called)")
+            }
+            AwError::NoLabels => f.write_str("the label set is empty"),
+            AwError::EmptyWrapperSpace => f.write_str("enumeration produced no candidate wrappers"),
+            AwError::InvalidRule(msg) => write!(f, "invalid rule: {msg}"),
+            AwError::MalformedArtifact(msg) => write!(f, "malformed wrapper artifact: {msg}"),
+            AwError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported wrapper artifact version {found} (this build supports {supported})"
+            ),
+            AwError::UnknownLanguage(name) => write!(
+                f,
+                "unknown wrapper language {name:?} (expected table, lr, hlrt or xpath)"
+            ),
+            AwError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AwError::NoLabels.to_string().contains("empty"));
+        assert!(AwError::UnsupportedVersion {
+            found: 7,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 7"));
+        assert!(AwError::UnknownLanguage("csv".into())
+            .to_string()
+            .contains("csv"));
+    }
+}

@@ -5,14 +5,20 @@
 //! 2. **Test**: score every candidate with
 //!    `log P(L | X) + log P(X)` (crate `aw-rank`) and rank.
 //!
-//! The top-ranked wrapper is the extraction rule; [`naive_wrapper`] is the
-//! paper's NAIVE baseline (run the inductor once on all labels).
+//! The public entry point is [`crate::Engine`] (`engine.learn`,
+//! `engine.naive`); the free functions [`learn`] and [`naive_wrapper`]
+//! survive as deprecated facades over it. The generic
+//! [`learn_with_feature_based`] / [`learn_with_blackbox`] remain the
+//! extension points for custom inductors outside the four built-in
+//! languages.
 
 use crate::config::{Enumeration, NtwConfig, WrapperLanguage};
+use crate::engine::Engine;
 use aw_dom::PageNode;
 use aw_enum::{bottom_up, naive, top_down, EnumerationResult};
 use aw_induct::{
-    FeatureBased, HlrtInductor, ItemSet, LrInductor, NodeSet, Site, WrapperInductor, XPathInductor,
+    DomTableInductor, FeatureBased, HlrtInductor, ItemSet, LrInductor, NodeSet, Site,
+    WrapperInductor, XPathInductor,
 };
 use aw_rank::{RankingModel, WrapperScore};
 
@@ -51,6 +57,7 @@ impl NtwOutcome {
 ///
 /// `Hlrt` has no feature-based form here, so `TopDown` silently falls back
 /// to `BottomUp` for it.
+#[deprecated(note = "build an `aw_core::Engine` (via `EngineBuilder`) and call `Engine::learn`")]
 pub fn learn(
     site: &Site,
     language: WrapperLanguage,
@@ -58,19 +65,69 @@ pub fn learn(
     model: &RankingModel,
     config: &NtwConfig,
 ) -> NtwOutcome {
+    Engine::builder(model.clone())
+        .language(language)
+        .config(config.clone())
+        .build()
+        .learn(site, labels)
+        .map(crate::engine::RankedWrappers::into_outcome)
+        // Pre-Engine behaviour: empty labels gave an empty outcome.
+        .unwrap_or_else(|_| NtwOutcome {
+            ranked: Vec::new(),
+            inductor_calls: 0,
+            wrapper_space_size: 0,
+        })
+}
+
+/// Enumerates the wrapper space for one of the built-in languages
+/// (inductor choice + enumeration algorithm + label subsampling).
+pub(crate) fn enumerate_language(
+    site: &Site,
+    language: WrapperLanguage,
+    labels: &NodeSet,
+    config: &NtwConfig,
+) -> EnumerationResult<PageNode> {
+    let seed_labels = subsample(labels, config.max_enumeration_labels);
     match language {
         WrapperLanguage::XPath => {
-            let inductor = XPathInductor::new(site);
-            learn_with_feature_based(&inductor, site, labels, model, config)
+            enumerate_feature_based(&XPathInductor::new(site), &seed_labels, config)
         }
         WrapperLanguage::Lr => {
-            let inductor = LrInductor::new(site);
-            learn_with_feature_based(&inductor, site, labels, model, config)
+            enumerate_feature_based(&LrInductor::new(site), &seed_labels, config)
         }
-        WrapperLanguage::Hlrt => {
-            let inductor = HlrtInductor::new(site);
-            learn_with_blackbox(&inductor, site, labels, model, config)
+        WrapperLanguage::Table => {
+            enumerate_feature_based(&DomTableInductor::new(site), &seed_labels, config)
         }
+        WrapperLanguage::Hlrt => enumerate_blackbox(&HlrtInductor::new(site), &seed_labels, config),
+    }
+}
+
+fn enumerate_feature_based<I>(
+    inductor: &I,
+    seed_labels: &ItemSet<PageNode>,
+    config: &NtwConfig,
+) -> EnumerationResult<PageNode>
+where
+    I: FeatureBased<Item = PageNode>,
+{
+    match config.enumeration {
+        Enumeration::TopDown => top_down(inductor, seed_labels),
+        Enumeration::BottomUp => bottom_up(inductor, seed_labels),
+        Enumeration::Naive => naive(inductor, seed_labels),
+    }
+}
+
+fn enumerate_blackbox<I>(
+    inductor: &I,
+    seed_labels: &ItemSet<PageNode>,
+    config: &NtwConfig,
+) -> EnumerationResult<PageNode>
+where
+    I: WrapperInductor<Item = PageNode>,
+{
+    match config.enumeration {
+        Enumeration::Naive => naive(inductor, seed_labels),
+        _ => bottom_up(inductor, seed_labels),
     }
 }
 
@@ -86,11 +143,7 @@ where
     I: FeatureBased<Item = PageNode>,
 {
     let seed_labels = subsample(labels, config.max_enumeration_labels);
-    let space = match config.enumeration {
-        Enumeration::TopDown => top_down(inductor, &seed_labels),
-        Enumeration::BottomUp => bottom_up(inductor, &seed_labels),
-        Enumeration::Naive => naive(inductor, &seed_labels),
-    };
+    let space = enumerate_feature_based(inductor, &seed_labels, config);
     // The config's ranking mode is authoritative (lets one model serve all
     // three §7.3 variants).
     rank_space(space, site, labels, &model.with_mode(config.mode))
@@ -109,15 +162,23 @@ where
     I: WrapperInductor<Item = PageNode>,
 {
     let seed_labels = subsample(labels, config.max_enumeration_labels);
-    let space = match config.enumeration {
-        Enumeration::Naive => naive(inductor, &seed_labels),
-        _ => bottom_up(inductor, &seed_labels),
-    };
+    let space = enumerate_blackbox(inductor, &seed_labels, config);
     rank_space(space, site, labels, &model.with_mode(config.mode))
 }
 
 /// The NAIVE baseline of §7.2: run the inductor directly on all labels.
+#[deprecated(note = "build an `aw_core::Engine` (via `EngineBuilder`) and call `Engine::naive`")]
 pub fn naive_wrapper(site: &Site, language: WrapperLanguage, labels: &NodeSet) -> LearnedWrapper {
+    naive_impl(site, language, labels)
+}
+
+/// Shared implementation of the NAIVE baseline ([`Engine::naive`] and the
+/// deprecated [`naive_wrapper`] facade).
+pub(crate) fn naive_impl(
+    site: &Site,
+    language: WrapperLanguage,
+    labels: &NodeSet,
+) -> LearnedWrapper {
     let (extraction, rule) = match language {
         WrapperLanguage::XPath => {
             let ind = XPathInductor::new(site);
@@ -129,6 +190,10 @@ pub fn naive_wrapper(site: &Site, language: WrapperLanguage, labels: &NodeSet) -
         }
         WrapperLanguage::Hlrt => {
             let ind = HlrtInductor::new(site);
+            (ind.extract(labels), ind.rule(labels))
+        }
+        WrapperLanguage::Table => {
+            let ind = DomTableInductor::new(site);
             (ind.extract(labels), ind.rule(labels))
         }
     };
@@ -145,7 +210,20 @@ pub fn naive_wrapper(site: &Site, language: WrapperLanguage, labels: &NodeSet) -
     }
 }
 
-fn rank_space(
+/// Sorts ranked wrappers best-first with the framework's deterministic
+/// tie-break (score, then smaller extraction, then rule string).
+pub(crate) fn sort_ranked(ranked: &mut [LearnedWrapper]) {
+    ranked.sort_by(|a, b| {
+        b.score
+            .total
+            .partial_cmp(&a.score.total)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.extraction.len().cmp(&b.extraction.len()))
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+}
+
+pub(crate) fn rank_space(
     space: EnumerationResult<PageNode>,
     site: &Site,
     labels: &NodeSet,
@@ -166,15 +244,7 @@ fn rank_space(
             }
         })
         .collect();
-    ranked.sort_by(|a, b| {
-        b.score
-            .total
-            .partial_cmp(&a.score.total)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            // Deterministic tie-breaks: smaller extraction first, then rule.
-            .then_with(|| a.extraction.len().cmp(&b.extraction.len()))
-            .then_with(|| a.rule.cmp(&b.rule))
-    });
+    sort_ranked(&mut ranked);
     NtwOutcome {
         ranked,
         inductor_calls,
@@ -196,6 +266,11 @@ pub(crate) fn subsample(labels: &NodeSet, cap: usize) -> ItemSet<PageNode> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated facades must keep their exact pre-Engine behaviour;
+    // these tests exercise the pipeline *through* them (Engine-native
+    // coverage lives in `crate::engine::tests`).
+    #![allow(deprecated)]
+
     use super::*;
     use aw_rank::{AnnotatorModel, ListFeatures, PublicationModel, RankingMode};
 

@@ -1,16 +1,27 @@
 //! # aw-core — the noise-tolerant wrapper framework (NTW)
 //!
+//! > **Naming:** this crate lives in the `crates/ntw` directory (the
+//! > paper's shorthand for the noise-tolerant wrapper framework) but is
+//! > the package `aw-core` / library `aw_core` — there is no `aw_ntw`.
+//! > See `crates/ntw/README.md`.
+//!
 //! The primary contribution of *Automatic Wrappers for Large Scale Web
 //! Extraction* (Dalvi, Kumar & Soliman, VLDB 2011): make any well-behaved
 //! wrapper inductor tolerant to noisy training labels by
-//! **generate-and-test** —
+//! **generate-and-test**. The public surface is one [`Engine`], built
+//! once via [`EngineBuilder`] and exposing the pipeline as typed stages:
 //!
-//! 1. enumerate the wrapper space of the noisy labels (`aw-enum`),
-//! 2. rank each candidate by `P(L | X) · P(X)` (`aw-rank`),
-//! 3. extract with the top-ranked wrapper.
+//! 1. `engine.annotate(&site)` — noisy labels from a cheap annotator,
+//! 2. `engine.enumerate(&site, &labels)` — the wrapper space `W(L)`
+//!    (`aw-enum`, §4) as a [`WrapperSpace`],
+//! 3. `engine.rank(space)` — every candidate scored by
+//!    `P(L | X) · P(X)` (`aw-rank`, §6) into [`RankedWrappers`],
+//! 4. `ranked.best()?.compile()` — a portable [`CompiledWrapper`]
+//!    artifact that serializes (`to_json`/`from_json`) and extracts from
+//!    freshly crawled pages.
 //!
 //! ```
-//! use aw_core::{learn, naive_wrapper, NtwConfig, WrapperLanguage};
+//! use aw_core::{AwError, Engine, NtwConfig, WrapperLanguage};
 //! use aw_induct::Site;
 //! use aw_rank::{AnnotatorModel, ListFeatures, PublicationModel, RankingModel};
 //!
@@ -35,25 +46,48 @@
 //!         ListFeatures { schema_size: 3.0, alignment: 1.0 },
 //!     ]),
 //! );
-//! let out = learn(&site, WrapperLanguage::XPath, &labels, &model, &NtwConfig::default());
-//! let best = out.best().unwrap();
+//!
+//! // One engine, built once, drives the whole pipeline.
+//! let engine = Engine::builder(model)
+//!     .language(WrapperLanguage::XPath)
+//!     .config(NtwConfig::default())
+//!     .build();
+//! let ranked = engine.learn(&site, &labels)?;
+//! let best = ranked.best().expect("nonempty space");
 //! // The noise-tolerant wrapper extracts exactly the four names…
 //! assert_eq!(best.extraction.len(), 4);
 //! // …while the NAIVE baseline over-generalizes to fit the bad label.
-//! let naive = naive_wrapper(&site, WrapperLanguage::XPath, &labels);
-//! assert!(naive.extraction.len() > 4);
+//! assert!(engine.naive(&site, &labels)?.extraction.len() > 4);
+//!
+//! // The winner compiles into a portable serving artifact.
+//! let wrapper = best.compile();
+//! let shipped = aw_core::CompiledWrapper::from_json(&wrapper.to_json())?;
+//! let fresh = aw_dom::parse(
+//!     "<table><tr><td><u>OMEGA HOME</u></td><td>1 Fir</td><td>OX, MS 38655</td></tr></table>");
+//! assert_eq!(shipped.extract_values(&fresh), ["OMEGA HOME"]);
+//! # Ok::<(), AwError>(())
 //! ```
+//!
+//! The pre-Engine free functions ([`learn`], [`naive_wrapper`]) survive
+//! as deprecated facades; the generic [`learn_with_feature_based`] /
+//! [`learn_with_blackbox`] remain for custom inductors.
 
+pub mod artifact;
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod learner;
 pub mod multi_type;
 pub mod rule;
 pub mod single_entity;
 
+pub use artifact::{CompiledWrapper, ARTIFACT_FORMAT, ARTIFACT_VERSION};
 pub use config::{Enumeration, NtwConfig, WrapperLanguage};
-pub use learner::{
-    learn, learn_with_blackbox, learn_with_feature_based, naive_wrapper, LearnedWrapper, NtwOutcome,
-};
+pub use engine::{Annotator, Engine, EngineBuilder, RankedWrapper, RankedWrappers, WrapperSpace};
+pub use error::AwError;
+#[allow(deprecated)]
+pub use learner::{learn, naive_wrapper};
+pub use learner::{learn_with_blackbox, learn_with_feature_based, LearnedWrapper, NtwOutcome};
 pub use multi_type::{
     assemble_records, learn_multi_type, MultiTypeModel, MultiTypeOutcome, MultiTypeWrapper, Record,
 };

@@ -11,7 +11,10 @@ use crate::config::WrapperLanguage;
 use crate::learner::NtwOutcome;
 use aw_dom::{serialize_with_spans, Document, NodeId};
 use aw_induct::lr::scan_spans;
-use aw_induct::{HlrtInductor, HlrtRule, LrInductor, LrRule, NodeSet, Site, XPathInductor};
+use aw_induct::{
+    DomTableInductor, HlrtInductor, HlrtRule, LrInductor, LrRule, NodeSet, Site, TableRule,
+    XPathInductor,
+};
 use aw_pool::WorkPool;
 use aw_xpath::XPath;
 
@@ -24,6 +27,9 @@ pub enum LearnedRule {
     Lr(LrRule),
     /// A WIEN HLRT rule.
     Hlrt(HlrtRule),
+    /// A TABLE rule over the DOM grid (Example 1 grounded in `<tr>`/`<td>`
+    /// coordinates).
+    Table(TableRule),
 }
 
 impl LearnedRule {
@@ -35,6 +41,17 @@ impl LearnedRule {
             WrapperLanguage::XPath => LearnedRule::XPath(XPathInductor::new(site).xpath(seed)),
             WrapperLanguage::Lr => LearnedRule::Lr(LrInductor::new(site).learn(seed)),
             WrapperLanguage::Hlrt => LearnedRule::Hlrt(HlrtInductor::new(site).learn(seed)),
+            WrapperLanguage::Table => LearnedRule::Table(DomTableInductor::new(site).learn(seed)),
+        }
+    }
+
+    /// The wrapper language this rule belongs to.
+    pub fn language(&self) -> WrapperLanguage {
+        match self {
+            LearnedRule::XPath(_) => WrapperLanguage::XPath,
+            LearnedRule::Lr(_) => WrapperLanguage::Lr,
+            LearnedRule::Hlrt(_) => WrapperLanguage::Hlrt,
+            LearnedRule::Table(_) => WrapperLanguage::Table,
         }
     }
 
@@ -49,6 +66,7 @@ impl LearnedRule {
     pub fn apply(&self, doc: &Document) -> Vec<NodeId> {
         match self {
             LearnedRule::XPath(xp) => aw_xpath::evaluate(xp, doc),
+            LearnedRule::Table(rule) => rule.apply(doc),
             _ => self.apply_serialized(&serialize_with_spans(doc)),
         }
     }
@@ -57,9 +75,10 @@ impl LearnedRule {
     /// *set* serializes each page once, not once per rule.
     fn apply_serialized(&self, page: &aw_dom::SerializedPage) -> Vec<NodeId> {
         match self {
-            // XPath rules never take this path: they evaluate against the
-            // document index, not the serialized byte stream.
+            // XPath and TABLE rules never take this path: they evaluate
+            // against the document tree, not the serialized byte stream.
             LearnedRule::XPath(xp) => unreachable!("xpath rule {xp} applied as serialized"),
+            LearnedRule::Table(rule) => unreachable!("table rule {rule} applied as serialized"),
             LearnedRule::Lr(rule) => {
                 let mut out: Vec<NodeId> = scan_spans(&page.html, &rule.left, &rule.right)
                     .into_iter()
@@ -106,18 +125,20 @@ impl LearnedRule {
     }
 
     /// The rule's display form (parsable back for xpath rules).
+    #[deprecated(note = "use the `Display` impl (`to_string` / `{}`) instead")]
     pub fn display(&self) -> String {
-        match self {
-            LearnedRule::XPath(xp) => xp.to_string(),
-            LearnedRule::Lr(r) => r.to_string(),
-            LearnedRule::Hlrt(r) => r.to_string(),
-        }
+        self.to_string()
     }
 }
 
 impl std::fmt::Display for LearnedRule {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.display())
+        match self {
+            LearnedRule::XPath(xp) => xp.fmt(f),
+            LearnedRule::Lr(r) => r.fmt(f),
+            LearnedRule::Hlrt(r) => r.fmt(f),
+            LearnedRule::Table(r) => r.fmt(f),
+        }
     }
 }
 
@@ -168,18 +189,20 @@ impl LearnedRuleSet {
     pub fn apply(&self, doc: &Document) -> Vec<Vec<NodeId>> {
         let mut xpath_results = self.batch.evaluate(doc);
         // One serialization shared by every LR/HLRT member (skipped for
-        // all-xpath sets).
+        // sets without any — xpath evaluates through the document index,
+        // TABLE through the grid coordinates).
         let page = self
-            .batch_slot
+            .rules
             .iter()
-            .any(Option::is_none)
+            .any(|r| matches!(r, LearnedRule::Lr(_) | LearnedRule::Hlrt(_)))
             .then(|| serialize_with_spans(doc));
         self.rules
             .iter()
             .zip(&self.batch_slot)
-            .map(|(rule, slot)| match slot {
-                Some(i) => std::mem::take(&mut xpath_results[*i]),
-                None => rule.apply_serialized(page.as_ref().expect("serialized for LR/HLRT")),
+            .map(|(rule, slot)| match (slot, rule) {
+                (Some(i), _) => std::mem::take(&mut xpath_results[*i]),
+                (None, LearnedRule::Table(t)) => t.apply(doc),
+                (None, _) => rule.apply_serialized(page.as_ref().expect("serialized for LR/HLRT")),
             })
             .collect()
     }
@@ -222,6 +245,10 @@ impl NtwOutcome {
                 let ind = HlrtInductor::new(site);
                 seeds.map(|s| LearnedRule::Hlrt(ind.learn(s))).collect()
             }
+            WrapperLanguage::Table => {
+                let ind = DomTableInductor::new(site);
+                seeds.map(|s| LearnedRule::Table(ind.learn(s))).collect()
+            }
         };
         LearnedRuleSet::new(rules)
     }
@@ -229,6 +256,10 @@ impl NtwOutcome {
 
 #[cfg(test)]
 mod tests {
+    // Exercises the deprecated `learn` facade on purpose (it must stay
+    // behaviourally identical to the Engine it delegates to).
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{learn, NtwConfig};
     use aw_rank::{AnnotatorModel, ListFeatures, PublicationModel, RankingModel};

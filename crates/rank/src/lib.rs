@@ -10,6 +10,12 @@
 //!   and alignment features with KDE-learned distributions (§6.1);
 //! * [`scorer`] — the combined model plus the NTW-L / NTW-X ablation
 //!   variants of §7.3.
+//!
+//! Applications normally reach this crate through `aw_core::Engine`
+//! (`engine.rank`, `engine.learn_sites`); the batch entry points here
+//! ([`score_xpath_space`], [`score_xpath_spaces`],
+//! [`sharded_extractions`]) are the engine's substrate and remain public
+//! for custom pipelines.
 
 pub mod annotation;
 pub mod batch;

@@ -32,16 +32,19 @@ fn main() {
         model.annotator.p, model.annotator.r
     );
 
-    // Show one site in detail.
+    // One engine serves the whole dataset: model + language + annotator.
+    let engine = Engine::builder(model.clone())
+        .language(WrapperLanguage::XPath)
+        .annotator(DictionaryAnnotator::new(
+            dataset.dictionary.iter(),
+            MatchMode::Contains,
+        ))
+        .build();
+
+    // Show one site in detail, through the staged pipeline.
     let sample = test[0];
-    let labels = labels_of(sample);
-    let outcome = learn(
-        &sample.site,
-        WrapperLanguage::XPath,
-        &labels,
-        &model,
-        &NtwConfig::default(),
-    );
+    let labels = engine.annotate(&sample.site).expect("dictionary fires");
+    let outcome = engine.learn(&sample.site, &labels).expect("nonempty space");
     if let Some(best) = outcome.best() {
         println!(
             "\nsite {}: {} labels → wrapper {}",
@@ -56,6 +59,18 @@ fn main() {
             println!("   … {} more", best.extraction.len() - 6);
         }
     }
+
+    // Batch learning: every test site's space ranked in one site-sharded,
+    // page-parallel pass (`Engine::learn_sites_labeled`).
+    let site_labels: Vec<NodeSet> = test.iter().map(|gs| labels_of(gs)).collect();
+    let labeled: Vec<(&Site, &NodeSet)> =
+        test.iter().map(|gs| &gs.site).zip(&site_labels).collect();
+    let batch = engine.learn_sites_labeled(&labeled).expect("batch learn");
+    let learned = batch.iter().filter(|r| !r.is_empty()).count();
+    println!(
+        "\nbatch-learned wrappers for {learned}/{} test sites in one sharded pass",
+        test.len()
+    );
 
     // Dataset-level evaluation: the Figure 2(d) comparison.
     println!("\ndataset accuracy (test half, XPATH wrappers):");

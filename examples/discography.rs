@@ -26,15 +26,16 @@ fn main() {
 
     // One site in detail: show the learned rule and a few tracks,
     // including tracks of albums the dictionary has never seen.
+    let engine = Engine::builder(model.clone())
+        .language(WrapperLanguage::XPath)
+        .annotator(DictionaryAnnotator::new(
+            dataset.track_dictionary.iter(),
+            MatchMode::Exact,
+        ))
+        .build();
     let sample = test[0];
-    let labels = labels_of(sample);
-    let outcome = learn(
-        &sample.site,
-        WrapperLanguage::XPath,
-        &labels,
-        &model,
-        &NtwConfig::default(),
-    );
+    let labels = engine.annotate(&sample.site).expect("tracks matched");
+    let outcome = engine.learn(&sample.site, &labels).expect("nonempty space");
     if let Some(best) = outcome.best() {
         println!("\nsite {}: {} noisy labels", sample.id, labels.len());
         println!("learned wrapper: {}", best.rule);

@@ -5,12 +5,19 @@
 //! awrap demo
 //!     Built-in demonstration on a synthetic dealer-locator site.
 //!
-//! awrap learn --pages DIR --dict FILE [--lang xpath|lr|hlrt]
+//! awrap learn --pages DIR --dict FILE [--lang table|lr|hlrt|xpath]
 //!             [--match exact|contains] [--p F] [--r F] [--top N]
+//!             [--out FILE]
 //!     Learn a wrapper from the HTML pages in DIR (*.html, *.htm; one
 //!     website, same script) using dictionary FILE (one entry per line)
 //!     as the automatic annotator. Prints the ranked rules and the best
-//!     wrapper's extraction.
+//!     wrapper's extraction; with --out, writes the best wrapper as a
+//!     portable serialized artifact.
+//!
+//! awrap apply --wrapper FILE --pages DIR
+//!     Load a serialized wrapper artifact (from `awrap learn --out`) and
+//!     extract from every page in DIR — the serving half of the
+//!     learn-offline / extract-online deployment.
 //!
 //! awrap extract --xpath RULE --pages DIR
 //!     Apply an xpath rule of the fragment to every page in DIR.
@@ -28,6 +35,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("demo") => demo(),
         Some("learn") => learn_cmd(&args[1..]),
+        Some("apply") => apply_cmd(&args[1..]),
         Some("extract") => extract_cmd(&args[1..]),
         Some("experiment") => experiment_cmd(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -45,11 +53,12 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: awrap <demo|learn|extract|experiment> [options]
+const USAGE: &str = "usage: awrap <demo|learn|apply|extract|experiment> [options]
   demo                                      built-in demonstration
   learn --pages DIR --dict FILE             learn a wrapper from noisy labels
-        [--lang xpath|lr|hlrt] [--match exact|contains]
-        [--p FLOAT] [--r FLOAT] [--top N]
+        [--lang table|lr|hlrt|xpath] [--match exact|contains]
+        [--p FLOAT] [--r FLOAT] [--top N] [--out FILE]
+  apply --wrapper FILE --pages DIR          extract with a serialized wrapper
   extract --xpath RULE --pages DIR          apply an xpath rule
   experiment NAME [--quick]                 rerun a paper experiment
       NAME ∈ fig2a fig2b fig2c fig2d fig2e fig2f fig2g fig2h fig2i
@@ -128,13 +137,10 @@ fn demo() -> Result<(), String> {
     );
 
     let model = RankingModel::new(AnnotatorModel::new(0.9, 0.3), default_publication_model());
-    let out = learn(
-        &gs.site,
-        WrapperLanguage::XPath,
-        &labels,
-        &model,
-        &NtwConfig::default(),
-    );
+    let engine = Engine::builder(model)
+        .language(WrapperLanguage::XPath)
+        .build();
+    let out = engine.learn(&gs.site, &labels).map_err(|e| e.to_string())?;
     let best = out.best().ok_or("no labels, no wrapper")?;
     println!("\nlearned wrapper: {}", best.rule);
     println!("extraction ({} nodes):", best.extraction.len());
@@ -152,11 +158,9 @@ fn demo() -> Result<(), String> {
 fn learn_cmd(args: &[String]) -> Result<(), String> {
     let dir = flag(args, "--pages").ok_or("--pages DIR is required")?;
     let dict_path = flag(args, "--dict").ok_or("--dict FILE is required")?;
-    let language = match flag(args, "--lang").as_deref() {
-        None | Some("xpath") => WrapperLanguage::XPath,
-        Some("lr") => WrapperLanguage::Lr,
-        Some("hlrt") => WrapperLanguage::Hlrt,
-        Some(other) => return Err(format!("unknown language {other:?}")),
+    let language = match flag(args, "--lang") {
+        None => WrapperLanguage::XPath,
+        Some(name) => name.parse::<WrapperLanguage>().map_err(|e| e.to_string())?,
     };
     let match_mode = match flag(args, "--match").as_deref() {
         None | Some("contains") => MatchMode::Contains,
@@ -184,24 +188,31 @@ fn learn_cmd(args: &[String]) -> Result<(), String> {
     let dict = std::fs::read_to_string(&dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
     let annotator =
         DictionaryAnnotator::new(dict.lines().filter(|l| !l.trim().is_empty()), match_mode);
-    let labels = annotator.annotate(&site);
+    let entries = annotator.len();
+
+    let model = RankingModel::new(AnnotatorModel::new(p, r), default_publication_model());
+    let engine = Engine::builder(model)
+        .language(language)
+        .annotator(annotator)
+        .build();
+    let labels = engine.annotate(&site).map_err(|e| match e {
+        AwError::NoLabels => "the annotator labeled nothing; check the dictionary".to_string(),
+        other => other.to_string(),
+    })?;
     println!(
         "{} pages, {} dictionary entries, {} noisy labels",
         site.page_count(),
-        annotator.len(),
+        entries,
         labels.len()
     );
-    if labels.is_empty() {
-        return Err("the annotator labeled nothing; check the dictionary".into());
-    }
 
-    let model = RankingModel::new(AnnotatorModel::new(p, r), default_publication_model());
-    let out = learn(&site, language, &labels, &model, &NtwConfig::default());
+    let ranked = engine.learn(&site, &labels).map_err(|e| e.to_string())?;
     println!(
         "\nwrapper space: {} candidates ({} inductor calls)",
-        out.wrapper_space_size, out.inductor_calls
+        ranked.wrapper_space_size(),
+        ranked.inductor_calls()
     );
-    for (i, w) in out.ranked.iter().take(top).enumerate() {
+    for (i, w) in ranked.iter().take(top).enumerate() {
         println!(
             "  #{:<2} score {:9.3}  n={:<4} {}",
             i + 1,
@@ -210,14 +221,47 @@ fn learn_cmd(args: &[String]) -> Result<(), String> {
             w.rule
         );
     }
-    let best = out.best().expect("nonempty labels");
+    let best = ranked.best().expect("ranked space is nonempty");
     println!("\nbest wrapper extraction:");
     for &n in &best.extraction {
         println!("  page {} | {}", n.page, site.text_of(n).unwrap_or("?"));
     }
-    if let Some(rule) = out.best_rule(&site, language) {
-        println!("\nportable rule (apply to future pages): {rule}");
+    let wrapper = best.compile();
+    println!(
+        "\nportable rule (apply to future pages): {}",
+        wrapper.rule()
+    );
+    if let Some(path) = flag(args, "--out") {
+        let json = wrapper.to_json();
+        std::fs::write(&path, &json)
+            .map_err(|e| AwError::Io(format!("{path}: {e}")).to_string())?;
+        println!(
+            "wrote portable wrapper artifact ({} bytes) to {path}",
+            json.len()
+        );
     }
+    Ok(())
+}
+
+fn apply_cmd(args: &[String]) -> Result<(), String> {
+    let wrapper_path = flag(args, "--wrapper").ok_or("--wrapper FILE is required")?;
+    let dir = flag(args, "--pages").ok_or("--pages DIR is required")?;
+    let payload = std::fs::read_to_string(&wrapper_path)
+        .map_err(|e| AwError::Io(format!("{wrapper_path}: {e}")).to_string())?;
+    let wrapper = CompiledWrapper::from_json(&payload).map_err(|e| e.to_string())?;
+    println!("loaded {} wrapper: {}", wrapper.language(), wrapper.rule());
+    let docs: Vec<Document> = read_pages(&dir)?.iter().map(|html| parse(html)).collect();
+    // One batched page-parallel pass — the serving hot loop.
+    let mut total = 0usize;
+    for (i, ids) in wrapper.extract_pages(&docs).into_iter().enumerate() {
+        for id in ids {
+            if let Some(t) = docs[i].text(id) {
+                println!("page {i} | {t}");
+                total += 1;
+            }
+        }
+    }
+    println!("{total} value(s) extracted from {} page(s)", docs.len());
     Ok(())
 }
 

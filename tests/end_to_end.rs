@@ -97,13 +97,8 @@ fn learned_rules_are_reparsable_xpaths() {
         if labels.is_empty() {
             continue;
         }
-        let out = learn(
-            &gs.site,
-            WrapperLanguage::XPath,
-            &labels,
-            &model,
-            &NtwConfig::default(),
-        );
+        let engine = Engine::builder(model.clone()).build();
+        let out = engine.learn(&gs.site, &labels).unwrap();
         let best = out.best().unwrap();
         let xp = parse_xpath(&best.rule).unwrap_or_else(|e| panic!("{}: {e}", best.rule));
         let by_eval: NodeSet = (0..gs.site.page_count() as u32)
