@@ -92,7 +92,10 @@ fn eval_batch(pages: &[Document], batch: &BatchEvaluator) -> usize {
 fn bench_wrapper_space(c: &mut Criterion) {
     let (pages, paths) = corpus();
     let compiled: Vec<CompiledXPath> = paths.iter().map(CompiledXPath::compile).collect();
-    let batch = BatchEvaluator::new(&compiled);
+    // Template cache off: this metric isolates trie sharing (repeated
+    // measurement passes over the same pages would otherwise replay
+    // recorded traces — `xpath_shard` times that separately).
+    let batch = BatchEvaluator::new(&compiled).with_cache(false);
     // Warm the per-document indexes so every engine variant measures
     // steady-state evaluation (index build amortizes across the pipeline;
     // `reference` does not use it at all).

@@ -7,7 +7,7 @@
 //! applies the whole rule set to each crawled page). Site-sharding
 //! observes that a rule only matters on its own site: one
 //! predicate-aware trie per site, each evaluated only against that
-//! site's pages, page-parallel through a `WorkPool`.
+//! site's pages, page-parallel through the work-stealing `Executor`.
 //!
 //! Strategies timed on the **global workload** (dedup space × all
 //! pages, the pre-sharding pipeline):
@@ -21,9 +21,15 @@
 //! actually needs):
 //!
 //! * `indexed (site-local)` — per-rule compiled evaluation;
-//! * `sharded` — `ShardedBatch`, sequential;
+//! * `sharded` — `ShardedBatch`, sequential, template cache off;
 //! * `sharded ×N` — the same tries, page-parallel with N threads
 //!   (measured only when more than one core is available).
+//!
+//! A second, **repeated-template corpus** (full-roster pagination:
+//! fixed records per page, all optional fields present, so every page
+//! of a site shares one structural fingerprint) times the cross-page
+//! template cache: `sharded` with the cache off vs on. The ratio is
+//! reported as `template_cache_speedup`.
 //!
 //! The run writes `BENCH_xpath.json` (schema documented in
 //! `crates/bench/README.md`) to `$BENCH_JSON` (default
@@ -34,7 +40,7 @@
 use aw_annotate::{DictionaryAnnotator, MatchMode};
 use aw_dom::Document;
 use aw_enum::top_down;
-use aw_eval::WorkPool;
+use aw_eval::Executor;
 use aw_induct::{NodeSet, XPathInductor};
 use aw_sitegen::{generate_dealers, DealersConfig};
 use aw_xpath::{evaluate_compiled, reference, BatchEvaluator, CompiledXPath, ShardedBatch, XPath};
@@ -48,18 +54,9 @@ struct SiteData {
     compiled: Vec<CompiledXPath>,
 }
 
-/// Dealer sites with their enumerated per-site candidate spaces.
-fn corpus() -> Vec<SiteData> {
-    let quick = matches!(std::env::var("AW_SCALE").as_deref(), Ok("quick"));
-    let (sites, pages_per_site) = if quick { (6, 4) } else { (24, 12) };
-    let ds = generate_dealers(&DealersConfig {
-        sites,
-        pages_per_site,
-        seed: 0x5AAD,
-        ..DealersConfig::default()
-    });
+/// Enumerates per-site candidate spaces for a generated dealer corpus.
+fn spaces_of(ds: &aw_sitegen::DealersDataset) -> Vec<SiteData> {
     let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
-
     let mut out: Vec<SiteData> = Vec::new();
     for gs in &ds.sites {
         let labels: NodeSet = annot.annotate(&gs.site);
@@ -84,6 +81,36 @@ fn corpus() -> Vec<SiteData> {
     }
     assert!(out.len() >= 3, "corpus too small: {} sites", out.len());
     out
+}
+
+/// Dealer sites with their enumerated per-site candidate spaces.
+fn corpus() -> Vec<SiteData> {
+    let quick = matches!(std::env::var("AW_SCALE").as_deref(), Ok("quick"));
+    let (sites, pages_per_site) = if quick { (6, 4) } else { (24, 12) };
+    spaces_of(&generate_dealers(&DealersConfig {
+        sites,
+        pages_per_site,
+        seed: 0x5AAD,
+        ..DealersConfig::default()
+    }))
+}
+
+/// The repeated-template corpus: every page of a site is a full-roster
+/// instance of one rendering script (fixed record count, no optional
+/// fields missing), so the site collapses to a single structural
+/// fingerprint — the production shape of paginated listings.
+fn template_corpus() -> Vec<SiteData> {
+    let quick = matches!(std::env::var("AW_SCALE").as_deref(), Ok("quick"));
+    let (sites, pages_per_site) = if quick { (6, 6) } else { (24, 12) };
+    spaces_of(&generate_dealers(&DealersConfig {
+        sites,
+        pages_per_site,
+        records_per_page: (6, 6),
+        promo_prob: 0.0,
+        uniform_records: true,
+        seed: 0x7E41,
+        ..DealersConfig::default()
+    }))
 }
 
 /// Global workload: every dedup'd rule over every page, per-rule
@@ -124,9 +151,9 @@ fn eval_indexed_local(sites: &[SiteData]) -> usize {
     nodes
 }
 
-fn eval_sharded(sharded: &ShardedBatch, pages: &[(usize, &Document)], pool: &WorkPool) -> usize {
+fn eval_sharded(sharded: &ShardedBatch, pages: &[(usize, &Document)], exec: &Executor) -> usize {
     sharded
-        .evaluate_pages(pages, pool)
+        .evaluate_pages(pages, exec)
         .iter()
         .flat_map(|page| page.iter().map(|(_, nodes)| nodes.len()))
         .sum()
@@ -151,19 +178,29 @@ fn num(n: f64) -> Value {
     Value::Number(n)
 }
 
-fn main() {
-    let sites = corpus();
-    let tagged: Vec<(usize, CompiledXPath)> = sites
+fn tagged_of(sites: &[SiteData]) -> Vec<(usize, CompiledXPath)> {
+    sites
         .iter()
         .enumerate()
         .flat_map(|(s, site)| site.compiled.iter().cloned().map(move |c| (s, c)))
-        .collect();
-    let sharded = ShardedBatch::new(tagged);
-    let pages: Vec<(usize, &Document)> = sites
+        .collect()
+}
+
+fn pages_of(sites: &[SiteData]) -> Vec<(usize, &Document)> {
+    sites
         .iter()
         .enumerate()
         .flat_map(|(s, site)| site.pages.iter().map(move |p| (s, p)))
-        .collect();
+        .collect()
+}
+
+fn main() {
+    let sites = corpus();
+    // The established sharded metrics measure trie sharing alone, so the
+    // template cache is off here; the repeated-template corpus below
+    // measures it separately.
+    let sharded = ShardedBatch::new(tagged_of(&sites)).with_cache(false);
+    let pages: Vec<(usize, &Document)> = pages_of(&sites);
 
     // The deduplicated cross-site space the pre-sharding pipeline carried.
     let mut seen = std::collections::BTreeSet::new();
@@ -175,7 +212,9 @@ fn main() {
         .collect();
     let global_compiled: Vec<CompiledXPath> =
         global_space.iter().map(CompiledXPath::compile).collect();
-    let global_batch = BatchEvaluator::new(&global_compiled);
+    // Cache off for the same reason as `sharded`: this metric isolates
+    // trie sharing (repeated timing passes would otherwise replay).
+    let global_batch = BatchEvaluator::new(&global_compiled).with_cache(false);
 
     // Warm the per-document indexes so every engine measures steady-state
     // evaluation (`reference` does not use them at all).
@@ -187,7 +226,7 @@ fn main() {
     // element-wise against per-rule indexed evaluation (identical
     // site-local workload), and the global trie against per-rule indexed
     // node totals on the global workload.
-    let seq = WorkPool::with_threads(1);
+    let seq = Executor::new(1);
     for (&(key, page), results) in pages.iter().zip(sharded.evaluate_pages(&pages, &seq)) {
         let site = &sites[key];
         assert_eq!(results.len(), site.compiled.len());
@@ -241,6 +280,37 @@ fn main() {
     let t_idx_local = time(passes, &|| eval_indexed_local(&sites));
     let t_shard = time(passes, &|| eval_sharded(&sharded, &pages, &seq));
 
+    // The repeated-template workload: identical per-site candidate
+    // spaces and pages, with and without cross-page template replay.
+    // Both variants must agree with per-rule indexed evaluation before
+    // being timed (and the cached variant re-checks *after* its traces
+    // are recorded, i.e. on the replay path).
+    let tsites = template_corpus();
+    let tpages: Vec<(usize, &Document)> = pages_of(&tsites);
+    for (_, page) in &tpages {
+        page.index();
+    }
+    let t_nocache = ShardedBatch::new(tagged_of(&tsites)).with_cache(false);
+    let t_cached = ShardedBatch::new(tagged_of(&tsites));
+    for _ in 0..2 {
+        // Two verification rounds: the first records traces, the second
+        // exercises replay on every page.
+        for (&(key, page), results) in tpages.iter().zip(t_cached.evaluate_pages(&tpages, &seq)) {
+            let site = &tsites[key];
+            for ((_, nodes), compiled) in results.iter().zip(&site.compiled) {
+                assert_eq!(
+                    nodes,
+                    &evaluate_compiled(compiled, page),
+                    "template corpus, site {key}"
+                );
+            }
+        }
+    }
+    let (warm_hits, _) = t_cached.template_cache_stats().expect("cache enabled");
+    assert!(warm_hits > 0, "template corpus produced no cache replays");
+    let t_template_nocache = time(passes, &|| eval_sharded(&t_nocache, &tpages, &seq));
+    let t_template_cached = time(passes, &|| eval_sharded(&t_cached, &tpages, &seq));
+
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -254,8 +324,8 @@ fn main() {
             counts.push(available);
         }
         for k in counts {
-            let pool = WorkPool::with_threads(k);
-            parallel.push((k, time(passes, &|| eval_sharded(&sharded, &pages, &pool))));
+            let exec = Executor::new(k);
+            parallel.push((k, time(passes, &|| eval_sharded(&sharded, &pages, &exec))));
         }
     }
 
@@ -280,6 +350,18 @@ fn main() {
         t_gbatch / t_shard,
         t_idx_local / t_shard,
         t_ref / t_gbatch,
+    );
+    let (cache_hits, cache_misses) = t_cached.template_cache_stats().expect("cache enabled");
+    println!(
+        "repeated-template workload ({} sites x {} pages): sharded no-cache {:.3} ms, \
+         template cache {:.3} ms ({:.1}x; {} replayed / {} other page evaluations)",
+        tsites.len(),
+        tpages.len(),
+        t_template_nocache * ms,
+        t_template_cached * ms,
+        t_template_nocache / t_template_cached,
+        cache_hits,
+        cache_misses,
     );
     if parallel.is_empty() {
         println!("parallel scaling: skipped ({available} core available)");
@@ -330,6 +412,8 @@ fn main() {
                 ("global_batch", num(t_gbatch * ms)),
                 ("indexed_local", num(t_idx_local * ms)),
                 ("sharded", num(t_shard * ms)),
+                ("template_nocache", num(t_template_nocache * ms)),
+                ("template_cached", num(t_template_cached * ms)),
                 (
                     "sharded_parallel",
                     Value::Object(
@@ -349,7 +433,20 @@ fn main() {
                 ("sharded_vs_indexed_local", num(t_idx_local / t_shard)),
                 ("batch_vs_reference", num(t_ref / t_gbatch)),
                 ("indexed_vs_reference", num(t_ref / t_idx)),
+                (
+                    "template_cache_speedup",
+                    num(t_template_nocache / t_template_cached),
+                ),
                 ("parallel_scaling", scaling(&parallel)),
+            ]),
+        ),
+        (
+            "template_corpus",
+            obj(vec![
+                ("sites", num(tsites.len() as f64)),
+                ("pages", num(tpages.len() as f64)),
+                ("cache_replays", num(cache_hits as f64)),
+                ("cache_other", num(cache_misses as f64)),
             ]),
         ),
         ("threads_available", num(available as f64)),

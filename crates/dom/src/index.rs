@@ -18,7 +18,9 @@
 
 use crate::arena::{Document, NodeId, NodeKind};
 use crate::interner::{intern, Sym};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::ops::Range;
 
 /// Precomputed evaluation structures for one [`Document`].
@@ -58,6 +60,11 @@ pub struct DocIndex {
     /// the process-global interner — this table lives and dies with the
     /// index.
     attr_values: HashMap<String, u32>,
+    /// Structural template fingerprint, computed on first use (see
+    /// [`DocIndex::template_fingerprint`]) — consumers that never
+    /// fingerprint (per-rule evaluation, cache-disabled batch engines)
+    /// pay nothing for it.
+    fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl DocIndex {
@@ -79,6 +86,7 @@ impl DocIndex {
             attr_offsets: Vec::with_capacity(n + 1),
             attrs: Vec::new(),
             attr_values: HashMap::new(),
+            fingerprint: std::sync::OnceLock::new(),
         };
         if n == 0 {
             idx.attr_offsets.push(0);
@@ -142,7 +150,46 @@ impl DocIndex {
                 stack.pop();
             }
         }
+
         idx
+    }
+
+    /// Computes the template fingerprint — a hash over the rank-ordered
+    /// tag/attribute-name skeleton plus subtree spans (spans pin the
+    /// tree *shape*; a flat preorder kind sequence alone cannot tell
+    /// `a(b) c` from `a b(c)`). Text content and attribute values are
+    /// deliberately excluded: pages rendered from one script differ
+    /// exactly there. Node kinds are reconstructed from the index's own
+    /// tables (tag = element, text posting = text, rank 0 = the
+    /// synthetic root, rest = comments), so no `Document` is needed.
+    fn compute_fingerprint(&self) -> u64 {
+        let n = self.by_rank.len();
+        let mut h = DefaultHasher::new();
+        (n as u64).hash(&mut h);
+        // `text_postings` ascends in rank, so one peeking cursor
+        // classifies text nodes as the rank loop advances.
+        let mut texts = self.text_postings.iter().peekable();
+        for r in 0..n as u32 {
+            let id = self.by_rank[r as usize];
+            self.subtree_end[r as usize].hash(&mut h);
+            if let Some(sym) = self.tag[id.index()] {
+                1u8.hash(&mut h);
+                sym.hash(&mut h);
+                let attrs = self.attrs(id);
+                (attrs.len() as u32).hash(&mut h);
+                for &(name, _) in attrs {
+                    name.hash(&mut h);
+                }
+            } else if texts.peek() == Some(&&r) {
+                texts.next();
+                2u8.hash(&mut h);
+            } else if r == 0 {
+                0u8.hash(&mut h); // the synthetic document root
+            } else {
+                3u8.hash(&mut h); // comment
+            }
+        }
+        h.finish()
     }
 
     fn visit(&mut self, doc: &Document, id: NodeId) {
@@ -245,6 +292,32 @@ impl DocIndex {
         self.attrs(id)
             .iter()
             .any(|&(n, v)| n == name && v == value_id)
+    }
+
+    /// The document's **structural template fingerprint**: a 64-bit
+    /// hash over the pre-order tag/attribute-name skeleton (node kinds,
+    /// element tags, attribute names, subtree spans), ignoring text
+    /// content and attribute *values*. Computed on first use and cached
+    /// in the index.
+    ///
+    /// Two pages rendered from one script — dealer pages of one site,
+    /// say — share a fingerprint whenever their trees are identical up
+    /// to the text and attribute values filled into the template, and
+    /// trees *with* identical skeletons share identical pre-order rank
+    /// topology: ranks, subtree spans, posting lists and sibling
+    /// positions all coincide, which is what lets the batch xpath
+    /// engine replay one page's bare traversals onto its template
+    /// siblings (`aw_xpath::TemplateCache`).
+    ///
+    /// The converse is probabilistic, not exact: this is an unkeyed
+    /// 64-bit hash, so two *different* skeletons can collide (≈ 2⁻⁶⁴
+    /// per pair; birthday-bounded across a corpus) and equality is not
+    /// verified structurally — consumers that would be corrupted by a
+    /// collision rather than merely slowed must compare skeletons
+    /// themselves. Only valid for comparisons within one process (tag
+    /// symbols are interner-assigned).
+    pub fn template_fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| self.compute_fingerprint())
     }
 }
 
@@ -397,5 +470,84 @@ mod tests {
         let idx = d.index();
         assert!(idx.element_postings().is_empty());
         assert!(idx.text_postings().is_empty());
+    }
+
+    fn fp(html: &str) -> u64 {
+        parse(html).index().template_fingerprint()
+    }
+
+    #[test]
+    fn fingerprint_ignores_text_and_attribute_values() {
+        // Two renderings of one template: same skeleton, different text
+        // and attribute values.
+        let a = fp("<div class='list'><tr><td><u>ALPHA</u><br>1 Elm</td></tr></div>");
+        let b = fp("<div class='grid'><tr><td><u>OMEGA STORES</u><br>99 Oak Ave</td></tr></div>");
+        assert_eq!(
+            a, b,
+            "text/value-only differences must not change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn fingerprint_detects_structural_mutations() {
+        let base = fp("<div class='l'><td><u>A</u></td></div>");
+        // Different tag.
+        assert_ne!(base, fp("<div class='l'><td><b>A</b></td></div>"));
+        // Different attribute *name* (values are ignored, names are not).
+        assert_ne!(base, fp("<div id='l'><td><u>A</u></td></div>"));
+        // Extra attribute.
+        assert_ne!(base, fp("<div class='l' id='x'><td><u>A</u></td></div>"));
+        // An added text node is a structural change, not a text edit.
+        assert_ne!(base, fp("<div class='l'><td><u>A</u>tail</td></div>"));
+        // An added element.
+        assert_ne!(base, fp("<div class='l'><td><u>A</u><br></td></div>"));
+    }
+
+    #[test]
+    fn fingerprint_classifies_comments_apart_from_text() {
+        // The lazy computation reconstructs node kinds from the index's
+        // own tables; comments (in neither posting list) must neither
+        // alias text nodes nor disappear.
+        let comment = fp("<div><!--note--></div>");
+        let text = fp("<div>note</div>");
+        let empty = fp("<div></div>");
+        assert_ne!(comment, text);
+        assert_ne!(comment, empty);
+        // Comment *content* is ignored like text content.
+        assert_eq!(comment, fp("<div><!--other words--></div>"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_tree_shape_not_just_preorder_sequence() {
+        // Both documents list div, p, span in pre-order; only the nesting
+        // differs. Subtree spans must separate them.
+        let nested = fp("<div><p><span>x</span></p></div>");
+        let flat = fp("<div><p></p><span>x</span></div>");
+        assert_ne!(nested, flat);
+    }
+
+    #[test]
+    fn fingerprint_invalidated_by_append() {
+        let mut d = Document::new();
+        let div = d.append_element(NodeId::ROOT, "div", vec![]);
+        let before = d.index().template_fingerprint();
+        d.append_element(div, "p", vec![]);
+        let after = d.index().template_fingerprint();
+        assert_ne!(before, after, "mutation must re-fingerprint");
+    }
+
+    #[test]
+    fn fingerprint_matches_across_builder_and_parser_construction() {
+        // Same tree, different arena orders (builder interleaves appends):
+        // the fingerprint hashes rank order, so construction order is
+        // invisible.
+        let mut d = Document::new();
+        let a = d.append_element(NodeId::ROOT, "a", vec![]);
+        d.append_element(NodeId::ROOT, "c", vec![]);
+        d.append_element(a, "b", vec![]); // arena: a, c, b — preorder: a, b, c
+        assert_eq!(
+            d.index().template_fingerprint(),
+            fp("<a><b></b></a><c></c>")
+        );
     }
 }

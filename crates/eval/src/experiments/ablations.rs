@@ -10,7 +10,7 @@
 
 use crate::harness::{evaluate, learn_model, split_half, Method};
 use crate::metrics::{macro_average, prf1, PrF1};
-use crate::parallel::par_map;
+use crate::parallel::executor;
 use aw_core::{learn_with_feature_based, NtwConfig, WrapperLanguage};
 use aw_induct::{LrInductor, NodeSet};
 use aw_rank::{AnnotatorModel, KernelOverride, RankingModel};
@@ -58,7 +58,7 @@ where
     let rows = caps
         .iter()
         .map(|&cap| {
-            let scored: Vec<(PrF1, usize)> = par_map(&test, |gs| {
+            let scored: Vec<(PrF1, usize)> = executor().map(&test, |gs| {
                 let labels = labels_of(gs);
                 if labels.is_empty() {
                     return (PrF1::ZERO, 0);
@@ -106,7 +106,7 @@ where
                 max_enumeration_labels: cap,
                 ..Default::default()
             };
-            let scored: Vec<(PrF1, usize)> = par_map(&test, |gs| {
+            let scored: Vec<(PrF1, usize)> = executor().map(&test, |gs| {
                 let labels = labels_of(gs);
                 if labels.is_empty() {
                     return (PrF1::ZERO, 0);

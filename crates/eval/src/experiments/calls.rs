@@ -1,7 +1,7 @@
 //! Figures 2(a) and 2(b): number of inductor calls made by TopDown,
 //! BottomUp and Naive enumeration, per website.
 
-use crate::parallel::par_map;
+use crate::parallel::executor;
 use aw_core::WrapperLanguage;
 use aw_enum::{bottom_up, naive_call_count, top_down};
 use aw_induct::{LrInductor, NodeSet, XPathInductor};
@@ -44,44 +44,45 @@ pub fn run<F>(sites: &[GeneratedSite], labels_of: F, language: WrapperLanguage) 
 where
     F: Fn(&GeneratedSite) -> NodeSet + Sync,
 {
-    let mut rows: Vec<CallsRow> = par_map(sites, |gs| {
-        let labels = cap_labels(labels_of(gs), LABEL_CAP);
-        if labels.is_empty() {
-            return None;
-        }
-        let (td, bu, k) = match language {
-            WrapperLanguage::XPath => {
-                let ind = XPathInductor::new(&gs.site);
-                let td = top_down(&ind, &labels);
-                let bu = bottom_up(&ind, &labels);
-                (td.inductor_calls, bu.inductor_calls, td.len())
+    let mut rows: Vec<CallsRow> = executor()
+        .map(sites, |gs| {
+            let labels = cap_labels(labels_of(gs), LABEL_CAP);
+            if labels.is_empty() {
+                return None;
             }
-            WrapperLanguage::Lr => {
-                let ind = LrInductor::new(&gs.site);
-                let td = top_down(&ind, &labels);
-                let bu = bottom_up(&ind, &labels);
-                (td.inductor_calls, bu.inductor_calls, td.len())
-            }
-            WrapperLanguage::Table => {
-                let ind = aw_induct::DomTableInductor::new(&gs.site);
-                let td = top_down(&ind, &labels);
-                let bu = bottom_up(&ind, &labels);
-                (td.inductor_calls, bu.inductor_calls, td.len())
-            }
-            WrapperLanguage::Hlrt => unimplemented!("HLRT has no feature-based form"),
-        };
-        Some(CallsRow {
-            site: gs.id,
-            labels: labels.len(),
-            top_down: td,
-            bottom_up: bu,
-            naive: naive_call_count(labels.len()),
-            k,
+            let (td, bu, k) = match language {
+                WrapperLanguage::XPath => {
+                    let ind = XPathInductor::new(&gs.site);
+                    let td = top_down(&ind, &labels);
+                    let bu = bottom_up(&ind, &labels);
+                    (td.inductor_calls, bu.inductor_calls, td.len())
+                }
+                WrapperLanguage::Lr => {
+                    let ind = LrInductor::new(&gs.site);
+                    let td = top_down(&ind, &labels);
+                    let bu = bottom_up(&ind, &labels);
+                    (td.inductor_calls, bu.inductor_calls, td.len())
+                }
+                WrapperLanguage::Table => {
+                    let ind = aw_induct::DomTableInductor::new(&gs.site);
+                    let td = top_down(&ind, &labels);
+                    let bu = bottom_up(&ind, &labels);
+                    (td.inductor_calls, bu.inductor_calls, td.len())
+                }
+                WrapperLanguage::Hlrt => unimplemented!("HLRT has no feature-based form"),
+            };
+            Some(CallsRow {
+                site: gs.id,
+                labels: labels.len(),
+                top_down: td,
+                bottom_up: bu,
+                naive: naive_call_count(labels.len()),
+                k,
+            })
         })
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+        .into_iter()
+        .flatten()
+        .collect();
     rows.sort_by_key(|r| r.top_down);
     CallsResult {
         language: language.name().to_string(),

@@ -7,7 +7,7 @@
 //! first `train_pages`, extraction quality is measured only on the rest.
 
 use crate::metrics::{macro_average, prf1, PrF1};
-use crate::parallel::par_map;
+use crate::parallel::executor;
 use aw_core::{Engine, WrapperLanguage};
 use aw_dom::PageNode;
 use aw_induct::{NodeSet, Site};
@@ -43,58 +43,59 @@ where
     F: Fn(&GeneratedSite) -> NodeSet + Sync,
 {
     let engine = Engine::builder(model.clone()).language(language).build();
-    let scores: Vec<(PrF1, PrF1)> = par_map(sites, |gs| {
-        let total_pages = gs.site.page_count();
-        if total_pages <= train_pages {
-            return None;
-        }
-        // Labels restricted to the training pages.
-        let labels: NodeSet = labels_of(gs)
-            .into_iter()
-            .filter(|n| (n.page as usize) < train_pages)
-            .collect();
-        if labels.is_empty() {
-            return Some((PrF1::ZERO, PrF1::ZERO));
-        }
-
-        // Learn on a site view containing only the training pages.
-        let train_htmls: Vec<String> = (0..train_pages)
-            .map(|p| aw_dom::serialize(gs.site.page(p as u32)))
-            .collect();
-        let train_site = Site::from_html(&train_htmls);
-        // Node ids are preserved by re-parsing the serialized pages
-        // (serialize∘parse is a fixpoint for parsed documents), so labels
-        // carry over directly.
-        let Ok(out) = engine.learn(&train_site, &labels) else {
-            return Some((PrF1::ZERO, PrF1::ZERO));
-        };
-        let Some(best) = out.best() else {
-            return Some((PrF1::ZERO, PrF1::ZERO));
-        };
-        // Compile the portable serving artifact once per site (xpath
-        // rules carry their batch trie), then replay it over every page.
-        let wrapper = best.compile();
-
-        // Score on training pages and held-out pages separately.
-        let score_on = |range: std::ops::Range<usize>| {
-            let mut extracted = NodeSet::new();
-            let mut gold = NodeSet::new();
-            for p in range {
-                extracted.extend(
-                    wrapper
-                        .extract(gs.site.page(p as u32))
-                        .into_iter()
-                        .map(|id| PageNode::new(p as u32, id)),
-                );
-                gold.extend(gs.gold().iter().copied().filter(|n| n.page as usize == p));
+    let scores: Vec<(PrF1, PrF1)> = executor()
+        .map(sites, |gs| {
+            let total_pages = gs.site.page_count();
+            if total_pages <= train_pages {
+                return None;
             }
-            prf1(&extracted, &gold)
-        };
-        Some((score_on(train_pages..total_pages), score_on(0..train_pages)))
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+            // Labels restricted to the training pages.
+            let labels: NodeSet = labels_of(gs)
+                .into_iter()
+                .filter(|n| (n.page as usize) < train_pages)
+                .collect();
+            if labels.is_empty() {
+                return Some((PrF1::ZERO, PrF1::ZERO));
+            }
+
+            // Learn on a site view containing only the training pages.
+            let train_htmls: Vec<String> = (0..train_pages)
+                .map(|p| aw_dom::serialize(gs.site.page(p as u32)))
+                .collect();
+            let train_site = Site::from_html(&train_htmls);
+            // Node ids are preserved by re-parsing the serialized pages
+            // (serialize∘parse is a fixpoint for parsed documents), so labels
+            // carry over directly.
+            let Ok(out) = engine.learn(&train_site, &labels) else {
+                return Some((PrF1::ZERO, PrF1::ZERO));
+            };
+            let Some(best) = out.best() else {
+                return Some((PrF1::ZERO, PrF1::ZERO));
+            };
+            // Compile the portable serving artifact once per site (xpath
+            // rules carry their batch trie), then replay it over every page.
+            let wrapper = best.compile();
+
+            // Score on training pages and held-out pages separately.
+            let score_on = |range: std::ops::Range<usize>| {
+                let mut extracted = NodeSet::new();
+                let mut gold = NodeSet::new();
+                for p in range {
+                    extracted.extend(
+                        wrapper
+                            .extract(gs.site.page(p as u32))
+                            .into_iter()
+                            .map(|id| PageNode::new(p as u32, id)),
+                    );
+                    gold.extend(gs.gold().iter().copied().filter(|n| n.page as usize == p));
+                }
+                prf1(&extracted, &gold)
+            };
+            Some((score_on(train_pages..total_pages), score_on(0..train_pages)))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     GeneralizationResult {
         language: language.name().to_string(),

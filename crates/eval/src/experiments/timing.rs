@@ -1,7 +1,7 @@
 //! Figure 2(c): wall-clock running time of TopDown vs BottomUp
 //! enumeration for XPATH wrappers, per website.
 
-use crate::parallel::par_map;
+use crate::parallel::executor;
 use aw_enum::{bottom_up, top_down};
 use aw_induct::{NodeSet, XPathInductor};
 use aw_sitegen::GeneratedSite;
@@ -33,29 +33,30 @@ pub fn run<F>(sites: &[GeneratedSite], labels_of: F) -> TimingResult
 where
     F: Fn(&GeneratedSite) -> NodeSet + Sync,
 {
-    let mut rows: Vec<TimingRow> = par_map(sites, |gs| {
-        let labels = super::calls::cap_labels_pub(labels_of(gs), super::calls::LABEL_CAP);
-        if labels.is_empty() {
-            return None;
-        }
-        let ind = XPathInductor::new(&gs.site);
-        let t0 = Instant::now();
-        let td = top_down(&ind, &labels);
-        let top_down_secs = t0.elapsed().as_secs_f64();
-        let t1 = Instant::now();
-        let bu = bottom_up(&ind, &labels);
-        let bottom_up_secs = t1.elapsed().as_secs_f64();
-        debug_assert_eq!(td.extraction_set(), bu.extraction_set());
-        Some(TimingRow {
-            site: gs.id,
-            labels: labels.len(),
-            top_down_secs,
-            bottom_up_secs,
+    let mut rows: Vec<TimingRow> = executor()
+        .map(sites, |gs| {
+            let labels = super::calls::cap_labels_pub(labels_of(gs), super::calls::LABEL_CAP);
+            if labels.is_empty() {
+                return None;
+            }
+            let ind = XPathInductor::new(&gs.site);
+            let t0 = Instant::now();
+            let td = top_down(&ind, &labels);
+            let top_down_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let bu = bottom_up(&ind, &labels);
+            let bottom_up_secs = t1.elapsed().as_secs_f64();
+            debug_assert_eq!(td.extraction_set(), bu.extraction_set());
+            Some(TimingRow {
+                site: gs.id,
+                labels: labels.len(),
+                top_down_secs,
+                bottom_up_secs,
+            })
         })
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+        .into_iter()
+        .flatten()
+        .collect();
     rows.sort_by(|a, b| a.top_down_secs.total_cmp(&b.top_down_secs));
     TimingResult { rows }
 }

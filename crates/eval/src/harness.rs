@@ -6,7 +6,7 @@
 //! even-indexed half and evaluate on the odd-indexed half.
 
 use crate::metrics::{macro_average, prf1, PrF1};
-use crate::parallel::par_map;
+use crate::parallel::executor;
 use aw_core::{Engine, NtwConfig, WrapperLanguage};
 use aw_induct::NodeSet;
 use aw_rank::{
@@ -154,7 +154,7 @@ where
         .language(language)
         .config(config)
         .build();
-    let per_site = par_map(test, |site| {
+    let per_site = executor().map(test, |site| {
         let labels = labels_of(site);
         let extraction = match method {
             Method::Naive => engine

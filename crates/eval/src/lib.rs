@@ -2,9 +2,11 @@
 //!
 //! Reproduces the evaluation of §7 and the appendices: precision/recall
 //! metrics, the half-split train/test protocol ("the p and r of the
-//! annotators are learned from a sample of half the websites"), a scoped
-//! parallel map over sites, and one runner per paper figure/table (see
-//! [`experiments`]).
+//! annotators are learned from a sample of half the websites"), and one
+//! runner per paper figure/table (see [`experiments`]). Sites are
+//! evaluated in parallel through the process-global work-stealing
+//! [`Executor`] ([`executor`]), which the nested page-parallel stages
+//! share — no per-site scoped pools.
 
 pub mod experiments;
 pub mod harness;
@@ -14,5 +16,7 @@ pub mod report;
 
 pub use harness::{evaluate, learn_annotator, learn_model, split_half, EvalOutcome, Method};
 pub use metrics::{macro_average, prf1, PrF1};
-pub use parallel::{par_map, WorkPool};
+#[allow(deprecated)]
+pub use parallel::par_map;
+pub use parallel::{executor, Executor, WorkPool};
 pub use report::{to_json, write_json};

@@ -2,28 +2,41 @@
 //!
 //! The implementation lives in [`aw_pool`] (a dependency-free crate low
 //! enough in the workspace graph that the xpath/rank/core layers use it
-//! too); this module re-exports [`WorkPool`] and keeps the historical
-//! [`par_map`] entry point (330 sites × enumeration is embarrassingly
-//! parallel).
+//! too). Since the work-stealing refactor the harness maps over sites
+//! through [`executor`] — the process-global [`Executor`] — so the
+//! page-parallel stages nested under each site (batch xpath evaluation,
+//! rule replay) feed the *same* worker team instead of spawning
+//! competing scoped pools. The historical per-site entry point
+//! [`par_map`] survives as a deprecated facade over it.
 
-pub use aw_pool::WorkPool;
+pub use aw_pool::{Executor, WorkPool};
+
+/// The process-global work-stealing executor the harness maps through
+/// (honours `AW_THREADS`; see [`Executor::global`]).
+pub fn executor() -> &'static Executor {
+    Executor::global()
+}
 
 /// Applies `f` to every item on all available cores, preserving order.
-///
-/// Equivalent to `WorkPool::auto().map(items, f)`: chunked dynamic
-/// scheduling with per-thread outputs stitched in input order (no shared
-/// output lock), deterministic across thread counts.
+#[deprecated(
+    note = "use aw_eval::executor().map(..) — the shared work-stealing executor \
+            replaces the per-call site-only pool"
+)]
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    WorkPool::auto().map(items, f)
+    executor().map(items, f)
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated facade must stay behaviourally identical to the
+    // executor it delegates to.
+    #![allow(deprecated)]
+
     use super::*;
 
     #[test]
@@ -31,6 +44,16 @@ mod tests {
         let items: Vec<u64> = (0..500).collect();
         let out = par_map(&items, |&x| x * 2);
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn facade_matches_direct_executor_use() {
+        let items: Vec<u64> = (0..777).collect();
+        let via_facade = par_map(&items, |&x| x.rotate_left(3) ^ 0x5A);
+        let via_executor = executor().map(&items, |&x| x.rotate_left(3) ^ 0x5A);
+        let sequential: Vec<u64> = items.iter().map(|&x| x.rotate_left(3) ^ 0x5A).collect();
+        assert_eq!(via_facade, via_executor);
+        assert_eq!(via_facade, sequential);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //!   carry a versioned JSON payload for all four rule languages
 //!   (TABLE/LR/HLRT/XPATH);
 //! * **serve** — [`CompiledWrapper::extract`] /
-//!   [`CompiledWrapper::extract_pages`] amortize the compiled xpath trie
-//!   and the work pool across requests.
+//!   [`CompiledWrapper::extract_pages`] amortize the compiled xpath
+//!   trie, its cross-page template cache and the shared executor across
+//!   requests.
 //!
 //! The payload is deliberately small and self-describing (the offline
 //! serde_json stand-in renders whole numbers with a decimal point, so
@@ -32,7 +33,7 @@ use crate::error::AwError;
 use crate::rule::{LearnedRule, LearnedRuleSet};
 use aw_dom::{Document, NodeId};
 use aw_induct::{HlrtRule, LrRule, TableRule};
-use aw_pool::WorkPool;
+use aw_pool::Executor;
 use serde::Value;
 
 /// The `format` marker every wrapper artifact carries.
@@ -42,28 +43,30 @@ pub const ARTIFACT_FORMAT: &str = "aw-wrapper";
 pub const ARTIFACT_VERSION: u32 = 1;
 
 /// A learned wrapper compiled for serving: the portable rule plus its
-/// pre-built execution state (xpath batch trie, work pool).
+/// pre-built execution state (xpath batch trie with its template cache,
+/// shared executor).
 #[derive(Debug)]
 pub struct CompiledWrapper {
     /// One-rule set: owns the rule and reuses the batched replay
     /// machinery (compiled trie for xpath, shared page serialization for
     /// LR/HLRT).
     set: LearnedRuleSet,
-    pool: WorkPool,
+    executor: Executor,
 }
 
 impl CompiledWrapper {
-    /// Compiles a portable rule into a serving wrapper.
+    /// Compiles a portable rule into a serving wrapper driving parallel
+    /// extraction through [`Executor::global`].
     pub fn from_rule(rule: LearnedRule) -> CompiledWrapper {
         CompiledWrapper {
             set: LearnedRuleSet::new(vec![rule]),
-            pool: WorkPool::auto(),
+            executor: Executor::global().clone(),
         }
     }
 
-    /// Replaces the work pool driving [`CompiledWrapper::extract_pages`].
-    pub fn with_pool(mut self, pool: WorkPool) -> CompiledWrapper {
-        self.pool = pool;
+    /// Replaces the executor driving [`CompiledWrapper::extract_pages`].
+    pub fn with_executor(mut self, executor: Executor) -> CompiledWrapper {
+        self.executor = executor;
         self
     }
 
@@ -92,11 +95,11 @@ impl CompiledWrapper {
     }
 
     /// Extracts from a whole crawl, page-parallel through the wrapper's
-    /// pool; `out[p]` equals [`CompiledWrapper::extract`] on `docs[p]`
-    /// for every thread count.
+    /// executor; `out[p]` equals [`CompiledWrapper::extract`] on
+    /// `docs[p]` for every thread count.
     pub fn extract_pages(&self, docs: &[Document]) -> Vec<Vec<NodeId>> {
         self.set
-            .apply_pages(docs, &self.pool)
+            .apply_pages(docs, &self.executor)
             .into_iter()
             .map(|mut per_rule| per_rule.pop().unwrap_or_default())
             .collect()
@@ -319,8 +322,7 @@ mod tests {
             crawl.iter().map(|d| w.extract(d)).collect()
         };
         for threads in [1, 2, 4] {
-            let w =
-                CompiledWrapper::from_rule(rule.clone()).with_pool(WorkPool::with_threads(threads));
+            let w = CompiledWrapper::from_rule(rule.clone()).with_executor(Executor::new(threads));
             assert_eq!(w.extract_pages(&crawl), sequential, "threads {threads}");
         }
     }

@@ -33,7 +33,7 @@ use crate::rule::{LearnedRule, LearnedRuleSet};
 use aw_dom::PageNode;
 use aw_enum::{EnumeratedWrapper, EnumerationResult};
 use aw_induct::{NodeSet, Site};
-use aw_pool::WorkPool;
+use aw_pool::Executor;
 use aw_rank::{RankingModel, SiteSpace};
 
 /// A source of (noisy) labels: the *annotate* stage of the pipeline.
@@ -73,7 +73,8 @@ pub struct EngineBuilder {
     model: RankingModel,
     language: WrapperLanguage,
     config: NtwConfig,
-    pool: Option<WorkPool>,
+    executor: Option<Executor>,
+    template_cache: bool,
     annotator: Option<Box<dyn Annotator>>,
 }
 
@@ -85,7 +86,8 @@ impl EngineBuilder {
             model,
             language: WrapperLanguage::XPath,
             config: NtwConfig::default(),
-            pool: None,
+            executor: None,
+            template_cache: true,
             annotator: None,
         }
     }
@@ -109,16 +111,28 @@ impl EngineBuilder {
         self
     }
 
-    /// An explicit work pool for page-parallel stages (default:
-    /// [`WorkPool::auto`], honouring `AW_THREADS`).
-    pub fn pool(mut self, pool: WorkPool) -> Self {
-        self.pool = Some(pool);
+    /// An explicit executor for parallel stages (default:
+    /// [`Executor::global`], the process-wide work-stealing pool
+    /// honouring `AW_THREADS`). Passing a dedicated executor isolates
+    /// this engine's parallelism from the rest of the process.
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.executor = Some(executor);
         self
     }
 
-    /// Shorthand for [`EngineBuilder::pool`] with a fixed thread count.
+    /// Shorthand for [`EngineBuilder::executor`] with a dedicated pool
+    /// of a fixed thread count.
     pub fn threads(self, threads: usize) -> Self {
-        self.pool(WorkPool::with_threads(threads))
+        self.executor(Executor::new(threads))
+    }
+
+    /// Enables/disables the cross-page template cache in batch xpath
+    /// stages (default: enabled). Replay is byte-identical to fresh
+    /// evaluation, so the only reason to disable it is to bound memory
+    /// on workloads with unbounded distinct templates.
+    pub fn template_cache(mut self, enabled: bool) -> Self {
+        self.template_cache = enabled;
+        self
     }
 
     /// Finishes the engine.
@@ -127,7 +141,8 @@ impl EngineBuilder {
             model: self.model,
             language: self.language,
             config: self.config,
-            pool: self.pool.unwrap_or_else(WorkPool::auto),
+            executor: self.executor.unwrap_or_else(|| Executor::global().clone()),
+            template_cache: self.template_cache,
             annotator: self.annotator,
         }
     }
@@ -142,7 +157,8 @@ pub struct Engine {
     model: RankingModel,
     language: WrapperLanguage,
     config: NtwConfig,
-    pool: WorkPool,
+    executor: Executor,
+    template_cache: bool,
     annotator: Option<Box<dyn Annotator>>,
 }
 
@@ -167,9 +183,14 @@ impl Engine {
         &self.model
     }
 
-    /// The work pool driving page-parallel stages.
-    pub fn pool(&self) -> &WorkPool {
-        &self.pool
+    /// The executor driving parallel stages.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Whether batch xpath stages keep cross-page template caches.
+    pub fn template_cache_enabled(&self) -> bool {
+        self.template_cache
     }
 
     /// **Stage 1 — annotate**: labels the site with the configured
@@ -227,7 +248,7 @@ impl Engine {
         Ok(RankedWrappers {
             site,
             language,
-            pool: self.pool,
+            executor: self.executor.clone(),
             outcome,
         })
     }
@@ -250,7 +271,7 @@ impl Engine {
     /// execution strategy.
     pub fn learn_sites<'s>(&self, sites: &'s [Site]) -> Result<Vec<RankedWrappers<'s>>, AwError> {
         let annotator = self.annotator.as_deref().ok_or(AwError::NoAnnotator)?;
-        let labels: Vec<NodeSet> = self.pool.map(sites, |site| annotator.annotate(site));
+        let labels: Vec<NodeSet> = self.executor.map(sites, |site| annotator.annotate(site));
         let labeled: Vec<(&Site, &NodeSet)> = sites.iter().zip(&labels).collect();
         self.learn_sites_labeled(&labeled)
     }
@@ -260,9 +281,11 @@ impl Engine {
     /// For the XPATH language the sites' candidate spaces are ranked in
     /// **one site-sharded, page-parallel pass**: per-site prefix tries
     /// (`aw_xpath::ShardedBatch`) evaluated only against their own site's
-    /// pages through the engine pool (`aw_rank::score_xpath_spaces`) —
-    /// the plumbing callers previously wired by hand. Other languages
-    /// learn site-parallel through the same pool. Output order matches
+    /// pages through the engine's executor
+    /// (`aw_rank::score_xpath_spaces`), with cross-page template replay
+    /// when the cache knob is on — the plumbing callers previously
+    /// wired by hand. Other languages learn site-parallel through the
+    /// same executor. Output order matches
     /// input order and is deterministic across thread counts; sites with
     /// empty labels yield an empty [`RankedWrappers`].
     ///
@@ -277,7 +300,7 @@ impl Engine {
         if self.language == WrapperLanguage::XPath {
             return Ok(self.learn_sites_sharded(labeled));
         }
-        Ok(self.pool.map(labeled, |&(site, labels)| {
+        Ok(self.executor.map(labeled, |&(site, labels)| {
             self.learn(site, labels)
                 .unwrap_or_else(|_| self.empty_ranked(site))
         }))
@@ -287,9 +310,9 @@ impl Engine {
     /// site's space through per-site tries in one page-parallel pass.
     fn learn_sites_sharded<'s>(&self, labeled: &[(&'s Site, &NodeSet)]) -> Vec<RankedWrappers<'s>> {
         // Enumeration is inductor-bound and site-local: drive it through
-        // the pool (it uses no nested parallelism).
+        // the executor (any nested parallel stage joins the same team).
         let spaces: Vec<Option<EnumerationResult<PageNode>>> =
-            self.pool.map(labeled, |&(site, labels)| {
+            self.executor.map(labeled, |&(site, labels)| {
                 (!labels.is_empty())
                     .then(|| enumerate_language(site, self.language, labels, &self.config))
             });
@@ -317,7 +340,8 @@ impl Engine {
                 paths: site_paths,
             })
             .collect();
-        let mut scored = aw_rank::score_xpath_spaces(&model, &site_spaces, &self.pool);
+        let mut scored =
+            aw_rank::score_xpath_spaces(&model, &site_spaces, &self.executor, self.template_cache);
 
         labeled
             .iter()
@@ -357,7 +381,7 @@ impl Engine {
                 RankedWrappers {
                     site,
                     language: self.language,
-                    pool: self.pool,
+                    executor: self.executor.clone(),
                     outcome: NtwOutcome {
                         ranked,
                         inductor_calls: space.inductor_calls,
@@ -380,7 +404,7 @@ impl Engine {
         RankedWrappers {
             site,
             language: self.language,
-            pool: self.pool,
+            executor: self.executor.clone(),
             outcome: NtwOutcome {
                 ranked: Vec::new(),
                 inductor_calls: 0,
@@ -444,13 +468,13 @@ impl<'s> WrapperSpace<'s> {
 }
 
 /// The ranked wrapper space of one site — the *rank* stage's output,
-/// carrying enough context (site, language, pool) for its wrappers to
-/// compile into portable artifacts.
+/// carrying enough context (site, language, executor) for its wrappers
+/// to compile into portable artifacts.
 #[derive(Debug)]
 pub struct RankedWrappers<'s> {
     site: &'s Site,
     language: WrapperLanguage,
-    pool: WorkPool,
+    executor: Executor,
     outcome: NtwOutcome,
 }
 
@@ -475,7 +499,7 @@ impl<'s> RankedWrappers<'s> {
         self.outcome.ranked.get(i).map(|wrapper| RankedWrapper {
             site: self.site,
             language: self.language,
-            pool: self.pool,
+            executor: &self.executor,
             wrapper,
         })
     }
@@ -529,16 +553,16 @@ impl<'s> RankedWrappers<'s> {
 pub struct RankedWrapper<'a> {
     site: &'a Site,
     language: WrapperLanguage,
-    pool: WorkPool,
+    executor: &'a Executor,
     wrapper: &'a LearnedWrapper,
 }
 
 impl RankedWrapper<'_> {
     /// **Stage 4 — compile**: learns the portable rule from this
     /// wrapper's seed and packages it as a serving artifact (compiled
-    /// xpath trie + work pool, `to_json`/`from_json` for deployment).
+    /// xpath trie + executor, `to_json`/`from_json` for deployment).
     pub fn compile(&self) -> CompiledWrapper {
-        CompiledWrapper::from_rule(self.portable_rule()).with_pool(self.pool)
+        CompiledWrapper::from_rule(self.portable_rule()).with_executor(self.executor.clone())
     }
 
     /// The portable rule, detached from the training site.
@@ -795,6 +819,33 @@ mod tests {
         let best = ranked.best().unwrap();
         assert_eq!(best.extraction, names, "rule {}", best.rule);
         assert_eq!(best.rule, "C1");
+    }
+
+    #[test]
+    fn executor_and_cache_knobs_do_not_change_results() {
+        let sites = [dealer_site(), dealer_site(), dealer_site()];
+        let labels: Vec<NodeSet> = sites.iter().map(noisy_labels).collect();
+        let labeled: Vec<(&Site, &NodeSet)> = sites.iter().zip(&labels).collect();
+        let default_engine = Engine::builder(model()).build();
+        assert!(default_engine.template_cache_enabled());
+        let baseline = default_engine.learn_sites_labeled(&labeled).unwrap();
+        for (cache, threads) in [(false, 1), (false, 3), (true, 3)] {
+            let engine = Engine::builder(model())
+                .executor(Executor::new(threads))
+                .template_cache(cache)
+                .build();
+            assert_eq!(engine.template_cache_enabled(), cache);
+            assert_eq!(engine.executor().threads(), threads);
+            let batch = engine.learn_sites_labeled(&labeled).unwrap();
+            for (a, b) in baseline.iter().zip(&batch) {
+                assert_eq!(a.len(), b.len(), "cache {cache}, threads {threads}");
+                for (wa, wb) in a.iter().zip(b.iter()) {
+                    assert_eq!(wa.extraction, wb.extraction);
+                    assert_eq!(wa.rule, wb.rule);
+                    assert!((wa.score.total - wb.score.total).abs() < 1e-12);
+                }
+            }
+        }
     }
 
     #[test]

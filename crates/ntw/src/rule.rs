@@ -15,7 +15,7 @@ use aw_induct::{
     DomTableInductor, HlrtInductor, HlrtRule, LrInductor, LrRule, NodeSet, Site, TableRule,
     XPathInductor,
 };
-use aw_pool::WorkPool;
+use aw_pool::Executor;
 use aw_xpath::XPath;
 
 /// A wrapper rule detached from its training site.
@@ -209,13 +209,16 @@ impl LearnedRuleSet {
 
     /// Batch-replays the whole rule set over a crawl, page-parallel.
     ///
-    /// Pages are independent, so they are driven through `pool` (chunked
-    /// work stealing with order-preserving output): `out[p]` equals
-    /// [`Self::apply`] on `docs[p]` regardless of thread count. This is
-    /// the production hot loop — one learned rule set, thousands of
-    /// freshly crawled pages.
-    pub fn apply_pages(&self, docs: &[Document], pool: &WorkPool) -> Vec<Vec<Vec<NodeId>>> {
-        pool.map(docs, |doc| self.apply(doc))
+    /// Pages are independent, so they are driven through the shared
+    /// work-stealing `exec` (order-preserving output): `out[p]` equals
+    /// [`Self::apply`] on `docs[p]` regardless of thread count, and the
+    /// call nests cleanly inside other parallel loops on the same
+    /// executor. This is the production hot loop — one learned rule
+    /// set, thousands of freshly crawled pages — and crawls of one site
+    /// replay template traces across structurally identical pages (the
+    /// xpath batch trie's [`aw_xpath::TemplateCache`]).
+    pub fn apply_pages(&self, docs: &[Document], exec: &Executor) -> Vec<Vec<Vec<NodeId>>> {
+        exec.map(docs, |doc| self.apply(doc))
     }
 }
 
@@ -463,7 +466,7 @@ mod tests {
             crawl.iter().map(|doc| set.apply(doc)).collect();
         for threads in [1, 2, 4] {
             assert_eq!(
-                set.apply_pages(&crawl, &WorkPool::with_threads(threads)),
+                set.apply_pages(&crawl, &Executor::new(threads)),
                 sequential,
                 "thread count {threads}"
             );

@@ -1,31 +1,42 @@
-//! # aw-pool — a chunked work pool on scoped threads
+//! # aw-pool — the workspace's parallel execution primitives
 //!
-//! The one parallel primitive the workspace needs: apply a function to
-//! every item of a slice on all cores, returning outputs **in input
-//! order**. Used for page-parallel batch xpath evaluation
-//! (`aw_xpath::ShardedBatch`), sharded wrapper-space scoring
-//! (`aw_rank::score_xpath_spaces`), rule-set replay over a crawl
-//! (`aw_core::LearnedRuleSet::apply_pages`) and the experiment harness
-//! (`aw_eval::par_map`).
+//! Two primitives, one contract: apply a function to every item of a
+//! slice on all cores, returning outputs **in input order**, bit-for-bit
+//! identical at every thread count.
 //!
-//! Design notes:
+//! * [`Executor`] — a **persistent work-stealing pool** (per-worker
+//!   deques, chunked claiming, a shared injector) that nested parallel
+//!   loops feed cooperatively. This is what the engine, the xpath
+//!   batch/shard layers, rule-set replay and the experiment harness
+//!   route through ([`Executor::global`] by default): site-level and
+//!   page-level work items interleave in one pool instead of nested
+//!   thread teams oversubscribing each other. See the [`executor`]
+//!   module docs for the execution model.
+//! * [`WorkPool`] — the original single-shot primitive: every `map`
+//!   spawns a team of scoped threads that exits before the call returns.
+//!   Kept as the zero-state option for flat, one-level loops and as the
+//!   simplest possible reference implementation of the ordering
+//!   contract; prefer [`Executor`] anywhere two layers might both be
+//!   parallel.
+//!
+//! Shared design notes:
 //!
 //! * **Chunked claiming** — workers claim *chunks* of consecutive items
 //!   from one atomic counter, several chunks per thread, so uneven task
 //!   costs (pages differ wildly in size) still balance while touching the
 //!   counter `O(chunks)` times instead of `O(items)`.
-//! * **Per-thread outputs, stitched in order** — each worker accumulates
-//!   `(chunk index, results)` pairs privately and hands them back through
-//!   its join handle; the caller sorts by chunk index and flattens.
-//!   There is no shared output `Mutex` at all (the previous
-//!   implementation locked a `Mutex<Vec<Option<R>>>` once per item).
 //! * **Deterministic** — output order never depends on thread count or
-//!   scheduling; `WorkPool::with_threads(1)` and
-//!   `WorkPool::with_threads(64)` return identical vectors.
-//!
-//! The pool holds no OS resources: it is a thread-count policy, and every
-//! [`WorkPool::map`] call spawns scoped threads that exit before the call
-//! returns (panics from the closure are re-raised on the caller).
+//!   scheduling. The `WorkPool` stitches per-thread `(chunk, results)`
+//!   pairs back in input order; the `Executor` writes results into a
+//!   slot-per-item buffer.
+//! * **Thread-count policy** — `auto()` on either primitive honours the
+//!   `AW_THREADS` environment variable; invalid values (0, non-numeric)
+//!   are rejected with a clear error ([`env_threads`] /
+//!   [`parse_threads`] expose the validation for CLI flags).
+
+pub mod executor;
+
+pub use executor::{env_threads, parse_threads, Executor, ThreadsError};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -33,7 +44,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// costs rebalance, small enough that claiming stays cheap.
 const CHUNKS_PER_THREAD: usize = 8;
 
-/// A thread-count policy for order-preserving parallel maps.
+/// A thread-count policy for order-preserving parallel maps over scoped
+/// threads, spawned per call.
+///
+/// Prefer [`Executor`] for anything that might nest — a `WorkPool::map`
+/// inside another parallel loop spawns its own thread team and
+/// oversubscribes the machine, which is exactly what the executor's
+/// shared deques avoid.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkPool {
     threads: usize,
@@ -41,13 +58,16 @@ pub struct WorkPool {
 
 impl WorkPool {
     /// A pool using all available cores (the `AW_THREADS` environment
-    /// variable overrides the count when set to a positive integer —
-    /// handy for scaling experiments and CI determinism runs).
+    /// variable overrides the count — handy for scaling experiments and
+    /// CI determinism runs).
+    ///
+    /// # Panics
+    ///
+    /// On an invalid `AW_THREADS` value (0, non-numeric); validate with
+    /// [`env_threads`] first to surface the error gracefully.
     pub fn auto() -> WorkPool {
-        let threads = std::env::var("AW_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
+        let threads = env_threads()
+            .unwrap_or_else(|e| panic!("{e}"))
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|n| n.get())

@@ -11,7 +11,7 @@
 use crate::scorer::{RankingModel, WrapperScore};
 use aw_dom::{Document, PageNode};
 use aw_induct::{NodeSet, Site};
-use aw_pool::WorkPool;
+use aw_pool::Executor;
 use aw_xpath::{BatchEvaluator, CompiledXPath, ShardedBatch, XPath};
 
 /// The extraction of every candidate xpath over every page of `site`.
@@ -34,11 +34,20 @@ pub fn batch_extractions(site: &Site, paths: &[XPath]) -> Vec<NodeSet> {
 /// own pages**, site-sharded and page-parallel.
 ///
 /// One trie per site (prefix sharing is strongest within a site's
-/// space); all `(site, page)` pairs are driven through `pool`, so the
-/// output is deterministic regardless of thread count. `out[s]` is
-/// aligned with `spaces[s].1`, each `NodeSet` the union over site `s`'s
-/// pages — exactly [`batch_extractions`] of that site alone.
-pub fn sharded_extractions(spaces: &[(&Site, &[XPath])], pool: &WorkPool) -> Vec<Vec<NodeSet>> {
+/// space); all `(site, page)` pairs are driven through the shared
+/// work-stealing `exec`, so the output is deterministic regardless of
+/// thread count and the call nests cleanly inside site-parallel loops
+/// on the same executor. With `cache` on, each shard keeps a cross-page
+/// [`aw_xpath::TemplateCache`], replaying bare traversals across pages
+/// that share a template fingerprint (results are byte-identical either
+/// way). `out[s]` is aligned with `spaces[s].1`, each `NodeSet` the
+/// union over site `s`'s pages — exactly [`batch_extractions`] of that
+/// site alone.
+pub fn sharded_extractions(
+    spaces: &[(&Site, &[XPath])],
+    exec: &Executor,
+    cache: bool,
+) -> Vec<Vec<NodeSet>> {
     // Global slots are site-major: site s's paths occupy
     // offsets[s] .. offsets[s] + paths_s.
     let mut offsets = Vec::with_capacity(spaces.len());
@@ -47,14 +56,14 @@ pub fn sharded_extractions(spaces: &[(&Site, &[XPath])], pool: &WorkPool) -> Vec
         offsets.push(tagged.len());
         tagged.extend(paths.iter().map(|p| (s, CompiledXPath::compile(p))));
     }
-    let batch = ShardedBatch::new(tagged);
+    let batch = ShardedBatch::new(tagged).with_cache(cache);
 
     let pages: Vec<(usize, u32, &Document)> = spaces
         .iter()
         .enumerate()
         .flat_map(|(s, (site, _))| (0..site.page_count() as u32).map(move |p| (s, p, site.page(p))))
         .collect();
-    let per_page = pool.map(&pages, |&(key, _, doc)| batch.evaluate_page(key, doc));
+    let per_page = exec.map(&pages, |&(key, _, doc)| batch.evaluate_page(key, doc));
 
     let mut out: Vec<Vec<NodeSet>> = spaces
         .iter()
@@ -82,26 +91,27 @@ pub struct SiteSpace<'a> {
 }
 
 /// Scores many sites' candidate spaces in one site-sharded,
-/// page-parallel pass: per-site tries for extraction, then Equation 1
-/// per candidate (also through the pool). `out[s]` is aligned with
-/// `spaces[s].paths` and identical to [`score_xpath_space`] run on site
-/// `s` alone.
+/// page-parallel pass: per-site tries for extraction (template-cached
+/// when `cache` is on), then Equation 1 per candidate (also through the
+/// executor). `out[s]` is aligned with `spaces[s].paths` and identical
+/// to [`score_xpath_space`] run on site `s` alone.
 pub fn score_xpath_spaces(
     model: &RankingModel,
     spaces: &[SiteSpace<'_>],
-    pool: &WorkPool,
+    exec: &Executor,
+    cache: bool,
 ) -> Vec<Vec<(NodeSet, WrapperScore)>> {
     let groups: Vec<(&Site, &[XPath])> = spaces.iter().map(|s| (s.site, s.paths)).collect();
-    let extractions = sharded_extractions(&groups, pool);
+    let extractions = sharded_extractions(&groups, exec, cache);
 
-    // Score site-major through the pool as well (Equation 1 walks every
-    // extracted node; for big spaces it rivals extraction cost).
+    // Score site-major through the executor as well (Equation 1 walks
+    // every extracted node; for big spaces it rivals extraction cost).
     let tasks: Vec<(usize, NodeSet)> = extractions
         .into_iter()
         .enumerate()
         .flat_map(|(s, xs)| xs.into_iter().map(move |x| (s, x)))
         .collect();
-    let scores = pool.map(&tasks, |(s, x)| {
+    let scores = exec.map(&tasks, |(s, x)| {
         model.score(spaces[*s].site, spaces[*s].labels, x)
     });
 
@@ -278,11 +288,22 @@ mod tests {
         let pa = space();
         let pb = stores_space();
         for threads in [1, 2, 4] {
-            let pool = WorkPool::with_threads(threads);
-            let sharded = sharded_extractions(&[(&a, pa.as_slice()), (&b, pb.as_slice())], &pool);
-            assert_eq!(sharded.len(), 2);
-            assert_eq!(sharded[0], batch_extractions(&a, &pa), "threads {threads}");
-            assert_eq!(sharded[1], batch_extractions(&b, &pb), "threads {threads}");
+            let exec = Executor::new(threads);
+            for cache in [false, true] {
+                let sharded =
+                    sharded_extractions(&[(&a, pa.as_slice()), (&b, pb.as_slice())], &exec, cache);
+                assert_eq!(sharded.len(), 2);
+                assert_eq!(
+                    sharded[0],
+                    batch_extractions(&a, &pa),
+                    "threads {threads}, cache {cache}"
+                );
+                assert_eq!(
+                    sharded[1],
+                    batch_extractions(&b, &pb),
+                    "threads {threads}, cache {cache}"
+                );
+            }
         }
     }
 
@@ -315,7 +336,8 @@ mod tests {
                     paths: &pb,
                 },
             ],
-            &WorkPool::with_threads(3),
+            &Executor::new(3),
+            true,
         );
         let solo_a = score_xpath_space(&m, &a, &labels_a, &pa);
         let solo_b = score_xpath_space(&m, &b, &labels_b, &pb);

@@ -22,13 +22,39 @@
 //! a whole site. For a multi-site candidate set, shard it per site first
 //! ([`crate::ShardedBatch`]): prefix sharing is strongest within one
 //! site's space.
+//!
+//! ## Cross-page template replay
+//!
+//! Pages of one site are instances of one rendering script: dealer pages
+//! differ in *text* and per-record *attribute values*, not in skeleton.
+//! The evaluator therefore keeps a [`TemplateCache`] keyed by
+//! [`aw_dom::DocIndex::template_fingerprint`]. The first page of a
+//! template evaluates normally; the second *records* every trie node's
+//! bare node-set and every variant's selection (in pre-order rank space,
+//! which matching fingerprints make transferable); later pages *replay*
+//! the recorded sets instead of traversing:
+//!
+//! * bare `(axis, test)` node-sets and `[k]` position selections are
+//!   structure-determined, so they transfer verbatim (ranks are remapped
+//!   to this page's `NodeId`s at materialization);
+//! * `[@a='v']` selections are **re-filtered per page** (the fingerprint
+//!   ignores attribute values) over the cached bare set — integer
+//!   compares only — and the subtrie below stays on the replay path only
+//!   while the re-filtered selection matches the recording, falling back
+//!   to fresh traversal from that point otherwise.
+//!
+//! Replay output is byte-identical to cache-off evaluation — enforced by
+//! `tests/xpath_differential.rs` across engines and thread counts.
 
 use crate::ast::{Axis, XPath};
 use crate::compile::{CompiledPred, CompiledTest, CompiledXPath};
 use crate::indexed::{
     apply_step_bare, apply_step_with, filter_resolved, materialize, resolve_preds,
 };
-use aw_dom::{Document, NodeId};
+use aw_dom::{DocIndex, Document, NodeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One predicate list under a trie node: candidates whose step here has
 /// exactly these predicates, plus the subtrie that follows them.
@@ -40,6 +66,9 @@ struct Variant {
     children: Vec<u32>,
     /// Indices of input paths that end at this variant.
     terminals: Vec<u32>,
+    /// Dense evaluator-wide variant index (slot in a
+    /// [`Trace::selected`]).
+    gid: u32,
 }
 
 /// A trie node: one shared `(axis, test)` application plus its predicate
@@ -54,6 +83,109 @@ struct TrieNode {
     variants: Vec<Variant>,
 }
 
+/// The per-template record of one page's evaluation, in pre-order rank
+/// space (transferable between same-fingerprint pages).
+#[derive(Debug)]
+struct Trace {
+    /// Bare `(axis, test)` node-set per trie node; `None` for nodes the
+    /// recording never reached (their prefix selected nothing — which a
+    /// matching skeleton reproduces).
+    bare: Vec<Option<Arc<Vec<u32>>>>,
+    /// Post-predicate selection per variant (indexed by `Variant::gid`).
+    selected: Vec<Option<Arc<Vec<u32>>>>,
+}
+
+/// Per-fingerprint cache state.
+#[derive(Debug)]
+enum Entry {
+    /// Seen once — recording starts on the next page of this template,
+    /// so one-shot templates never pay the recording overhead.
+    Pending,
+    /// Recorded; later pages replay.
+    Ready(Arc<Trace>),
+}
+
+/// What [`TemplateCache::lookup`] decided for a page.
+enum Lookup {
+    /// Evaluate normally (first sight of the template, or cache full).
+    Bypass,
+    /// Evaluate while recording a [`Trace`], then store it.
+    Record,
+    /// Replay the recorded trace.
+    Replay(Arc<Trace>),
+}
+
+/// The cross-page result cache of one [`BatchEvaluator`].
+///
+/// Keyed by `(node count, template fingerprint)`; traces index this
+/// evaluator's trie arena, so a cache is never shared between
+/// evaluators. Interior-mutable and thread-safe: page-parallel
+/// evaluation through `aw_pool::Executor` shares it freely (whichever
+/// page records first, replays are byte-identical, so results never
+/// depend on scheduling).
+#[derive(Debug)]
+pub struct TemplateCache {
+    /// Maximum tracked templates; beyond it new fingerprints bypass (a
+    /// serving process that meets unbounded distinct templates must not
+    /// grow without limit).
+    capacity: usize,
+    state: Mutex<HashMap<(u32, u64), Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TemplateCache {
+    fn new(capacity: usize) -> TemplateCache {
+        TemplateCache {
+            capacity,
+            state: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lookup(&self, key: (u32, u64)) -> Lookup {
+        let mut state = self.state.lock().unwrap();
+        match state.get(&key) {
+            Some(Entry::Ready(trace)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Replay(Arc::clone(trace))
+            }
+            Some(Entry::Pending) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Record
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if state.len() < self.capacity {
+                    state.insert(key, Entry::Pending);
+                }
+                Lookup::Bypass
+            }
+        }
+    }
+
+    fn store(&self, key: (u32, u64), trace: Trace) {
+        self.state
+            .lock()
+            .unwrap()
+            .insert(key, Entry::Ready(Arc::new(trace)));
+    }
+
+    /// `(replayed pages, other pages)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Default [`TemplateCache`] capacity (distinct templates tracked per
+/// evaluator). One evaluator serves one site's candidate set, and real
+/// sites render from a handful of scripts, so this is generous.
+pub const DEFAULT_TEMPLATE_CAPACITY: usize = 64;
+
 /// Evaluates a fixed set of xpaths against documents with shared-prefix
 /// memoization.
 #[derive(Debug)]
@@ -63,16 +195,24 @@ pub struct BatchEvaluator {
     root: Variant,
     /// Trie arena.
     nodes: Vec<TrieNode>,
+    /// Total variant count (gid space of the traces).
+    n_variants: u32,
+    /// Cross-page template replay cache; `None` when disabled.
+    cache: Option<TemplateCache>,
 }
 
 impl BatchEvaluator {
-    /// Builds an evaluator from compiled paths.
+    /// Builds an evaluator from compiled paths, with the cross-page
+    /// [`TemplateCache`] enabled (disable with
+    /// [`BatchEvaluator::with_cache`]).
     pub fn new(paths: &[CompiledXPath]) -> BatchEvaluator {
         let mut root = Variant {
             predicates: Vec::new(),
             children: Vec::new(),
             terminals: Vec::new(),
+            gid: 0, // the root variant has no step; its gid is never read
         };
+        let mut n_variants: u32 = 0;
         let mut nodes: Vec<TrieNode> = Vec::new();
         for (i, path) in paths.iter().enumerate() {
             // `at` addresses the variant whose subtrie we extend next;
@@ -116,7 +256,9 @@ impl BatchEvaluator {
                             predicates: step.predicates.clone(),
                             children: Vec::new(),
                             terminals: Vec::new(),
+                            gid: n_variants,
                         });
+                        n_variants += 1;
                         nodes[node_i].variants.len() - 1
                     }
                 };
@@ -131,7 +273,26 @@ impl BatchEvaluator {
             paths: paths.len(),
             root,
             nodes,
+            n_variants,
+            cache: Some(TemplateCache::new(DEFAULT_TEMPLATE_CAPACITY)),
         }
+    }
+
+    /// Enables or disables the cross-page [`TemplateCache`] (enabled by
+    /// default; disabling also discards any recorded traces).
+    pub fn with_cache(mut self, enabled: bool) -> BatchEvaluator {
+        self.set_cache(enabled);
+        self
+    }
+
+    /// In-place form of [`BatchEvaluator::with_cache`].
+    pub fn set_cache(&mut self, enabled: bool) {
+        self.cache = enabled.then(|| TemplateCache::new(DEFAULT_TEMPLATE_CAPACITY));
+    }
+
+    /// The template cache, when enabled.
+    pub fn template_cache(&self) -> Option<&TemplateCache> {
+        self.cache.as_ref()
     }
 
     /// Convenience constructor compiling ASTs first.
@@ -170,17 +331,36 @@ impl BatchEvaluator {
     /// Returns one node list per input path, aligned with the order the
     /// paths were given in; each list is sorted in document order and
     /// deduplicated, byte-identical to what
-    /// [`crate::reference::evaluate`] returns for that path alone.
+    /// [`crate::reference::evaluate`] returns for that path alone —
+    /// whether the page evaluated fresh, recorded a template trace, or
+    /// replayed one (see the [module docs](self)).
     pub fn evaluate(&self, doc: &Document) -> Vec<Vec<NodeId>> {
-        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); self.paths];
         // Not `is_empty()`: that is true for root-only documents, which still
         // evaluate (to nothing or to the root for the empty path). Only a
         // zero-node `Document::default()` lacks the root entirely.
         #[allow(clippy::len_zero)]
         if doc.len() == 0 {
-            return results;
+            return vec![Vec::new(); self.paths];
         }
         let idx = doc.index();
+        if let Some(cache) = &self.cache {
+            let key = (doc.len() as u32, idx.template_fingerprint());
+            match cache.lookup(key) {
+                Lookup::Replay(trace) => return self.evaluate_replay(doc, idx, &trace),
+                Lookup::Record => {
+                    let (results, trace) = self.evaluate_recording(doc, idx);
+                    cache.store(key, trace);
+                    return results;
+                }
+                Lookup::Bypass => {}
+            }
+        }
+        self.evaluate_plain(doc, idx)
+    }
+
+    /// The direct evaluation path (no trace involved).
+    fn evaluate_plain(&self, doc: &Document, idx: &DocIndex) -> Vec<Vec<NodeId>> {
+        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); self.paths];
         let root_ctx: Vec<u32> = vec![idx.rank_of(doc.root())];
         for &t in &self.root.terminals {
             results[t as usize] = materialize(idx, &root_ctx);
@@ -244,6 +424,188 @@ impl BatchEvaluator {
                         stack.push((c, selected.clone()));
                     }
                     stack.push((last_child, selected));
+                }
+            }
+        }
+        results
+    }
+
+    /// Evaluates while recording a [`Trace`]: every trie node's bare set
+    /// and every variant's selection, as sharable `Arc`s in rank space.
+    ///
+    /// Unlike [`BatchEvaluator::evaluate_plain`], single-variant nodes
+    /// give up their fused collect-and-filter path here — the bare set
+    /// must exist to be recorded. That one-page cost is what replays
+    /// amortize away.
+    fn evaluate_recording(&self, doc: &Document, idx: &DocIndex) -> (Vec<Vec<NodeId>>, Trace) {
+        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); self.paths];
+        let mut trace = Trace {
+            bare: vec![None; self.nodes.len()],
+            selected: vec![None; self.n_variants as usize],
+        };
+        let root_ctx: Arc<Vec<u32>> = Arc::new(vec![idx.rank_of(doc.root())]);
+        for &t in &self.root.terminals {
+            results[t as usize] = materialize(idx, &root_ctx);
+        }
+        let mut stack: Vec<(u32, Arc<Vec<u32>>)> = self
+            .root
+            .children
+            .iter()
+            .map(|&c| (c, Arc::clone(&root_ctx)))
+            .collect();
+        while let Some((node_i, ctx)) = stack.pop() {
+            let node = &self.nodes[node_i as usize];
+            let bare = Arc::new(apply_step_bare(doc, idx, &ctx, node.axis, &node.test));
+            trace.bare[node_i as usize] = Some(Arc::clone(&bare));
+            if bare.is_empty() {
+                // Empty context propagates to every candidate below; the
+                // unreached subtrie stays `None` in the trace, which a
+                // matching skeleton reproduces on replay.
+                continue;
+            }
+            for variant in &node.variants {
+                let selected: Arc<Vec<u32>> = if variant.predicates.is_empty() {
+                    Arc::clone(&bare)
+                } else {
+                    Arc::new(match resolve_preds(idx, &variant.predicates) {
+                        Some(preds) => filter_resolved(idx, &node.test, &preds, &bare),
+                        // An attribute value absent from this document.
+                        None => Vec::new(),
+                    })
+                };
+                trace.selected[variant.gid as usize] = Some(Arc::clone(&selected));
+                if selected.is_empty() {
+                    continue;
+                }
+                for &t in &variant.terminals {
+                    results[t as usize] = materialize(idx, &selected);
+                }
+                for &c in &variant.children {
+                    stack.push((c, Arc::clone(&selected)));
+                }
+            }
+        }
+        (results, trace)
+    }
+
+    /// Evaluates by replaying a recorded [`Trace`] onto a page with the
+    /// same template fingerprint.
+    ///
+    /// Matching fingerprints guarantee identical rank topology, so bare
+    /// node-sets and position-predicate selections transfer verbatim
+    /// (ranks are remapped to this page's `NodeId`s at
+    /// materialization). Attribute predicates are re-filtered per page
+    /// over the cached bare set; the subtrie below one keeps replaying
+    /// only while the fresh selection equals the recorded one, and
+    /// otherwise falls back to fresh traversal from that point.
+    fn evaluate_replay(&self, doc: &Document, idx: &DocIndex, trace: &Trace) -> Vec<Vec<NodeId>> {
+        /// Context of a pending trie node during replay.
+        enum Ctx {
+            /// Context equals the recording's — consume the trace.
+            Trusted,
+            /// An attribute re-filter diverged upstream — traverse.
+            Fresh(Arc<Vec<u32>>),
+        }
+
+        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); self.paths];
+        let root_ctx: Vec<u32> = vec![idx.rank_of(doc.root())];
+        for &t in &self.root.terminals {
+            results[t as usize] = materialize(idx, &root_ctx);
+        }
+        let mut stack: Vec<(u32, Ctx)> = self
+            .root
+            .children
+            .iter()
+            .map(|&c| (c, Ctx::Trusted))
+            .collect();
+        while let Some((node_i, ctx)) = stack.pop() {
+            let node = &self.nodes[node_i as usize];
+            match ctx {
+                Ctx::Trusted => {
+                    // `None` = the recording never reached this node; a
+                    // matching skeleton cannot reach it either.
+                    let Some(bare) = trace.bare[node_i as usize].as_ref() else {
+                        continue;
+                    };
+                    if bare.is_empty() {
+                        continue;
+                    }
+                    for variant in &node.variants {
+                        let has_attr = variant
+                            .predicates
+                            .iter()
+                            .any(|p| matches!(p, CompiledPred::Attr { .. }));
+                        if !has_attr {
+                            // Bare or position-only selections are
+                            // structure-determined: transfer verbatim.
+                            let Some(selected) = trace.selected[variant.gid as usize].as_ref()
+                            else {
+                                continue;
+                            };
+                            if selected.is_empty() {
+                                continue;
+                            }
+                            for &t in &variant.terminals {
+                                results[t as usize] = materialize(idx, selected);
+                            }
+                            for &c in &variant.children {
+                                stack.push((c, Ctx::Trusted));
+                            }
+                        } else {
+                            // The fingerprint ignores attribute values:
+                            // re-filter on this page (integer compares
+                            // over the shared bare set).
+                            let fresh: Vec<u32> = match resolve_preds(idx, &variant.predicates) {
+                                Some(preds) => filter_resolved(idx, &node.test, &preds, bare),
+                                None => Vec::new(),
+                            };
+                            let agrees = trace.selected[variant.gid as usize]
+                                .as_deref()
+                                .is_some_and(|recorded| *recorded == fresh);
+                            if fresh.is_empty() {
+                                continue;
+                            }
+                            for &t in &variant.terminals {
+                                results[t as usize] = materialize(idx, &fresh);
+                            }
+                            if agrees {
+                                for &c in &variant.children {
+                                    stack.push((c, Ctx::Trusted));
+                                }
+                            } else {
+                                let shared = Arc::new(fresh);
+                                for &c in &variant.children {
+                                    stack.push((c, Ctx::Fresh(Arc::clone(&shared))));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ctx::Fresh(ctx) => {
+                    let bare = apply_step_bare(doc, idx, &ctx, node.axis, &node.test);
+                    if bare.is_empty() {
+                        continue;
+                    }
+                    for variant in &node.variants {
+                        let selected: Vec<u32> = if variant.predicates.is_empty() {
+                            bare.clone()
+                        } else {
+                            match resolve_preds(idx, &variant.predicates) {
+                                Some(preds) => filter_resolved(idx, &node.test, &preds, &bare),
+                                None => Vec::new(),
+                            }
+                        };
+                        if selected.is_empty() {
+                            continue;
+                        }
+                        for &t in &variant.terminals {
+                            results[t as usize] = materialize(idx, &selected);
+                        }
+                        let shared = Arc::new(selected);
+                        for &c in &variant.children {
+                            stack.push((c, Ctx::Fresh(Arc::clone(&shared))));
+                        }
+                    }
                 }
             }
         }
@@ -362,6 +724,122 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0], reference::evaluate(&xp, &doc));
+    }
+
+    /// Pages rendered from one template: identical skeletons, different
+    /// text and attribute values.
+    fn template_pages() -> Vec<aw_dom::Document> {
+        [
+            "ALPHA;1 Elm;d1",
+            "BETA;2 Oak;d2",
+            "GAMMA;3 Fir;d3",
+            "DELTA;4 Ash;d4",
+        ]
+        .iter()
+        .map(|spec| {
+            let mut parts = spec.split(';');
+            let (name, street, href) = (
+                parts.next().unwrap(),
+                parts.next().unwrap(),
+                parts.next().unwrap(),
+            );
+            parse(&format!(
+                "<div class='dealerlinks'>\
+                       <tr><td><a href='/d/{href}'><u>{name}</u></a><br>{street}</td></tr>\
+                     </div><div class='footer'>contact us</div>",
+            ))
+        })
+        .collect()
+    }
+
+    #[test]
+    fn template_replay_is_byte_identical_to_reference() {
+        let pages = template_pages();
+        let fp = pages[0].index().template_fingerprint();
+        for page in &pages {
+            assert_eq!(
+                page.index().template_fingerprint(),
+                fp,
+                "pages share one template"
+            );
+        }
+        let paths = candidate_set();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        for (p, doc) in pages.iter().enumerate() {
+            for (path, got) in paths.iter().zip(batch.evaluate(doc)) {
+                assert_eq!(got, reference::evaluate(path, doc), "page {p}, path {path}");
+            }
+        }
+        let (hits, misses) = batch.template_cache().unwrap().stats();
+        assert_eq!(
+            (hits, misses),
+            (2, 2),
+            "page 0 bypasses, page 1 records, pages 2-3 replay"
+        );
+    }
+
+    #[test]
+    fn replay_revalidates_attribute_selections_per_page() {
+        // Same skeleton, but the listing container's class differs on the
+        // last two pages — the fingerprint ignores attribute values, so
+        // replay must re-filter and fall back below the divergence.
+        let make = |class: &str, name: &str| {
+            parse(&format!(
+                "<div class='{class}'><tr><td><u>{name}</u><br>addr</td></tr></div>"
+            ))
+        };
+        let pages = [
+            make("list", "ALPHA"),
+            make("list", "BETA"),
+            make("other", "GAMMA"),
+            make("other", "DELTA"),
+        ];
+        let paths: Vec<XPath> = [
+            // Selects on the first two pages only.
+            "//div[@class='list']/tr/td/u/text()",
+            // Selects on the LAST two pages only: its subtrie is never
+            // reached during recording, so replay must traverse fresh.
+            "//div[@class='other']/tr/td/u/text()",
+            // Attribute-free: replays verbatim everywhere.
+            "//div/tr/td/u/text()",
+            "//td/text()[1]",
+        ]
+        .iter()
+        .map(|s| parse_xpath(s).unwrap())
+        .collect();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        for (p, doc) in pages.iter().enumerate() {
+            for (path, got) in paths.iter().zip(batch.evaluate(doc)) {
+                assert_eq!(got, reference::evaluate(path, doc), "page {p}, path {path}");
+            }
+        }
+        let (hits, _) = batch.template_cache().unwrap().stats();
+        assert_eq!(hits, 2, "pages 2-3 replay (with re-validation)");
+    }
+
+    #[test]
+    fn cache_disabled_matches_cache_enabled() {
+        let pages = template_pages();
+        let paths = candidate_set();
+        let cached = BatchEvaluator::from_xpaths(&paths);
+        let uncached = BatchEvaluator::from_xpaths(&paths).with_cache(false);
+        assert!(uncached.template_cache().is_none());
+        for doc in &pages {
+            assert_eq!(cached.evaluate(doc), uncached.evaluate(doc));
+        }
+    }
+
+    #[test]
+    fn repeated_evaluation_of_one_document_replays() {
+        let doc = dealer_page();
+        let paths = candidate_set();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        let first = batch.evaluate(&doc);
+        for _ in 0..3 {
+            assert_eq!(batch.evaluate(&doc), first);
+        }
+        let (hits, misses) = batch.template_cache().unwrap().stats();
+        assert_eq!((hits, misses), (2, 2));
     }
 
     #[test]

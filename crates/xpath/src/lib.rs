@@ -46,7 +46,12 @@
 //! [`ShardedBatch`] extends the batch engine to multi-site candidate
 //! sets: one trie per site (prefix sharing is strongest within a site's
 //! space), each applied only to its own site's pages, page-parallel
-//! through an [`aw_pool::WorkPool`].
+//! through the shared work-stealing [`aw_pool::Executor`]. Both batch
+//! engines keep a cross-page [`TemplateCache`]: pages sharing a
+//! structural template fingerprint
+//! ([`aw_dom::DocIndex::template_fingerprint`]) replay one page's bare
+//! traversals instead of recomputing them — the template-replay fast
+//! path for structurally near-identical pages of one site.
 //!
 //! [`evaluate`] is the one-shot convenience (compile + indexed evaluate).
 //! Use [`CompiledXPath::compile`] + [`evaluate_compiled`] to apply one
@@ -85,7 +90,7 @@ pub mod reference;
 pub mod shard;
 
 pub use ast::{Axis, NodeTest, Predicate, Step, XPath};
-pub use batch::BatchEvaluator;
+pub use batch::{BatchEvaluator, TemplateCache};
 pub use compile::{CompiledPred, CompiledStep, CompiledTest, CompiledXPath};
 pub use eval::evaluate;
 pub use indexed::evaluate_compiled;

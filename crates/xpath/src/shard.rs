@@ -12,14 +12,18 @@
 //! extracts from pages of *S*, never from another site's pages).
 //!
 //! Pages are independent, so [`ShardedBatch::evaluate_pages`] drives
-//! them through an [`aw_pool::WorkPool`] — chunked work stealing with
-//! deterministic output ordering — making the hot loop page-parallel
-//! while staying byte-identical to sequential evaluation.
+//! them through an [`aw_pool::Executor`] — the shared work-stealing
+//! pool, so a site-parallel caller nests cleanly — with deterministic
+//! output ordering, byte-identical to sequential evaluation. Each
+//! shard's trie keeps its own cross-page [`crate::TemplateCache`]:
+//! pages of one site are instances of one rendering script, so bare
+//! traversals recorded on one page replay onto its template siblings
+//! (disable with [`ShardedBatch::with_cache`]).
 
 use crate::batch::BatchEvaluator;
 use crate::compile::CompiledXPath;
 use aw_dom::{Document, NodeId};
-use aw_pool::WorkPool;
+use aw_pool::Executor;
 use std::collections::BTreeMap;
 
 /// One site's slice of the candidate set.
@@ -81,6 +85,31 @@ impl ShardedBatch {
         )
     }
 
+    /// Enables or disables the per-shard cross-page template caches
+    /// (enabled by default; disabling discards recorded traces).
+    pub fn with_cache(mut self, enabled: bool) -> ShardedBatch {
+        for shard in &mut self.shards {
+            shard.batch.set_cache(enabled);
+        }
+        self
+    }
+
+    /// Summed `(replayed pages, other pages)` template-cache statistics
+    /// across shards; `None` when the cache is disabled.
+    pub fn template_cache_stats(&self) -> Option<(u64, u64)> {
+        let mut any = false;
+        let (mut hits, mut misses) = (0, 0);
+        for shard in &self.shards {
+            if let Some(cache) = shard.batch.template_cache() {
+                any = true;
+                let (h, m) = cache.stats();
+                hits += h;
+                misses += m;
+            }
+        }
+        any.then_some((hits, misses))
+    }
+
     /// Total number of input paths across all shards.
     pub fn len(&self) -> usize {
         self.paths
@@ -138,16 +167,19 @@ impl ShardedBatch {
         }
     }
 
-    /// Evaluates every `(site key, page)` pair, page-parallel.
+    /// Evaluates every `(site key, page)` pair, page-parallel through
+    /// the shared executor.
     ///
-    /// Output is aligned with `pages` and independent of the pool's
-    /// thread count (the pool preserves input order).
+    /// Output is aligned with `pages` and independent of the executor's
+    /// thread count (results land in per-page slots). Safe to call from
+    /// inside another `exec.map` — the nested batch joins the same
+    /// worker team instead of spawning a second one.
     pub fn evaluate_pages(
         &self,
         pages: &[(usize, &Document)],
-        pool: &WorkPool,
+        exec: &Executor,
     ) -> Vec<Vec<(u32, Vec<NodeId>)>> {
-        pool.map(pages, |&(key, doc)| self.evaluate_page(key, doc))
+        exec.map(pages, |&(key, doc)| self.evaluate_page(key, doc))
     }
 }
 
@@ -247,12 +279,57 @@ mod tests {
             .map(|&(k, doc)| sharded.evaluate_page(k, doc))
             .collect();
         for threads in [1, 2, 5] {
-            let pool = WorkPool::with_threads(threads);
+            let exec = Executor::new(threads);
             assert_eq!(
-                sharded.evaluate_pages(&pages, &pool),
+                sharded.evaluate_pages(&pages, &exec),
                 sequential,
                 "thread count {threads}"
             );
+        }
+    }
+
+    #[test]
+    fn cache_toggle_does_not_change_results() {
+        let tagged = tagged_space();
+        let cached = ShardedBatch::from_xpaths(tagged.iter().map(|(k, xp)| (*k, xp)));
+        let uncached =
+            ShardedBatch::from_xpaths(tagged.iter().map(|(k, xp)| (*k, xp))).with_cache(false);
+        assert!(uncached.template_cache_stats().is_none());
+        let a = site_a_pages();
+        let b = site_b_pages();
+        let mut pages: Vec<(usize, &Document)> = Vec::new();
+        // Repeat the page list so same-fingerprint pages replay.
+        for _ in 0..3 {
+            for doc in &a {
+                pages.push((0, doc));
+            }
+            for doc in &b {
+                pages.push((7, doc));
+            }
+        }
+        let exec = Executor::new(2);
+        assert_eq!(
+            cached.evaluate_pages(&pages, &exec),
+            uncached.evaluate_pages(&pages, &exec),
+        );
+        let (hits, _) = cached.template_cache_stats().unwrap();
+        assert!(hits > 0, "repeated pages must replay");
+    }
+
+    #[test]
+    fn nested_inside_an_executor_map() {
+        // A site-parallel caller mapping over shards nests a page-parallel
+        // evaluate_pages on the SAME executor — the work-stealing pool
+        // must take both levels without deadlock or thread explosion.
+        let sharded = ShardedBatch::from_xpaths(tagged_space().iter().map(|(k, xp)| (*k, xp)));
+        let a = site_a_pages();
+        let pages: Vec<(usize, &Document)> = a.iter().map(|doc| (0, doc)).collect();
+        let exec = Executor::new(4);
+        let rounds: Vec<u32> = (0..8).collect();
+        let expected = sharded.evaluate_pages(&pages, &exec);
+        let all = exec.map(&rounds, |_| sharded.evaluate_pages(&pages, &exec));
+        for got in all {
+            assert_eq!(got, expected);
         }
     }
 }

@@ -32,6 +32,13 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Reject a broken AW_THREADS up front with a clean message instead of
+    // panicking mid-pipeline (or silently falling back, as older builds
+    // did).
+    if let Err(e) = env_threads() {
+        eprintln!("awrap: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match args.first().map(String::as_str) {
         Some("demo") => demo(),
         Some("learn") => learn_cmd(&args[1..]),
@@ -57,12 +64,27 @@ const USAGE: &str = "usage: awrap <demo|learn|apply|extract|experiment> [options
   demo                                      built-in demonstration
   learn --pages DIR --dict FILE             learn a wrapper from noisy labels
         [--lang table|lr|hlrt|xpath] [--match exact|contains]
-        [--p FLOAT] [--r FLOAT] [--top N] [--out FILE]
+        [--p FLOAT] [--r FLOAT] [--top N] [--out FILE] [--threads N]
   apply --wrapper FILE --pages DIR          extract with a serialized wrapper
+        [--threads N]
   extract --xpath RULE --pages DIR          apply an xpath rule
   experiment NAME [--quick]                 rerun a paper experiment
       NAME ∈ fig2a fig2b fig2c fig2d fig2e fig2f fig2g fig2h fig2i
-             table1 fig3a fig3b fig3c b2 all";
+             table1 fig3a fig3b fig3c b2 all
+  --threads N overrides the parallelism of the learn/apply hot loops
+  (default: all cores, or the AW_THREADS environment variable)";
+
+/// Parses the optional `--threads` override into a dedicated executor
+/// (a positive integer; 0 and non-numeric values are rejected).
+fn threads_flag(args: &[String]) -> Result<Option<Executor>, String> {
+    flag(args, "--threads")
+        .map(|v| {
+            parse_threads(&v)
+                .map(Executor::new)
+                .map_err(|e| format!("--threads: {e}"))
+        })
+        .transpose()
+}
 
 /// Pulls `--flag value` out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -191,10 +213,13 @@ fn learn_cmd(args: &[String]) -> Result<(), String> {
     let entries = annotator.len();
 
     let model = RankingModel::new(AnnotatorModel::new(p, r), default_publication_model());
-    let engine = Engine::builder(model)
+    let mut builder = Engine::builder(model)
         .language(language)
-        .annotator(annotator)
-        .build();
+        .annotator(annotator);
+    if let Some(exec) = threads_flag(args)? {
+        builder = builder.executor(exec);
+    }
+    let engine = builder.build();
     let labels = engine.annotate(&site).map_err(|e| match e {
         AwError::NoLabels => "the annotator labeled nothing; check the dictionary".to_string(),
         other => other.to_string(),
@@ -248,7 +273,10 @@ fn apply_cmd(args: &[String]) -> Result<(), String> {
     let dir = flag(args, "--pages").ok_or("--pages DIR is required")?;
     let payload = std::fs::read_to_string(&wrapper_path)
         .map_err(|e| AwError::Io(format!("{wrapper_path}: {e}")).to_string())?;
-    let wrapper = CompiledWrapper::from_json(&payload).map_err(|e| e.to_string())?;
+    let mut wrapper = CompiledWrapper::from_json(&payload).map_err(|e| e.to_string())?;
+    if let Some(exec) = threads_flag(args)? {
+        wrapper = wrapper.with_executor(exec);
+    }
     println!("loaded {} wrapper: {}", wrapper.language(), wrapper.rule());
     let docs: Vec<Document> = read_pages(&dir)?.iter().map(|html| parse(html)).collect();
     // One batched page-parallel pass — the serving hot loop.

@@ -14,7 +14,7 @@
 //!   and site-sharded page-parallel evaluation across thread counts.
 
 use aw_dom::Document;
-use aw_eval::WorkPool;
+use aw_eval::Executor;
 use aw_sitegen::{generate_dealers, generate_disc, DealersConfig, DiscConfig};
 use aw_xpath::{
     reference, Axis, BatchEvaluator, CompiledXPath, NodeTest, Predicate, ShardedBatch, Step, XPath,
@@ -318,8 +318,8 @@ fn sharded_parallel_evaluation_is_byte_identical_across_thread_counts() {
     type PageResults = Vec<Vec<(u32, Vec<aw_dom::NodeId>)>>;
     let mut first: Option<PageResults> = None;
     for threads in [1, 2, 3, 8] {
-        let pool = WorkPool::with_threads(threads);
-        let results = sharded.evaluate_pages(&pages, &pool);
+        let exec = Executor::new(threads);
+        let results = sharded.evaluate_pages(&pages, &exec);
         // Byte-identical to the reference interpreter per (rule, page)...
         for (&(_, page), page_results) in pages.iter().zip(&results) {
             for (slot, nodes) in page_results {
@@ -335,6 +335,123 @@ fn sharded_parallel_evaluation_is_byte_identical_across_thread_counts() {
             None => first = Some(results),
             Some(expected) => assert_eq!(&results, expected, "threads {threads}"),
         }
+    }
+}
+
+#[test]
+fn template_cache_is_byte_identical_across_engines_and_thread_counts() {
+    use aw_annotate::{DictionaryAnnotator, MatchMode};
+    use aw_enum::{sharded_xpath_space, top_down};
+    use aw_induct::{NodeSet, XPathInductor};
+
+    // A repeated-template corpus: fixed records per page, all optional
+    // fields present — every page of a site shares one structural
+    // fingerprint, so sharded evaluation replays recorded traces.
+    let ds = generate_dealers(&DealersConfig {
+        sites: 4,
+        pages_per_site: 4,
+        records_per_page: (5, 5),
+        promo_prob: 0.0,
+        uniform_records: true,
+        seed: 0x7E41,
+        ..DealersConfig::default()
+    });
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+
+    let mut spaces: Vec<aw_enum::EnumerationResult<aw_dom::PageNode>> = Vec::new();
+    let mut slot_to_path: Vec<XPath> = Vec::new();
+    for gs in &ds.sites {
+        let labels: NodeSet = annot.annotate(&gs.site);
+        assert!(!labels.is_empty(), "annotator found nothing");
+        let space = top_down(&XPathInductor::new(&gs.site), &labels);
+        slot_to_path.extend(space.xpath_candidates().into_iter().map(|(_, xp)| xp));
+        spaces.push(space);
+    }
+    let mut pages: Vec<(usize, &Document)> = Vec::new();
+    for (s, gs) in ds.sites.iter().enumerate() {
+        for page in gs.site.pages() {
+            pages.push((s, page));
+        }
+    }
+
+    let tagged: Vec<(usize, aw_xpath::CompiledXPath)> = sharded_xpath_space(spaces.iter());
+    let cached = ShardedBatch::new(tagged.clone());
+    let uncached = ShardedBatch::new(tagged).with_cache(false);
+
+    type PageResults = Vec<Vec<(u32, Vec<aw_dom::NodeId>)>>;
+    let mut first: Option<PageResults> = None;
+    for threads in [1, 2, 8] {
+        let exec = Executor::new(threads);
+        let on = cached.evaluate_pages(&pages, &exec);
+        let off = uncached.evaluate_pages(&pages, &exec);
+        assert_eq!(on, off, "cache-on != cache-off at {threads} threads");
+        // Byte-identical to the reference interpreter per (rule, page).
+        for (&(_, page), page_results) in pages.iter().zip(&on) {
+            for (slot, nodes) in page_results {
+                assert_eq!(
+                    nodes,
+                    &reference::evaluate(&slot_to_path[*slot as usize], page),
+                    "threads {threads}, slot {slot}"
+                );
+            }
+        }
+        // ...and across thread counts.
+        match &first {
+            None => first = Some(on),
+            Some(expected) => assert_eq!(&on, expected, "threads {threads}"),
+        }
+    }
+    let (hits, _) = cached.template_cache_stats().expect("cache enabled");
+    assert!(hits > 0, "the template corpus must actually replay");
+}
+
+#[test]
+fn template_replay_agrees_on_random_spaces_over_skeleton_siblings() {
+    // Random candidate sets over pairs of same-skeleton documents whose
+    // text AND attribute values differ: the replay page re-validates
+    // every attribute selection (values diverge, so the trusted path
+    // must fall back mid-trie) while sharing bare traversals.
+    let mut rng = StdRng::seed_from_u64(0x7E9A);
+    let render = |salt: u64| -> String {
+        // One fixed skeleton, two fillings.
+        let v = |i: u64| format!("v{}", (salt.wrapping_mul(31).wrapping_add(i)) % 3);
+        format!(
+            "<div class='{}'><table class='{}'>\
+               <tr><td><u>name {salt} a</u><br>street {salt}</td><td>z{salt}</td></tr>\
+               <tr><td><u>name {salt} b</u><br>road {salt}</td><td>y{salt}</td></tr>\
+             </table></div><div class='{}'><p>tail {salt}</p></div>",
+            v(0),
+            v(1),
+            v(2),
+        )
+    };
+    for round in 0..30 {
+        let a = aw_dom::parse(&render(round));
+        let b = aw_dom::parse(&render(round + 1000));
+        assert_eq!(
+            a.index().template_fingerprint(),
+            b.index().template_fingerprint(),
+            "skeleton siblings must share a fingerprint"
+        );
+        let mut paths: Vec<XPath> = (0..40).map(|_| random_xpath(&mut rng)).collect();
+        // Attribute predicates over the varying values, to force both
+        // agreeing and diverging re-validations.
+        for val in ["v0", "v1", "v2"] {
+            paths.push(aw_xpath::parse_xpath(&format!("//div[@class='{val}']//text()")).unwrap());
+            paths.push(
+                aw_xpath::parse_xpath(&format!("//div[@class='{val}']/table/tr/td/u/text()"))
+                    .unwrap(),
+            );
+        }
+        let batch = BatchEvaluator::from_xpaths(paths.iter());
+        // a bypasses, a again records, then b (and a) replay.
+        for doc in [&a, &a, &b, &a, &b] {
+            for (path, got) in paths.iter().zip(batch.evaluate(doc)) {
+                assert_eq!(got, reference::evaluate(path, doc), "round {round}: {path}");
+            }
+        }
+        let (hits, _) = batch.template_cache().unwrap().stats();
+        assert_eq!(hits, 3, "round {round}: replays expected");
     }
 }
 
