@@ -38,6 +38,7 @@
 //! fail the process — the CI perf gate.
 
 use aw_annotate::{DictionaryAnnotator, MatchMode};
+use aw_core::{CompiledWrapper, ExtractRequest, ExtractionService, LearnedRule, WrapperRegistry};
 use aw_dom::Document;
 use aw_enum::top_down;
 use aw_eval::Executor;
@@ -46,6 +47,7 @@ use aw_sitegen::{generate_dealers, DealersConfig};
 use aw_xpath::{evaluate_compiled, reference, BatchEvaluator, CompiledXPath, ShardedBatch, XPath};
 use serde::Value;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct SiteData {
@@ -311,6 +313,53 @@ fn main() {
     let t_template_nocache = time(passes, &|| eval_sharded(&t_nocache, &tpages, &seq));
     let t_template_cached = time(passes, &|| eval_sharded(&t_cached, &tpages, &seq));
 
+    // Serving-side throughput: the `ExtractionService` request loop over
+    // a repeated-template request stream (one raw-HTML page per request)
+    // — the workload a long-lived `awrap serve` process sees. Each
+    // request pays parse + DocIndex build + routed evaluation; the
+    // per-site wrappers (each site's first candidate xpath) persist in
+    // the registry, so their template caches replay across requests.
+    let registry = Arc::new(WrapperRegistry::new());
+    for (s, site) in tsites.iter().enumerate() {
+        registry.insert(
+            format!("site-{s}"),
+            CompiledWrapper::from_rule(LearnedRule::XPath(site.paths[0].clone())),
+        );
+    }
+    let service = ExtractionService::new(Arc::clone(&registry)).with_executor(seq.clone());
+    let requests: Vec<(usize, usize, ExtractRequest)> = tsites
+        .iter()
+        .enumerate()
+        .flat_map(|(s, site)| {
+            site.pages.iter().enumerate().map(move |(p, page)| {
+                (
+                    s,
+                    p,
+                    ExtractRequest::single(format!("site-{s}"), aw_dom::serialize(page)),
+                )
+            })
+        })
+        .collect();
+    // The service must agree with direct per-rule evaluation before the
+    // stream is timed (values compared — the request re-parses the
+    // serialized page, so node ids need not coincide).
+    for (s, p, request) in &requests {
+        let page = &tsites[*s].pages[*p];
+        let expected: Vec<&str> = evaluate_compiled(&tsites[*s].compiled[0], page)
+            .into_iter()
+            .filter_map(|id| page.text(id))
+            .collect();
+        let response = service.handle(request).expect("registered site");
+        assert_eq!(response.pages[0], expected, "site {s} page {p}");
+    }
+    let t_service = time(passes, &|| {
+        requests
+            .iter()
+            .map(|(_, _, request)| service.handle(request).expect("site").pages[0].len())
+            .sum()
+    });
+    let service_rps = requests.len() as f64 / t_service;
+
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -363,6 +412,12 @@ fn main() {
         cache_hits,
         cache_misses,
     );
+    println!(
+        "service throughput: {} single-page requests in {:.3} ms → {:.0} requests/sec",
+        requests.len(),
+        t_service * ms,
+        service_rps,
+    );
     if parallel.is_empty() {
         println!("parallel scaling: skipped ({available} core available)");
     }
@@ -414,6 +469,7 @@ fn main() {
                 ("sharded", num(t_shard * ms)),
                 ("template_nocache", num(t_template_nocache * ms)),
                 ("template_cached", num(t_template_cached * ms)),
+                ("service_stream", num(t_service * ms)),
                 (
                     "sharded_parallel",
                     Value::Object(
@@ -437,6 +493,9 @@ fn main() {
                     "template_cache_speedup",
                     num(t_template_nocache / t_template_cached),
                 ),
+                // Not a ratio: absolute requests/sec of the service
+                // stream (gated like the ratios; see the baseline file).
+                ("service_throughput", num(service_rps)),
                 ("parallel_scaling", scaling(&parallel)),
             ]),
         ),
@@ -447,6 +506,13 @@ fn main() {
                 ("pages", num(tpages.len() as f64)),
                 ("cache_replays", num(cache_hits as f64)),
                 ("cache_other", num(cache_misses as f64)),
+            ]),
+        ),
+        (
+            "service",
+            obj(vec![
+                ("requests", num(requests.len() as f64)),
+                ("requests_per_sec", num(service_rps)),
             ]),
         ),
         ("threads_available", num(available as f64)),

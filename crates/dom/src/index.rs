@@ -65,6 +65,9 @@ pub struct DocIndex {
     /// fingerprint (per-rule evaluation, cache-disabled batch engines)
     /// pay nothing for it.
     fingerprint: std::sync::OnceLock<u64>,
+    /// True iff arena order equals pre-order rank order (see
+    /// [`DocIndex::ranks_monotone`]).
+    monotone: bool,
 }
 
 impl DocIndex {
@@ -87,6 +90,7 @@ impl DocIndex {
             attrs: Vec::new(),
             attr_values: HashMap::new(),
             fingerprint: std::sync::OnceLock::new(),
+            monotone: true,
         };
         if n == 0 {
             idx.attr_offsets.push(0);
@@ -150,6 +154,7 @@ impl DocIndex {
                 stack.pop();
             }
         }
+        idx.monotone = idx.by_rank.windows(2).all(|w| w[0] < w[1]);
 
         idx
     }
@@ -318,6 +323,21 @@ impl DocIndex {
     /// symbols are interner-assigned).
     pub fn template_fingerprint(&self) -> u64 {
         *self.fingerprint.get_or_init(|| self.compute_fingerprint())
+    }
+
+    /// True iff arena order equals pre-order rank order — i.e.
+    /// [`DocIndex::node_at`] is strictly increasing in the rank.
+    ///
+    /// Parser-built documents always allocate nodes in document order,
+    /// so this holds for every crawled page; only builder-constructed
+    /// documents with interleaved appends break it. Consumers that
+    /// materialize rank-ascending node sets into `NodeId` lists (the
+    /// compiled xpath engines, template-cache replay) use this to skip
+    /// the per-page sort: a rank-sorted set maps to an already-sorted
+    /// `NodeId` list.
+    #[inline]
+    pub fn ranks_monotone(&self) -> bool {
+        self.monotone
     }
 }
 
@@ -534,6 +554,27 @@ mod tests {
         d.append_element(div, "p", vec![]);
         let after = d.index().template_fingerprint();
         assert_ne!(before, after, "mutation must re-fingerprint");
+    }
+
+    #[test]
+    fn ranks_monotone_tracks_construction_order() {
+        // Parser-built documents allocate in document order.
+        let doc = parse("<div><p>a</p><p>b<i>c</i></p></div><span>d</span>");
+        assert!(doc.index().ranks_monotone());
+        // Builder docs in append order stay monotone…
+        let mut d = Document::new();
+        let a = d.append_element(NodeId::ROOT, "a", vec![]);
+        d.append_element(a, "b", vec![]);
+        d.append_element(NodeId::ROOT, "c", vec![]);
+        assert!(d.index().ranks_monotone());
+        // …but interleaved appends (arena order ≠ preorder) do not.
+        let mut d = Document::new();
+        let a = d.append_element(NodeId::ROOT, "a", vec![]);
+        d.append_element(NodeId::ROOT, "c", vec![]);
+        d.append_element(a, "b", vec![]); // arena: a, c, b — preorder: a, b, c
+        assert!(!d.index().ranks_monotone());
+        // Degenerate documents are trivially monotone.
+        assert!(Document::default().index().ranks_monotone());
     }
 
     #[test]

@@ -35,10 +35,34 @@ pub enum AwError {
     },
     /// A wrapper-language name that is none of TABLE/LR/HLRT/XPATH.
     UnknownLanguage(String),
+    /// An extraction request named a site key with no wrapper in the
+    /// [`crate::WrapperRegistry`].
+    UnknownSite(String),
     /// An I/O failure while reading or writing an artifact (constructed
     /// by callers that touch the filesystem, e.g. the `awrap` CLI's
     /// `learn --out` / `apply --wrapper` paths).
     Io(String),
+}
+
+impl AwError {
+    /// Attaches the failing bundle member's site key to an
+    /// artifact-shaped error, so a malformed multi-site
+    /// [`crate::WrapperBundle`] payload reports *which* wrapper was bad
+    /// instead of a bare variant.
+    pub(crate) fn in_bundle_member(self, key: &str) -> AwError {
+        match self {
+            AwError::MalformedArtifact(msg) => {
+                AwError::MalformedArtifact(format!("bundle member {key:?}: {msg}"))
+            }
+            AwError::InvalidRule(msg) => {
+                AwError::InvalidRule(format!("bundle member {key:?}: {msg}"))
+            }
+            AwError::UnknownLanguage(name) => AwError::MalformedArtifact(format!(
+                "bundle member {key:?}: unknown wrapper language {name:?}"
+            )),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for AwError {
@@ -59,6 +83,9 @@ impl fmt::Display for AwError {
                 f,
                 "unknown wrapper language {name:?} (expected table, lr, hlrt or xpath)"
             ),
+            AwError::UnknownSite(key) => {
+                write!(f, "no wrapper registered for site {key:?}")
+            }
             AwError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -82,5 +109,22 @@ mod tests {
         assert!(AwError::UnknownLanguage("csv".into())
             .to_string()
             .contains("csv"));
+        assert!(AwError::UnknownSite("dealer-7".into())
+            .to_string()
+            .contains("dealer-7"));
+    }
+
+    #[test]
+    fn bundle_member_context_names_the_site_key() {
+        let wrapped =
+            AwError::MalformedArtifact("missing \"rule\"".into()).in_bundle_member("dealer-3");
+        let AwError::MalformedArtifact(msg) = &wrapped else {
+            panic!("variant changed: {wrapped:?}");
+        };
+        assert!(msg.contains("dealer-3"), "{msg}");
+        assert!(msg.contains("missing \"rule\""), "{msg}");
+        // UnknownLanguage folds into MalformedArtifact, keeping the key.
+        let lang = AwError::UnknownLanguage("CSV".into()).in_bundle_member("s");
+        assert!(matches!(&lang, AwError::MalformedArtifact(m) if m.contains("CSV")));
     }
 }

@@ -20,6 +20,12 @@
 //!    artifact that serializes (`to_json`/`from_json`) and extracts from
 //!    freshly crawled pages.
 //!
+//! The serving side bundles many sites' artifacts into a
+//! [`WrapperBundle`] (format `aw-bundle`), holds them resident in a
+//! hot-swappable [`WrapperRegistry`], and answers concurrent requests
+//! through an [`ExtractionService`] (see the [`service`] module docs and
+//! the `aw-serve` crate's HTTP front end).
+//!
 //! ```
 //! use aw_core::{AwError, Engine, NtwConfig, WrapperLanguage};
 //! use aw_induct::Site;
@@ -79,9 +85,13 @@ pub mod error;
 pub mod learner;
 pub mod multi_type;
 pub mod rule;
+pub mod service;
 pub mod single_entity;
 
-pub use artifact::{CompiledWrapper, ARTIFACT_FORMAT, ARTIFACT_VERSION};
+pub use artifact::{
+    CompiledWrapper, WrapperBundle, ARTIFACT_FORMAT, ARTIFACT_VERSION, BUNDLE_FORMAT,
+    BUNDLE_VERSION, V1_SITE_KEY,
+};
 pub use config::{Enumeration, NtwConfig, WrapperLanguage};
 pub use engine::{Annotator, Engine, EngineBuilder, RankedWrapper, RankedWrappers, WrapperSpace};
 pub use error::AwError;
@@ -92,6 +102,7 @@ pub use multi_type::{
     assemble_records, learn_multi_type, MultiTypeModel, MultiTypeOutcome, MultiTypeWrapper, Record,
 };
 pub use rule::{LearnedRule, LearnedRuleSet};
+pub use service::{ExtractRequest, ExtractResponse, ExtractionService, WrapperRegistry};
 pub use single_entity::{
     learn_single_entity, learn_single_entity_with, SingleEntityOutcome, SingleEntityWrapper,
 };

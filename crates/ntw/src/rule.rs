@@ -184,6 +184,21 @@ impl LearnedRuleSet {
         &self.rules
     }
 
+    /// Enables or disables the cross-page template cache of the xpath
+    /// batch engine (enabled by default; disabling discards recorded
+    /// traces). Replay is byte-identical to fresh evaluation, so the
+    /// only reason to disable it is bounding memory on workloads with
+    /// unbounded distinct templates.
+    pub fn set_template_cache(&mut self, enabled: bool) {
+        self.batch.set_cache(enabled);
+    }
+
+    /// `(replayed pages, other pages)` template-cache statistics of the
+    /// xpath batch engine; `None` when the cache is disabled.
+    pub fn template_cache_stats(&self) -> Option<(u64, u64)> {
+        self.batch.template_cache().map(|c| c.stats())
+    }
+
     /// Applies every rule to a page; results align with [`Self::rules`].
     /// Each list equals what [`LearnedRule::apply`] returns for that rule.
     pub fn apply(&self, doc: &Document) -> Vec<Vec<NodeId>> {

@@ -1,0 +1,504 @@
+//! The serving side: a resident wrapper store and a concurrent
+//! extraction service.
+//!
+//! The paper's economics are "learn offline, extract at web scale": a
+//! wrapper is induced once per site and then applied to every page the
+//! crawler brings in. Until this module the public surface stopped at
+//! one-shot [`CompiledWrapper::extract_pages`] calls — there was no API
+//! for holding *many* sites' wrappers resident and answering concurrent
+//! extraction requests. Two types close that gap:
+//!
+//! * [`WrapperRegistry`] — a read-mostly map from site keys to serving
+//!   wrappers. Readers take an atomic snapshot (`Arc` swap behind a
+//!   brief `RwLock`), so a request in flight always sees one consistent
+//!   generation: hot-swapping a [`WrapperBundle`] under load never
+//!   serves a torn view. Wrappers untouched by an update keep their
+//!   identity — and therefore their warmed template caches.
+//! * [`ExtractionService`] — the request loop. [`ExtractionService::handle`]
+//!   parses each request page once into a `DocIndex`, routes to the
+//!   site's wrapper, and evaluates through that wrapper's **persistent
+//!   per-site batch trie and cross-page [`aw_xpath::TemplateCache`]**
+//!   on the shared executor. Structurally identical pages arriving in
+//!   *separate requests* therefore hit template replay: the cache
+//!   belongs to the resident wrapper, not to any single call.
+//!
+//! `aw-serve` fronts an `ExtractionService` with an HTTP/1.1 interface
+//! (`awrap serve`); in-process consumers use it directly (see
+//! `examples/serve_extract.rs`). Responses are byte-identical to direct
+//! [`CompiledWrapper::extract_pages`] for every language, thread count
+//! and cache setting — enforced by `tests/extraction_service.rs`.
+
+use crate::artifact::{CompiledWrapper, WrapperBundle};
+use crate::config::WrapperLanguage;
+use crate::error::AwError;
+use aw_dom::Document;
+use aw_pool::Executor;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// One immutable generation of the registry's contents.
+#[derive(Debug, Default)]
+struct Snapshot {
+    wrappers: BTreeMap<String, Arc<CompiledWrapper>>,
+    generation: u64,
+}
+
+/// A read-mostly, atomically swappable store of serving wrappers, keyed
+/// by site.
+///
+/// Reads clone an `Arc` snapshot under a briefly-held read lock; every
+/// mutation builds a fresh snapshot (sharing the untouched wrappers'
+/// `Arc`s, so their template caches survive) and swaps it in whole. A
+/// concurrent reader therefore observes either the old generation or
+/// the new one, never a mixture.
+#[derive(Debug, Default)]
+pub struct WrapperRegistry {
+    snapshot: RwLock<Arc<Snapshot>>,
+}
+
+impl WrapperRegistry {
+    /// An empty registry (generation 0).
+    pub fn new() -> WrapperRegistry {
+        WrapperRegistry::default()
+    }
+
+    /// A registry pre-loaded with a bundle's wrappers (generation 1).
+    pub fn from_bundle(bundle: WrapperBundle) -> WrapperRegistry {
+        let registry = WrapperRegistry::new();
+        registry.load_bundle(bundle);
+        registry
+    }
+
+    fn read(&self) -> Arc<Snapshot> {
+        // Recover from poisoning instead of panicking: the slot only
+        // ever holds a fully-built Arc (swapped in one assignment), so
+        // a panic elsewhere cannot leave it inconsistent — and a
+        // serving loop must not let one panicked request poison every
+        // later one.
+        Arc::clone(
+            &self
+                .snapshot
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Builds the next generation from the current one and swaps it in.
+    fn swap(
+        &self,
+        update: impl FnOnce(&Snapshot) -> BTreeMap<String, Arc<CompiledWrapper>>,
+    ) -> u64 {
+        let mut slot = self
+            .snapshot
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let next = Snapshot {
+            wrappers: update(&slot),
+            generation: slot.generation + 1,
+        };
+        let generation = next.generation;
+        *slot = Arc::new(next);
+        generation
+    }
+
+    /// **Hot swap**: atomically replaces the registry's entire contents
+    /// with the bundle's wrappers, returning the new generation.
+    /// Requests already holding the previous snapshot finish against it;
+    /// new requests see only the new one.
+    pub fn load_bundle(&self, bundle: WrapperBundle) -> u64 {
+        let wrappers: BTreeMap<String, Arc<CompiledWrapper>> = bundle
+            .into_iter()
+            .map(|(key, wrapper)| (key, Arc::new(wrapper)))
+            .collect();
+        self.swap(move |_| wrappers)
+    }
+
+    /// Adds (or replaces) one site's wrapper, returning the new
+    /// generation. Other sites' wrappers — and their warmed template
+    /// caches — are untouched.
+    pub fn insert(&self, site: impl Into<String>, wrapper: CompiledWrapper) -> u64 {
+        let (site, wrapper) = (site.into(), Arc::new(wrapper));
+        self.swap(move |current| {
+            let mut next = current.wrappers.clone();
+            next.insert(site, wrapper);
+            next
+        })
+    }
+
+    /// Removes one site's wrapper; `true` if it was present.
+    pub fn remove(&self, site: &str) -> bool {
+        let mut removed = false;
+        self.swap(|current| {
+            let mut next = current.wrappers.clone();
+            removed = next.remove(site).is_some();
+            next
+        });
+        removed
+    }
+
+    /// The wrapper serving `site`, from the current snapshot. The `Arc`
+    /// keeps serving consistently even if the registry is swapped while
+    /// the request is in flight.
+    pub fn get(&self, site: &str) -> Option<Arc<CompiledWrapper>> {
+        self.read().wrappers.get(site).cloned()
+    }
+
+    /// The registered site keys, ascending.
+    pub fn site_keys(&self) -> Vec<String> {
+        self.read().wrappers.keys().cloned().collect()
+    }
+
+    /// `(site key, wrapper)` pairs of the current snapshot, in key
+    /// order — one consistent generation.
+    pub fn entries(&self) -> Vec<(String, Arc<CompiledWrapper>)> {
+        self.snapshot_entries().1
+    }
+
+    /// `(generation, site count)` from one snapshot read — the
+    /// allocation-free pairing for liveness probes that only need a
+    /// count (cf. [`WrapperRegistry::snapshot_entries`]).
+    pub fn snapshot_stats(&self) -> (u64, usize) {
+        let snapshot = self.read();
+        (snapshot.generation, snapshot.wrappers.len())
+    }
+
+    /// The generation **and** its entries from one snapshot read —
+    /// unlike separate [`WrapperRegistry::generation`] +
+    /// [`WrapperRegistry::entries`] calls, the pairing cannot straddle
+    /// a concurrent hot swap (a deployer polling for generation ≥ G
+    /// must never see G paired with the pre-swap site list).
+    pub fn snapshot_entries(&self) -> (u64, Vec<(String, Arc<CompiledWrapper>)>) {
+        let snapshot = self.read();
+        (
+            snapshot.generation,
+            snapshot
+                .wrappers
+                .iter()
+                .map(|(k, w)| (k.clone(), Arc::clone(w)))
+                .collect(),
+        )
+    }
+
+    /// Number of registered sites.
+    pub fn len(&self) -> usize {
+        self.read().wrappers.len()
+    }
+
+    /// True when no wrapper is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The mutation counter: 0 for a fresh registry, bumped by every
+    /// [`WrapperRegistry::load_bundle`] / insert / remove.
+    pub fn generation(&self) -> u64 {
+        self.read().generation
+    }
+}
+
+/// One extraction request: raw HTML pages of one registered site.
+#[derive(Clone, Debug)]
+pub struct ExtractRequest {
+    /// The site key the pages belong to (routes to that site's wrapper).
+    pub site: String,
+    /// The pages to extract from, as raw HTML (one entry per page).
+    pub pages: Vec<String>,
+}
+
+impl ExtractRequest {
+    /// A request for one page.
+    pub fn single(site: impl Into<String>, html: impl Into<String>) -> ExtractRequest {
+        ExtractRequest {
+            site: site.into(),
+            pages: vec![html.into()],
+        }
+    }
+}
+
+/// What [`ExtractionService::handle`] extracted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtractResponse {
+    /// The site key the request routed to.
+    pub site: String,
+    /// The serving wrapper's language.
+    pub language: WrapperLanguage,
+    /// The serving wrapper's rule, in display form.
+    pub rule: String,
+    /// Extracted text values, one list per request page (aligned with
+    /// [`ExtractRequest::pages`]).
+    pub pages: Vec<Vec<String>>,
+}
+
+impl ExtractResponse {
+    /// All extracted values, flattened across the request's pages.
+    pub fn values(&self) -> impl Iterator<Item = &str> {
+        self.pages.iter().flatten().map(String::as_str)
+    }
+}
+
+/// The concurrent serving loop over a [`WrapperRegistry`].
+///
+/// `&ExtractionService` is `Sync`: any number of threads call
+/// [`ExtractionService::handle`] simultaneously (the HTTP front end in
+/// `aw-serve` does exactly that, one connection per worker). Responses
+/// are deterministic — byte-identical to sequential evaluation at every
+/// thread count and cache setting.
+#[derive(Debug)]
+pub struct ExtractionService {
+    registry: Arc<WrapperRegistry>,
+    executor: Executor,
+}
+
+impl ExtractionService {
+    /// A service over `registry`, evaluating on [`Executor::global`].
+    pub fn new(registry: Arc<WrapperRegistry>) -> ExtractionService {
+        ExtractionService {
+            registry,
+            executor: Executor::global().clone(),
+        }
+    }
+
+    /// Replaces the executor driving page parsing and evaluation.
+    pub fn with_executor(mut self, executor: Executor) -> ExtractionService {
+        self.executor = executor;
+        self
+    }
+
+    /// The registry requests route through (shared: hot-swap it from
+    /// anywhere, in-flight requests stay consistent).
+    pub fn registry(&self) -> &Arc<WrapperRegistry> {
+        &self.registry
+    }
+
+    /// The executor driving parallel stages.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Serves one request: parse each page once (building its
+    /// `DocIndex`), route to the site's wrapper, evaluate through the
+    /// wrapper's persistent batch trie + template cache on the service
+    /// executor, and return the extracted text values per page.
+    ///
+    /// Errors with [`AwError::UnknownSite`] when no wrapper is
+    /// registered for the request's site key.
+    pub fn handle(&self, request: &ExtractRequest) -> Result<ExtractResponse, AwError> {
+        let wrapper = self
+            .registry
+            .get(&request.site)
+            .ok_or_else(|| AwError::UnknownSite(request.site.clone()))?;
+        // One parse + one DocIndex per page; page-parallel for multi-page
+        // requests (nested maps join the shared worker team).
+        let docs: Vec<Document> = self.executor.map(&request.pages, |html| {
+            let doc = aw_dom::parse(html);
+            doc.index();
+            doc
+        });
+        let pages = wrapper
+            .extract_pages_with(&docs, &self.executor)
+            .into_iter()
+            .zip(&docs)
+            .map(|(ids, doc)| {
+                ids.into_iter()
+                    .filter_map(|id| doc.text(id).map(str::to_string))
+                    .collect()
+            })
+            .collect();
+        Ok(ExtractResponse {
+            site: request.site.clone(),
+            language: wrapper.language(),
+            rule: wrapper.rule().to_string(),
+            pages,
+        })
+    }
+
+    /// Serves a batch of requests through the executor; `out[i]` equals
+    /// [`ExtractionService::handle`] on `requests[i]` for every thread
+    /// count.
+    pub fn handle_batch(
+        &self,
+        requests: &[ExtractRequest],
+    ) -> Vec<Result<ExtractResponse, AwError>> {
+        self.executor.map(requests, |request| self.handle(request))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::LearnedRule;
+    use aw_induct::{NodeSet, Site};
+
+    fn training_site() -> Site {
+        let page = |rows: &[(&str, &str)]| {
+            let mut s = String::from("<table class='stores'>");
+            for (n, a) in rows {
+                s.push_str(&format!("<tr><td><b>{n}</b></td><td>{a}</td></tr>"));
+            }
+            s + "</table>"
+        };
+        Site::from_html(&[
+            page(&[("ALPHA CO", "1 Elm"), ("BETA LLC", "2 Oak")]),
+            page(&[("GAMMA INC", "3 Fir"), ("DELTA LTD", "4 Ash")]),
+        ])
+    }
+
+    fn wrapper(language: WrapperLanguage) -> CompiledWrapper {
+        let site = training_site();
+        let mut labels = NodeSet::new();
+        labels.extend(site.find_text("ALPHA CO"));
+        labels.extend(site.find_text("DELTA LTD"));
+        CompiledWrapper::from_rule(LearnedRule::learn(&site, language, &labels))
+    }
+
+    fn fresh_html(name: &str) -> String {
+        format!("<table class='stores'><tr><td><b>{name}</b></td><td>9 Elm</td></tr></table>")
+    }
+
+    #[test]
+    fn registry_snapshots_are_atomic_and_generation_counts() {
+        let registry = WrapperRegistry::new();
+        assert_eq!(registry.generation(), 0);
+        assert!(registry.is_empty());
+        registry.insert("a", wrapper(WrapperLanguage::XPath));
+        assert_eq!(registry.generation(), 1);
+        registry.insert("b", wrapper(WrapperLanguage::Lr));
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.site_keys(), ["a", "b"]);
+        assert!(registry.remove("a"));
+        assert!(!registry.remove("a"));
+        assert_eq!(registry.generation(), 4, "failed removes still swap");
+        assert!(registry.get("a").is_none());
+        assert!(registry.get("b").is_some());
+    }
+
+    #[test]
+    fn snapshot_entries_pair_generation_with_its_contents() {
+        let registry = WrapperRegistry::new();
+        registry.insert("a", wrapper(WrapperLanguage::XPath));
+        let (generation, entries) = registry.snapshot_entries();
+        assert_eq!(generation, 1);
+        assert_eq!(
+            entries.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["a"]
+        );
+        assert_eq!(registry.entries().len(), 1);
+    }
+
+    #[test]
+    fn load_bundle_replaces_wholesale() {
+        let registry = WrapperRegistry::new();
+        registry.insert("stale", wrapper(WrapperLanguage::XPath));
+        let mut bundle = WrapperBundle::new();
+        bundle.insert("fresh", wrapper(WrapperLanguage::Hlrt));
+        registry.load_bundle(bundle);
+        assert_eq!(registry.site_keys(), ["fresh"]);
+    }
+
+    #[test]
+    fn insert_preserves_untouched_wrappers_and_their_caches() {
+        let registry = WrapperRegistry::new();
+        registry.insert("warm", wrapper(WrapperLanguage::XPath));
+        let service = ExtractionService::new(Arc::new(registry));
+        // Two structurally identical requests: bypass, record…
+        for name in ["OMEGA", "SIGMA"] {
+            service
+                .handle(&ExtractRequest::single("warm", fresh_html(name)))
+                .unwrap();
+        }
+        // …an unrelated insert must not reset the warm wrapper…
+        service
+            .registry()
+            .insert("other", wrapper(WrapperLanguage::Lr));
+        // …so the third request replays.
+        service
+            .handle(&ExtractRequest::single("warm", fresh_html("KAPPA")))
+            .unwrap();
+        let warm = service.registry().get("warm").unwrap();
+        let (hits, _) = warm.template_cache_stats().expect("cache on by default");
+        assert_eq!(hits, 1, "third same-template request must replay");
+    }
+
+    #[test]
+    fn handle_routes_and_errors() {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry.insert("dealers", wrapper(WrapperLanguage::XPath));
+        let service = ExtractionService::new(Arc::clone(&registry));
+        let ok = service
+            .handle(&ExtractRequest::single(
+                "dealers",
+                fresh_html("OMEGA GROUP"),
+            ))
+            .unwrap();
+        assert_eq!(ok.site, "dealers");
+        assert_eq!(ok.language, WrapperLanguage::XPath);
+        assert_eq!(ok.pages, vec![vec!["OMEGA GROUP".to_string()]]);
+        assert_eq!(ok.values().collect::<Vec<_>>(), ["OMEGA GROUP"]);
+        assert_eq!(
+            service
+                .handle(&ExtractRequest::single("nope", fresh_html("X")))
+                .unwrap_err(),
+            AwError::UnknownSite("nope".into())
+        );
+    }
+
+    #[test]
+    fn multi_page_requests_align_and_match_single_page_calls() {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry.insert("dealers", wrapper(WrapperLanguage::XPath));
+        for threads in [1, 4] {
+            let service =
+                ExtractionService::new(Arc::clone(&registry)).with_executor(Executor::new(threads));
+            let request = ExtractRequest {
+                site: "dealers".into(),
+                pages: vec![
+                    fresh_html("OMEGA"),
+                    "<p>nothing</p>".into(),
+                    fresh_html("SIGMA"),
+                ],
+            };
+            let response = service.handle(&request).unwrap();
+            assert_eq!(
+                response.pages,
+                vec![vec!["OMEGA".to_string()], vec![], vec!["SIGMA".to_string()]],
+                "threads {threads}"
+            );
+            let singles: Vec<Vec<String>> = request
+                .pages
+                .iter()
+                .map(|html| {
+                    service
+                        .handle(&ExtractRequest::single("dealers", html.clone()))
+                        .unwrap()
+                        .pages
+                        .remove(0)
+                })
+                .collect();
+            assert_eq!(response.pages, singles, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn handle_batch_matches_sequential_handles() {
+        let registry = Arc::new(WrapperRegistry::new());
+        registry.insert("x", wrapper(WrapperLanguage::XPath));
+        registry.insert("l", wrapper(WrapperLanguage::Lr));
+        let service = ExtractionService::new(Arc::clone(&registry)).with_executor(Executor::new(3));
+        let requests: Vec<ExtractRequest> = (0..12)
+            .map(|i| {
+                let site = if i % 3 == 2 {
+                    "missing"
+                } else if i % 2 == 0 {
+                    "x"
+                } else {
+                    "l"
+                };
+                ExtractRequest::single(site, fresh_html(&format!("NAME {i}")))
+            })
+            .collect();
+        let batched = service.handle_batch(&requests);
+        for (request, got) in requests.iter().zip(batched) {
+            assert_eq!(got, service.handle(request), "site {}", request.site);
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The socket layer: a minimal HTTP/1.1 server on `std::net`.
+//!
+//! Scope (documented in `README.md`): request line + headers + body
+//! framed by `Content-Length`; responses always close the connection
+//! (`Connection: close`), so clients never need chunked decoding, and a
+//! worker owns exactly one connection at a time. This is the smallest
+//! protocol surface that `curl`, load generators and the smoke test all
+//! speak without a client library.
+
+use crate::{respond, Request, Response};
+use aw_core::ExtractionService;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted header block (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+/// Largest accepted body (a bundle or a batch of pages).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+/// Per-read/-write socket timeout: a fully stalled client errors out of
+/// the next I/O call.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Wall-clock cap on one whole request's read phase: a *trickling*
+/// client (one byte every few seconds keeps each read under
+/// [`IO_TIMEOUT`]) is still cut off here instead of pinning its
+/// connection worker indefinitely.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+/// Accept-poll interval while idle (the listener is non-blocking so
+/// workers can observe shutdown).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A configured-but-not-yet-running HTTP front end over an
+/// [`ExtractionService`].
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<ExtractionService>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port). The
+    /// default worker count matches the service executor's thread count.
+    pub fn bind(service: Arc<ExtractionService>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let workers = service.executor().threads();
+        Ok(Server {
+            listener,
+            service,
+            workers,
+        })
+    }
+
+    /// Sets the connection-worker count (clamped to ≥ 1). Each worker
+    /// owns one connection at a time; extraction inside a request still
+    /// runs on the shared executor, whatever this count is.
+    pub fn workers(mut self, workers: usize) -> Server {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The bound address — read the actual port here after binding `:0`.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the worker team and returns the running server's handle.
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            let spawned = self.listener.try_clone().and_then(|listener| {
+                let service = Arc::clone(&self.service);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("aw-serve-{i}"))
+                    .spawn(move || worker_loop(listener, service, stop))
+            });
+            match spawned {
+                Ok(handle) => threads.push(handle),
+                Err(e) => {
+                    // A partial team must not leak: stop and join the
+                    // workers already running (each holds a cloned
+                    // listener that would otherwise keep the port bound
+                    // and keep serving with no handle to stop them).
+                    stop.store(true, Ordering::Relaxed);
+                    for handle in threads {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ServerHandle {
+            addr,
+            stop,
+            threads,
+        })
+    }
+}
+
+/// A running server: hold it to keep serving, [`ServerHandle::shutdown`]
+/// to stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every worker to stop accepting and waits for them to
+    /// finish their in-flight connections.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the workers exit (they only exit on shutdown, so
+    /// this is "serve forever" for a CLI process).
+    pub fn join(mut self) {
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker's accept loop: poll the shared non-blocking listener,
+/// serve each accepted connection to completion.
+fn worker_loop(listener: TcpListener, service: Arc<ExtractionService>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One request per connection; failures (bad framing,
+                // disconnects) drop the connection, never the worker —
+                // and neither does a panic inside request handling (an
+                // evaluation bug must cost one connection, not silently
+                // retire an accept loop until the server goes deaf).
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = serve_connection(stream, &service);
+                }));
+                if result.is_err() {
+                    eprintln!("aw-serve: request handler panicked; connection dropped");
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (EMFILE, resets): back off briefly.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, service: &ExtractionService) -> std::io::Result<()> {
+    // The listener is non-blocking for shutdown polling; on platforms
+    // where accepted sockets inherit that flag (macOS/BSD, Windows —
+    // not Linux) the stream must be reset to blocking or every read
+    // would fail with WouldBlock before the timeouts even apply.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let deadline = std::time::Instant::now() + REQUEST_DEADLINE;
+    let (response, body_maybe_unread) = match read_request(&mut stream, deadline) {
+        Ok(request) => (respond(service, &request), false),
+        Err(HttpError::Status(status, message)) => (Response::error(status, message), true),
+        Err(HttpError::Io(e)) => return Err(e),
+    };
+    write_response(&mut stream, &response)?;
+    if body_maybe_unread {
+        // The client may still be uploading the body we refused (413,
+        // bad framing). Closing with unread data would send a TCP RST
+        // that can discard the queued error response on the client
+        // side; signal end-of-response and drain what's in flight so
+        // the client actually reads its error.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        drain(&mut stream, deadline);
+    }
+    Ok(())
+}
+
+/// Reads and discards the client's remaining upload (bounded by a byte
+/// cap, the socket read timeout and the request deadline) so the error
+/// response is not clobbered by a reset.
+fn drain(stream: &mut TcpStream, deadline: std::time::Instant) {
+    let mut chunk = [0u8; 4096];
+    let mut budget = MAX_BODY;
+    while budget > 0 && std::time::Instant::now() < deadline {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+/// A framing-level failure: either an HTTP error to report to the
+/// client, or an I/O error that ends the connection silently.
+enum HttpError {
+    Status(u16, String),
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+fn bad(status: u16, message: impl Into<String>) -> HttpError {
+    HttpError::Status(status, message.into())
+}
+
+/// Reads and parses one request: request line, headers, and a
+/// `Content-Length`-framed body. `deadline` caps the whole read phase
+/// in wall-clock time — per-read timeouts alone would let a trickling
+/// client (one byte per few seconds) hold the worker indefinitely.
+fn read_request(
+    stream: &mut TcpStream,
+    deadline: std::time::Instant,
+) -> Result<Request, HttpError> {
+    let overdue = || bad(408, "request read deadline exceeded");
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until the end of the header block.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(bad(400, "header block too large"));
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(overdue());
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad(400, "connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| bad(400, "request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = (
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    );
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(bad(400, format!("malformed request line {request_line:?}")));
+    }
+    let mut content_length = 0usize;
+    let mut expects_continue = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad(400, format!("bad Content-Length {:?}", value.trim())))?;
+        } else if name.eq_ignore_ascii_case("expect")
+            && value.trim().eq_ignore_ascii_case("100-continue")
+        {
+            expects_continue = true;
+        } else if name.eq_ignore_ascii_case("transfer-encoding")
+            && !value.trim().eq_ignore_ascii_case("identity")
+        {
+            // Bodies are framed by Content-Length only; silently
+            // treating a chunked request as body-less would misroute it.
+            return Err(bad(
+                501,
+                "transfer codings are not supported; send Content-Length",
+            ));
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad(413, "request body too large"));
+    }
+
+    // The body: whatever followed the head in the buffer, plus the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    // curl sends `Expect: 100-continue` for bodies over 1 KB and waits
+    // up to a second for the interim response before transmitting — a
+    // silent per-request stall unless we answer it.
+    if expects_continue && body.len() < content_length {
+        stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        stream.flush()?;
+    }
+    while body.len() < content_length {
+        if std::time::Instant::now() >= deadline {
+            return Err(overdue());
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad(400, "connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| bad(400, "request body is not UTF-8"))?;
+
+    // Strip any query string: the protocol routes on the path alone.
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        501 => "Not Implemented",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,370 @@
+//! # aw-serve — the std-only HTTP front end of the extraction service
+//!
+//! Production extraction fronts a resident wrapper store with a network
+//! service: wrappers are learned offline, bundled
+//! ([`aw_core::WrapperBundle`]), loaded into a hot-swappable
+//! [`aw_core::WrapperRegistry`], and applied to whatever pages traffic
+//! brings. This crate is that front end, built on nothing but
+//! `std::net` — the build environment has no crates.io access, so
+//! request parsing is hand-rolled (a deliberately small HTTP/1.1
+//! subset, documented in `README.md`).
+//!
+//! ## Endpoints
+//!
+//! | Method & path    | Body                 | Reply |
+//! |------------------|----------------------|-------|
+//! | `POST /extract`  | `{"site": K, "html": H}` or `{"site": K, "pages": [H…]}` | extracted values per page |
+//! | `GET /wrappers`  | —                    | registered sites, rules, template-cache stats |
+//! | `POST /wrappers` | a wrapper bundle (v2) or single-wrapper artifact (v1) | hot-swaps the registry |
+//! | `GET /healthz`   | —                    | liveness + site count + registry generation |
+//!
+//! All replies are JSON. Errors carry `{"error": message}` with 400
+//! (malformed request / bundle), 404 (unknown site or path), 405
+//! (method not allowed) or 413 (oversized payload).
+//!
+//! ## Threading model
+//!
+//! [`Server::start`] spawns a fixed team of **connection workers**,
+//! each running its own accept loop on a shared listener
+//! (connection-per-worker: a worker owns a connection from accept to
+//! close, so slow clients never head-of-line-block the others). The
+//! extraction work inside a request is *not* done on private pools:
+//! every worker calls into one shared [`ExtractionService`], whose
+//! [`aw_pool::Executor`] is the process-wide work-stealing team —
+//! page-parallel evaluation from many simultaneous connections
+//! interleaves in one pool instead of oversubscribing the machine. The
+//! per-site template caches live in the registry's wrappers, so
+//! structurally identical pages arriving on different connections still
+//! replay each other's traces.
+//!
+//! ```no_run
+//! use aw_core::{ExtractionService, WrapperBundle, WrapperRegistry};
+//! use aw_serve::Server;
+//! use std::sync::Arc;
+//!
+//! let bundle = WrapperBundle::from_json(&std::fs::read_to_string("bundle.json")?)?;
+//! let registry = Arc::new(WrapperRegistry::from_bundle(bundle));
+//! let service = Arc::new(ExtractionService::new(registry));
+//! let server = Server::bind(service, "127.0.0.1:0")?.workers(4);
+//! println!("serving on http://{}", server.local_addr()?);
+//! server.start()?.join();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod http;
+
+pub use http::{Server, ServerHandle};
+
+use aw_core::{AwError, ExtractRequest, ExtractionService, WrapperBundle};
+use serde::Value;
+
+/// A parsed HTTP request, reduced to what the router needs.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, …), uppercase as received.
+    pub method: String,
+    /// The request path, query string stripped.
+    pub path: String,
+    /// The request body (empty for bodyless requests).
+    pub body: String,
+}
+
+/// What the router decided; the HTTP layer adds the framing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    fn json(status: u16, value: &Value) -> Response {
+        Response {
+            status,
+            body: serde_json::to_string(value).expect("response serialization is infallible"),
+        }
+    }
+
+    fn error(status: u16, message: impl Into<String>) -> Response {
+        Response::json(status, &obj(vec![("error", Value::String(message.into()))]))
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn strings(items: impl IntoIterator<Item = String>) -> Value {
+    Value::Array(items.into_iter().map(Value::String).collect())
+}
+
+/// Maps a service error onto an HTTP status.
+fn status_of(error: &AwError) -> u16 {
+    match error {
+        AwError::UnknownSite(_) => 404,
+        // Artifact/bundle shape problems are the client's fault.
+        _ => 400,
+    }
+}
+
+/// Routes one request against the service — the whole protocol, pure of
+/// any socket so it is directly testable (and reusable by in-process
+/// callers).
+pub fn respond(service: &ExtractionService, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(service),
+        ("GET", "/wrappers") => list_wrappers(service),
+        ("POST", "/wrappers") => load_wrappers(service, &request.body),
+        ("POST", "/extract") => extract(service, &request.body),
+        (_, "/healthz" | "/wrappers" | "/extract") => {
+            Response::error(405, format!("method {} not allowed here", request.method))
+        }
+        (_, path) => Response::error(404, format!("no such endpoint {path:?}")),
+    }
+}
+
+fn healthz(service: &ExtractionService) -> Response {
+    // One snapshot read: the (site count, generation) pair must not
+    // straddle a concurrent hot swap. Allocation-free — load balancers
+    // poll this every few seconds.
+    let (generation, sites) = service.registry().snapshot_stats();
+    Response::json(
+        200,
+        &obj(vec![
+            ("status", Value::String("ok".into())),
+            ("sites", Value::Number(sites as f64)),
+            ("generation", Value::Number(generation as f64)),
+        ]),
+    )
+}
+
+fn list_wrappers(service: &ExtractionService) -> Response {
+    let (generation, entries) = service.registry().snapshot_entries();
+    let sites: Vec<Value> = entries
+        .into_iter()
+        .map(|(key, wrapper)| {
+            let (replays, other) = wrapper.template_cache_stats().unwrap_or((0, 0));
+            obj(vec![
+                ("site", Value::String(key)),
+                ("language", Value::String(wrapper.language().to_string())),
+                ("rule", Value::String(wrapper.rule().to_string())),
+                ("template_replays", Value::Number(replays as f64)),
+                ("template_other", Value::Number(other as f64)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &obj(vec![
+            ("generation", Value::Number(generation as f64)),
+            ("sites", Value::Array(sites)),
+        ]),
+    )
+}
+
+fn load_wrappers(service: &ExtractionService, body: &str) -> Response {
+    match WrapperBundle::from_json(body) {
+        Err(e) => Response::error(status_of(&e), e.to_string()),
+        Ok(bundle) => {
+            let loaded = bundle.len();
+            let generation = service.registry().load_bundle(bundle);
+            Response::json(
+                200,
+                &obj(vec![
+                    ("loaded", Value::Number(loaded as f64)),
+                    ("generation", Value::Number(generation as f64)),
+                ]),
+            )
+        }
+    }
+}
+
+fn extract(service: &ExtractionService, body: &str) -> Response {
+    let request = match parse_extract_body(body) {
+        Ok(request) => request,
+        Err(message) => return Response::error(400, message),
+    };
+    match service.handle(&request) {
+        Err(e) => Response::error(status_of(&e), e.to_string()),
+        Ok(response) => {
+            let pages: Vec<Value> = response
+                .pages
+                .iter()
+                .map(|values| strings(values.iter().cloned()))
+                .collect();
+            let values = strings(response.values().map(str::to_string));
+            Response::json(
+                200,
+                &obj(vec![
+                    ("site", Value::String(response.site)),
+                    ("language", Value::String(response.language.to_string())),
+                    ("rule", Value::String(response.rule)),
+                    ("pages", Value::Array(pages)),
+                    ("values", values),
+                ]),
+            )
+        }
+    }
+}
+
+/// Decodes a `POST /extract` body: `site` plus either `html` (one page)
+/// or `pages` (an array of pages).
+fn parse_extract_body(body: &str) -> Result<ExtractRequest, String> {
+    let v = serde_json::from_str(body).map_err(|e| format!("request body is not JSON: {e}"))?;
+    let site = v
+        .get("site")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"site\"")?
+        .to_string();
+    let pages = match (v.get("html"), v.get("pages")) {
+        (Some(html), None) => vec![html
+            .as_str()
+            .ok_or("field \"html\" must be a string")?
+            .to_string()],
+        (None, Some(Value::Array(items))) => items
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "field \"pages\" must be an array of strings".to_string())
+            })
+            .collect::<Result<Vec<String>, String>>()?,
+        (None, Some(_)) => return Err("field \"pages\" must be an array of strings".into()),
+        (Some(_), Some(_)) => return Err("carry \"html\" or \"pages\", not both".into()),
+        (None, None) => return Err("missing \"html\" (string) or \"pages\" (array)".into()),
+    };
+    Ok(ExtractRequest { site, pages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_core::{CompiledWrapper, LearnedRule, WrapperLanguage, WrapperRegistry};
+    use aw_induct::{NodeSet, Site};
+    use std::sync::Arc;
+
+    fn service() -> ExtractionService {
+        let site = Site::from_html(&[
+            "<table class='stores'><tr><td><b>ALPHA CO</b></td><td>1 Elm</td></tr>\
+             <tr><td><b>BETA LLC</b></td><td>2 Oak</td></tr></table>",
+            "<table class='stores'><tr><td><b>GAMMA INC</b></td><td>3 Fir</td></tr>\
+             <tr><td><b>DELTA LTD</b></td><td>4 Ash</td></tr></table>",
+        ]);
+        let mut labels = NodeSet::new();
+        labels.extend(site.find_text("ALPHA CO"));
+        labels.extend(site.find_text("DELTA LTD"));
+        let registry = WrapperRegistry::new();
+        registry.insert(
+            "dealers",
+            CompiledWrapper::from_rule(LearnedRule::learn(&site, WrapperLanguage::XPath, &labels)),
+        );
+        ExtractionService::new(Arc::new(registry))
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.into(),
+        }
+    }
+
+    #[test]
+    fn healthz_reports_sites_and_generation() {
+        let service = service();
+        let r = respond(&service, &request("GET", "/healthz", ""));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"status\":\"ok\""), "{}", r.body);
+        assert!(r.body.contains("\"sites\":1"), "{}", r.body);
+    }
+
+    #[test]
+    fn extract_accepts_html_and_pages_forms() {
+        let service = service();
+        let page = "<table class='stores'><tr><td><b>OMEGA</b></td><td>9 Elm</td></tr></table>";
+        let single = respond(
+            &service,
+            &request(
+                "POST",
+                "/extract",
+                &format!(r#"{{"site":"dealers","html":"{page}"}}"#),
+            ),
+        );
+        assert_eq!(single.status, 200, "{}", single.body);
+        assert!(single.body.contains("OMEGA"), "{}", single.body);
+        let multi = respond(
+            &service,
+            &request(
+                "POST",
+                "/extract",
+                &format!(r#"{{"site":"dealers","pages":["{page}","<p>none</p>"]}}"#),
+            ),
+        );
+        assert_eq!(multi.status, 200, "{}", multi.body);
+        assert!(
+            multi.body.contains(r#""pages":[["OMEGA"],[]]"#),
+            "{}",
+            multi.body
+        );
+    }
+
+    #[test]
+    fn extract_error_statuses() {
+        let service = service();
+        for (body, status) in [
+            ("not json", 400),
+            (r#"{"html":"<p>x</p>"}"#, 400),
+            (r#"{"site":"dealers"}"#, 400),
+            (r#"{"site":"dealers","pages":"<p>x</p>"}"#, 400),
+            (r#"{"site":"dealers","html":"<p>x</p>","pages":[]}"#, 400),
+            (r#"{"site":"unknown","html":"<p>x</p>"}"#, 404),
+        ] {
+            let r = respond(&service, &request("POST", "/extract", body));
+            assert_eq!(r.status, status, "{body} → {}", r.body);
+            assert!(r.body.contains("\"error\""), "{}", r.body);
+        }
+    }
+
+    #[test]
+    fn wrappers_listing_and_hot_swap() {
+        let service = service();
+        let listed = respond(&service, &request("GET", "/wrappers", ""));
+        assert_eq!(listed.status, 200);
+        assert!(
+            listed.body.contains("\"site\":\"dealers\""),
+            "{}",
+            listed.body
+        );
+
+        // Hot-swap with a v1 single-wrapper artifact (loads under the
+        // compatibility key).
+        let artifact = service.registry().get("dealers").unwrap().to_json();
+        let swapped = respond(&service, &request("POST", "/wrappers", &artifact));
+        assert_eq!(swapped.status, 200, "{}", swapped.body);
+        assert!(swapped.body.contains("\"loaded\":1"), "{}", swapped.body);
+        assert_eq!(service.registry().site_keys(), [aw_core::V1_SITE_KEY]);
+
+        let bad = respond(&service, &request("POST", "/wrappers", "{}"));
+        assert_eq!(bad.status, 400, "{}", bad.body);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods() {
+        let service = service();
+        assert_eq!(respond(&service, &request("GET", "/nope", "")).status, 404);
+        assert_eq!(
+            respond(&service, &request("DELETE", "/extract", "")).status,
+            405
+        );
+        assert_eq!(
+            respond(&service, &request("POST", "/healthz", "")).status,
+            405
+        );
+    }
+}

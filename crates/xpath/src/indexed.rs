@@ -41,9 +41,23 @@ pub fn evaluate_compiled(path: &CompiledXPath, doc: &Document) -> Vec<NodeId> {
 
 /// Converts a rank-space node set into sorted `NodeId`s (the reference
 /// interpreter's output order).
+///
+/// `ranks` must be ascending — every engine-side node set is (steps,
+/// trie fan-outs and template-cache traces all preserve rank order), so
+/// for parser-built documents, where arena order equals rank order
+/// ([`DocIndex::ranks_monotone`]), the mapped `NodeId`s come out already
+/// sorted and the per-page sort is skipped. Template-cache replay
+/// materializes every cached set through here, making that its per-page
+/// fast path.
 pub(crate) fn materialize(idx: &DocIndex, ranks: &[u32]) -> Vec<NodeId> {
+    debug_assert!(
+        ranks.windows(2).all(|w| w[0] < w[1]),
+        "materialize expects an ascending rank set"
+    );
     let mut out: Vec<NodeId> = ranks.iter().map(|&r| idx.node_at(r)).collect();
-    out.sort_unstable();
+    if !idx.ranks_monotone() {
+        out.sort_unstable();
+    }
     out
 }
 

@@ -1,0 +1,151 @@
+//! The serving side in-process (no sockets): learn wrappers for a
+//! dealer corpus offline, bundle them, load the bundle into a
+//! hot-swappable [`WrapperRegistry`], and answer extraction requests
+//! through an [`ExtractionService`] — the same objects `awrap serve`
+//! fronts with HTTP.
+//!
+//! Demonstrates the serving properties the API was designed for:
+//!
+//! * one resident registry answers requests for *many* sites;
+//! * structurally identical pages arriving in **separate requests** hit
+//!   the per-site template cache (replay counters printed below);
+//! * a bundle hot-swap under a running service is atomic.
+//!
+//! Run with: `cargo run --release --example serve_extract`
+
+use autowrappers::prelude::*;
+use aw_sitegen::{generate_dealers, DealersConfig};
+use std::sync::Arc;
+
+fn main() {
+    // ── Learn offline ────────────────────────────────────────────────
+    // A small dealer corpus with uniform pagination (every page of a
+    // site renders the same number of records — the production shape of
+    // paginated listings, and the best case for template replay).
+    let dataset = generate_dealers(&DealersConfig {
+        sites: 6,
+        pages_per_site: 6,
+        records_per_page: (5, 5),
+        promo_prob: 0.0,
+        uniform_records: true,
+        seed: 0x5E11,
+        ..DealersConfig::default()
+    });
+    let model = RankingModel::new(
+        AnnotatorModel::new(0.95, 0.24),
+        PublicationModel::learn(&[
+            ListFeatures {
+                schema_size: 3.0,
+                alignment: 0.0,
+            },
+            ListFeatures {
+                schema_size: 3.0,
+                alignment: 1.0,
+            },
+        ]),
+    );
+    let engine = Engine::builder(model)
+        .language(WrapperLanguage::XPath)
+        .build();
+    let annotator = DictionaryAnnotator::new(dataset.dictionary.iter(), MatchMode::Contains);
+    let labels: Vec<NodeSet> = dataset
+        .sites
+        .iter()
+        .map(|gs| annotator.annotate(&gs.site))
+        .collect();
+    let labeled: Vec<(&Site, &NodeSet)> = dataset
+        .sites
+        .iter()
+        .map(|gs| &gs.site)
+        .zip(&labels)
+        .collect();
+    let ranked = engine.learn_sites_labeled(&labeled).expect("corpus learns");
+
+    // ── Bundle ───────────────────────────────────────────────────────
+    let mut bundle = WrapperBundle::new();
+    for (gs, site_ranked) in dataset.sites.iter().zip(&ranked) {
+        if let Some(best) = site_ranked.best() {
+            bundle.insert(format!("dealer-{}", gs.id), best.compile());
+        }
+    }
+    let payload = bundle.to_json();
+    println!(
+        "learned + bundled {} site wrapper(s) ({} bytes of JSON)",
+        bundle.len(),
+        payload.len()
+    );
+
+    // The bundle is the deployable artifact: ship the JSON, load it in
+    // the serving process (or POST it to a running `awrap serve`).
+    let shipped = WrapperBundle::from_json(&payload).expect("bundle round-trips");
+    let registry = Arc::new(WrapperRegistry::from_bundle(shipped));
+    let service = ExtractionService::new(Arc::clone(&registry));
+
+    // ── Serve ────────────────────────────────────────────────────────
+    // Traffic: every page of every site arrives as its own request (the
+    // crawler's perspective), serialized back to raw HTML.
+    let requests: Vec<ExtractRequest> = dataset
+        .sites
+        .iter()
+        .flat_map(|gs| {
+            gs.site.pages().iter().map(move |page| {
+                ExtractRequest::single(format!("dealer-{}", gs.id), aw_dom::serialize(page))
+            })
+        })
+        .collect();
+    let mut extracted = 0usize;
+    for request in &requests {
+        extracted += service
+            .handle(request)
+            .expect("registered site")
+            .values()
+            .count();
+    }
+    println!(
+        "served {} single-page requests, {} values extracted",
+        requests.len(),
+        extracted
+    );
+
+    // Separate requests share the per-site template caches: after the
+    // first pass recorded each site's trace, a second pass of the same
+    // traffic replays nearly every page.
+    for request in &requests {
+        service.handle(request).expect("registered site");
+    }
+    let (replays, other): (u64, u64) = registry
+        .entries()
+        .iter()
+        .filter_map(|(_, w)| w.template_cache_stats())
+        .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm));
+    println!(
+        "template caches across requests: {replays} replayed / {other} other page evaluations"
+    );
+    assert!(replays > 0, "repeated traffic must hit template replay");
+
+    // ── Hot swap ─────────────────────────────────────────────────────
+    // Re-deploy a one-site bundle under live traffic: atomic, and the
+    // dropped sites 404 (AwError::UnknownSite) instead of serving stale
+    // wrappers.
+    let mut next = WrapperBundle::new();
+    let keep = registry.site_keys()[0].clone();
+    if let Some(w) = registry.get(&keep) {
+        next.insert(
+            keep.clone(),
+            CompiledWrapper::from_json(&w.to_json()).expect("artifact round-trips"),
+        );
+    }
+    let generation = registry.load_bundle(next);
+    println!(
+        "hot-swapped to a {}-site bundle (generation {generation}); \
+         dropped sites now answer UnknownSite",
+        registry.len()
+    );
+    let gone = requests
+        .iter()
+        .find(|r| r.site != keep)
+        .expect("a dropped site");
+    assert!(matches!(service.handle(gone), Err(AwError::UnknownSite(_))));
+    let kept = requests.iter().find(|r| r.site == keep).expect("kept site");
+    assert!(service.handle(kept).is_ok());
+}

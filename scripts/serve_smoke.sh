@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke test of the learn-offline → bundle → serve-online path, end to
+# end over real HTTP: learn wrappers for a tiny two-site DEALERS-style
+# corpus, emit a v2 bundle, start `awrap serve` on an ephemeral port,
+# and drive every endpoint with curl. Run from the workspace root; CI's
+# serve-smoke job calls this after `cargo build --release --bin awrap`.
+set -euo pipefail
+
+BIN=${AWRAP:-target/release/awrap}
+[ -x "$BIN" ] || { echo "awrap binary not found at $BIN (cargo build --release --bin awrap)"; exit 1; }
+
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# ── A tiny corpus: two sites, two pages each, same script per site ──
+mkdir -p "$TMP/sites/dealer-a" "$TMP/sites/dealer-b"
+cat > "$TMP/sites/dealer-a/p0.html" <<'HTML'
+<table class='stores'><tr><td><b>PORTER FURNITURE</b></td><td>201 Hwy 30</td></tr><tr><td><b>ACME BEDS</b></td><td>9 Elm St</td></tr></table>
+HTML
+cat > "$TMP/sites/dealer-a/p1.html" <<'HTML'
+<table class='stores'><tr><td><b>ZETA SOFAS</b></td><td>4 Oak Ave</td></tr><tr><td><b>DELTA HOME</b></td><td>77 Pine Rd</td></tr></table>
+HTML
+cat > "$TMP/sites/dealer-b/p0.html" <<'HTML'
+<div class='list'><tr><td><u>WOODLAND DECOR</u><br>123 Main St</td></tr><tr><td><u>OXFORD RUGS</u><br>8 Fir Ct</td></tr></div>
+HTML
+cat > "$TMP/sites/dealer-b/p1.html" <<'HTML'
+<div class='list'><tr><td><u>TUPELO DESKS</u><br>55 Low Rd</td></tr><tr><td><u>ALBANY LAMPS</u><br>2 High St</td></tr></div>
+HTML
+printf 'PORTER FURNITURE\nDELTA HOME\nWOODLAND DECOR\nALBANY LAMPS\n' > "$TMP/dict.txt"
+
+# ── Learn offline, emit a v2 bundle ─────────────────────────────────
+"$BIN" learn --pages "$TMP/sites" --dict "$TMP/dict.txt" --bundle "$TMP/bundle.json"
+grep -q '"format": "aw-bundle"' "$TMP/bundle.json"
+grep -q '"dealer-a"' "$TMP/bundle.json"
+grep -q '"dealer-b"' "$TMP/bundle.json"
+echo "smoke: bundle learned and written"
+
+# ── Serve on an ephemeral port ──────────────────────────────────────
+"$BIN" serve --bundle "$TMP/bundle.json" --addr 127.0.0.1:0 --threads 2 > "$TMP/serve.log" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE 'http://[0-9.]+:[0-9]+' "$TMP/serve.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server did not start:"; cat "$TMP/serve.log"; exit 1; }
+echo "smoke: serving at $ADDR"
+
+curl -sf "$ADDR/healthz" | grep -q '"status":"ok"'
+curl -sf "$ADDR/wrappers" | grep -q '"site":"dealer-a"'
+
+# ── Extract from a fresh page of dealer-a's script ──────────────────
+cat > "$TMP/req.json" <<'JSON'
+{"site":"dealer-a","html":"<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr><tr><td><b>SIGMA BROS</b></td><td>7 Oak</td></tr></table>"}
+JSON
+RESPONSE=$(curl -sf -X POST "$ADDR/extract" --data @"$TMP/req.json")
+echo "smoke: extract response: $RESPONSE"
+echo "$RESPONSE" | grep -q '"OMEGA GROUP"'
+echo "$RESPONSE" | grep -q '"SIGMA BROS"'
+
+# Error surfaces stay JSON with the right statuses.
+test "$(curl -s -o /dev/null -w '%{http_code}' -X POST "$ADDR/extract" --data '{"site":"nope","html":""}')" = 404
+test "$(curl -s -o /dev/null -w '%{http_code}' -X POST "$ADDR/extract" --data 'garbage')" = 400
+
+# ── Hot-swap the bundle over the wire, then extract again ───────────
+curl -sf -X POST "$ADDR/wrappers" --data @"$TMP/bundle.json" | grep -q '"loaded":2'
+curl -sf -X POST "$ADDR/extract" --data @"$TMP/req.json" | grep -q '"OMEGA GROUP"'
+
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "smoke: serve-smoke passed"

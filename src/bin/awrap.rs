@@ -7,17 +7,26 @@
 //!
 //! awrap learn --pages DIR --dict FILE [--lang table|lr|hlrt|xpath]
 //!             [--match exact|contains] [--p F] [--r F] [--top N]
-//!             [--out FILE]
+//!             [--out FILE] [--bundle FILE]
 //!     Learn a wrapper from the HTML pages in DIR (*.html, *.htm; one
 //!     website, same script) using dictionary FILE (one entry per line)
 //!     as the automatic annotator. Prints the ranked rules and the best
 //!     wrapper's extraction; with --out, writes the best wrapper as a
-//!     portable serialized artifact.
+//!     portable serialized artifact. With --bundle, every subdirectory
+//!     of DIR is one site (key = its name): all sites learn in one
+//!     batched `learn_sites` pass and the best wrappers are written as
+//!     one v2 wrapper bundle.
 //!
 //! awrap apply --wrapper FILE --pages DIR
 //!     Load a serialized wrapper artifact (from `awrap learn --out`) and
 //!     extract from every page in DIR — the serving half of the
 //!     learn-offline / extract-online deployment.
+//!
+//! awrap serve --bundle FILE [--addr HOST:PORT] [--threads N] [--workers M]
+//!     Load a wrapper bundle (v2, or a v1 single-wrapper artifact) into
+//!     a hot-swappable registry and serve extraction over HTTP
+//!     (POST /extract, GET/POST /wrappers, GET /healthz). `--addr
+//!     127.0.0.1:0` picks an ephemeral port (printed on startup).
 //!
 //! awrap extract --xpath RULE --pages DIR
 //!     Apply an xpath rule of the fragment to every page in DIR.
@@ -43,6 +52,7 @@ fn main() -> ExitCode {
         Some("demo") => demo(),
         Some("learn") => learn_cmd(&args[1..]),
         Some("apply") => apply_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
         Some("extract") => extract_cmd(&args[1..]),
         Some("experiment") => experiment_cmd(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -60,18 +70,21 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: awrap <demo|learn|apply|extract|experiment> [options]
+const USAGE: &str = "usage: awrap <demo|learn|apply|serve|extract|experiment> [options]
   demo                                      built-in demonstration
   learn --pages DIR --dict FILE             learn a wrapper from noisy labels
         [--lang table|lr|hlrt|xpath] [--match exact|contains]
         [--p FLOAT] [--r FLOAT] [--top N] [--out FILE] [--threads N]
+        [--bundle FILE]  (DIR's subdirectories = sites; write a v2 bundle)
   apply --wrapper FILE --pages DIR          extract with a serialized wrapper
         [--threads N]
+  serve --bundle FILE                       serve extraction over HTTP
+        [--addr HOST:PORT] [--threads N] [--workers M]
   extract --xpath RULE --pages DIR          apply an xpath rule
   experiment NAME [--quick]                 rerun a paper experiment
       NAME ∈ fig2a fig2b fig2c fig2d fig2e fig2f fig2g fig2h fig2i
              table1 fig3a fig3b fig3c b2 all
-  --threads N overrides the parallelism of the learn/apply hot loops
+  --threads N overrides the parallelism of the learn/apply/serve hot loops
   (default: all cores, or the AW_THREADS environment variable)";
 
 /// Parses the optional `--threads` override into a dedicated executor
@@ -205,8 +218,6 @@ fn learn_cmd(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("--top: {e}"))?
         .unwrap_or(5);
 
-    let pages = read_pages(&dir)?;
-    let site = Site::from_html(&pages);
     let dict = std::fs::read_to_string(&dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
     let annotator =
         DictionaryAnnotator::new(dict.lines().filter(|l| !l.trim().is_empty()), match_mode);
@@ -220,6 +231,22 @@ fn learn_cmd(args: &[String]) -> Result<(), String> {
         builder = builder.executor(exec);
     }
     let engine = builder.build();
+
+    if let Some(bundle_path) = flag(args, "--bundle") {
+        if has_flag(args, "--out") {
+            // The single-site artifact and the multi-site bundle are
+            // different outputs of different learn paths; silently
+            // ignoring one would strand the user without a file they
+            // asked for.
+            return Err("--out and --bundle are mutually exclusive; \
+                        use --out for one site's artifact, --bundle for a multi-site bundle"
+                .into());
+        }
+        return learn_bundle(&engine, &dir, &bundle_path);
+    }
+
+    let pages = read_pages(&dir)?;
+    let site = Site::from_html(&pages);
     let labels = engine.annotate(&site).map_err(|e| match e {
         AwError::NoLabels => "the annotator labeled nothing; check the dictionary".to_string(),
         other => other.to_string(),
@@ -265,6 +292,123 @@ fn learn_cmd(args: &[String]) -> Result<(), String> {
             json.len()
         );
     }
+    Ok(())
+}
+
+/// The multi-site learn path behind `learn --bundle`: every
+/// subdirectory of `dir` with HTML pages is one site (key = its name;
+/// `dir` itself when it has no such subdirectories), all sites learn in
+/// one batched `learn_sites` pass, and the best wrappers ship as one v2
+/// bundle.
+fn learn_bundle(engine: &Engine, dir: &str, bundle_path: &str) -> Result<(), String> {
+    let mut subdirs: Vec<(String, std::path::PathBuf)> = std::fs::read_dir(Path::new(dir))
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .filter_map(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| (n.to_string(), p.clone()))
+        })
+        .collect();
+    subdirs.sort();
+
+    // Read each site's pages exactly once; subdirectories without HTML
+    // are reported and skipped, not silently dropped.
+    let mut keys: Vec<String> = Vec::with_capacity(subdirs.len());
+    let mut sites: Vec<Site> = Vec::with_capacity(subdirs.len());
+    for (key, path) in &subdirs {
+        match read_pages(&path.display().to_string()) {
+            Ok(pages) => {
+                keys.push(key.clone());
+                sites.push(Site::from_html(&pages));
+            }
+            Err(e) => println!("  skipping {key}: {e}"),
+        }
+    }
+    if sites.is_empty() {
+        // No usable per-site subdirectories: DIR itself is the one site.
+        let key = Path::new(dir)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("default")
+            .to_string();
+        keys.push(key);
+        sites.push(Site::from_html(&read_pages(dir)?));
+    }
+
+    println!(
+        "learning {} site(s) in one batched pass: {}",
+        sites.len(),
+        keys.join(", ")
+    );
+
+    let ranked = engine.learn_sites(&sites).map_err(|e| e.to_string())?;
+    let mut bundle = WrapperBundle::new();
+    for (key, site_ranked) in keys.iter().zip(&ranked) {
+        match site_ranked.best() {
+            None => println!("  {key}: no wrapper (the annotator labeled nothing)"),
+            Some(best) => {
+                let wrapper = best.compile();
+                println!(
+                    "  {key}: {} rule {} (n={})",
+                    wrapper.language(),
+                    wrapper.rule(),
+                    best.extraction.len()
+                );
+                bundle.insert(key.clone(), wrapper);
+            }
+        }
+    }
+    if bundle.is_empty() {
+        return Err("no site produced a wrapper; nothing to bundle".into());
+    }
+    let json = bundle.to_json();
+    std::fs::write(bundle_path, &json)
+        .map_err(|e| AwError::Io(format!("{bundle_path}: {e}")).to_string())?;
+    println!(
+        "wrote wrapper bundle ({} site(s), {} bytes) to {bundle_path}",
+        bundle.len(),
+        json.len()
+    );
+    Ok(())
+}
+
+/// `awrap serve`: the learn-offline → bundle → serve-online path's last
+/// leg. Loads a bundle into a hot-swappable registry and fronts it with
+/// the std-only HTTP server.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    use aw_serve::Server;
+    use std::sync::Arc;
+
+    let bundle_path = flag(args, "--bundle").ok_or("--bundle FILE is required")?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let payload = std::fs::read_to_string(&bundle_path)
+        .map_err(|e| AwError::Io(format!("{bundle_path}: {e}")).to_string())?;
+    let bundle = WrapperBundle::from_json(&payload).map_err(|e| e.to_string())?;
+    let keys: Vec<String> = bundle.site_keys().map(str::to_string).collect();
+
+    let registry = Arc::new(WrapperRegistry::from_bundle(bundle));
+    let mut service = ExtractionService::new(registry);
+    if let Some(exec) = threads_flag(args)? {
+        service = service.with_executor(exec);
+    }
+    let threads = service.executor().threads();
+    let workers: usize = flag(args, "--workers")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|e| format!("--workers: {e}"))?
+        .unwrap_or(threads)
+        .max(1);
+
+    let server = Server::bind(Arc::new(service), &addr)
+        .map_err(|e| format!("bind {addr}: {e}"))?
+        .workers(workers);
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    println!("loaded {} wrapper(s): {}", keys.len(), keys.join(", "));
+    println!("serving on http://{local} ({workers} http worker(s), {threads} executor thread(s))");
+    println!("endpoints: POST /extract, GET /wrappers, POST /wrappers (hot swap), GET /healthz");
+    server.start().map_err(|e| e.to_string())?.join();
     Ok(())
 }
 

@@ -456,6 +456,63 @@ fn template_replay_agrees_on_random_spaces_over_skeleton_siblings() {
 }
 
 #[test]
+fn engines_agree_on_builder_docs_where_arena_order_is_not_rank_order() {
+    // The engines skip the materialization sort when arena order equals
+    // pre-order rank order (`DocIndex::ranks_monotone`); builder-built
+    // documents with interleaved appends are exactly the case where it
+    // must NOT be skipped. Build listing-shaped trees breadth-first
+    // (all containers first, then their children), which makes arena
+    // order diverge from preorder everywhere below the first level.
+    let mut rng = StdRng::seed_from_u64(0xB00C);
+    for round in 0..40 {
+        let mut doc = Document::new();
+        let classes = ["list", "content", "footer"];
+        let divs: Vec<_> = (0..3)
+            .map(|i| {
+                doc.append_element(
+                    aw_dom::NodeId::ROOT,
+                    "div",
+                    vec![("class".to_string(), classes[i % 3].to_string())],
+                )
+            })
+            .collect();
+        let rows: Vec<_> = divs
+            .iter()
+            .flat_map(|&d| (0..2).map(move |_| d))
+            .map(|d| doc.append_element(d, "tr", vec![]))
+            .collect();
+        for (i, &tr) in rows.iter().enumerate() {
+            let td = doc.append_element(tr, "td", vec![]);
+            let u = doc.append_element(td, "u", vec![]);
+            doc.append_text(u, format!("NAME {round}-{i}"));
+            doc.append_text(td, format!("{i} Elm St"));
+        }
+        assert!(
+            !doc.index().ranks_monotone(),
+            "breadth-first construction must break arena/rank agreement"
+        );
+        for _ in 0..30 {
+            assert_engines_agree(&doc, &random_xpath(&mut rng));
+        }
+        // And through one batch trie three times, so the template-cache
+        // record/replay paths also materialize via the sorting branch.
+        let paths: Vec<XPath> = (0..20).map(|_| random_xpath(&mut rng)).collect();
+        let batch = BatchEvaluator::from_xpaths(paths.iter());
+        for _ in 0..3 {
+            for (path, got) in paths.iter().zip(batch.evaluate(&doc)) {
+                assert_eq!(
+                    got,
+                    reference::evaluate(path, &doc),
+                    "round {round}: {path}"
+                );
+            }
+        }
+        let (hits, _) = batch.template_cache().unwrap().stats();
+        assert_eq!(hits, 1, "round {round}: third pass must replay");
+    }
+}
+
+#[test]
 fn display_roundtrip_preserves_engine_agreement() {
     // Parsing a rendered path and evaluating both forms through both
     // engines closes the loop between the parser, Display, and the
