@@ -31,6 +31,15 @@
 //! template cache: `sharded` with the cache off vs on. The ratio is
 //! reported as `template_cache_speedup`.
 //!
+//! Two serving-side measurements ride on the repeated-template corpus:
+//! `service_throughput` (the `ExtractionService` request stream) and
+//! `service_health_ratio` — the same stream with per-site health
+//! tracking on vs off, gated near 1.0 so the robustness loop's
+//! accounting stays effectively free. A synchronous churn episode
+//! (`TemplateEvolution`) additionally reports `relearn_recovery`:
+//! drifted requests until degradation, relearn-and-swap wall clock,
+//! and requests until health journals recovery (report-only).
+//!
 //! The run writes `BENCH_xpath.json` (schema documented in
 //! `crates/bench/README.md`) to `$BENCH_JSON` (default
 //! `<workspace>/target/BENCH_xpath.json`). When `$BENCH_BASELINE` names
@@ -38,12 +47,16 @@
 //! fail the process — the CI perf gate.
 
 use aw_annotate::{DictionaryAnnotator, MatchMode};
-use aw_core::{CompiledWrapper, ExtractRequest, ExtractionService, LearnedRule, WrapperRegistry};
+use aw_core::{
+    CompiledWrapper, Engine, ExtractRequest, ExtractionService, HealthEvent, HealthThresholds,
+    LearnedRule, RelearnController, WrapperLanguage, WrapperRegistry,
+};
 use aw_dom::Document;
 use aw_enum::top_down;
 use aw_eval::Executor;
 use aw_induct::{NodeSet, XPathInductor};
-use aw_sitegen::{generate_dealers, DealersConfig};
+use aw_rank::{AnnotatorModel, ListFeatures, PublicationModel, RankingModel};
+use aw_sitegen::{epoch_html, generate_dealers, DealersConfig, TemplateEvolution};
 use aw_xpath::{evaluate_compiled, reference, BatchEvaluator, CompiledXPath, ShardedBatch, XPath};
 use serde::Value;
 use std::hint::black_box;
@@ -352,13 +365,125 @@ fn main() {
         let response = service.handle(request).expect("registered site");
         assert_eq!(response.pages[0], expected, "site {s} page {p}");
     }
-    let t_service = time(passes, &|| {
+    // Health-accounting overhead: the same request stream through a
+    // service with per-site health tracking disabled. The ratio
+    // (health-on throughput / health-off throughput) is gated — health
+    // accounting must stay within a few percent of free. The two
+    // variants are timed *interleaved* (on, off, on, off, …) with
+    // best-of on each side, so machine-load drift during the run cannot
+    // masquerade as tracking overhead.
+    let service_off = ExtractionService::new(Arc::clone(&registry))
+        .with_executor(seq.clone())
+        .with_health_tracking(false);
+    let stream = |svc: &ExtractionService| -> usize {
         requests
             .iter()
-            .map(|(_, _, request)| service.handle(request).expect("site").pages[0].len())
+            .map(|(_, _, request)| svc.handle(request).expect("site").pages[0].len())
             .sum()
-    });
+    };
+    let (mut t_service, mut t_service_off) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..passes.max(5) * 2 {
+        let t = Instant::now();
+        black_box(stream(&service));
+        t_service = t_service.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(stream(&service_off));
+        t_service_off = t_service_off.min(t.elapsed().as_secs_f64());
+    }
     let service_rps = requests.len() as f64 / t_service;
+    let service_health_ratio = t_service_off / t_service;
+
+    // Self-healing recovery: a deployed wrapper defeated by breaking
+    // template churn. Measured synchronously: requests of drifted
+    // traffic until the health window flags the site, the shadow
+    // relearn-and-swap wall-clock, then requests until the fresh window
+    // journals recovery. Reported, not gated — it is a property of the
+    // thresholds, not a throughput.
+    let evolution = TemplateEvolution::small(7).run();
+    let churn_engine = Engine::builder(RankingModel::new(
+        AnnotatorModel::new(0.9, 0.3),
+        PublicationModel::learn(&[
+            ListFeatures {
+                schema_size: 3.0,
+                alignment: 0.0,
+            },
+            ListFeatures {
+                schema_size: 4.0,
+                alignment: 1.0,
+            },
+        ]),
+    ))
+    .language(WrapperLanguage::XPath)
+    .annotator(DictionaryAnnotator::new(
+        evolution.dictionary.iter(),
+        MatchMode::Contains,
+    ))
+    .build();
+    let site0 = &evolution.epochs[0].site.site;
+    let labels = churn_engine
+        .annotate(site0)
+        .expect("dictionary hits epoch 0");
+    let deployed = churn_engine
+        .learn(site0, &labels)
+        .expect("epoch 0 learns")
+        .best()
+        .expect("nonempty wrapper space")
+        .compile();
+    let churn_registry = Arc::new(WrapperRegistry::new());
+    churn_registry.insert("churn", deployed);
+    let churn_service =
+        ExtractionService::new(Arc::clone(&churn_registry)).with_thresholds(HealthThresholds {
+            window: 8,
+            min_window: 4,
+            baseline_pages: 4,
+            retain_pages: 16,
+            ..HealthThresholds::default()
+        });
+    let controller = Arc::new(RelearnController::new(&churn_service, churn_engine));
+    let churn_service = churn_service.with_relearn(Arc::clone(&controller));
+    for html in epoch_html(&evolution.epochs[0]) {
+        churn_service
+            .handle(&ExtractRequest::single("churn", html))
+            .expect("registered");
+    }
+    let breaking = epoch_html(&evolution.epochs[2]);
+    let mut requests_to_degrade = 0usize;
+    while !churn_service
+        .site_health("churn")
+        .expect("tracked")
+        .degraded
+    {
+        churn_service
+            .handle(&ExtractRequest::single(
+                "churn",
+                breaking[requests_to_degrade % breaking.len()].clone(),
+            ))
+            .expect("registered");
+        requests_to_degrade += 1;
+        assert!(requests_to_degrade <= 64, "breaking churn never degraded");
+    }
+    let relearn_clock = Instant::now();
+    let relearn_outcome = controller.run_pending();
+    let t_relearn = relearn_clock.elapsed().as_secs_f64();
+    assert_eq!(relearn_outcome.swapped, 1, "{relearn_outcome:?}");
+    let recovered = |service: &ExtractionService| {
+        service
+            .health()
+            .journal_for("churn")
+            .iter()
+            .any(|e| matches!(e, HealthEvent::Recovered { .. }))
+    };
+    let mut requests_to_recover = 0usize;
+    while !recovered(&churn_service) {
+        churn_service
+            .handle(&ExtractRequest::single(
+                "churn",
+                breaking[requests_to_recover % breaking.len()].clone(),
+            ))
+            .expect("registered");
+        requests_to_recover += 1;
+        assert!(requests_to_recover <= 64, "swap never recovered health");
+    }
 
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -417,6 +542,19 @@ fn main() {
         requests.len(),
         t_service * ms,
         service_rps,
+    );
+    println!(
+        "health accounting: stream without tracking {:.3} ms → ratio {:.3} \
+         (health-on / health-off throughput)",
+        t_service_off * ms,
+        service_health_ratio,
+    );
+    println!(
+        "relearn recovery: {} drifted requests to degrade, relearn+swap {:.3} ms, \
+         {} requests to journal recovery",
+        requests_to_degrade,
+        t_relearn * ms,
+        requests_to_recover,
     );
     if parallel.is_empty() {
         println!("parallel scaling: skipped ({available} core available)");
@@ -496,6 +634,9 @@ fn main() {
                 // Not a ratio: absolute requests/sec of the service
                 // stream (gated like the ratios; see the baseline file).
                 ("service_throughput", num(service_rps)),
+                // Health-on over health-off throughput — gated near 1.0
+                // so health accounting stays effectively free.
+                ("service_health_ratio", num(service_health_ratio)),
                 ("parallel_scaling", scaling(&parallel)),
             ]),
         ),
@@ -513,6 +654,18 @@ fn main() {
             obj(vec![
                 ("requests", num(requests.len() as f64)),
                 ("requests_per_sec", num(service_rps)),
+                (
+                    "requests_per_sec_no_health",
+                    num(requests.len() as f64 / t_service_off),
+                ),
+            ]),
+        ),
+        (
+            "relearn_recovery",
+            obj(vec![
+                ("requests_to_degrade", num(requests_to_degrade as f64)),
+                ("relearn_ms", num(t_relearn * ms)),
+                ("requests_to_recover", num(requests_to_recover as f64)),
             ]),
         ),
         ("threads_available", num(available as f64)),

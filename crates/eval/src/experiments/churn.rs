@@ -1,0 +1,214 @@
+//! Site churn vs. self-healing serving: what the robustness loop buys.
+//!
+//! The paper's deployment premise is that sites drift and wrappers are
+//! cheap to relearn (§7 measures wrapper lifetime against site churn).
+//! This experiment makes that trade concrete on a scripted
+//! [`TemplateEvolution`]: every epoch is scored twice —
+//!
+//! * **frozen** — the epoch-0 wrapper applied as-is (what a deployment
+//!   without health signals serves forever);
+//! * **healed** — whatever wrapper the self-healing service
+//!   ([`aw_core::ExtractionService`] + [`aw_core::RelearnController`])
+//!   is serving after the epoch's traffic has flowed through it.
+//!
+//! On benign epochs both stay high (relearning must not be *needed*);
+//! on breaking epochs the frozen wrapper collapses while the healed
+//! path degrades, relearns from retained request pages, swaps, and
+//! recovers.
+
+use crate::metrics::{prf1, PrF1};
+use aw_annotate::{DictionaryAnnotator, MatchMode};
+use aw_core::{
+    CompiledWrapper, Engine, ExtractRequest, ExtractionService, HealthThresholds,
+    RelearnController, WrapperLanguage, WrapperRegistry,
+};
+use aw_dom::PageNode;
+use aw_induct::NodeSet;
+use aw_rank::RankingModel;
+use aw_sitegen::{epoch_html, EvolutionEpoch, TemplateEvolution};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One epoch's scores.
+#[derive(Clone, Debug, Serialize)]
+pub struct EpochOutcome {
+    /// Epoch index (0 = the template the wrapper was learned on).
+    pub epoch: usize,
+    /// Whether the epoch's mutations were benign for a correct wrapper.
+    pub survivable: bool,
+    /// Extraction quality of the frozen epoch-0 wrapper.
+    pub frozen: PrF1,
+    /// Extraction quality of the self-healing service's current wrapper
+    /// after this epoch's traffic.
+    pub healed: PrF1,
+    /// Whether a relearn swapped a new wrapper in during this epoch.
+    pub relearned: bool,
+}
+
+/// Result of the churn experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChurnResult {
+    /// Wrapper language.
+    pub language: String,
+    /// Per-epoch outcomes, in order.
+    pub epochs: Vec<EpochOutcome>,
+    /// Total relearn passes attempted.
+    pub relearns: usize,
+    /// Total relearn passes that swapped a new wrapper in.
+    pub swaps: usize,
+}
+
+/// Scores a wrapper against an epoch's hidden gold labels.
+fn score_on(wrapper: &CompiledWrapper, epoch: &EvolutionEpoch) -> PrF1 {
+    let generated = &epoch.site;
+    let mut extracted = NodeSet::new();
+    for p in 0..generated.site.page_count() {
+        extracted.extend(
+            wrapper
+                .extract(generated.site.page(p as u32))
+                .into_iter()
+                .map(|id| PageNode::new(p as u32, id)),
+        );
+    }
+    prf1(&extracted, generated.gold())
+}
+
+/// Runs the experiment over one scripted evolution.
+pub fn run(evolution: &TemplateEvolution, model: &RankingModel) -> ChurnResult {
+    let dataset = evolution.run();
+    let language = WrapperLanguage::XPath;
+    let engine = Engine::builder(model.clone())
+        .language(language)
+        .annotator(DictionaryAnnotator::new(
+            dataset.dictionary.iter(),
+            MatchMode::Contains,
+        ))
+        .build();
+
+    // Deploy the epoch-0 wrapper twice: one copy frozen for the
+    // counterfactual, one serving inside the self-healing loop.
+    let site0 = &dataset.epochs[0].site.site;
+    let labels = engine.annotate(site0).expect("dictionary hits epoch 0");
+    let ranked = engine.learn(site0, &labels).expect("epoch 0 learns");
+    let best = ranked.best().expect("nonempty wrapper space");
+    let frozen = best.compile();
+    let deployed = best.compile();
+
+    let registry = Arc::new(WrapperRegistry::new());
+    registry.insert("churn", deployed);
+    let service = ExtractionService::new(Arc::clone(&registry)).with_thresholds(HealthThresholds {
+        window: 8,
+        min_window: 4,
+        baseline_pages: 4,
+        retain_pages: 16,
+        ..HealthThresholds::default()
+    });
+    let controller = Arc::new(RelearnController::new(&service, engine));
+    let service = service.with_relearn(Arc::clone(&controller));
+
+    let (mut relearns, mut swaps) = (0, 0);
+    let epochs = dataset
+        .epochs
+        .iter()
+        .map(|epoch| {
+            // Two passes of the epoch's pages: enough traffic for the
+            // sliding window to cross a threshold when the wrapper broke.
+            let pages = epoch_html(epoch);
+            for _ in 0..2 {
+                for html in &pages {
+                    service
+                        .handle(&ExtractRequest::single("churn", html.clone()))
+                        .expect("site stays registered");
+                }
+            }
+            let outcome = controller.run_pending();
+            relearns += outcome.attempted;
+            swaps += outcome.swapped;
+            EpochOutcome {
+                epoch: epoch.index,
+                survivable: epoch.survivable,
+                frozen: score_on(&frozen, epoch),
+                healed: score_on(&registry.get("churn").expect("registered"), epoch),
+                relearned: outcome.swapped > 0,
+            }
+        })
+        .collect();
+
+    ChurnResult {
+        language: language.name().to_string(),
+        epochs,
+        relearns,
+        swaps,
+    }
+}
+
+impl std::fmt::Display for ChurnResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Site churn vs self-healing serving ({}, {} epochs, {} relearn(s), {} swap(s))",
+            self.language,
+            self.epochs.len(),
+            self.relearns,
+            self.swaps
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>10} {:>10} {:>10} {:>10}",
+            "epoch", "churn", "frozen F1", "healed F1", "relearned"
+        )?;
+        for e in &self.epochs {
+            writeln!(
+                f,
+                "{:>6} {:>10} {:>10.3} {:>10.3} {:>10}",
+                e.epoch,
+                if e.survivable { "benign" } else { "breaking" },
+                e.frozen.f1,
+                e.healed.f1,
+                if e.relearned { "yes" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aw_rank::{AnnotatorModel, ListFeatures, PublicationModel};
+
+    fn model() -> RankingModel {
+        RankingModel::new(
+            AnnotatorModel::new(0.9, 0.3),
+            PublicationModel::learn(&[
+                ListFeatures {
+                    schema_size: 3.0,
+                    alignment: 0.0,
+                },
+                ListFeatures {
+                    schema_size: 4.0,
+                    alignment: 1.0,
+                },
+            ]),
+        )
+    }
+
+    #[test]
+    fn healing_recovers_what_the_frozen_wrapper_loses() {
+        let result = run(&TemplateEvolution::small(7), &model());
+        assert_eq!(result.epochs.len(), 3);
+        // Epoch 0: both perfect, no relearn.
+        assert!(result.epochs[0].frozen.f1 > 0.99, "{result}");
+        assert!(result.epochs[0].healed.f1 > 0.99, "{result}");
+        assert!(!result.epochs[0].relearned);
+        // Benign epoch: the frozen wrapper survives — healing not needed.
+        assert!(result.epochs[1].frozen.f1 > 0.99, "{result}");
+        assert!(!result.epochs[1].relearned, "benign churn must not relearn");
+        // Breaking epoch: frozen collapses, the healed path recovers.
+        assert!(result.epochs[2].frozen.f1 < 0.01, "{result}");
+        assert!(result.epochs[2].healed.f1 > 0.99, "{result}");
+        assert!(result.epochs[2].relearned, "breaking churn must relearn");
+        assert_eq!(result.swaps, 1, "{result}");
+        assert!(result.to_string().contains("breaking"));
+    }
+}

@@ -11,10 +11,12 @@
 //! | [`single_entity`] | App. B.2 — single-entity extraction |
 //! | [`ablations`] | design-choice sweeps (context cap, label cap, features) |
 //! | [`generalization`] | portable-rule quality on pages unseen at learning time |
+//! | [`churn`] | site churn vs. the self-healing serving loop (§7's wrapper-lifetime premise) |
 
 pub mod ablations;
 pub mod accuracy;
 pub mod calls;
+pub mod churn;
 pub mod generalization;
 pub mod multitype;
 pub mod single_entity;

@@ -45,6 +45,16 @@ pub enum AwError {
 }
 
 impl AwError {
+    /// The site key the error concerns, when it carries one — lets an
+    /// HTTP front end name the offending site in a structured error
+    /// body without string-matching the display form.
+    pub fn site(&self) -> Option<&str> {
+        match self {
+            AwError::UnknownSite(key) => Some(key),
+            _ => None,
+        }
+    }
+
     /// Attaches the failing bundle member's site key to an
     /// artifact-shaped error, so a malformed multi-site
     /// [`crate::WrapperBundle`] payload reports *which* wrapper was bad

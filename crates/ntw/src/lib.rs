@@ -82,8 +82,10 @@ pub mod artifact;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod learner;
 pub mod multi_type;
+pub mod relearn;
 pub mod rule;
 pub mod service;
 pub mod single_entity;
@@ -95,12 +97,14 @@ pub use artifact::{
 pub use config::{Enumeration, NtwConfig, WrapperLanguage};
 pub use engine::{Annotator, Engine, EngineBuilder, RankedWrapper, RankedWrappers, WrapperSpace};
 pub use error::AwError;
+pub use health::{HealthEvent, HealthThresholds, HealthTracker, PageObservation, SiteHealth};
 #[allow(deprecated)]
 pub use learner::{learn, naive_wrapper};
 pub use learner::{learn_with_blackbox, learn_with_feature_based, LearnedWrapper, NtwOutcome};
 pub use multi_type::{
     assemble_records, learn_multi_type, MultiTypeModel, MultiTypeOutcome, MultiTypeWrapper, Record,
 };
+pub use relearn::{RelearnConfig, RelearnController, RelearnOutcome};
 pub use rule::{LearnedRule, LearnedRuleSet};
 pub use service::{ExtractRequest, ExtractResponse, ExtractionService, WrapperRegistry};
 pub use single_entity::{

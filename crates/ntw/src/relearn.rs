@@ -1,0 +1,377 @@
+//! Shadow relearning: the repair half of the self-healing serving loop.
+//!
+//! When a [`crate::health::HealthTracker`] flags a site as degraded, the
+//! wrapper that was induced at deploy time no longer fits the site's
+//! current template. The paper's answer to scale is that wrappers are
+//! *cheap to learn* — so the [`RelearnController`] simply learns a new
+//! one in the shadow of the serving path:
+//!
+//! 1. the retained ring of recent request pages (kept by the tracker)
+//!    becomes the training corpus — no crawler round-trip needed;
+//! 2. `Engine::learn` runs with the same annotator + ranking model that
+//!    produced the original wrapper;
+//! 3. the candidate faces an **old-vs-new differential check** on
+//!    held-back pages: it is swapped in only when it strictly beats the
+//!    incumbent (more non-empty pages, then more values);
+//! 4. the swap goes through [`crate::WrapperRegistry::insert`] — one
+//!    atomic generation bump, in-flight requests finish on the old
+//!    snapshot — and the displaced wrapper is retained for
+//!    [`RelearnController::rollback`].
+//!
+//! Scheduling is conservative: a bounded queue, at most one relearn in
+//! flight per site, a per-site attempt cap with capped exponential
+//! backoff. Everything it does lands in the tracker's
+//! [`crate::health::HealthEvent`] journal.
+//!
+//! Drive it synchronously ([`RelearnController::run_pending`] — what
+//! tests and single-threaded embedders use; fully deterministic) or in
+//! the background ([`RelearnController::spawn_worker`] — what
+//! `awrap serve --relearn` uses).
+
+use crate::artifact::CompiledWrapper;
+use crate::engine::Engine;
+use crate::error::AwError;
+use crate::health::{HealthEvent, HealthTracker};
+use crate::service::{ExtractionService, WrapperRegistry};
+use aw_induct::Site;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Scheduling knobs for the relearn loop.
+#[derive(Clone, Debug)]
+pub struct RelearnConfig {
+    /// Maximum sites queued at once; further enqueues are dropped
+    /// (default 32).
+    pub queue_capacity: usize,
+    /// Attempts per degradation episode before a site is parked until
+    /// the next successful swap resets it (default 5).
+    pub max_attempts: u32,
+    /// First-failure backoff (default 1s); doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling (default 60s).
+    pub backoff_cap: Duration,
+    /// Minimum retained pages needed to attempt a relearn (default 3).
+    pub min_pages: usize,
+}
+
+impl Default for RelearnConfig {
+    fn default() -> Self {
+        RelearnConfig {
+            queue_capacity: 32,
+            max_attempts: 5,
+            backoff_base: Duration::from_secs(1),
+            backoff_cap: Duration::from_secs(60),
+            min_pages: 3,
+        }
+    }
+}
+
+/// Mutable scheduling state, all behind one lock.
+#[derive(Debug, Default)]
+struct RelearnState {
+    /// Sites awaiting a relearn, FIFO.
+    queue: VecDeque<String>,
+    /// Mirror of `queue` for O(log n) dedup.
+    queued: BTreeSet<String>,
+    /// Sites currently being relearned (at most one pass per site).
+    in_flight: BTreeSet<String>,
+    /// Failed attempts per site since its last successful swap.
+    attempts: BTreeMap<String, u32>,
+    /// Earliest next attempt per site (exponential backoff).
+    next_allowed: BTreeMap<String, Instant>,
+}
+
+/// What one [`RelearnController::run_pending`] drain did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelearnOutcome {
+    /// Relearn passes that ran to completion (swapped or not).
+    pub attempted: usize,
+    /// Passes whose candidate won the differential check and was
+    /// swapped in.
+    pub swapped: usize,
+    /// Sites pushed back because their backoff window is still open.
+    pub deferred: usize,
+}
+
+/// The shadow relearn loop (see the module docs).
+pub struct RelearnController {
+    registry: Arc<WrapperRegistry>,
+    health: Arc<HealthTracker>,
+    engine: Engine,
+    config: RelearnConfig,
+    state: Mutex<RelearnState>,
+    /// Displaced wrappers, for [`RelearnController::rollback`].
+    previous: Mutex<BTreeMap<String, Arc<CompiledWrapper>>>,
+    shutdown: AtomicBool,
+}
+
+impl fmt::Debug for RelearnController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RelearnController")
+            .field("config", &self.config)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl RelearnController {
+    /// A controller repairing `service`'s registry with wrappers learned
+    /// by `engine` (which must carry the annotator — typically the same
+    /// dictionary that produced the deployed bundle).
+    ///
+    /// Call **after** [`ExtractionService::with_thresholds`] (the
+    /// controller shares the service's health tracker) and hand the
+    /// result back via [`ExtractionService::with_relearn`].
+    pub fn new(service: &ExtractionService, engine: Engine) -> RelearnController {
+        RelearnController {
+            registry: Arc::clone(service.registry()),
+            health: Arc::clone(service.health()),
+            engine,
+            config: RelearnConfig::default(),
+            state: Mutex::new(RelearnState::default()),
+            previous: Mutex::new(BTreeMap::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Replaces the scheduling knobs.
+    pub fn with_config(mut self, config: RelearnConfig) -> RelearnController {
+        self.config = config;
+        self
+    }
+
+    /// The scheduling knobs in effect.
+    pub fn config(&self) -> &RelearnConfig {
+        &self.config
+    }
+
+    /// Queues a site for relearning. Returns `false` (and does nothing)
+    /// when the site is already queued or in flight, its attempt budget
+    /// for this degradation episode is spent, or the queue is full.
+    pub fn enqueue(&self, site: &str) -> bool {
+        let mut state = lock(&self.state);
+        if state.queued.contains(site)
+            || state.in_flight.contains(site)
+            || state.queue.len() >= self.config.queue_capacity
+            || state.attempts.get(site).copied().unwrap_or(0) >= self.config.max_attempts
+        {
+            return false;
+        }
+        state.queue.push_back(site.to_string());
+        state.queued.insert(site.to_string());
+        true
+    }
+
+    /// Sites currently awaiting a relearn.
+    pub fn queue_len(&self) -> usize {
+        lock(&self.state).queue.len()
+    }
+
+    /// Synchronously drains the queue: every queued site whose backoff
+    /// window has elapsed gets one relearn pass; the rest are pushed
+    /// back. Deterministic given a deterministic request stream — this
+    /// is the entry point tests and single-threaded embedders drive.
+    pub fn run_pending(&self) -> RelearnOutcome {
+        let mut outcome = RelearnOutcome::default();
+        let now = Instant::now();
+        let rounds = lock(&self.state).queue.len();
+        for _ in 0..rounds {
+            let site = {
+                let mut state = lock(&self.state);
+                let Some(site) = state.queue.pop_front() else {
+                    break;
+                };
+                state.queued.remove(&site);
+                if state.next_allowed.get(&site).is_some_and(|t| *t > now) {
+                    state.queue.push_back(site.clone());
+                    state.queued.insert(site);
+                    outcome.deferred += 1;
+                    continue;
+                }
+                state.in_flight.insert(site.clone());
+                site
+            };
+            let swapped = self.relearn_site(&site);
+            lock(&self.state).in_flight.remove(&site);
+            outcome.attempted += 1;
+            outcome.swapped += usize::from(swapped);
+        }
+        outcome
+    }
+
+    /// Spawns a background worker that drains the queue until
+    /// [`RelearnController::stop`]. The handle joins after `stop()`.
+    pub fn spawn_worker(self: &Arc<Self>) -> std::thread::JoinHandle<()> {
+        let controller = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("aw-relearn".into())
+            .spawn(move || {
+                while !controller.shutdown.load(Ordering::Acquire) {
+                    if controller.run_pending().attempted == 0 {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            })
+            .expect("spawn relearn worker")
+    }
+
+    /// Asks the background worker (if any) to exit after its current
+    /// pass.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Re-installs the wrapper displaced by the site's last swap.
+    /// Returns the new registry generation, or `None` when there is
+    /// nothing to roll back to.
+    pub fn rollback(&self, site: &str) -> Option<u64> {
+        let previous = lock(&self.previous).remove(site)?;
+        let generation = self.registry.insert_shared(site, previous);
+        self.health.reset_site(site);
+        self.health.record(HealthEvent::RolledBack {
+            site: site.to_string(),
+            generation,
+        });
+        Some(generation)
+    }
+
+    /// One shadow relearn pass over a site; `true` when the candidate
+    /// won the differential check and was swapped in.
+    fn relearn_site(&self, site: &str) -> bool {
+        let attempt = lock(&self.state).attempts.get(site).copied().unwrap_or(0) + 1;
+        self.health.record(HealthEvent::RelearnStarted {
+            site: site.to_string(),
+            attempt,
+        });
+        match self.try_relearn(site) {
+            Ok(Some(generation)) => {
+                let mut state = lock(&self.state);
+                state.attempts.remove(site);
+                state.next_allowed.remove(site);
+                drop(state);
+                self.health.record(HealthEvent::RelearnSwapped {
+                    site: site.to_string(),
+                    generation,
+                });
+                true
+            }
+            Ok(None) => {
+                // Differential check lost: journaled by try_relearn.
+                self.note_failure(site, attempt);
+                false
+            }
+            Err(error) => {
+                self.health.record(HealthEvent::RelearnFailed {
+                    site: site.to_string(),
+                    attempt,
+                    error: error.to_string(),
+                });
+                self.note_failure(site, attempt);
+                false
+            }
+        }
+    }
+
+    /// Records a failed attempt and arms the capped exponential backoff.
+    fn note_failure(&self, site: &str, attempt: u32) {
+        let backoff = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.config.backoff_cap);
+        let mut state = lock(&self.state);
+        state.attempts.insert(site.to_string(), attempt);
+        state
+            .next_allowed
+            .insert(site.to_string(), Instant::now() + backoff);
+    }
+
+    /// Learn + differential check + swap. `Ok(Some(generation))` on
+    /// swap, `Ok(None)` when the candidate lost, `Err` when the pass
+    /// could not produce a candidate at all.
+    fn try_relearn(&self, site: &str) -> Result<Option<u64>, AwError> {
+        let retained = self.health.retained_pages(site);
+        if retained.len() < self.config.min_pages {
+            return Err(AwError::Io(format!(
+                "only {} retained pages (need {})",
+                retained.len(),
+                self.config.min_pages
+            )));
+        }
+        // Newest quarter is held back for the differential check; the
+        // rest is training material. Within the training pool, prefer
+        // the pages the serving wrapper extracted *nothing* from — they
+        // carry the drifted template — falling back to the whole pool
+        // when drift was partial.
+        let holdback_len = (retained.len() / 4).max(1);
+        let (train_pool, holdback) = retained.split_at(retained.len() - holdback_len);
+        let failing: Vec<&String> = train_pool
+            .iter()
+            .filter(|(_, empty)| *empty)
+            .map(|(html, _)| html)
+            .collect();
+        let train: Vec<&String> = if failing.len() >= 2 {
+            failing
+        } else {
+            train_pool.iter().map(|(html, _)| html).collect()
+        };
+        let training_site = Site::from_html(&train);
+        let labels = self.engine.annotate(&training_site)?;
+        let ranked = self.engine.learn(&training_site, &labels)?;
+        let candidate = ranked.best().ok_or(AwError::EmptyWrapperSpace)?.compile();
+
+        let incumbent = self
+            .registry
+            .get(site)
+            .ok_or_else(|| AwError::UnknownSite(site.to_string()))?;
+        let holdback_docs: Vec<_> = holdback
+            .iter()
+            .map(|(html, _)| aw_dom::parse(html))
+            .collect();
+        let new_score = score(&candidate, &holdback_docs);
+        let old_score = score(&incumbent, &holdback_docs);
+        if new_score <= old_score {
+            self.health.record(HealthEvent::RelearnRejected {
+                site: site.to_string(),
+                reason: format!(
+                    "candidate no better on {} held-back pages \
+                     (new {}/{} values, old {}/{})",
+                    holdback_docs.len(),
+                    new_score.0,
+                    new_score.1,
+                    old_score.0,
+                    old_score.1
+                ),
+            });
+            return Ok(None);
+        }
+
+        // Swap: keep the incumbent for rollback, bump the generation,
+        // reset the site's health window so the new wrapper learns a
+        // fresh shape baseline.
+        lock(&self.previous).insert(site.to_string(), incumbent);
+        let generation = self.registry.insert(site.to_string(), candidate);
+        self.health.reset_site(site);
+        Ok(Some(generation))
+    }
+}
+
+/// Differential score of a wrapper over held-back pages: non-empty page
+/// count first, total extracted values second.
+fn score(wrapper: &CompiledWrapper, docs: &[aw_dom::Document]) -> (usize, usize) {
+    let mut non_empty = 0;
+    let mut values = 0;
+    for doc in docs {
+        let extracted = wrapper.extract_values(doc);
+        non_empty += usize::from(!extracted.is_empty());
+        values += extracted.len();
+    }
+    (non_empty, values)
+}

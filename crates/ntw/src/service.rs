@@ -31,6 +31,8 @@
 use crate::artifact::{CompiledWrapper, WrapperBundle};
 use crate::config::WrapperLanguage;
 use crate::error::AwError;
+use crate::health::{HealthThresholds, HealthTracker, PageObservation, SiteHealth};
+use crate::relearn::RelearnController;
 use aw_dom::Document;
 use aw_pool::Executor;
 use std::collections::BTreeMap;
@@ -117,7 +119,15 @@ impl WrapperRegistry {
     /// generation. Other sites' wrappers — and their warmed template
     /// caches — are untouched.
     pub fn insert(&self, site: impl Into<String>, wrapper: CompiledWrapper) -> u64 {
-        let (site, wrapper) = (site.into(), Arc::new(wrapper));
+        self.insert_shared(site, Arc::new(wrapper))
+    }
+
+    /// [`WrapperRegistry::insert`] for a wrapper that is already shared.
+    /// `CompiledWrapper` is deliberately not `Clone` (its caches are
+    /// identity), so re-installing a previously displaced wrapper — the
+    /// relearn loop's rollback path — goes through its retained `Arc`.
+    pub fn insert_shared(&self, site: impl Into<String>, wrapper: Arc<CompiledWrapper>) -> u64 {
+        let site = site.into();
         self.swap(move |current| {
             let mut next = current.wrappers.clone();
             next.insert(site, wrapper);
@@ -227,6 +237,11 @@ pub struct ExtractResponse {
     /// Extracted text values, one list per request page (aligned with
     /// [`ExtractRequest::pages`]).
     pub pages: Vec<Vec<String>>,
+    /// Structured per-page errors, aligned with `pages`: `Some` when a
+    /// request page failed to parse (it contributes an empty value list
+    /// and counts toward the site's health window; the request as a
+    /// whole still succeeds).
+    pub errors: Vec<Option<String>>,
 }
 
 impl ExtractResponse {
@@ -247,20 +262,50 @@ impl ExtractResponse {
 pub struct ExtractionService {
     registry: Arc<WrapperRegistry>,
     executor: Executor,
+    health: Arc<HealthTracker>,
+    health_enabled: bool,
+    relearn: Option<Arc<RelearnController>>,
 }
 
 impl ExtractionService {
-    /// A service over `registry`, evaluating on [`Executor::global`].
+    /// A service over `registry`, evaluating on [`Executor::global`],
+    /// with health tracking on at default thresholds.
     pub fn new(registry: Arc<WrapperRegistry>) -> ExtractionService {
         ExtractionService {
             registry,
             executor: Executor::global().clone(),
+            health: Arc::new(HealthTracker::default()),
+            health_enabled: true,
+            relearn: None,
         }
     }
 
     /// Replaces the executor driving page parsing and evaluation.
     pub fn with_executor(mut self, executor: Executor) -> ExtractionService {
         self.executor = executor;
+        self
+    }
+
+    /// Replaces the health tracker with one at the given thresholds.
+    /// Call before [`crate::relearn::RelearnController::new`] — the
+    /// controller captures the tracker in effect at construction.
+    pub fn with_thresholds(mut self, thresholds: HealthThresholds) -> ExtractionService {
+        self.health = Arc::new(HealthTracker::new(thresholds));
+        self
+    }
+
+    /// Turns per-request health accounting on or off (on by default).
+    /// With it off, requests skip the tracker entirely — the toggle the
+    /// `service_health_ratio` benchmark flips.
+    pub fn with_health_tracking(mut self, enabled: bool) -> ExtractionService {
+        self.health_enabled = enabled;
+        self
+    }
+
+    /// Attaches a relearn controller: sites that newly cross a
+    /// degradation threshold are enqueued on it.
+    pub fn with_relearn(mut self, relearn: Arc<RelearnController>) -> ExtractionService {
+        self.relearn = Some(relearn);
         self
     }
 
@@ -275,26 +320,70 @@ impl ExtractionService {
         &self.executor
     }
 
+    /// The health tracker fed by [`ExtractionService::handle`].
+    pub fn health(&self) -> &Arc<HealthTracker> {
+        &self.health
+    }
+
+    /// The attached relearn controller, if any.
+    pub fn relearn(&self) -> Option<&Arc<RelearnController>> {
+        self.relearn.as_ref()
+    }
+
+    /// One site's health snapshot (`None` until it serves a request).
+    pub fn site_health(&self, site: &str) -> Option<SiteHealth> {
+        self.health.health(site)
+    }
+
+    /// Health snapshots of every site that has served a request.
+    pub fn all_health(&self) -> Vec<SiteHealth> {
+        self.health.all_health()
+    }
+
     /// Serves one request: parse each page once (building its
     /// `DocIndex`), route to the site's wrapper, evaluate through the
     /// wrapper's persistent batch trie + template cache on the service
     /// executor, and return the extracted text values per page.
     ///
     /// Errors with [`AwError::UnknownSite`] when no wrapper is
-    /// registered for the request's site key.
+    /// registered for the request's site key. A page that fails to
+    /// *parse* does not fail the request: it yields an empty value list
+    /// plus a structured entry in [`ExtractResponse::errors`], and
+    /// counts toward the site's health window.
     pub fn handle(&self, request: &ExtractRequest) -> Result<ExtractResponse, AwError> {
         let wrapper = self
             .registry
             .get(&request.site)
             .ok_or_else(|| AwError::UnknownSite(request.site.clone()))?;
         // One parse + one DocIndex per page; page-parallel for multi-page
-        // requests (nested maps join the shared worker team).
-        let docs: Vec<Document> = self.executor.map(&request.pages, |html| {
-            let doc = aw_dom::parse(html);
-            doc.index();
-            doc
+        // requests (nested maps join the shared worker team). Parsing is
+        // infallible by design, but a serving loop must not let one
+        // hostile page take down a whole batch — so each page is
+        // unwind-guarded and gated on producing at least one node.
+        let parsed: Vec<Result<Document, String>> = self.executor.map(&request.pages, |html| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let doc = aw_dom::parse(html);
+                doc.index();
+                doc
+            }))
+            .map_err(|_| "page parser panicked".to_string())
+            .and_then(|doc| {
+                if doc.len() <= 1 {
+                    Err("page produced no parseable content".to_string())
+                } else {
+                    Ok(doc)
+                }
+            })
         });
-        let pages = wrapper
+        let errors: Vec<Option<String>> =
+            parsed.iter().map(|r| r.as_ref().err().cloned()).collect();
+        // Errored slots keep an (empty) placeholder document so page
+        // alignment through the batch extractor is positional.
+        let docs: Vec<Document> = parsed
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|_| aw_dom::parse("")))
+            .collect();
+        let pages: Vec<Vec<String>> = wrapper
             .extract_pages_with(&docs, &self.executor)
             .into_iter()
             .zip(&docs)
@@ -304,11 +393,34 @@ impl ExtractionService {
                     .collect()
             })
             .collect();
+        if self.health_enabled {
+            let observations: Vec<PageObservation> = request
+                .pages
+                .iter()
+                .zip(&pages)
+                .zip(&errors)
+                .map(|((html, values), error)| PageObservation {
+                    html: html.clone(),
+                    values: values.len(),
+                    chars: values.iter().map(String::len).sum(),
+                    error: error.clone(),
+                })
+                .collect();
+            let newly_degraded =
+                self.health
+                    .observe(&request.site, &observations, wrapper.template_cache_stats());
+            if newly_degraded {
+                if let Some(relearn) = &self.relearn {
+                    relearn.enqueue(&request.site);
+                }
+            }
+        }
         Ok(ExtractResponse {
             site: request.site.clone(),
             language: wrapper.language(),
             rule: wrapper.rule().to_string(),
             pages,
+            errors,
         })
     }
 

@@ -13,12 +13,15 @@
 //!
 //! | Method & path    | Body                 | Reply |
 //! |------------------|----------------------|-------|
-//! | `POST /extract`  | `{"site": K, "html": H}` or `{"site": K, "pages": [H…]}` | extracted values per page |
-//! | `GET /wrappers`  | —                    | registered sites, rules, template-cache stats |
+//! | `POST /extract`  | `{"site": K, "html": H}` or `{"site": K, "pages": [H…]}` | extracted values per page + per-page parse errors |
+//! | `GET /wrappers`  | —                    | registered sites, rules, template-cache stats, health |
 //! | `POST /wrappers` | a wrapper bundle (v2) or single-wrapper artifact (v1) | hot-swaps the registry |
 //! | `GET /healthz`   | —                    | liveness + site count + registry generation |
+//! | `GET /health`    | —                    | every observed site's health + the event journal tail |
+//! | `GET /health/{site}` | —                | one site's extraction-health counters |
 //!
-//! All replies are JSON. Errors carry `{"error": message}` with 400
+//! All replies are JSON. Errors carry `{"error": message}` — plus the
+//! offending `"site"` key when the error names one — with 400
 //! (malformed request / bundle), 404 (unknown site or path), 405
 //! (method not allowed) or 413 (oversized payload).
 //!
@@ -113,20 +116,83 @@ fn status_of(error: &AwError) -> u16 {
     }
 }
 
+/// An error response carrying the offending site key alongside the
+/// message when the error names one — clients retrying a batch need the
+/// key machine-readable, not buried in the display string.
+fn error_response(error: &AwError) -> Response {
+    let mut entries = vec![("error", Value::String(error.to_string()))];
+    if let Some(site) = error.site() {
+        entries.push(("site", Value::String(site.to_string())));
+    }
+    Response::json(status_of(error), &obj(entries))
+}
+
 /// Routes one request against the service — the whole protocol, pure of
 /// any socket so it is directly testable (and reusable by in-process
 /// callers).
 pub fn respond(service: &ExtractionService, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(service),
+        ("GET", "/health") => all_health(service),
         ("GET", "/wrappers") => list_wrappers(service),
         ("POST", "/wrappers") => load_wrappers(service, &request.body),
         ("POST", "/extract") => extract(service, &request.body),
-        (_, "/healthz" | "/wrappers" | "/extract") => {
+        (_, "/healthz" | "/health" | "/wrappers" | "/extract") => {
             Response::error(405, format!("method {} not allowed here", request.method))
         }
-        (_, path) => Response::error(404, format!("no such endpoint {path:?}")),
+        // "/healthz" cannot reach here: it lacks the trailing slash.
+        (method, path) => match path.strip_prefix("/health/") {
+            Some(site) if method == "GET" => site_health(service, site),
+            Some(_) => Response::error(405, format!("method {method} not allowed here")),
+            None => Response::error(404, format!("no such endpoint {path:?}")),
+        },
     }
+}
+
+/// Renders one site's health snapshot.
+fn health_json(health: &aw_core::SiteHealth) -> Value {
+    obj(vec![
+        ("site", Value::String(health.site.clone())),
+        ("requests", Value::Number(health.requests as f64)),
+        ("pages", Value::Number(health.pages as f64)),
+        ("error_pages", Value::Number(health.error_pages as f64)),
+        ("window_pages", Value::Number(health.window_pages as f64)),
+        ("empty_rate", Value::Number(health.empty_rate)),
+        ("replay_miss_rate", Value::Number(health.replay_miss_rate)),
+        ("shape_drift", Value::Number(health.shape_drift)),
+        (
+            "retained_pages",
+            Value::Number(health.retained_pages as f64),
+        ),
+        ("degraded", Value::Bool(health.degraded)),
+    ])
+}
+
+fn site_health(service: &ExtractionService, site: &str) -> Response {
+    match service.site_health(site) {
+        Some(health) => Response::json(200, &health_json(&health)),
+        None => error_response(&AwError::UnknownSite(site.to_string())),
+    }
+}
+
+/// The journal entries shown by `GET /health` (newest kept).
+const JOURNAL_TAIL: usize = 32;
+
+fn all_health(service: &ExtractionService) -> Response {
+    let sites: Vec<Value> = service.all_health().iter().map(health_json).collect();
+    let journal = service.health().journal();
+    let tail: Vec<Value> = journal
+        .iter()
+        .skip(journal.len().saturating_sub(JOURNAL_TAIL))
+        .map(|event| Value::String(event.to_string()))
+        .collect();
+    Response::json(
+        200,
+        &obj(vec![
+            ("sites", Value::Array(sites)),
+            ("journal", Value::Array(tail)),
+        ]),
+    )
 }
 
 fn healthz(service: &ExtractionService) -> Response {
@@ -150,12 +216,17 @@ fn list_wrappers(service: &ExtractionService) -> Response {
         .into_iter()
         .map(|(key, wrapper)| {
             let (replays, other) = wrapper.template_cache_stats().unwrap_or((0, 0));
+            let health = match service.site_health(&key) {
+                Some(health) => health_json(&health),
+                None => Value::Null,
+            };
             obj(vec![
                 ("site", Value::String(key)),
                 ("language", Value::String(wrapper.language().to_string())),
                 ("rule", Value::String(wrapper.rule().to_string())),
                 ("template_replays", Value::Number(replays as f64)),
                 ("template_other", Value::Number(other as f64)),
+                ("health", health),
             ])
         })
         .collect();
@@ -170,7 +241,7 @@ fn list_wrappers(service: &ExtractionService) -> Response {
 
 fn load_wrappers(service: &ExtractionService, body: &str) -> Response {
     match WrapperBundle::from_json(body) {
-        Err(e) => Response::error(status_of(&e), e.to_string()),
+        Err(e) => error_response(&e),
         Ok(bundle) => {
             let loaded = bundle.len();
             let generation = service.registry().load_bundle(bundle);
@@ -191,7 +262,7 @@ fn extract(service: &ExtractionService, body: &str) -> Response {
         Err(message) => return Response::error(400, message),
     };
     match service.handle(&request) {
-        Err(e) => Response::error(status_of(&e), e.to_string()),
+        Err(e) => error_response(&e),
         Ok(response) => {
             let pages: Vec<Value> = response
                 .pages
@@ -199,6 +270,14 @@ fn extract(service: &ExtractionService, body: &str) -> Response {
                 .map(|values| strings(values.iter().cloned()))
                 .collect();
             let values = strings(response.values().map(str::to_string));
+            let errors: Vec<Value> = response
+                .errors
+                .iter()
+                .map(|error| match error {
+                    Some(message) => Value::String(message.clone()),
+                    None => Value::Null,
+                })
+                .collect();
             Response::json(
                 200,
                 &obj(vec![
@@ -207,6 +286,7 @@ fn extract(service: &ExtractionService, body: &str) -> Response {
                     ("rule", Value::String(response.rule)),
                     ("pages", Value::Array(pages)),
                     ("values", values),
+                    ("errors", Value::Array(errors)),
                 ]),
             )
         }
@@ -352,6 +432,93 @@ mod tests {
 
         let bad = respond(&service, &request("POST", "/wrappers", "{}"));
         assert_eq!(bad.status, 400, "{}", bad.body);
+    }
+
+    #[test]
+    fn unknown_site_is_404_with_the_offending_key_in_the_body() {
+        let service = service();
+        let r = respond(
+            &service,
+            &request(
+                "POST",
+                "/extract",
+                r#"{"site":"mystery-7","html":"<p>x</p>"}"#,
+            ),
+        );
+        assert_eq!(r.status, 404, "{}", r.body);
+        assert!(r.body.contains("\"error\""), "{}", r.body);
+        assert!(r.body.contains("\"site\":\"mystery-7\""), "{}", r.body);
+        // Malformed-body errors name no site, so the key is absent.
+        let bad = respond(&service, &request("POST", "/extract", "not json"));
+        assert_eq!(bad.status, 400);
+        assert!(!bad.body.contains("\"site\""), "{}", bad.body);
+    }
+
+    #[test]
+    fn page_parse_failures_are_structured_not_fatal() {
+        let service = service();
+        let page = "<table class='stores'><tr><td><b>OMEGA</b></td><td>9 Elm</td></tr></table>";
+        let r = respond(
+            &service,
+            &request(
+                "POST",
+                "/extract",
+                &format!(r#"{{"site":"dealers","pages":["{page}",""]}}"#),
+            ),
+        );
+        assert_eq!(r.status, 200, "empty page must not fail the request");
+        assert!(r.body.contains(r#""pages":[["OMEGA"],[]]"#), "{}", r.body);
+        assert!(
+            r.body
+                .contains(r#""errors":[null,"page produced no parseable content"]"#),
+            "{}",
+            r.body
+        );
+        // The failed page landed in the site's health accounting.
+        let h = respond(&service, &request("GET", "/health/dealers", ""));
+        assert!(h.body.contains("\"error_pages\":1"), "{}", h.body);
+    }
+
+    #[test]
+    fn health_endpoints_report_sites_and_journal() {
+        let service = service();
+        // No traffic yet: the site list is empty, the per-site probe 404s.
+        let idle = respond(&service, &request("GET", "/health", ""));
+        assert_eq!(idle.status, 200);
+        assert!(idle.body.contains("\"sites\":[]"), "{}", idle.body);
+        assert_eq!(
+            respond(&service, &request("GET", "/health/dealers", "")).status,
+            404
+        );
+        // One request later both report counters.
+        let page = "<table class='stores'><tr><td><b>OMEGA</b></td><td>9 Elm</td></tr></table>";
+        respond(
+            &service,
+            &request(
+                "POST",
+                "/extract",
+                &format!(r#"{{"site":"dealers","html":"{page}"}}"#),
+            ),
+        );
+        let one = respond(&service, &request("GET", "/health/dealers", ""));
+        assert_eq!(one.status, 200);
+        assert!(one.body.contains("\"requests\":1"), "{}", one.body);
+        assert!(one.body.contains("\"degraded\":false"), "{}", one.body);
+        let all = respond(&service, &request("GET", "/health", ""));
+        assert!(all.body.contains("\"site\":\"dealers\""), "{}", all.body);
+        assert!(all.body.contains("\"journal\":[]"), "{}", all.body);
+        // The wrapper listing embeds the same snapshot.
+        let wrappers = respond(&service, &request("GET", "/wrappers", ""));
+        assert!(wrappers.body.contains("\"health\":{"), "{}", wrappers.body);
+        // Method guards on both health shapes.
+        assert_eq!(
+            respond(&service, &request("POST", "/health", "")).status,
+            405
+        );
+        assert_eq!(
+            respond(&service, &request("POST", "/health/dealers", "")).status,
+            405
+        );
     }
 
     #[test]

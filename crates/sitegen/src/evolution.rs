@@ -1,0 +1,520 @@
+//! Template evolution: deterministic, scripted site churn over epochs.
+//!
+//! Dalvi et al.'s motivation is wrappers that keep extracting after the
+//! source site drifts. Real drift cannot be re-crawled any more than the
+//! paper's corpora can, so this module extends the §2.1 generative model
+//! with a *churn* dimension: a site starts from one rendering script
+//! (epoch 0) and mutates it over discrete epochs. Each [`Mutation`] is
+//! tagged with whether a correct wrapper — one anchored on the gold
+//! nodes' real separating structure, like the XPATH rules the inductor
+//! learns — *should* survive it:
+//!
+//! * **benign** churn rewrites chrome (headings, nav order, footer,
+//!   promo blocks) or wraps the whole page body in an extra `<div>`;
+//!   the gold nodes' ancestor tag chain below the listing container is
+//!   untouched, so a descendant-anchored rule keeps extracting;
+//! * **breaking** churn renames the container class, drifts the record
+//!   markup (the name's wrap tag changes), inserts a wrapper `<div>`
+//!   into the name's ancestor chain, or reorders fields — the learned
+//!   separating features no longer hold and extraction goes empty.
+//!
+//! Everything is seeded: the same [`TemplateEvolution`] produces
+//! byte-identical epoch page streams, which is what lets the eval
+//! harness, the self-healing end-to-end tests and the CI churn-smoke
+//! script assert exact degradation/recovery behavior.
+
+use crate::data;
+use crate::render::{ListingRecord, ListingScript, NameStyle};
+use crate::template::{GeneratedSite, PageBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One scripted change to a site's rendering script.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mutation {
+    /// Benign: the page heading is reworded.
+    HeadingChurn(String),
+    /// Benign: the footer sentence is reworded.
+    FooterChurn(String),
+    /// Benign: the navigation labels rotate by one position.
+    NavRotate,
+    /// Benign: another promo sentence is appended inside the existing
+    /// promo block (the base evolution script always starts with one
+    /// promo, so this never materializes a new sibling element ahead of
+    /// the listing container).
+    PromoInjection(String),
+    /// Benign: the whole page body gains a wrapper `<div class=…>`.
+    /// Learned xpaths anchor their outermost step on the descendant
+    /// axis, so an ancestor *above* every required feature is invisible.
+    OuterWrap(String),
+    /// Breaking: the listing container's class value churns
+    /// (`class='stores'` → `class='stores-v2'`).
+    ContainerClassRename(String),
+    /// Breaking: record-markup drift — the name's markup changes
+    /// (e.g. `<b>` → `<em>`), moving the gold node under a new parent.
+    RecordMarkupDrift(NameStyle),
+    /// Breaking: a wrapper `<div class=…>` is inserted *inside* the name
+    /// cell, between the cell and the name markup.
+    NameCellWrap(String),
+    /// Breaking: the street field renders before the name.
+    FieldReorder,
+}
+
+impl Mutation {
+    /// `false` when a correct wrapper learned before this mutation is
+    /// expected to keep extracting after it (benign chrome churn);
+    /// `true` when the mutation changes the gold nodes' separating
+    /// structure and a frozen wrapper should go empty or wrong.
+    pub fn breaks_wrapper(&self) -> bool {
+        match self {
+            Mutation::HeadingChurn(_)
+            | Mutation::FooterChurn(_)
+            | Mutation::NavRotate
+            | Mutation::PromoInjection(_)
+            | Mutation::OuterWrap(_) => false,
+            Mutation::ContainerClassRename(_)
+            | Mutation::RecordMarkupDrift(_)
+            | Mutation::NameCellWrap(_)
+            | Mutation::FieldReorder => true,
+        }
+    }
+
+    /// Applies the mutation to a rendering script in place.
+    pub fn apply(&self, script: &mut ListingScript) {
+        match self {
+            Mutation::HeadingChurn(heading) => script.heading = heading.clone(),
+            Mutation::FooterChurn(footer) => script.footer = footer.clone(),
+            Mutation::NavRotate => {
+                if !script.nav_items.is_empty() {
+                    script.nav_items.rotate_left(1);
+                }
+            }
+            Mutation::PromoInjection(promo) => script.promos.push(promo.clone()),
+            Mutation::OuterWrap(class) => script.outer_wrap = Some(class.clone()),
+            Mutation::ContainerClassRename(class) => script.container_class = class.clone(),
+            Mutation::RecordMarkupDrift(style) => script.name_style = style.clone(),
+            Mutation::NameCellWrap(class) => script.name_cell_wrap = Some(class.clone()),
+            Mutation::FieldReorder => script.fields_reversed = !script.fields_reversed,
+        }
+    }
+
+    /// A short human-readable description (manifests, journals).
+    pub fn describe(&self) -> String {
+        match self {
+            Mutation::HeadingChurn(h) => format!("heading churn → {h:?}"),
+            Mutation::FooterChurn(_) => "footer churn".into(),
+            Mutation::NavRotate => "nav rotation".into(),
+            Mutation::PromoInjection(_) => "promo injection".into(),
+            Mutation::OuterWrap(c) => format!("outer wrapper div .{c}"),
+            Mutation::ContainerClassRename(c) => format!("container class rename → .{c}"),
+            Mutation::RecordMarkupDrift(s) => format!("record markup drift → {s:?}"),
+            Mutation::NameCellWrap(c) => format!("name-cell wrapper div .{c}"),
+            Mutation::FieldReorder => "field reorder".into(),
+        }
+    }
+}
+
+/// Configuration of a scripted site evolution.
+#[derive(Clone, Debug)]
+pub struct TemplateEvolution {
+    /// RNG seed: same seed, byte-identical epoch streams.
+    pub seed: u64,
+    /// Total epochs, including the unmutated epoch 0.
+    pub epochs: usize,
+    /// Pages generated per epoch.
+    pub pages_per_epoch: usize,
+    /// Records per page (fixed, so pages of one epoch share a template).
+    pub records_per_page: usize,
+    /// Fraction of record names drawn from the dictionary pool (the
+    /// annotator recall available to a relearn pass).
+    pub dict_fraction: f64,
+    /// Explicit per-epoch mutation schedule (`schedule[e-1]` is applied
+    /// entering epoch `e`). Empty → the seeded default schedule, which
+    /// alternates benign and breaking epochs.
+    pub schedule: Vec<Vec<Mutation>>,
+}
+
+impl Default for TemplateEvolution {
+    fn default() -> Self {
+        TemplateEvolution {
+            seed: 0xC0DE,
+            epochs: 4,
+            pages_per_epoch: 4,
+            records_per_page: 4,
+            dict_fraction: 0.6,
+            schedule: Vec::new(),
+        }
+    }
+}
+
+/// One epoch of the evolved site.
+#[derive(Debug)]
+pub struct EvolutionEpoch {
+    /// Epoch number (0 = the unmutated base).
+    pub index: usize,
+    /// Mutations applied entering this epoch (empty for epoch 0).
+    pub mutations: Vec<Mutation>,
+    /// True when every mutation entering this epoch is benign — a
+    /// correct wrapper serving at epoch `index - 1` should survive.
+    pub survivable: bool,
+    /// The epoch's rendering script (post-mutation).
+    pub script: ListingScript,
+    /// The epoch's generated pages with gold labels.
+    pub site: GeneratedSite,
+}
+
+/// The full evolution: epochs plus the annotator dictionary.
+#[derive(Debug)]
+pub struct EvolutionDataset {
+    /// Epoch streams, index 0 first.
+    pub epochs: Vec<EvolutionEpoch>,
+    /// Names known to a dictionary annotator (covers `dict_fraction` of
+    /// each epoch's records in expectation).
+    pub dictionary: Vec<String>,
+}
+
+impl EvolutionDataset {
+    /// Whether a correct wrapper learned at epoch `from` should still
+    /// extract at epoch `to` (no breaking epoch in between).
+    pub fn wrapper_survives(&self, from: usize, to: usize) -> bool {
+        self.epochs[from + 1..=to].iter().all(|e| e.survivable)
+    }
+}
+
+impl TemplateEvolution {
+    /// A small evolution for tests: benign epoch 1, breaking epoch 2.
+    pub fn small(seed: u64) -> TemplateEvolution {
+        TemplateEvolution {
+            seed,
+            epochs: 3,
+            ..TemplateEvolution::default()
+        }
+    }
+
+    /// Generates every epoch's page stream deterministically.
+    pub fn run(&self) -> EvolutionDataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let pool = name_pool(&mut rng);
+        let dict_len = ((pool.len() as f64) * self.dict_fraction).round() as usize;
+        let dictionary: Vec<String> = pool[..dict_len.clamp(1, pool.len())].to_vec();
+
+        // The base script: always a separable one, so "a correct wrapper
+        // exists at epoch 0" holds by construction. It starts with one
+        // promo so the promo block exists from epoch 0 — PromoInjection
+        // then only appends text inside it. (A first promo on a
+        // promo-less script would materialize a new sibling element
+        // before the listing container, shifting child positions the
+        // learned rule may key on — breaking, not benign.)
+        let base_promo = data::PROMO_TEMPLATES
+            .choose(&mut rng)
+            .expect("nonempty")
+            .replacen("{}", "selected stores", 1);
+        let mut script = loop {
+            let candidate =
+                ListingScript::random(&mut rng, "Dealer Locator", vec![base_promo.clone()]);
+            if candidate.xpath_separable() && candidate.lr_separable() {
+                break candidate;
+            }
+        };
+        let schedule = if self.schedule.is_empty() {
+            default_schedule(&mut rng, self.epochs.saturating_sub(1), &script)
+        } else {
+            self.schedule.clone()
+        };
+
+        let mut epochs = Vec::with_capacity(self.epochs);
+        for index in 0..self.epochs {
+            let mutations: Vec<Mutation> = if index == 0 {
+                Vec::new()
+            } else {
+                schedule.get(index - 1).cloned().unwrap_or_default()
+            };
+            for m in &mutations {
+                m.apply(&mut script);
+            }
+            let survivable = mutations.iter().all(|m| !m.breaks_wrapper());
+            let site = render_epoch(&script, index, self, &pool, &mut rng);
+            epochs.push(EvolutionEpoch {
+                index,
+                mutations,
+                survivable,
+                script: script.clone(),
+                site,
+            });
+        }
+        EvolutionDataset { epochs, dictionary }
+    }
+}
+
+/// The seeded default schedule: benign, breaking, benign, breaking, …
+/// with concrete mutations drawn from the rng.
+fn default_schedule(rng: &mut StdRng, epochs: usize, base: &ListingScript) -> Vec<Vec<Mutation>> {
+    // Track the style across breaking epochs so each drift really moves
+    // the name under a new parent tag (a repeat would be a no-op).
+    let mut style = base.name_style.clone();
+    (0..epochs)
+        .map(|i| {
+            if i % 2 == 0 {
+                vec![
+                    Mutation::HeadingChurn(format!(
+                        "{} v{}",
+                        ["Store Finder", "Dealer Directory", "Where To Buy"]
+                            .choose(rng)
+                            .expect("nonempty"),
+                        i + 2
+                    )),
+                    Mutation::NavRotate,
+                    Mutation::PromoInjection(
+                        data::PROMO_TEMPLATES
+                            .choose(rng)
+                            .expect("nonempty")
+                            .replacen("{}", "our partners", 1),
+                    ),
+                    Mutation::OuterWrap(format!("layout-v{}", i + 2)),
+                ]
+            } else {
+                // Record-markup drift to a wrap tag the script does not
+                // already use — the gold node's parent tag changes, which
+                // every separating rule keys on.
+                let tag = *["em", "i", "u", "b", "strong"]
+                    .iter()
+                    .find(|t| style != NameStyle::WrapTag(t))
+                    .expect("five candidates, one style");
+                style = NameStyle::WrapTag(tag);
+                vec![
+                    Mutation::RecordMarkupDrift(NameStyle::WrapTag(tag)),
+                    Mutation::ContainerClassRename(format!("{}-v{}", base.container_class, i + 2)),
+                ]
+            }
+        })
+        .collect()
+}
+
+/// Name pool shared by every epoch (churn rewrites markup, not data).
+fn name_pool(rng: &mut StdRng) -> Vec<String> {
+    let mut names: Vec<String> = Vec::with_capacity(800);
+    'outer: for town in data::TOWN_WORDS {
+        for cat in data::CATEGORY_WORDS {
+            names.push(format!("{town} {cat}"));
+            if names.len() >= 800 {
+                break 'outer;
+            }
+        }
+    }
+    names.shuffle(rng);
+    names
+}
+
+fn render_epoch(
+    script: &ListingScript,
+    index: usize,
+    cfg: &TemplateEvolution,
+    pool: &[String],
+    rng: &mut StdRng,
+) -> GeneratedSite {
+    let pages = (0..cfg.pages_per_epoch)
+        .map(|_| {
+            let zip = format!("{:05}", rng.gen_range(10000..99999));
+            let mut used: Vec<&String> = Vec::new();
+            let records: Vec<ListingRecord> = (0..cfg.records_per_page)
+                .map(|_| {
+                    let name = loop {
+                        let candidate = pool.choose(rng).expect("nonempty");
+                        if !used.contains(&candidate) {
+                            used.push(candidate);
+                            break candidate.clone();
+                        }
+                    };
+                    ListingRecord {
+                        name,
+                        street: format!(
+                            "{} {}",
+                            rng.gen_range(1..9999),
+                            data::STREET_WORDS.choose(rng).expect("nonempty")
+                        ),
+                        city_line: {
+                            let (city, state) = data::CITY_STATE.choose(rng).expect("nonempty");
+                            Some(format!("{city}, {state} {zip}"))
+                        },
+                        phone: Some(format!(
+                            "({}) {}-{}",
+                            rng.gen_range(201..989),
+                            rng.gen_range(200..999),
+                            rng.gen_range(1000..9999)
+                        )),
+                    }
+                })
+                .collect();
+            let mut b = PageBuilder::new();
+            script.render_page(&mut b, &format!("epoch {index} near {zip}"), &records);
+            b.finish()
+        })
+        .collect();
+    GeneratedSite::from_pages(index, pages)
+}
+
+/// Returns the epoch's pages re-serialized to HTML strings — the form a
+/// crawler (or `POST /extract`) would carry them in.
+pub fn epoch_html(epoch: &EvolutionEpoch) -> Vec<String> {
+    (0..epoch.site.site.page_count() as u32)
+        .map(|p| aw_dom::serialize(epoch.site.site.page(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The separating structure a learned rule keys on: the gold node's
+    /// upward ancestor tag chain, the container class, and the field
+    /// order. Benign churn must leave the epoch-0 chain as a prefix of
+    /// the evolved chain (descendant-anchored rules are insensitive to
+    /// *added* outer ancestors); breaking churn must change it — the
+    /// wrapper-level counterpart is exercised end to end in
+    /// `tests/relearn_loop.rs`, where real wrappers are learned.
+    fn gold_chain(epoch: &EvolutionEpoch) -> Vec<String> {
+        let gs = &epoch.site;
+        let &n = gs.gold().iter().next().expect("gold nonempty");
+        let (doc, id) = gs.site.resolve(n);
+        doc.ancestors(id)
+            .filter_map(|a| doc.tag(a).map(str::to_string))
+            .collect()
+    }
+
+    fn signature(epoch: &EvolutionEpoch) -> (Vec<String>, String, bool) {
+        (
+            gold_chain(epoch),
+            epoch.script.container_class.clone(),
+            epoch.script.fields_reversed,
+        )
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TemplateEvolution::small(7).run();
+        let b = TemplateEvolution::small(7).run();
+        assert_eq!(a.epochs.len(), b.epochs.len());
+        for (x, y) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(epoch_html(x), epoch_html(y));
+            assert_eq!(x.mutations, y.mutations);
+        }
+        let c = TemplateEvolution::small(8).run();
+        assert_ne!(epoch_html(&a.epochs[0]), epoch_html(&c.epochs[0]));
+    }
+
+    #[test]
+    fn default_schedule_alternates_benign_and_breaking() {
+        let ds = TemplateEvolution {
+            epochs: 5,
+            ..TemplateEvolution::default()
+        }
+        .run();
+        assert_eq!(ds.epochs.len(), 5);
+        assert!(ds.epochs[0].survivable, "epoch 0 is the unmutated base");
+        assert!(ds.epochs[0].mutations.is_empty());
+        assert!(ds.epochs[1].survivable);
+        assert!(!ds.epochs[2].survivable);
+        assert!(ds.epochs[3].survivable);
+        assert!(!ds.epochs[4].survivable);
+        assert!(ds.wrapper_survives(0, 1));
+        assert!(!ds.wrapper_survives(0, 2));
+        assert!(ds.wrapper_survives(2, 3), "relearning at 2 survives into 3");
+    }
+
+    #[test]
+    fn every_epoch_has_resolvable_gold() {
+        for seed in [1, 2, 3] {
+            let cfg = TemplateEvolution {
+                seed,
+                epochs: 5,
+                ..TemplateEvolution::default()
+            };
+            let ds = cfg.run();
+            for e in &ds.epochs {
+                assert_eq!(
+                    e.site.gold().len(),
+                    cfg.pages_per_epoch * cfg.records_per_page,
+                    "seed {seed} epoch {} ({:?})",
+                    e.index,
+                    e.mutations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn benign_epochs_preserve_the_separating_structure() {
+        for seed in [11, 12, 13] {
+            let ds = TemplateEvolution {
+                seed,
+                epochs: 3,
+                ..TemplateEvolution::default()
+            }
+            .run();
+            let base = signature(&ds.epochs[0]);
+            let benign = signature(&ds.epochs[1]);
+            // Benign churn may only *extend* the ancestor chain upward
+            // (outer wraps); the part a rule anchors on is untouched.
+            assert!(
+                benign.0.starts_with(&base.0),
+                "seed {seed}: {base:?} vs {benign:?} ({:?})",
+                ds.epochs[1].mutations
+            );
+            assert_eq!(benign.1, base.1, "seed {seed}: container class churned");
+            assert_eq!(benign.2, base.2, "seed {seed}: fields reordered");
+        }
+    }
+
+    #[test]
+    fn breaking_epochs_change_the_separating_structure() {
+        for seed in [11, 12, 13] {
+            let ds = TemplateEvolution {
+                seed,
+                epochs: 3,
+                ..TemplateEvolution::default()
+            }
+            .run();
+            let before = signature(&ds.epochs[1]);
+            let after = signature(&ds.epochs[2]);
+            assert_ne!(
+                before, after,
+                "seed {seed}: breaking epoch left structure intact ({:?})",
+                ds.epochs[2].mutations
+            );
+            // The default breaking epoch drifts the name's parent tag.
+            assert_ne!(
+                before.0.first(),
+                after.0.first(),
+                "seed {seed}: gold parent tag must drift"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_schedules_are_honored() {
+        let ds = TemplateEvolution {
+            epochs: 2,
+            schedule: vec![vec![Mutation::FieldReorder]],
+            ..TemplateEvolution::default()
+        }
+        .run();
+        assert_eq!(ds.epochs[1].mutations, vec![Mutation::FieldReorder]);
+        assert!(!ds.epochs[1].survivable);
+        assert!(ds.epochs[1].script.fields_reversed);
+    }
+
+    #[test]
+    fn dictionary_covers_a_fraction_of_records() {
+        let ds = TemplateEvolution::small(31).run();
+        let gs = &ds.epochs[0].site;
+        let dict: std::collections::HashSet<&str> =
+            ds.dictionary.iter().map(String::as_str).collect();
+        let covered = gs
+            .gold()
+            .iter()
+            .filter(|&&n| dict.contains(gs.site.text_of(n).unwrap_or("")))
+            .count();
+        assert!(covered >= 1, "dictionary must hit some names");
+    }
+}

@@ -20,12 +20,14 @@
 pub mod data;
 pub mod dealers;
 pub mod disc;
+pub mod evolution;
 pub mod products;
 pub mod render;
 pub mod template;
 
 pub use dealers::{generate_dealers, DealersConfig, DealersDataset};
 pub use disc::{generate_disc, Album, DiscConfig, DiscDataset};
+pub use evolution::{epoch_html, EvolutionDataset, EvolutionEpoch, Mutation, TemplateEvolution};
 pub use products::{generate_products, ProductsConfig, ProductsDataset};
 pub use render::{Container, FieldLayout, ListingRecord, ListingScript, NameStyle};
 pub use template::{GeneratedSite, PageBuilder, PageMarks};

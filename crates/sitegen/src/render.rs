@@ -94,6 +94,15 @@ pub struct ListingScript {
     pub promos: Vec<String>,
     /// Footer sentence.
     pub footer: String,
+    /// Class of an extra `<div>` wrapped around the whole page body
+    /// (site-churn simulation; `None` for the unevolved script).
+    pub outer_wrap: Option<String>,
+    /// Class of an extra `<div>` wrapped around each record's name cell
+    /// content — the "wrapper-`<div>` insertion" churn that changes the
+    /// gold node's ancestor chain.
+    pub name_cell_wrap: Option<String>,
+    /// Render the street field before the name (field-reordering churn).
+    pub fields_reversed: bool,
 }
 
 impl ListingScript {
@@ -160,6 +169,9 @@ impl ListingScript {
             heading: heading.to_string(),
             promos,
             footer: "© 2010 All rights reserved. Web design by Computing Technologies".into(),
+            outer_wrap: None,
+            name_cell_wrap: None,
+            fields_reversed: false,
         }
     }
 
@@ -178,6 +190,9 @@ impl ListingScript {
 
     /// Renders one page of records into a [`PageBuilder`].
     pub fn render_page(&self, b: &mut PageBuilder, page_label: &str, records: &[ListingRecord]) {
+        if let Some(class) = &self.outer_wrap {
+            b.raw(&format!("<div class='{class}'>"));
+        }
         // Chrome: nav + heading.
         b.raw("<div class='nav'>");
         for item in &self.nav_items {
@@ -226,6 +241,9 @@ impl ListingScript {
         b.raw("<div class='footer'>");
         b.text(&self.footer);
         b.raw("</div>");
+        if self.outer_wrap.is_some() {
+            b.raw("</div>");
+        }
     }
 
     fn render_record(&self, b: &mut PageBuilder, rec: &ListingRecord) {
@@ -238,12 +256,23 @@ impl ListingScript {
         b.raw(rec_open);
         match self.layout {
             FieldLayout::OwnCells => {
-                b.raw(cell_open);
-                self.render_name(b, &rec.name);
-                b.raw(cell_close);
-                b.raw(cell_open);
-                b.text(&rec.street);
-                b.raw(cell_close);
+                let name_cell = |s: &Self, b: &mut PageBuilder| {
+                    b.raw(cell_open);
+                    s.render_wrapped_name(b, &rec.name);
+                    b.raw(cell_close);
+                };
+                let street_cell = |b: &mut PageBuilder| {
+                    b.raw(cell_open);
+                    b.text(&rec.street);
+                    b.raw(cell_close);
+                };
+                if self.fields_reversed {
+                    street_cell(b);
+                    name_cell(self, b);
+                } else {
+                    name_cell(self, b);
+                    street_cell(b);
+                }
                 if let Some(city) = &rec.city_line {
                     b.raw(cell_open);
                     b.gold_text(city, TYPE_ZIP);
@@ -257,9 +286,15 @@ impl ListingScript {
             }
             FieldLayout::BrSeparated => {
                 b.raw(cell_open);
-                self.render_name(b, &rec.name);
-                b.raw("<br>");
-                b.text(&rec.street);
+                if self.fields_reversed {
+                    b.text(&rec.street);
+                    b.raw("<br>");
+                    self.render_wrapped_name(b, &rec.name);
+                } else {
+                    self.render_wrapped_name(b, &rec.name);
+                    b.raw("<br>");
+                    b.text(&rec.street);
+                }
                 if let Some(city) = &rec.city_line {
                     b.raw("<br>");
                     b.gold_text(city, TYPE_ZIP);
@@ -272,6 +307,19 @@ impl ListingScript {
             }
         }
         b.raw(rec_close);
+    }
+
+    /// [`ListingScript::render_name`], plus the optional churn-injected
+    /// wrapper `<div>` around the name markup.
+    fn render_wrapped_name(&self, b: &mut PageBuilder, name: &str) {
+        match &self.name_cell_wrap {
+            Some(class) => {
+                b.raw(&format!("<div class='{class}'>"));
+                self.render_name(b, name);
+                b.raw("</div>");
+            }
+            None => self.render_name(b, name),
+        }
     }
 
     fn render_name(&self, b: &mut PageBuilder, name: &str) {
@@ -406,6 +454,9 @@ mod tests {
             heading: "h".into(),
             promos: vec![],
             footer: "f".into(),
+            outer_wrap: None,
+            name_cell_wrap: None,
+            fields_reversed: false,
         };
         assert!(!s.xpath_separable());
         let mut s2 = s.clone();

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Smoke test of the self-healing serving loop, end to end over real
+# HTTP: script a site's template churn with `awrap evolve`, learn an
+# epoch-0 wrapper, serve it with the shadow relearn worker enabled,
+# inject the breaking epoch's drifted pages, and assert the full
+# degrade → relearn → hot-swap → recover arc from the outside (health
+# endpoints + extraction results only). Run from the workspace root;
+# CI's churn-smoke job calls this after `cargo build --release --bin
+# awrap`. Exits non-zero if any stage of the arc fails to happen.
+set -euo pipefail
+
+BIN=${AWRAP:-target/release/awrap}
+[ -x "$BIN" ] || { echo "awrap binary not found at $BIN (cargo build --release --bin awrap)"; exit 1; }
+
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# ── Script the churn: 3 epochs (base, benign, breaking) ─────────────
+"$BIN" evolve --out "$TMP/evolution" --seed 7 --epochs 3
+grep -q 'epoch-1: benign'   "$TMP/evolution/manifest.txt"
+grep -q 'epoch-2: breaking' "$TMP/evolution/manifest.txt"
+echo "churn-smoke: evolution scripted ($(grep -c . "$TMP/evolution/manifest.txt") manifest lines)"
+
+# ── Learn the epoch-0 wrapper, serve it with relearning on ──────────
+"$BIN" learn --pages "$TMP/evolution/epoch-0" --dict "$TMP/evolution/dict.txt" \
+  --bundle "$TMP/bundle.json"
+grep -q '"churn"' "$TMP/bundle.json"
+
+"$BIN" serve --bundle "$TMP/bundle.json" --addr 127.0.0.1:0 --threads 2 \
+  --window 8 --relearn --dict "$TMP/evolution/dict.txt" > "$TMP/serve.log" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE 'http://[0-9.]+:[0-9]+' "$TMP/serve.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server did not start:"; cat "$TMP/serve.log"; exit 1; }
+echo "churn-smoke: serving at $ADDR (relearn worker on)"
+
+# POSTs one raw page, prints the extracted value count of page 0.
+extract_count() {
+  jq -Rs '{site:"churn", html:.}' < "$1" > "$TMP/req.json"
+  curl -sf -X POST "$ADDR/extract" --data @"$TMP/req.json" | jq '.pages[0] | length'
+}
+
+# ── Baseline + benign traffic: extraction works, health stays green ─
+for page in "$TMP"/evolution/epoch-0/churn/*.html "$TMP"/evolution/epoch-1/churn/*.html; do
+  count=$(extract_count "$page")
+  [ "$count" -gt 0 ] || { echo "healthy epoch extracted nothing: $page"; exit 1; }
+done
+test "$(curl -sf "$ADDR/health/churn" | jq '.degraded')" = "false"
+GEN0=$(curl -sf "$ADDR/healthz" | jq '.generation')
+echo "churn-smoke: baseline + benign epochs extract, health green (generation $GEN0)"
+
+# ── Inject the breaking epoch: the frozen wrapper must go empty ─────
+first=$(extract_count "$TMP/evolution/epoch-2/churn/p0.html")
+[ "$first" -eq 0 ] || { echo "breaking epoch still extracted $first values"; exit 1; }
+
+# Keep the drifted traffic flowing until the loop closes: the health
+# window degrades, the shadow worker relearns from retained pages and
+# swaps, and the fresh window journals recovery. Each POST is both
+# drift injection and (post-swap) recovery traffic.
+DEGRADED=0 RECOVERED=0
+for i in $(seq 1 120); do
+  page="$TMP/evolution/epoch-2/churn/p$(( i % 4 )).html"
+  count=$(extract_count "$page")
+  JOURNAL=$(curl -sf "$ADDR/health" | jq -r '.journal[]' || true)
+  if [ "$DEGRADED" = 0 ] && grep -q 'degraded' <<< "$JOURNAL"; then
+    DEGRADED=1
+    echo "churn-smoke: health degraded after $i drifted request(s)"
+  fi
+  if grep -q 'recovered' <<< "$JOURNAL"; then
+    RECOVERED=1
+    echo "churn-smoke: recovered after $i drifted request(s) ($count value(s) on last page)"
+    break
+  fi
+  sleep 0.1
+done
+[ "$DEGRADED" = 1 ] || { echo "drift never degraded health:"; curl -s "$ADDR/health"; exit 1; }
+[ "$RECOVERED" = 1 ] || { echo "relearn never recovered health:"; curl -s "$ADDR/health"; exit 1; }
+
+JOURNAL=$(curl -sf "$ADDR/health" | jq -r '.journal[]')
+grep -q 'relearn started'    <<< "$JOURNAL"
+grep -q 'relearn swapped in' <<< "$JOURNAL"
+
+# ── The swapped wrapper serves the drifted template ─────────────────
+GEN1=$(curl -sf "$ADDR/healthz" | jq '.generation')
+[ "$GEN1" -gt "$GEN0" ] || { echo "no generation bump: $GEN0 -> $GEN1"; exit 1; }
+count=$(extract_count "$TMP/evolution/epoch-2/churn/p1.html")
+[ "$count" -gt 0 ] || { echo "healed wrapper extracted nothing"; exit 1; }
+test "$(curl -sf "$ADDR/health/churn" | jq '.degraded')" = "false"
+echo "churn-smoke: healed wrapper extracts $count value(s), generation $GEN0 -> $GEN1"
+
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "churn-smoke: churn-smoke passed"

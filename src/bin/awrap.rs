@@ -23,16 +23,26 @@
 //!     learn-offline / extract-online deployment.
 //!
 //! awrap serve --bundle FILE [--addr HOST:PORT] [--threads N] [--workers M]
+//!             [--relearn --dict FILE [--lang L] [--window N] [--max-empty-rate F]]
 //!     Load a wrapper bundle (v2, or a v1 single-wrapper artifact) into
 //!     a hot-swappable registry and serve extraction over HTTP
-//!     (POST /extract, GET/POST /wrappers, GET /healthz). `--addr
-//!     127.0.0.1:0` picks an ephemeral port (printed on startup).
+//!     (POST /extract, GET/POST /wrappers, GET /healthz, GET /health,
+//!     GET /health/{site}). `--addr 127.0.0.1:0` picks an ephemeral
+//!     port (printed on startup). With `--relearn`, a background worker
+//!     watches per-site extraction health and shadow-relearns degraded
+//!     sites from retained request pages, hot-swapping the winner.
+//!
+//! awrap evolve --out DIR [--seed N] [--epochs N]
+//!     Generate a scripted site evolution (benign and breaking template
+//!     churn) as per-epoch page directories — the corpus behind the
+//!     churn smoke test and the `churn` experiment.
 //!
 //! awrap extract --xpath RULE --pages DIR
 //!     Apply an xpath rule of the fragment to every page in DIR.
 //!
 //! awrap experiment NAME [--quick]
-//!     Re-run a paper experiment (fig2a…fig3c, table1, b2, or `all`).
+//!     Re-run a paper experiment (fig2a…fig3c, table1, b2, churn, or
+//!     `all`).
 //! ```
 
 use autowrappers::prelude::*;
@@ -53,6 +63,7 @@ fn main() -> ExitCode {
         Some("learn") => learn_cmd(&args[1..]),
         Some("apply") => apply_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("evolve") => evolve_cmd(&args[1..]),
         Some("extract") => extract_cmd(&args[1..]),
         Some("experiment") => experiment_cmd(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -70,7 +81,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: awrap <demo|learn|apply|serve|extract|experiment> [options]
+const USAGE: &str = "usage: awrap <demo|learn|apply|serve|evolve|extract|experiment> [options]
   demo                                      built-in demonstration
   learn --pages DIR --dict FILE             learn a wrapper from noisy labels
         [--lang table|lr|hlrt|xpath] [--match exact|contains]
@@ -80,10 +91,14 @@ const USAGE: &str = "usage: awrap <demo|learn|apply|serve|extract|experiment> [o
         [--threads N]
   serve --bundle FILE                       serve extraction over HTTP
         [--addr HOST:PORT] [--threads N] [--workers M]
+        [--relearn --dict FILE [--lang L] [--window N] [--max-empty-rate F]]
+                                            (self-heal degraded sites by
+                                            shadow relearning + hot swap)
+  evolve --out DIR [--seed N] [--epochs N]  generate scripted site churn
   extract --xpath RULE --pages DIR          apply an xpath rule
   experiment NAME [--quick]                 rerun a paper experiment
       NAME ∈ fig2a fig2b fig2c fig2d fig2e fig2f fig2g fig2h fig2i
-             table1 fig3a fig3b fig3c b2 all
+             table1 fig3a fig3b fig3c b2 churn all
   --threads N overrides the parallelism of the learn/apply/serve hot loops
   (default: all cores, or the AW_THREADS environment variable)";
 
@@ -393,6 +408,53 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     if let Some(exec) = threads_flag(args)? {
         service = service.with_executor(exec);
     }
+
+    // Health thresholds (used with or without --relearn: the /health
+    // endpoints always report).
+    let mut thresholds = HealthThresholds::default();
+    if let Some(window) = flag(args, "--window") {
+        thresholds.window = window
+            .parse()
+            .map_err(|e| format!("--window: {e}"))
+            .and_then(|w: usize| {
+                if w == 0 {
+                    Err("--window: must be positive".into())
+                } else {
+                    Ok(w)
+                }
+            })?;
+        thresholds.min_window = thresholds.min_window.min(thresholds.window);
+    }
+    if let Some(rate) = flag(args, "--max-empty-rate") {
+        thresholds.max_empty_rate = rate.parse().map_err(|e| format!("--max-empty-rate: {e}"))?;
+    }
+    service = service.with_thresholds(thresholds);
+
+    // --relearn: a shadow engine (same dictionary-annotator setup as
+    // `learn`) plus a background worker that repairs degraded sites.
+    let controller = if has_flag(args, "--relearn") {
+        let dict_path = flag(args, "--dict").ok_or("--relearn requires --dict FILE")?;
+        let language = match flag(args, "--lang") {
+            None => WrapperLanguage::XPath,
+            Some(name) => name.parse::<WrapperLanguage>().map_err(|e| e.to_string())?,
+        };
+        let dict = std::fs::read_to_string(&dict_path).map_err(|e| format!("{dict_path}: {e}"))?;
+        let annotator = DictionaryAnnotator::new(
+            dict.lines().filter(|l| !l.trim().is_empty()),
+            MatchMode::Contains,
+        );
+        let model = RankingModel::new(AnnotatorModel::new(0.9, 0.3), default_publication_model());
+        let engine = Engine::builder(model)
+            .language(language)
+            .annotator(annotator)
+            .build();
+        let controller = Arc::new(RelearnController::new(&service, engine));
+        service = service.with_relearn(Arc::clone(&controller));
+        Some(controller)
+    } else {
+        None
+    };
+
     let threads = service.executor().threads();
     let workers: usize = flag(args, "--workers")
         .map(|v| v.parse())
@@ -407,8 +469,81 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     let local = server.local_addr().map_err(|e| e.to_string())?;
     println!("loaded {} wrapper(s): {}", keys.len(), keys.join(", "));
     println!("serving on http://{local} ({workers} http worker(s), {threads} executor thread(s))");
-    println!("endpoints: POST /extract, GET /wrappers, POST /wrappers (hot swap), GET /healthz");
+    println!(
+        "endpoints: POST /extract, GET /wrappers, POST /wrappers (hot swap), \
+         GET /healthz, GET /health, GET /health/{{site}}"
+    );
+    let _relearn_worker = controller.as_ref().map(|c| {
+        println!("relearn worker: on (shadow relearn + hot swap for degraded sites)");
+        c.spawn_worker()
+    });
     server.start().map_err(|e| e.to_string())?.join();
+    if let Some(c) = &controller {
+        c.stop();
+    }
+    Ok(())
+}
+
+/// `awrap evolve`: materialize a scripted [`aw_sitegen::TemplateEvolution`]
+/// as per-epoch page directories — each `epoch-N/churn/` is one site's
+/// crawl of that epoch (so `epoch-0` feeds `learn --bundle` directly),
+/// with the dictionary and a churn manifest alongside.
+fn evolve_cmd(args: &[String]) -> Result<(), String> {
+    use aw_sitegen::{epoch_html, TemplateEvolution};
+
+    let out = flag(args, "--out").ok_or("--out DIR is required")?;
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--seed: {e}"))?
+        .unwrap_or(7);
+    let epochs: usize = flag(args, "--epochs")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("--epochs: {e}"))?
+        .unwrap_or(3);
+    if epochs == 0 {
+        return Err("--epochs: must be positive".into());
+    }
+    let dataset = TemplateEvolution {
+        epochs,
+        ..TemplateEvolution::small(seed)
+    }
+    .run();
+
+    let root = Path::new(&out);
+    let io = |e: std::io::Error, what: &str| format!("{what}: {e}");
+    let mut manifest = String::new();
+    for epoch in &dataset.epochs {
+        let dir = root.join(format!("epoch-{}", epoch.index)).join("churn");
+        std::fs::create_dir_all(&dir).map_err(|e| io(e, &dir.display().to_string()))?;
+        let pages = epoch_html(epoch);
+        for (j, html) in pages.iter().enumerate() {
+            let path = dir.join(format!("p{j}.html"));
+            std::fs::write(&path, html).map_err(|e| io(e, &path.display().to_string()))?;
+        }
+        let churn = if epoch.index == 0 {
+            "base template".to_string()
+        } else {
+            let kind = if epoch.survivable {
+                "benign"
+            } else {
+                "breaking"
+            };
+            let what: Vec<String> = epoch.mutations.iter().map(|m| m.describe()).collect();
+            format!("{kind}: {}", what.join("; "))
+        };
+        manifest.push_str(&format!("epoch-{}: {churn}\n", epoch.index));
+        println!("epoch-{}: {} page(s) — {churn}", epoch.index, pages.len());
+    }
+    std::fs::write(root.join("dict.txt"), dataset.dictionary.join("\n"))
+        .map_err(|e| io(e, "dict.txt"))?;
+    std::fs::write(root.join("manifest.txt"), &manifest).map_err(|e| io(e, "manifest.txt"))?;
+    println!(
+        "wrote {} epoch(s), {}-entry dictionary and manifest to {out}",
+        dataset.epochs.len(),
+        dataset.dictionary.len()
+    );
     Ok(())
 }
 
@@ -490,7 +625,7 @@ fn run_experiments(name: &str) -> Result<(), String> {
 
     let known = [
         "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f", "fig2g", "fig2h", "fig2i", "table1",
-        "fig3a", "fig3b", "fig3c", "b2",
+        "fig3a", "fig3b", "fig3c", "b2", "churn",
     ];
     let run_one = |id: &str| -> Result<(), String> {
         println!("── {id} ───────────────────────────────────────────");
@@ -590,6 +725,20 @@ fn run_experiments(name: &str) -> Result<(), String> {
             "b2" => {
                 let (ds, _) = disc();
                 println!("{}", single_entity::run(&ds));
+            }
+            "churn" => {
+                use aw_eval::experiments::churn;
+                let evolution = match std::env::var("AW_SCALE").as_deref() {
+                    Ok("quick") => aw_sitegen::TemplateEvolution::small(0xC0DE),
+                    _ => aw_sitegen::TemplateEvolution {
+                        epochs: 5,
+                        pages_per_epoch: 6,
+                        ..aw_sitegen::TemplateEvolution::small(0xC0DE)
+                    },
+                };
+                let model =
+                    RankingModel::new(AnnotatorModel::new(0.9, 0.3), default_publication_model());
+                println!("{}", churn::run(&evolution, &model));
             }
             other => return Err(format!("unknown experiment {other:?}; see --help")),
         }

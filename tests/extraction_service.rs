@@ -238,6 +238,87 @@ fn repeated_template_requests_hit_the_cache_across_requests() {
 }
 
 #[test]
+fn concurrent_removes_under_load_leave_survivors_serving() {
+    // Half the sites are removed while hammer threads request all of
+    // them: a removed site must flip cleanly to UnknownSite (never a
+    // torn snapshot or a poisoned lock), survivors must keep serving.
+    let registry = Arc::new(WrapperRegistry::new());
+    let sites: Vec<String> = (0..8).map(|i| format!("site-{i}")).collect();
+    for site in &sites {
+        registry.insert(site.clone(), wrapper_for(WrapperLanguage::XPath));
+    }
+    let service = Arc::new(ExtractionService::new(Arc::clone(&registry)));
+    let page = "<table class='stores'><tr><td><b>OMEGA</b></td><td><u>9 Elm</u></td></tr></table>";
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let mut checkers = Vec::new();
+        for _ in 0..4 {
+            let service = Arc::clone(&service);
+            let (sites, stop) = (&sites, &stop);
+            checkers.push(scope.spawn(move || {
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for site in sites {
+                        match service.handle(&ExtractRequest::single(site.clone(), page)) {
+                            Ok(response) => {
+                                assert_eq!(response.pages, vec![vec!["OMEGA".to_string()]]);
+                                served += 1;
+                            }
+                            Err(AwError::UnknownSite(key)) => assert_eq!(&key, site),
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                }
+                served
+            }));
+        }
+        for (i, site) in sites.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(registry.remove(site), "first remove wins");
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let served: u64 = checkers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert!(served > 0);
+    });
+
+    let survivors: Vec<String> = (0..8).step_by(2).map(|i| format!("site-{i}")).collect();
+    assert_eq!(registry.site_keys(), survivors);
+    for site in &survivors {
+        assert!(service
+            .handle(&ExtractRequest::single(site.clone(), page))
+            .is_ok());
+    }
+}
+
+#[test]
+fn empty_bundle_loads_and_serves_unknown_site_for_everything() {
+    // A zero-site bundle is a legitimate deployment (e.g. draining a
+    // shard): it must round-trip, load, bump the generation, and turn
+    // every request into a clean UnknownSite.
+    let empty = WrapperBundle::from_json(&WrapperBundle::new().to_json()).unwrap();
+    assert_eq!(empty.len(), 0);
+    let registry = Arc::new(WrapperRegistry::new());
+    registry.insert("s", wrapper_for(WrapperLanguage::XPath));
+    let generation = registry.load_bundle(empty);
+    assert_eq!(generation, 2, "empty loads still swap generations");
+    assert!(registry.is_empty());
+    let service = ExtractionService::new(Arc::clone(&registry));
+    assert_eq!(
+        service
+            .handle(&ExtractRequest::single("s", "<p>x</p>".to_string()))
+            .unwrap_err(),
+        AwError::UnknownSite("s".into())
+    );
+    // From-bundle construction of an empty registry works too.
+    let fresh = WrapperRegistry::from_bundle(WrapperBundle::new());
+    assert!(fresh.is_empty());
+    assert_eq!(fresh.generation(), 1);
+}
+
+#[test]
 fn hot_swap_under_load_never_serves_a_torn_registry() {
     let site = training_site();
     // Two deployments for the same site key: A extracts names (<b>), B
