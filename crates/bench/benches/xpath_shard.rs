@@ -48,8 +48,9 @@
 
 use aw_annotate::{DictionaryAnnotator, MatchMode};
 use aw_core::{
-    CompiledWrapper, Engine, ExtractRequest, ExtractionService, HealthEvent, HealthThresholds,
-    LearnedRule, RelearnController, WrapperLanguage, WrapperRegistry,
+    BundleBinaryWriter, BundleStore, CompiledWrapper, Engine, ExtractRequest, ExtractionService,
+    HealthEvent, HealthThresholds, LearnedRule, RelearnController, WrapperBundle, WrapperLanguage,
+    WrapperRegistry,
 };
 use aw_dom::Document;
 use aw_enum::top_down;
@@ -485,6 +486,113 @@ fn main() {
         assert!(requests_to_recover <= 64, "swap never recovered health");
     }
 
+    // ── Bundle cold start ────────────────────────────────────────────
+    // Web-scale deployment: time-to-first-extraction for a bundle of
+    // `bundle_sites` site wrappers when only ONE site is actually
+    // requested. The v2 JSON path must parse and compile every wrapper
+    // before the first request can be answered; the v3 binary path
+    // reads the fixed header plus the site-key index and deserializes
+    // exactly one segment on the faulting request. The ratio is gated
+    // as `bundle_cold_start` (floor 10x — locally it is orders of
+    // magnitude). Report-only absolutes land under `bundle_cold`.
+    let quick = matches!(std::env::var("AW_SCALE").as_deref(), Ok("quick"));
+    let bundle_sites: usize = if quick { 10_000 } else { 100_000 };
+    // Prototype wrappers: the first candidate xpath of up to four
+    // repeated-template sites, cycled across the synthetic site keys.
+    let protos: Vec<String> = tsites
+        .iter()
+        .take(4)
+        .map(|site| CompiledWrapper::from_rule(LearnedRule::XPath(site.paths[0].clone())).to_json())
+        .collect();
+    // A v2 bundle member is the v1 artifact minus the format/version
+    // envelope; render each prototype's member once and hand-assemble
+    // the large payload (members are serde-rendered, so splicing them
+    // between literal braces cannot break the JSON).
+    let proto_members: Vec<String> = protos
+        .iter()
+        .map(|p| {
+            let v1 = serde_json::from_str(p).expect("v1 artifact parses");
+            serde_json::to_string(&obj(vec![
+                ("language", v1.get("language").expect("language").clone()),
+                ("rule", v1.get("rule").expect("rule").clone()),
+            ]))
+            .expect("member serializes")
+        })
+        .collect();
+    let target_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target");
+    std::fs::create_dir_all(target_dir).expect("target dir");
+    let v2_path = format!("{target_dir}/bench_bundle_cold.json");
+    let v3_path = format!("{target_dir}/bench_bundle_cold.awb");
+    let mut v2_payload = String::with_capacity(bundle_sites * 128);
+    v2_payload.push_str("{\"format\":\"aw-bundle\",\"version\":2,\"wrappers\":{");
+    for i in 0..bundle_sites {
+        if i > 0 {
+            v2_payload.push(',');
+        }
+        v2_payload.push_str(&format!("\"site-{i:06}\":"));
+        v2_payload.push_str(&proto_members[i % proto_members.len()]);
+    }
+    v2_payload.push_str("}}");
+    std::fs::write(&v2_path, &v2_payload).expect("write v2 bundle");
+    let v3_file = std::fs::File::create(&v3_path).expect("create v3 bundle");
+    let mut writer = BundleBinaryWriter::new(std::io::BufWriter::new(v3_file)).expect("v3 header");
+    for i in 0..bundle_sites {
+        writer
+            .append_payload(&format!("site-{i:06}"), &protos[i % protos.len()])
+            .expect("v3 segment");
+    }
+    {
+        use std::io::Write as _;
+        writer
+            .finish()
+            .expect("v3 index")
+            .flush()
+            .expect("v3 flush");
+    }
+    let v2_bytes = v2_payload.len();
+    let v3_bytes = std::fs::metadata(&v3_path).expect("v3 metadata").len() as usize;
+    drop(v2_payload);
+    // The faulting request: a mid-bundle site, one of that prototype's
+    // own pages. Both paths must answer identically before timing.
+    let mid = bundle_sites / 2;
+    let cold_request = ExtractRequest::single(
+        format!("site-{mid:06}"),
+        aw_dom::serialize(&tsites[mid % protos.len()].pages[0]),
+    );
+    let v2_cold = || -> usize {
+        let payload = std::fs::read_to_string(&v2_path).expect("read v2");
+        let bundle = WrapperBundle::from_json(&payload).expect("v2 parses");
+        let service = ExtractionService::new(Arc::new(WrapperRegistry::from_bundle(bundle)));
+        service.handle(&cold_request).expect("site").pages[0].len()
+    };
+    let v3_cold = || -> usize {
+        let store = BundleStore::open(&v3_path).expect("v3 opens");
+        let registry = WrapperRegistry::from_store(Arc::new(store), Some(1024));
+        let service = ExtractionService::new(Arc::new(registry));
+        service.handle(&cold_request).expect("site").pages[0].len()
+    };
+    {
+        let payload = std::fs::read_to_string(&v2_path).expect("read v2");
+        let bundle = WrapperBundle::from_json(&payload).expect("v2 parses");
+        let v2_service = ExtractionService::new(Arc::new(WrapperRegistry::from_bundle(bundle)));
+        let store = BundleStore::open(&v3_path).expect("v3 opens");
+        assert_eq!(store.len(), bundle_sites);
+        let v3_service = ExtractionService::new(Arc::new(WrapperRegistry::from_store(
+            Arc::new(store),
+            Some(1024),
+        )));
+        let expected = v2_service.handle(&cold_request).expect("v2 site");
+        assert_eq!(v3_service.handle(&cold_request).expect("v3 site"), expected);
+        assert!(!expected.pages[0].is_empty(), "cold request extracts");
+    }
+    // Each pass repeats the full cold path (read artifact, build the
+    // service, answer one request), so one pass is already seconds on
+    // the v2 side — cap the repetitions instead of inheriting `passes`.
+    let cold_passes = passes.clamp(1, 2);
+    let t_v2_cold = time(cold_passes, &v2_cold);
+    let t_v3_cold = time(cold_passes, &v3_cold);
+    let bundle_cold_start = t_v2_cold / t_v3_cold;
+
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -555,6 +663,14 @@ fn main() {
         requests_to_degrade,
         t_relearn * ms,
         requests_to_recover,
+    );
+    println!(
+        "bundle cold start ({bundle_sites} sites): v2 JSON {:.1} ms ({} bytes) vs \
+         v3 binary {:.3} ms ({} bytes) to first extraction → {bundle_cold_start:.0}x",
+        t_v2_cold * ms,
+        v2_bytes,
+        t_v3_cold * ms,
+        v3_bytes,
     );
     if parallel.is_empty() {
         println!("parallel scaling: skipped ({available} core available)");
@@ -637,6 +753,9 @@ fn main() {
                 // Health-on over health-off throughput — gated near 1.0
                 // so health accounting stays effectively free.
                 ("service_health_ratio", num(service_health_ratio)),
+                // v2-eager over v3-lazy time-to-first-extraction on the
+                // bundle_cold corpus (absolutes under `bundle_cold`).
+                ("bundle_cold_start", num(bundle_cold_start)),
                 ("parallel_scaling", scaling(&parallel)),
             ]),
         ),
@@ -658,6 +777,16 @@ fn main() {
                     "requests_per_sec_no_health",
                     num(requests.len() as f64 / t_service_off),
                 ),
+            ]),
+        ),
+        (
+            "bundle_cold",
+            obj(vec![
+                ("sites", num(bundle_sites as f64)),
+                ("v2_bytes", num(v2_bytes as f64)),
+                ("v3_bytes", num(v3_bytes as f64)),
+                ("v2_cold_ms", num(t_v2_cold * ms)),
+                ("v3_cold_ms", num(t_v3_cold * ms)),
             ]),
         ),
         (

@@ -51,6 +51,19 @@
 //! byte-for-byte (it loads as a one-entry bundle under
 //! [`V1_SITE_KEY`]). Malformed bundle members fail with the offending
 //! site key in the error, not a bare variant.
+//!
+//! ## Binary bundles (artifact generation 3)
+//!
+//! At web scale (10⁵–10⁶ sites) one monolithic JSON payload is the
+//! wrong shape: the v3 binary bundle (`aw-bundle-bin`, defined in the
+//! [`crate::store`] module) keeps each site's wrapper as an
+//! independently seekable segment — each segment the exact bytes of
+//! that wrapper's v1 [`CompiledWrapper::to_json`] payload — behind a
+//! sorted offset index, so a [`crate::BundleStore`] loads one site
+//! without parsing the rest. [`WrapperBundle::to_binary`] /
+//! [`WrapperBundle::from_binary`] convert losslessly between the
+//! generations, and [`crate::ArtifactReader`] sniffs all three at I/O
+//! boundaries.
 
 use crate::config::WrapperLanguage;
 use crate::error::AwError;

@@ -38,6 +38,27 @@ pub enum AwError {
     /// An extraction request named a site key with no wrapper in the
     /// [`crate::WrapperRegistry`].
     UnknownSite(String),
+    /// A v3 binary bundle ended before its declared contents — the
+    /// header, the site-key index, or one site's segment extends past
+    /// the end of the payload. Carries the offending site key when the
+    /// truncation hit a specific segment.
+    TruncatedBundle {
+        /// The site whose segment was cut off, when one is identifiable
+        /// (`None` for header/index truncation).
+        site: Option<String>,
+        /// What was being read when the payload ran out.
+        detail: String,
+    },
+    /// A v3 segment failed its checksum or did not decode as the v1
+    /// wrapper payload it must contain — the binary counterpart of the
+    /// v2 reader's `bundle member "key": …` errors, always naming the
+    /// offending site key.
+    CorruptSegment {
+        /// The site key of the bad segment.
+        site: String,
+        /// Why the segment was rejected.
+        detail: String,
+    },
     /// An I/O failure while reading or writing an artifact (constructed
     /// by callers that touch the filesystem, e.g. the `awrap` CLI's
     /// `learn --out` / `apply --wrapper` paths).
@@ -51,6 +72,10 @@ impl AwError {
     pub fn site(&self) -> Option<&str> {
         match self {
             AwError::UnknownSite(key) => Some(key),
+            AwError::CorruptSegment { site, .. } => Some(site),
+            AwError::TruncatedBundle {
+                site: Some(site), ..
+            } => Some(site),
             _ => None,
         }
     }
@@ -96,6 +121,13 @@ impl fmt::Display for AwError {
             AwError::UnknownSite(key) => {
                 write!(f, "no wrapper registered for site {key:?}")
             }
+            AwError::TruncatedBundle { site, detail } => match site {
+                Some(site) => write!(f, "truncated bundle: segment for site {site:?}: {detail}"),
+                None => write!(f, "truncated bundle: {detail}"),
+            },
+            AwError::CorruptSegment { site, detail } => {
+                write!(f, "corrupt bundle segment for site {site:?}: {detail}")
+            }
             AwError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -122,6 +154,29 @@ mod tests {
         assert!(AwError::UnknownSite("dealer-7".into())
             .to_string()
             .contains("dealer-7"));
+    }
+
+    #[test]
+    fn binary_bundle_errors_name_the_offending_site() {
+        let corrupt = AwError::CorruptSegment {
+            site: "dealer-9".into(),
+            detail: "segment checksum mismatch".into(),
+        };
+        assert_eq!(corrupt.site(), Some("dealer-9"));
+        assert!(corrupt.to_string().contains("dealer-9"), "{corrupt}");
+        assert!(corrupt.to_string().contains("checksum"), "{corrupt}");
+        let cut = AwError::TruncatedBundle {
+            site: Some("dealer-2".into()),
+            detail: "payload ends mid-segment".into(),
+        };
+        assert_eq!(cut.site(), Some("dealer-2"));
+        assert!(cut.to_string().contains("dealer-2"), "{cut}");
+        let headless = AwError::TruncatedBundle {
+            site: None,
+            detail: "44-byte header".into(),
+        };
+        assert_eq!(headless.site(), None);
+        assert!(headless.to_string().contains("header"), "{headless}");
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub mod relearn;
 pub mod rule;
 pub mod service;
 pub mod single_entity;
+pub mod store;
 
 pub use artifact::{
     CompiledWrapper, WrapperBundle, ARTIFACT_FORMAT, ARTIFACT_VERSION, BUNDLE_FORMAT,
@@ -106,7 +107,13 @@ pub use multi_type::{
 };
 pub use relearn::{RelearnConfig, RelearnController, RelearnOutcome};
 pub use rule::{LearnedRule, LearnedRuleSet};
-pub use service::{ExtractRequest, ExtractResponse, ExtractionService, WrapperRegistry};
+pub use service::{
+    ExtractRequest, ExtractResponse, ExtractionService, ResidencyStats, WrapperRegistry,
+};
 pub use single_entity::{
     learn_single_entity, learn_single_entity_with, SingleEntityOutcome, SingleEntityWrapper,
+};
+pub use store::{
+    ArtifactReader, BundleBinaryWriter, BundleStore, LoadedArtifact, BUNDLE_BIN_FORMAT,
+    BUNDLE_BIN_MAGIC, BUNDLE_BIN_VERSION,
 };

@@ -309,7 +309,8 @@ fn read_request(
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| bad(400, "request body is not UTF-8"))?;
+    // The body stays raw bytes: `POST /wrappers` accepts v3 binary
+    // bundles, and the JSON endpoints validate UTF-8 in the router.
 
     // Strip any query string: the protocol routes on the path alone.
     let path = target.split('?').next().unwrap_or(target).to_string();

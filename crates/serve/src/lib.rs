@@ -14,8 +14,8 @@
 //! | Method & path    | Body                 | Reply |
 //! |------------------|----------------------|-------|
 //! | `POST /extract`  | `{"site": K, "html": H}` or `{"site": K, "pages": [H…]}` | extracted values per page + per-page parse errors |
-//! | `GET /wrappers`  | —                    | registered sites, rules, template-cache stats, health |
-//! | `POST /wrappers` | a wrapper bundle (v2) or single-wrapper artifact (v1) | hot-swaps the registry |
+//! | `GET /wrappers`  | —                    | resident sites, rules, template-cache stats, health, residency counters |
+//! | `POST /wrappers` | a wrapper artifact of **any generation** — v1 single-wrapper JSON, v2 bundle JSON, or v3 binary bundle | hot-swaps the registry |
 //! | `GET /healthz`   | —                    | liveness + site count + registry generation |
 //! | `GET /health`    | —                    | every observed site's health + the event journal tail |
 //! | `GET /health/{site}` | —                | one site's extraction-health counters |
@@ -23,7 +23,14 @@
 //! All replies are JSON. Errors carry `{"error": message}` — plus the
 //! offending `"site"` key when the error names one — with 400
 //! (malformed request / bundle), 404 (unknown site or path), 405
-//! (method not allowed) or 413 (oversized payload).
+//! (method not allowed), 413 (oversized payload) or 500 (a damaged
+//! bundle-store segment behind a lazy registry).
+//!
+//! When the service's registry is **lazy** (`awrap serve --lazy`, built
+//! over a v3 [`aw_core::BundleStore`]), `GET /wrappers` lists only the
+//! *resident* wrappers plus a `"residency"` object (cap, store size,
+//! fault/eviction/grace counters); extraction requests fault wrappers
+//! in transparently, so the endpoint surface is otherwise identical.
 //!
 //! ## Threading model
 //!
@@ -41,11 +48,13 @@
 //! replay each other's traces.
 //!
 //! ```no_run
-//! use aw_core::{ExtractionService, WrapperBundle, WrapperRegistry};
+//! use aw_core::{ArtifactReader, ExtractionService, WrapperRegistry};
 //! use aw_serve::Server;
 //! use std::sync::Arc;
 //!
-//! let bundle = WrapperBundle::from_json(&std::fs::read_to_string("bundle.json")?)?;
+//! // Any artifact generation: v1/v2 JSON loads eagerly, a v3 binary
+//! // bundle would load here too (eagerly, via into_bundle).
+//! let bundle = ArtifactReader::open("bundle.json")?.into_bundle()?;
 //! let registry = Arc::new(WrapperRegistry::from_bundle(bundle));
 //! let service = Arc::new(ExtractionService::new(registry));
 //! let server = Server::bind(service, "127.0.0.1:0")?.workers(4);
@@ -58,7 +67,7 @@ mod http;
 
 pub use http::{Server, ServerHandle};
 
-use aw_core::{AwError, ExtractRequest, ExtractionService, WrapperBundle};
+use aw_core::{ArtifactReader, AwError, ExtractRequest, ExtractionService};
 use serde::Value;
 
 /// A parsed HTTP request, reduced to what the router needs.
@@ -68,8 +77,10 @@ pub struct Request {
     pub method: String,
     /// The request path, query string stripped.
     pub path: String,
-    /// The request body (empty for bodyless requests).
-    pub body: String,
+    /// The request body, raw (empty for bodyless requests). Bytes, not
+    /// a string: `POST /wrappers` accepts v3 *binary* bundles; the
+    /// JSON endpoints validate UTF-8 themselves.
+    pub body: Vec<u8>,
 }
 
 /// What the router decided; the HTTP layer adds the framing.
@@ -111,6 +122,9 @@ fn strings(items: impl IntoIterator<Item = String>) -> Value {
 fn status_of(error: &AwError) -> u16 {
     match error {
         AwError::UnknownSite(_) => 404,
+        // A damaged segment in the server's own bundle store (or an
+        // I/O failure reading it) is not the client's fault.
+        AwError::CorruptSegment { .. } | AwError::TruncatedBundle { .. } | AwError::Io(_) => 500,
         // Artifact/bundle shape problems are the client's fault.
         _ => 400,
     }
@@ -120,11 +134,19 @@ fn status_of(error: &AwError) -> u16 {
 /// message when the error names one — clients retrying a batch need the
 /// key machine-readable, not buried in the display string.
 fn error_response(error: &AwError) -> Response {
+    error_response_as(status_of(error), error)
+}
+
+/// [`error_response`] at an explicit status: the upload path reports
+/// even corrupt-segment errors as 400 (the *client's* payload was
+/// damaged), while the same error from the server's own bundle store
+/// is a 500.
+fn error_response_as(status: u16, error: &AwError) -> Response {
     let mut entries = vec![("error", Value::String(error.to_string()))];
     if let Some(site) = error.site() {
         entries.push(("site", Value::String(site.to_string())));
     }
-    Response::json(status_of(error), &obj(entries))
+    Response::json(status, &obj(entries))
 }
 
 /// Routes one request against the service — the whole protocol, pure of
@@ -230,18 +252,37 @@ fn list_wrappers(service: &ExtractionService) -> Response {
             ])
         })
         .collect();
+    let stats = service.registry().residency_stats();
+    let opt = |value: Option<usize>| match value {
+        Some(n) => Value::Number(n as f64),
+        None => Value::Null,
+    };
+    let residency = obj(vec![
+        ("resident", Value::Number(stats.resident as f64)),
+        ("max_resident", opt(stats.max_resident)),
+        ("store_sites", opt(stats.store_sites)),
+        ("faults", Value::Number(stats.faults as f64)),
+        ("evictions", Value::Number(stats.evictions as f64)),
+        ("grace_entries", Value::Number(stats.grace_entries as f64)),
+        ("grace_hits", Value::Number(stats.grace_hits as f64)),
+    ]);
     Response::json(
         200,
         &obj(vec![
             ("generation", Value::Number(generation as f64)),
             ("sites", Value::Array(sites)),
+            ("residency", residency),
         ]),
     )
 }
 
-fn load_wrappers(service: &ExtractionService, body: &str) -> Response {
-    match WrapperBundle::from_json(body) {
-        Err(e) => error_response(&e),
+fn load_wrappers(service: &ExtractionService, body: &[u8]) -> Response {
+    // Any artifact generation — v1/v2 JSON or v3 binary — loaded
+    // eagerly: an upload is a full-registry hot swap, not a store
+    // attach. Errors are the client's payload's fault, so even
+    // corrupt-segment errors are 400 here.
+    match ArtifactReader::read_bytes(body) {
+        Err(e) => error_response_as(400, &e),
         Ok(bundle) => {
             let loaded = bundle.len();
             let generation = service.registry().load_bundle(bundle);
@@ -256,7 +297,10 @@ fn load_wrappers(service: &ExtractionService, body: &str) -> Response {
     }
 }
 
-fn extract(service: &ExtractionService, body: &str) -> Response {
+fn extract(service: &ExtractionService, body: &[u8]) -> Response {
+    let Ok(body) = std::str::from_utf8(body) else {
+        return Response::error(400, "request body is not UTF-8");
+    };
     let request = match parse_extract_body(body) {
         Ok(request) => request,
         Err(message) => return Response::error(400, message),
@@ -351,7 +395,7 @@ mod tests {
         Request {
             method: method.into(),
             path: path.into(),
-            body: body.into(),
+            body: body.as_bytes().to_vec(),
         }
     }
 
@@ -519,6 +563,114 @@ mod tests {
             respond(&service, &request("POST", "/health/dealers", "")).status,
             405
         );
+    }
+
+    #[test]
+    fn wrappers_hot_swap_accepts_v3_binary_bundles() {
+        let service = service();
+        let mut bundle = aw_core::WrapperBundle::new();
+        let wrapper = {
+            let json = service.registry().get("dealers").unwrap().to_json();
+            CompiledWrapper::from_json(&json).unwrap()
+        };
+        bundle.insert("bin-site", wrapper);
+        let binary = bundle.to_binary();
+        let swapped = respond(
+            &service,
+            &Request {
+                method: "POST".into(),
+                path: "/wrappers".into(),
+                body: binary.clone(),
+            },
+        );
+        assert_eq!(swapped.status, 200, "{}", swapped.body);
+        assert!(swapped.body.contains("\"loaded\":1"), "{}", swapped.body);
+        assert_eq!(service.registry().site_keys(), ["bin-site"]);
+
+        // A corrupt upload is the client's fault: 400, naming the site.
+        let mut corrupt = binary;
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        let bad = respond(
+            &service,
+            &Request {
+                method: "POST".into(),
+                path: "/wrappers".into(),
+                body: corrupt,
+            },
+        );
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        assert!(bad.body.contains("\"error\""), "{}", bad.body);
+    }
+
+    #[test]
+    fn wrappers_listing_reports_residency() {
+        // Fully resident: counters are zero, cap and store are null.
+        let resident = respond(&service(), &request("GET", "/wrappers", ""));
+        assert!(
+            resident.body.contains("\"residency\":{\"resident\":1"),
+            "{}",
+            resident.body
+        );
+        assert!(
+            resident.body.contains("\"store_sites\":null"),
+            "{}",
+            resident.body
+        );
+
+        // Lazy over a v3 store: faults and residency show up.
+        let mut bundle = aw_core::WrapperBundle::new();
+        for key in ["a", "b", "c"] {
+            let json = service().registry().get("dealers").unwrap().to_json();
+            bundle.insert(key, CompiledWrapper::from_json(&json).unwrap());
+        }
+        let store = aw_core::BundleStore::from_bytes(bundle.to_binary()).unwrap();
+        let lazy = ExtractionService::new(Arc::new(WrapperRegistry::from_store(
+            Arc::new(store),
+            Some(2),
+        )));
+        let page = "<table class='stores'><tr><td><b>OMEGA</b></td><td>9 Elm</td></tr></table>";
+        for site in ["a", "b", "c"] {
+            let r = respond(
+                &lazy,
+                &request(
+                    "POST",
+                    "/extract",
+                    &format!(r#"{{"site":"{site}","html":"{page}"}}"#),
+                ),
+            );
+            assert_eq!(r.status, 200, "{}", r.body);
+            assert!(r.body.contains("OMEGA"), "{}", r.body);
+        }
+        let listed = respond(&lazy, &request("GET", "/wrappers", ""));
+        assert!(listed.body.contains("\"faults\":3"), "{}", listed.body);
+        assert!(listed.body.contains("\"evictions\":1"), "{}", listed.body);
+        assert!(
+            listed.body.contains("\"max_resident\":2"),
+            "{}",
+            listed.body
+        );
+        assert!(listed.body.contains("\"store_sites\":3"), "{}", listed.body);
+        // A site outside the store still 404s through the fault path.
+        let missing = respond(
+            &lazy,
+            &request("POST", "/extract", r#"{"site":"zz","html":"<p>x</p>"}"#),
+        );
+        assert_eq!(missing.status, 404, "{}", missing.body);
+    }
+
+    #[test]
+    fn non_utf8_extract_bodies_are_400() {
+        let r = respond(
+            &service(),
+            &Request {
+                method: "POST".into(),
+                path: "/extract".into(),
+                body: vec![0xFF, 0xFE, 0x80],
+            },
+        );
+        assert_eq!(r.status, 400, "{}", r.body);
+        assert!(r.body.contains("UTF-8"), "{}", r.body);
     }
 
     #[test]

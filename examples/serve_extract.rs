@@ -77,7 +77,9 @@ fn main() {
 
     // The bundle is the deployable artifact: ship the JSON, load it in
     // the serving process (or POST it to a running `awrap serve`).
-    let shipped = WrapperBundle::from_json(&payload).expect("bundle round-trips");
+    // ArtifactReader sniffs the generation, so the same call accepts a
+    // v1 wrapper, a v2 bundle, or a packed v3 binary bundle.
+    let shipped = ArtifactReader::read_bytes(payload.as_bytes()).expect("bundle round-trips");
     let registry = Arc::new(WrapperRegistry::from_bundle(shipped));
     let service = ExtractionService::new(Arc::clone(&registry));
 

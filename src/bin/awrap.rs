@@ -17,20 +17,36 @@
 //!     batched `learn_sites` pass and the best wrappers are written as
 //!     one v2 wrapper bundle.
 //!
-//! awrap apply --wrapper FILE --pages DIR
-//!     Load a serialized wrapper artifact (from `awrap learn --out`) and
-//!     extract from every page in DIR — the serving half of the
-//!     learn-offline / extract-online deployment.
+//! awrap apply --wrapper FILE --pages DIR [--site KEY]
+//!     Load a wrapper artifact of any generation (v1 single wrapper,
+//!     v2 bundle, or v3 binary bundle) and extract from every page in
+//!     DIR — the serving half of the learn-offline / extract-online
+//!     deployment. Multi-site artifacts need --site KEY; from a v3
+//!     bundle only that site's segment is read.
 //!
-//! awrap serve --bundle FILE [--addr HOST:PORT] [--threads N] [--workers M]
+//! awrap bundle pack --in FILE --out FILE
+//! awrap bundle unpack --in FILE --out FILE
+//! awrap bundle inspect --in FILE
+//!     Convert between bundle generations: `pack` writes a v1/v2 JSON
+//!     artifact as a v3 binary bundle (`aw-bundle-bin`: seekable,
+//!     per-site segments behind a sorted offset index), `unpack` is the
+//!     exact inverse, and `inspect` prints a v3 bundle's header, site
+//!     count and per-segment sizes without loading any wrapper.
+//!
+//! awrap serve --bundle FILE [--lazy [--max-resident N]]
+//!             [--addr HOST:PORT] [--threads N] [--workers M]
 //!             [--relearn --dict FILE [--lang L] [--window N] [--max-empty-rate F]]
-//!     Load a wrapper bundle (v2, or a v1 single-wrapper artifact) into
-//!     a hot-swappable registry and serve extraction over HTTP
-//!     (POST /extract, GET/POST /wrappers, GET /healthz, GET /health,
-//!     GET /health/{site}). `--addr 127.0.0.1:0` picks an ephemeral
-//!     port (printed on startup). With `--relearn`, a background worker
-//!     watches per-site extraction health and shadow-relearns degraded
-//!     sites from retained request pages, hot-swapping the winner.
+//!     Load a wrapper artifact of any generation into a hot-swappable
+//!     registry and serve extraction over HTTP (POST /extract,
+//!     GET/POST /wrappers, GET /healthz, GET /health,
+//!     GET /health/{site}). With --lazy, FILE must be a v3 binary
+//!     bundle: the registry starts empty and faults wrappers in per
+//!     site as requests name them, keeping at most --max-resident
+//!     resident (LRU eviction). `--addr 127.0.0.1:0` picks an
+//!     ephemeral port (printed on startup). With `--relearn`, a
+//!     background worker watches per-site extraction health and
+//!     shadow-relearns degraded sites from retained request pages,
+//!     hot-swapping the winner.
 //!
 //! awrap evolve --out DIR [--seed N] [--epochs N]
 //!     Generate a scripted site evolution (benign and breaking template
@@ -62,6 +78,7 @@ fn main() -> ExitCode {
         Some("demo") => demo(),
         Some("learn") => learn_cmd(&args[1..]),
         Some("apply") => apply_cmd(&args[1..]),
+        Some("bundle") => bundle_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("evolve") => evolve_cmd(&args[1..]),
         Some("extract") => extract_cmd(&args[1..]),
@@ -81,16 +98,22 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: awrap <demo|learn|apply|serve|evolve|extract|experiment> [options]
+const USAGE: &str =
+    "usage: awrap <demo|learn|apply|bundle|serve|evolve|extract|experiment> [options]
   demo                                      built-in demonstration
   learn --pages DIR --dict FILE             learn a wrapper from noisy labels
         [--lang table|lr|hlrt|xpath] [--match exact|contains]
         [--p FLOAT] [--r FLOAT] [--top N] [--out FILE] [--threads N]
         [--bundle FILE]  (DIR's subdirectories = sites; write a v2 bundle)
-  apply --wrapper FILE --pages DIR          extract with a serialized wrapper
-        [--threads N]
+  apply --wrapper FILE --pages DIR          extract with a wrapper artifact of
+        [--site KEY] [--threads N]          any generation (v1/v2/v3)
+  bundle pack --in FILE --out FILE          v1/v2 JSON artifact -> v3 binary
+  bundle unpack --in FILE --out FILE        v3 binary -> v2 JSON bundle
+  bundle inspect --in FILE                  v3 header, sites, segment sizes
   serve --bundle FILE                       serve extraction over HTTP
-        [--addr HOST:PORT] [--threads N] [--workers M]
+        [--lazy [--max-resident N]]         (--lazy: FILE is a v3 binary
+        [--addr HOST:PORT] [--threads N]     bundle, wrappers fault in per
+        [--workers M]                        site, LRU-evicted at the cap)
         [--relearn --dict FILE [--lang L] [--window N] [--max-empty-rate F]]
                                             (self-heal degraded sites by
                                             shadow relearning + hot swap)
@@ -398,12 +421,46 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
 
     let bundle_path = flag(args, "--bundle").ok_or("--bundle FILE is required")?;
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".to_string());
-    let payload = std::fs::read_to_string(&bundle_path)
-        .map_err(|e| AwError::Io(format!("{bundle_path}: {e}")).to_string())?;
-    let bundle = WrapperBundle::from_json(&payload).map_err(|e| e.to_string())?;
-    let keys: Vec<String> = bundle.site_keys().map(str::to_string).collect();
+    let lazy = has_flag(args, "--lazy");
+    let max_resident: Option<usize> = flag(args, "--max-resident")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|e| format!("--max-resident: {e}"))
+        .and_then(|cap| match cap {
+            Some(0) => Err("--max-resident: must be positive".into()),
+            other => Ok(other),
+        })?;
+    if max_resident.is_some() && !lazy {
+        return Err("--max-resident requires --lazy".into());
+    }
 
-    let registry = Arc::new(WrapperRegistry::from_bundle(bundle));
+    let (registry, banner) = if lazy {
+        // Lazy serving needs the seekable v3 format: nothing loads at
+        // startup, wrappers fault in per site as requests name them.
+        let store = BundleStore::open(&bundle_path).map_err(|e| {
+            format!("{e}\n--lazy requires a v3 binary bundle; pack one with `awrap bundle pack`")
+        })?;
+        let banner = match max_resident {
+            Some(cap) => format!(
+                "opened v3 bundle lazily: {} site(s) indexed, 0 resident (cap {cap})",
+                store.len()
+            ),
+            None => format!(
+                "opened v3 bundle lazily: {} site(s) indexed, 0 resident (no cap)",
+                store.len()
+            ),
+        };
+        let registry = WrapperRegistry::from_store(Arc::new(store), max_resident);
+        (Arc::new(registry), banner)
+    } else {
+        // Eager: any artifact generation, fully resident.
+        let bundle = ArtifactReader::open(&bundle_path)
+            .and_then(LoadedArtifact::into_bundle)
+            .map_err(|e| e.to_string())?;
+        let keys: Vec<String> = bundle.site_keys().map(str::to_string).collect();
+        let banner = format!("loaded {} wrapper(s): {}", keys.len(), keys.join(", "));
+        (Arc::new(WrapperRegistry::from_bundle(bundle)), banner)
+    };
     let mut service = ExtractionService::new(registry);
     if let Some(exec) = threads_flag(args)? {
         service = service.with_executor(exec);
@@ -467,7 +524,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("bind {addr}: {e}"))?
         .workers(workers);
     let local = server.local_addr().map_err(|e| e.to_string())?;
-    println!("loaded {} wrapper(s): {}", keys.len(), keys.join(", "));
+    println!("{banner}");
     println!("serving on http://{local} ({workers} http worker(s), {threads} executor thread(s))");
     println!(
         "endpoints: POST /extract, GET /wrappers, POST /wrappers (hot swap), \
@@ -550,9 +607,35 @@ fn evolve_cmd(args: &[String]) -> Result<(), String> {
 fn apply_cmd(args: &[String]) -> Result<(), String> {
     let wrapper_path = flag(args, "--wrapper").ok_or("--wrapper FILE is required")?;
     let dir = flag(args, "--pages").ok_or("--pages DIR is required")?;
-    let payload = std::fs::read_to_string(&wrapper_path)
-        .map_err(|e| AwError::Io(format!("{wrapper_path}: {e}")).to_string())?;
-    let mut wrapper = CompiledWrapper::from_json(&payload).map_err(|e| e.to_string())?;
+    // Any artifact generation: v1 single wrapper, v2 bundle, or v3
+    // binary bundle (opened lazily — with --site only that segment is
+    // ever read).
+    let artifact = ArtifactReader::open(&wrapper_path).map_err(|e| e.to_string())?;
+    let keys = artifact.site_keys();
+    let key = match flag(args, "--site") {
+        Some(key) => key,
+        None if keys.len() == 1 => keys[0].clone(),
+        None => {
+            return Err(format!(
+                "the artifact holds {} wrappers; pick one with --site KEY (keys: {})",
+                keys.len(),
+                keys.join(", ")
+            ))
+        }
+    };
+    let missing = || {
+        format!(
+            "no wrapper for site {key:?} in the artifact (keys: {})",
+            keys.join(", ")
+        )
+    };
+    let mut wrapper = match artifact {
+        LoadedArtifact::Resident(mut bundle) => bundle.remove(&key).ok_or_else(missing)?,
+        LoadedArtifact::Lazy(store) => store
+            .load(&key)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(missing)?,
+    };
     if let Some(exec) = threads_flag(args)? {
         wrapper = wrapper.with_executor(exec);
     }
@@ -569,6 +652,87 @@ fn apply_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     println!("{total} value(s) extracted from {} page(s)", docs.len());
+    Ok(())
+}
+
+/// `awrap bundle`: conversions and introspection for the wrapper
+/// artifact generations (v1/v2 JSON ↔ v3 binary).
+fn bundle_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("pack") => bundle_pack(&args[1..]),
+        Some("unpack") => bundle_unpack(&args[1..]),
+        Some("inspect") => bundle_inspect(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown bundle subcommand {other:?}; try pack, unpack or inspect"
+        )),
+        None => Err("usage: awrap bundle <pack|unpack|inspect> --in FILE [--out FILE]".into()),
+    }
+}
+
+fn bundle_io_paths(args: &[String]) -> Result<(String, String), String> {
+    Ok((
+        flag(args, "--in").ok_or("--in FILE is required")?,
+        flag(args, "--out").ok_or("--out FILE is required")?,
+    ))
+}
+
+/// `bundle pack`: any JSON artifact (v1 single wrapper or v2 bundle) →
+/// the v3 binary bundle.
+fn bundle_pack(args: &[String]) -> Result<(), String> {
+    let (input, output) = bundle_io_paths(args)?;
+    let payload = std::fs::read(&input).map_err(|e| format!("{input}: {e}"))?;
+    let bundle = ArtifactReader::read_bytes(&payload).map_err(|e| e.to_string())?;
+    let binary = bundle.to_binary();
+    std::fs::write(&output, &binary).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "packed {} site(s): {} bytes of JSON -> {} bytes of v3 binary ({output})",
+        bundle.len(),
+        payload.len(),
+        binary.len()
+    );
+    Ok(())
+}
+
+/// `bundle unpack`: a v3 binary bundle → the equivalent v2 JSON bundle
+/// (the exact inverse of `pack`: pack → unpack round-trips
+/// byte-identically).
+fn bundle_unpack(args: &[String]) -> Result<(), String> {
+    let (input, output) = bundle_io_paths(args)?;
+    let bundle = BundleStore::open(&input)
+        .and_then(|store| store.load_all())
+        .map_err(|e| e.to_string())?;
+    let json = bundle.to_json();
+    std::fs::write(&output, &json).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "unpacked {} site(s) to {} bytes of v2 JSON ({output})",
+        bundle.len(),
+        json.len()
+    );
+    Ok(())
+}
+
+/// `bundle inspect`: header + index of a v3 binary bundle — site count
+/// and per-segment sizes, without deserializing a single wrapper.
+fn bundle_inspect(args: &[String]) -> Result<(), String> {
+    let input = flag(args, "--in").ok_or("--in FILE is required")?;
+    let total = std::fs::metadata(&input)
+        .map(|m| m.len())
+        .map_err(|e| format!("{input}: {e}"))?;
+    let store = BundleStore::open(&input).map_err(|e| e.to_string())?;
+    println!(
+        "format: {} v{}",
+        aw_core::BUNDLE_BIN_FORMAT,
+        aw_core::BUNDLE_BIN_VERSION
+    );
+    println!("sites: {}", store.len());
+    let segment_bytes: u64 = store.segments().map(|(_, len)| len).sum();
+    println!(
+        "bytes: {total} total ({segment_bytes} in segments, {} header + index)",
+        total - segment_bytes
+    );
+    for (key, len) in store.segments() {
+        println!("  {len:>8}  {key}");
+    }
     Ok(())
 }
 
