@@ -31,14 +31,21 @@
 //! template cache: `sharded` with the cache off vs on. The ratio is
 //! reported as `template_cache_speedup`.
 //!
-//! Two serving-side measurements ride on the repeated-template corpus:
-//! `service_throughput` (the `ExtractionService` request stream) and
-//! `service_health_ratio` — the same stream with per-site health
+//! Serving-side measurements ride on the repeated-template corpus:
+//! `service_throughput` (the request stream over real sockets through
+//! the event-driven reactor, one keep-alive connection),
+//! `service_keepalive_vs_blocking` (that stream vs the same requests
+//! through the legacy blocking loop, one TCP connection per request —
+//! gated: connection reuse must keep paying), and
+//! `service_health_ratio` — the in-process stream with per-site health
 //! tracking on vs off, gated near 1.0 so the robustness loop's
-//! accounting stays effectively free. A synchronous churn episode
-//! (`TemplateEvolution`) additionally reports `relearn_recovery`:
-//! drifted requests until degradation, relearn-and-swap wall clock,
-//! and requests until health journals recovery (report-only).
+//! accounting stays effectively free. The reactor's request-latency
+//! histogram lands in the report as `service.latency_p50_us` /
+//! `latency_p99_us` (and report-only `service_p99_us` under
+//! `speedups`). A synchronous churn episode (`TemplateEvolution`)
+//! additionally reports `relearn_recovery`: drifted requests until
+//! degradation, relearn-and-swap wall clock, and requests until health
+//! journals recovery (report-only).
 //!
 //! The run writes `BENCH_xpath.json` (schema documented in
 //! `crates/bench/README.md`) to `$BENCH_JSON` (default
@@ -391,8 +398,147 @@ fn main() {
         black_box(stream(&service_off));
         t_service_off = t_service_off.min(t.elapsed().as_secs_f64());
     }
-    let service_rps = requests.len() as f64 / t_service;
+    let inprocess_rps = requests.len() as f64 / t_service;
     let service_health_ratio = t_service_off / t_service;
+
+    // ── HTTP serving streams ─────────────────────────────────────────
+    // The same request stream over real sockets, through both serving
+    // engines: the event-driven reactor reusing ONE keep-alive
+    // connection for the whole stream, and the legacy blocking loop
+    // paying a fresh TCP connection per request (its protocol closes
+    // after every response). `service_throughput` is the keep-alive
+    // requests/sec; the gated `service_keepalive_vs_blocking` ratio is
+    // what connection reuse buys at the socket layer. Both engines
+    // front services over the same registry, so wrapper template caches
+    // are shared and warm for both; the two streams are timed
+    // interleaved (best-of each) so machine-load drift cannot
+    // masquerade as an engine difference.
+    let http_bodies: Vec<String> = requests
+        .iter()
+        .map(|(s, _, request)| {
+            serde_json::to_string(&obj(vec![
+                ("site", Value::String(format!("site-{s}"))),
+                ("html", Value::String(request.pages[0].clone())),
+            ]))
+            .expect("body serializes")
+        })
+        .collect();
+    let reactor_service =
+        Arc::new(ExtractionService::new(Arc::clone(&registry)).with_executor(seq.clone()));
+    let reactor = aw_serve::Server::bind(Arc::clone(&reactor_service), "127.0.0.1:0")
+        .expect("bind reactor")
+        .workers(1)
+        .start()
+        .expect("start reactor");
+    let blocking_service =
+        Arc::new(ExtractionService::new(Arc::clone(&registry)).with_executor(seq.clone()));
+    let blocking = aw_serve::Server::bind(Arc::clone(&blocking_service), "127.0.0.1:0")
+        .expect("bind blocking")
+        .workers(1)
+        .blocking(true)
+        .start()
+        .expect("start blocking");
+
+    // Reads one HTTP/1.1 response off a keep-alive stream (headers,
+    // then exactly Content-Length body bytes).
+    fn read_response(stream: &mut std::net::TcpStream) -> (u16, String) {
+        use std::io::Read as _;
+        let mut buf = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = stream.read(&mut chunk).expect("read response head");
+            assert!(n > 0, "server closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end]).expect("UTF-8 head");
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let length: usize = head
+            .lines()
+            .find_map(|line| line.strip_prefix("Content-Length: "))
+            .expect("Content-Length")
+            .parse()
+            .expect("numeric length");
+        let mut body = buf[head_end + 4..].to_vec();
+        while body.len() < length {
+            let n = stream.read(&mut chunk).expect("read response body");
+            assert!(n > 0, "server closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(length);
+        (status, String::from_utf8(body).expect("UTF-8 body"))
+    }
+
+    let keepalive_stream = |bodies: &[String]| -> usize {
+        use std::io::Write as _;
+        let mut stream = std::net::TcpStream::connect(reactor.addr()).expect("connect reactor");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut ok = 0;
+        for body in bodies {
+            stream
+                .write_all(
+                    format!(
+                        "POST /extract HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                )
+                .expect("send");
+            let (status, reply) = read_response(&mut stream);
+            assert_eq!(status, 200, "{reply}");
+            ok += 1;
+        }
+        ok
+    };
+    let blocking_stream = |bodies: &[String]| -> usize {
+        use std::io::Write as _;
+        let mut ok = 0;
+        for body in bodies {
+            let mut stream =
+                std::net::TcpStream::connect(blocking.addr()).expect("connect blocking");
+            stream.set_nodelay(true).expect("nodelay");
+            stream
+                .write_all(
+                    format!(
+                        "POST /extract HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                )
+                .expect("send");
+            let (status, reply) = read_response(&mut stream);
+            assert_eq!(status, 200, "{reply}");
+            ok += 1;
+        }
+        ok
+    };
+    // Both engines must serve the stream correctly before timing (this
+    // also warms wrapper caches and the reactor's accept path).
+    assert_eq!(keepalive_stream(&http_bodies), http_bodies.len());
+    assert_eq!(blocking_stream(&http_bodies), http_bodies.len());
+    let (mut t_keepalive, mut t_blocking) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..passes.max(3) {
+        let t = Instant::now();
+        black_box(keepalive_stream(&http_bodies));
+        t_keepalive = t_keepalive.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(blocking_stream(&http_bodies));
+        t_blocking = t_blocking.min(t.elapsed().as_secs_f64());
+    }
+    let service_rps = http_bodies.len() as f64 / t_keepalive;
+    let blocking_rps = http_bodies.len() as f64 / t_blocking;
+    let keepalive_vs_blocking = t_blocking / t_keepalive;
+    // Full-request wall-time percentiles, recorded by the reactor for
+    // every request of every keep-alive pass (report-only).
+    let latency = reactor_service.latency().snapshot();
+    reactor.shutdown();
+    blocking.shutdown();
 
     // Self-healing recovery: a deployed wrapper defeated by breaking
     // template churn. Measured synchronously: requests of drifted
@@ -646,16 +792,29 @@ fn main() {
         cache_misses,
     );
     println!(
-        "service throughput: {} single-page requests in {:.3} ms → {:.0} requests/sec",
+        "service throughput (in-process): {} single-page requests in {:.3} ms → {:.0} requests/sec",
         requests.len(),
         t_service * ms,
-        service_rps,
+        inprocess_rps,
     );
     println!(
         "health accounting: stream without tracking {:.3} ms → ratio {:.3} \
          (health-on / health-off throughput)",
         t_service_off * ms,
         service_health_ratio,
+    );
+    println!(
+        "HTTP serving: keep-alive reactor {:.3} ms ({:.0} rps) vs \
+         connection-per-request blocking {:.3} ms ({:.0} rps) → {:.2}x",
+        t_keepalive * ms,
+        service_rps,
+        t_blocking * ms,
+        blocking_rps,
+        keepalive_vs_blocking,
+    );
+    println!(
+        "request latency (reactor, {} samples): p50 {} µs, p90 {} µs, p99 {} µs, max {} µs",
+        latency.count, latency.p50_us, latency.p90_us, latency.p99_us, latency.max_us,
     );
     println!(
         "relearn recovery: {} drifted requests to degrade, relearn+swap {:.3} ms, \
@@ -724,6 +883,8 @@ fn main() {
                 ("template_nocache", num(t_template_nocache * ms)),
                 ("template_cached", num(t_template_cached * ms)),
                 ("service_stream", num(t_service * ms)),
+                ("http_keepalive_stream", num(t_keepalive * ms)),
+                ("http_blocking_stream", num(t_blocking * ms)),
                 (
                     "sharded_parallel",
                     Value::Object(
@@ -747,11 +908,21 @@ fn main() {
                     "template_cache_speedup",
                     num(t_template_nocache / t_template_cached),
                 ),
-                // Not a ratio: absolute requests/sec of the service
-                // stream (gated like the ratios; see the baseline file).
+                // Not a ratio: absolute requests/sec of the keep-alive
+                // HTTP stream through the reactor, over real sockets
+                // (gated like the ratios; see the baseline file).
                 ("service_throughput", num(service_rps)),
-                // Health-on over health-off throughput — gated near 1.0
-                // so health accounting stays effectively free.
+                // Keep-alive reactor over connection-per-request
+                // blocking throughput — gated: connection reuse must
+                // keep paying at the socket layer.
+                ("service_keepalive_vs_blocking", num(keepalive_vs_blocking)),
+                // Reactor-measured p99 full-request wall time in µs —
+                // report-only (the gate reads only the metrics the
+                // baseline's min_speedup object names).
+                ("service_p99_us", num(latency.p99_us as f64)),
+                // Health-on over health-off throughput of the
+                // in-process stream — gated near 1.0 so health
+                // accounting stays effectively free.
                 ("service_health_ratio", num(service_health_ratio)),
                 // v2-eager over v3-lazy time-to-first-extraction on the
                 // bundle_cold corpus (absolutes under `bundle_cold`).
@@ -772,11 +943,25 @@ fn main() {
             "service",
             obj(vec![
                 ("requests", num(requests.len() as f64)),
+                // Keep-alive HTTP stream through the reactor (the
+                // number `service_throughput` gates on).
                 ("requests_per_sec", num(service_rps)),
+                // Connection-per-request stream through the blocking
+                // loop, same requests over real sockets.
+                ("requests_per_sec_blocking", num(blocking_rps)),
+                // The raw ExtractionService loop with no socket at all.
+                ("requests_per_sec_inprocess", num(inprocess_rps)),
                 (
                     "requests_per_sec_no_health",
                     num(requests.len() as f64 / t_service_off),
                 ),
+                // Reactor-measured full-request wall-time percentiles
+                // (request parsed → response queued), microseconds.
+                ("latency_p50_us", num(latency.p50_us as f64)),
+                ("latency_p90_us", num(latency.p90_us as f64)),
+                ("latency_p99_us", num(latency.p99_us as f64)),
+                ("latency_max_us", num(latency.max_us as f64)),
+                ("latency_samples", num(latency.count as f64)),
             ]),
         ),
         (

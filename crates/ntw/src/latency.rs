@@ -1,0 +1,237 @@
+//! Per-request latency accounting: a lock-free HDR-style histogram.
+//!
+//! Throughput alone hides the tail: one stalled request in ten thousand
+//! is invisible in requests/sec and decisive for an interactive caller.
+//! [`LatencyHistogram`] records per-request wall time in microseconds
+//! into log-linear buckets (exact below 128 µs, 16 sub-buckets per
+//! octave above — ≤ ~6 % relative quantization error, HDR-histogram
+//! style) using only atomic increments, so the serving hot path pays a
+//! handful of nanoseconds per request and readers never block writers.
+//!
+//! [`LatencyHistogram::snapshot`] folds the buckets into a
+//! [`LatencySnapshot`] (count, p50/p90/p99, exact max) — the `latency`
+//! object `GET /wrappers` serves and the `service.latency_*` fields of
+//! `BENCH_xpath.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Values below this are their own bucket (exact to the microsecond).
+const LINEAR_CUTOFF: u64 = 128;
+/// Sub-buckets per power of two above the linear range.
+const SUB_BUCKETS: u64 = 16;
+/// Octaves covered above the linear range: 2^7 … 2^63.
+const OCTAVES: usize = 57;
+/// Total bucket count.
+const BUCKETS: usize = LINEAR_CUTOFF as usize + OCTAVES * SUB_BUCKETS as usize;
+
+/// A concurrent log-linear latency histogram (microsecond domain).
+///
+/// Writers call [`LatencyHistogram::record`] from any thread; readers
+/// call [`LatencyHistogram::snapshot`] at any time. Both are wait-free
+/// (plain atomic adds / loads), so a stats endpoint polling the
+/// histogram never slows the request path.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+/// Maps a microsecond value to its bucket index.
+fn bucket_of(us: u64) -> usize {
+    if us < LINEAR_CUTOFF {
+        return us as usize;
+    }
+    // us ≥ 128 ⇒ the high bit g is ≥ 7; within octave [2^g, 2^(g+1))
+    // the top SUB_BUCKETS bits after the leading one select the
+    // sub-bucket.
+    let g = 63 - us.leading_zeros() as u64; // 7..=63
+    let sub = (us >> (g - 4)) - SUB_BUCKETS; // 0..16
+    (LINEAR_CUTOFF + (g - 7) * SUB_BUCKETS + sub) as usize
+}
+
+/// The smallest microsecond value a bucket can hold — the conservative
+/// (never over-reporting) representative returned for percentiles.
+fn bucket_floor(index: usize) -> u64 {
+    let index = index as u64;
+    if index < LINEAR_CUTOFF {
+        return index;
+    }
+    let g = (index - LINEAR_CUTOFF) / SUB_BUCKETS + 7;
+    let sub = (index - LINEAR_CUTOFF) % SUB_BUCKETS;
+    (1 << g) + (sub << (g - 4))
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        // A loop (not `[ZERO; N]`) because `AtomicU64` is not `Copy`.
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .expect("bucket count is BUCKETS");
+        LatencyHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one request's wall time.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_micros(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one request's wall time, already in microseconds.
+    pub fn record_micros(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Requests recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds the buckets into percentiles. Concurrent recording is
+    /// fine: the snapshot is some consistent-enough interleaving (each
+    /// bucket read once, count derived from the same pass).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let max_us = self.max_us.load(Ordering::Relaxed);
+        let percentile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile (1-based, nearest-rank method).
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (index, &n) in counts.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // The top bucket's floor may undershoot the exact
+                    // max we kept; never report p100 < max-bucket floor
+                    // sanity by capping at the recorded max.
+                    return bucket_floor(index).min(max_us);
+                }
+            }
+            max_us
+        };
+        LatencySnapshot {
+            count: total,
+            p50_us: percentile(0.50),
+            p90_us: percentile(0.90),
+            p99_us: percentile(0.99),
+            max_us,
+        }
+    }
+}
+
+/// A point-in-time folding of a [`LatencyHistogram`].
+///
+/// Percentiles are bucket floors (conservative within the histogram's
+/// ≤ ~6 % quantization), `max_us` is exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Requests recorded.
+    pub count: u64,
+    /// Median request wall time, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile wall time, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile wall time, microseconds.
+    pub p99_us: u64,
+    /// Largest recorded wall time, microseconds (exact).
+    pub max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot(), LatencySnapshot::default());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn linear_range_is_exact() {
+        let h = LatencyHistogram::new();
+        for us in 0..100 {
+            h.record_micros(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // Nearest-rank: the k-th smallest of {0…99} is k−1.
+        assert_eq!(s.p50_us, 49);
+        assert_eq!(s.p90_us, 89);
+        assert_eq!(s.p99_us, 98);
+        assert_eq!(s.max_us, 99);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let h = LatencyHistogram::new();
+        // A skewed distribution across several octaves.
+        for i in 1..=1000u64 {
+            h.record_micros(i * i); // 1 … 1e6 µs
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50_us <= s.p90_us, "{s:?}");
+        assert!(s.p90_us <= s.p99_us, "{s:?}");
+        assert!(s.p99_us <= s.max_us, "{s:?}");
+        assert_eq!(s.max_us, 1_000_000);
+        // p50 of i² over 1..=1000 is 500² = 250_000; allow the ~6 %
+        // bucket quantization (floors never overshoot).
+        assert!(s.p50_us <= 250_000 && s.p50_us > 230_000, "{s:?}");
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_floors_bound() {
+        let mut last = 0usize;
+        for us in [0u64, 1, 127, 128, 129, 255, 256, 1 << 20, u64::MAX / 2] {
+            let b = bucket_of(us);
+            assert!(b >= last, "bucket_of not monotone at {us}");
+            assert!(bucket_floor(b) <= us, "floor overshoots at {us}");
+            last = b;
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn concurrent_recording_sums() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_micros(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 4000);
+        assert_eq!(h.snapshot().max_us, 3999);
+    }
+}

@@ -83,6 +83,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod health;
+pub mod latency;
 pub mod learner;
 pub mod multi_type;
 pub mod relearn;
@@ -99,6 +100,7 @@ pub use config::{Enumeration, NtwConfig, WrapperLanguage};
 pub use engine::{Annotator, Engine, EngineBuilder, RankedWrapper, RankedWrappers, WrapperSpace};
 pub use error::AwError;
 pub use health::{HealthEvent, HealthThresholds, HealthTracker, PageObservation, SiteHealth};
+pub use latency::{LatencyHistogram, LatencySnapshot};
 #[allow(deprecated)]
 pub use learner::{learn, naive_wrapper};
 pub use learner::{learn_with_blackbox, learn_with_feature_based, LearnedWrapper, NtwOutcome};

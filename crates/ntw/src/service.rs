@@ -36,6 +36,7 @@ use crate::artifact::{CompiledWrapper, WrapperBundle};
 use crate::config::WrapperLanguage;
 use crate::error::AwError;
 use crate::health::{HealthThresholds, HealthTracker, PageObservation, SiteHealth};
+use crate::latency::LatencyHistogram;
 use crate::relearn::RelearnController;
 use crate::store::BundleStore;
 use aw_dom::Document;
@@ -543,6 +544,7 @@ pub struct ExtractionService {
     health: Arc<HealthTracker>,
     health_enabled: bool,
     relearn: Option<Arc<RelearnController>>,
+    latency: LatencyHistogram,
 }
 
 impl ExtractionService {
@@ -555,6 +557,7 @@ impl ExtractionService {
             health: Arc::new(HealthTracker::default()),
             health_enabled: true,
             relearn: None,
+            latency: LatencyHistogram::new(),
         }
     }
 
@@ -601,6 +604,15 @@ impl ExtractionService {
     /// The health tracker fed by [`ExtractionService::handle`].
     pub fn health(&self) -> &Arc<HealthTracker> {
         &self.health
+    }
+
+    /// The service's request-latency histogram. The service itself does
+    /// **not** record into it — whoever frames requests does (the HTTP
+    /// front end records full per-request wall time; an in-process
+    /// caller can record around [`ExtractionService::handle`]), so the
+    /// numbers mean "what a caller waited", not just extraction time.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
     }
 
     /// The attached relearn controller, if any.

@@ -218,10 +218,26 @@ impl WrapperBundle {
     }
 }
 
-/// The internal source abstraction: a file, or an in-memory cursor for
-/// byte payloads (HTTP uploads, tests).
-trait ReadSeek: Read + Seek + Send {}
-impl<T: Read + Seek + Send> ReadSeek for T {}
+/// Reader handles kept warm per file-backed store. Concurrent faults
+/// beyond the pool open (and then retire) extra descriptors, so the cap
+/// bounds idle descriptors, not concurrency.
+const READER_POOL_CAP: usize = 8;
+
+/// Where segment bytes come from after open-time validation.
+///
+/// File-backed stores hold a small pool of independent `File` handles:
+/// each [`BundleStore::load`] checks one out (opening a fresh
+/// descriptor when the pool runs dry), so concurrent lazy faults from
+/// many connections seek-and-read in parallel instead of serializing on
+/// one shared cursor. In-memory stores are a plain shared byte slice —
+/// reads are pure slicing, no lock at all.
+enum SegmentSource {
+    File {
+        path: std::path::PathBuf,
+        pool: Mutex<Vec<std::fs::File>>,
+    },
+    Memory(Vec<u8>),
+}
 
 /// An open-without-loading handle on a v3 binary bundle.
 ///
@@ -233,12 +249,14 @@ impl<T: Read + Seek + Send> ReadSeek for T {}
 /// its first request in index-read time, not full-parse time (the
 /// `bundle_cold_start` bench metric).
 ///
-/// The handle is `Sync`: concurrent [`BundleStore::load`] calls
-/// serialize on an internal source lock (one seek+read at a time),
-/// which is the needed granularity — faulting wrappers in is the rare
-/// path, serving resident ones never touches the store.
+/// The handle is `Sync`, and concurrent [`BundleStore::load`] calls do
+/// **not** serialize: a file-backed store draws an independent `File`
+/// handle from a small reader pool per load (growing the pool on
+/// demand, retiring descriptors beyond a small cap), and an in-memory
+/// store reads by pure slicing — so simultaneous lazy faults from many
+/// connections overlap instead of queuing on one shared cursor.
 pub struct BundleStore {
-    source: Mutex<Box<dyn ReadSeek>>,
+    source: SegmentSource,
     /// Sorted by key (validated at open), so lookup is binary search.
     index: Vec<IndexEntry>,
 }
@@ -255,18 +273,32 @@ impl BundleStore {
     /// Opens a v3 binary bundle file, reading only its header + index.
     pub fn open(path: impl AsRef<Path>) -> Result<BundleStore, AwError> {
         let path = path.as_ref();
-        let file = std::fs::File::open(path)
+        let mut file = std::fs::File::open(path)
             .map_err(|e| AwError::Io(format!("{}: {e}", path.display())))?;
-        BundleStore::from_source(Box::new(file))
+        let index = BundleStore::parse_index(&mut file)?;
+        Ok(BundleStore {
+            // The open-time handle seeds the reader pool.
+            source: SegmentSource::File {
+                path: path.to_path_buf(),
+                pool: Mutex::new(vec![file]),
+            },
+            index,
+        })
     }
 
     /// Opens a v3 binary bundle held in memory (an HTTP upload, a
     /// packed `Vec<u8>`); same validation as [`BundleStore::open`].
     pub fn from_bytes(bytes: Vec<u8>) -> Result<BundleStore, AwError> {
-        BundleStore::from_source(Box::new(Cursor::new(bytes)))
+        let index = BundleStore::parse_index(&mut Cursor::new(&bytes))?;
+        Ok(BundleStore {
+            source: SegmentSource::Memory(bytes),
+            index,
+        })
     }
 
-    fn from_source(mut source: Box<dyn ReadSeek>) -> Result<BundleStore, AwError> {
+    /// Validates header + index through any seekable source, returning
+    /// the parsed index (shared by the file and in-memory constructors).
+    fn parse_index(source: &mut (impl Read + Seek)) -> Result<Vec<IndexEntry>, AwError> {
         let total = source.seek(SeekFrom::End(0)).map_err(io_err)?;
         if total < HEADER_LEN {
             return Err(AwError::TruncatedBundle {
@@ -368,10 +400,7 @@ impl BundleStore {
         if pos != index_bytes.len() {
             return Err(malformed("index length does not match its entry count"));
         }
-        Ok(BundleStore {
-            source: Mutex::new(source),
-            index,
-        })
+        Ok(index)
     }
 
     /// Number of sites in the bundle.
@@ -429,19 +458,56 @@ impl BundleStore {
     }
 
     fn read_segment(&self, entry: &IndexEntry) -> Result<Vec<u8>, AwError> {
-        let mut source = self
-            .source
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        source.seek(SeekFrom::Start(entry.offset)).map_err(io_err)?;
-        let mut buf = vec![0u8; entry.len as usize];
-        source
-            .read_exact(&mut buf)
-            .map_err(|e| AwError::TruncatedBundle {
-                site: Some(entry.key.clone()),
-                detail: format!("payload ends mid-segment: {e}"),
-            })?;
-        drop(source);
+        let truncated = |detail: String| AwError::TruncatedBundle {
+            site: Some(entry.key.clone()),
+            detail,
+        };
+        let buf = match &self.source {
+            SegmentSource::Memory(bytes) => {
+                // Extents were bounds-checked at open; a second check
+                // keeps a logic slip a typed error, not a panic.
+                let end = entry.offset.checked_add(entry.len);
+                match end.filter(|&end| end <= bytes.len() as u64) {
+                    Some(end) => bytes[entry.offset as usize..end as usize].to_vec(),
+                    None => {
+                        return Err(truncated(format!(
+                            "payload ends mid-segment: {} bytes held, segment ends at {:?}",
+                            bytes.len(),
+                            end
+                        )))
+                    }
+                }
+            }
+            SegmentSource::File { path, pool } => {
+                // Check a reader handle out of the pool — or open a
+                // fresh descriptor when every pooled one is in use, so
+                // concurrent faults never wait on each other's seeks.
+                let pooled = {
+                    let mut pool = pool
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    pool.pop()
+                };
+                let mut file = match pooled {
+                    Some(file) => file,
+                    None => std::fs::File::open(path)
+                        .map_err(|e| AwError::Io(format!("{}: {e}", path.display())))?,
+                };
+                let mut buf = vec![0u8; entry.len as usize];
+                file.seek(SeekFrom::Start(entry.offset)).map_err(io_err)?;
+                file.read_exact(&mut buf)
+                    .map_err(|e| truncated(format!("payload ends mid-segment: {e}")))?;
+                // Check the handle back in; beyond the cap it is simply
+                // closed (the pool bounds idle descriptors).
+                let mut pool = pool
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if pool.len() < READER_POOL_CAP {
+                    pool.push(file);
+                }
+                buf
+            }
+        };
         if fnv1a(&buf) != entry.checksum {
             return Err(AwError::CorruptSegment {
                 site: entry.key.clone(),
@@ -673,6 +739,44 @@ mod tests {
         // Garbage is a typed error.
         assert!(ArtifactReader::read_bytes(&[0xFF, 0xFE, 0x00]).is_err());
         assert!(ArtifactReader::read_bytes(b"not json").is_err());
+    }
+
+    #[test]
+    fn concurrent_faults_through_the_reader_pool_are_correct() {
+        // Many threads fault different (and the same) sites out of one
+        // file-backed store at once. With the single-cursor design this
+        // serialized; with the reader pool it overlaps — either way
+        // every load must come back intact (each handle has its own
+        // file position, so no interleaving can mix two segments).
+        let bundle = sample_bundle();
+        let dir = std::env::temp_dir().join(format!("aw-store-pool-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.awb");
+        std::fs::write(&path, bundle.to_binary()).unwrap();
+        let store = std::sync::Arc::new(BundleStore::open(&path).unwrap());
+        let expected: Vec<(String, String)> = bundle
+            .iter()
+            .map(|(key, wrapper)| (key.to_string(), wrapper.rule().to_string()))
+            .collect();
+        let threads: Vec<_> = (0..16)
+            .map(|t| {
+                let store = std::sync::Arc::clone(&store);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for round in 0..20 {
+                        let (key, rule) = &expected[(t + round) % expected.len()];
+                        let loaded = store.load(key).unwrap().expect("indexed key loads");
+                        assert_eq!(loaded.rule().to_string(), *rule, "{key}");
+                    }
+                    // Missing keys stay a clean miss under concurrency.
+                    assert!(store.load("zz-missing").unwrap().is_none());
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

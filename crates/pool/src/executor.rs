@@ -387,9 +387,17 @@ impl Shared {
             for _ in 0..copies {
                 dq.push_back(Arc::clone(task));
             }
+            // Count the handles while still holding the deque lock. If
+            // the increment landed after the lock was released, a racing
+            // pop could decrement first, `note_popped`'s saturation at
+            // zero would swallow that decrement, and `queued` would
+            // overstate forever — workers then spin on the phantom count
+            // instead of parking (a livelock that can starve the mapping
+            // thread outright on single-CPU hosts). The deque→queued
+            // nesting matches `find_task`/`note_popped`.
+            let mut q = self.queued.lock().unwrap();
+            *q += copies;
         }
-        let mut q = self.queued.lock().unwrap();
-        *q += copies;
         if copies == 1 {
             self.wake.notify_one();
         } else {
@@ -493,6 +501,28 @@ mod tests {
         let items: Vec<u64> = (0..5000).collect();
         let out = Executor::new(4).map(&items, |&x| x * 2);
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    /// Hammers the push/pop interleaving with many tiny maps. A stale
+    /// `queued` count (handles popped before their increment landed —
+    /// the decrement saturates at zero and the count overstates forever)
+    /// leaves workers spinning instead of parking and can starve the
+    /// mapping thread outright; the watchdog turns that wedge into a
+    /// test failure instead of a hung suite.
+    #[test]
+    fn rapid_small_maps_never_wedge() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let pool = Executor::new(3);
+            for i in 0..20_000usize {
+                let items: Vec<usize> = (0..7).collect();
+                let out = pool.map(&items, |&x| x + i);
+                assert_eq!(out[6], 6 + i);
+            }
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(120))
+            .expect("executor wedged: rapid small maps did not complete");
     }
 
     #[test]

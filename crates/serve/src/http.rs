@@ -1,12 +1,21 @@
-//! The socket layer: a minimal HTTP/1.1 server on `std::net`.
+//! The socket layer: server configuration plus the legacy blocking
+//! HTTP/1.1 loop.
 //!
-//! Scope (documented in `README.md`): request line + headers + body
-//! framed by `Content-Length`; responses always close the connection
-//! (`Connection: close`), so clients never need chunked decoding, and a
-//! worker owns exactly one connection at a time. This is the smallest
-//! protocol surface that `curl`, load generators and the smoke test all
-//! speak without a client library.
+//! [`Server`] fronts two interchangeable engines over one
+//! [`ExtractionService`]:
+//!
+//! * the **event-driven reactor** (default, `crate::reactor`): one
+//!   `poll(2)` thread multiplexing every connection with keep-alive,
+//!   pipelining and backpressure;
+//! * the **blocking loop** (below, [`Server::blocking`]): a fixed team
+//!   of connection-per-worker threads, one request per connection,
+//!   `Connection: close` — kept as the differential oracle the reactor
+//!   is byte-compared against over real sockets.
+//!
+//! Both engines frame requests and responses through `crate::proto`,
+//! so identical requests produce identical wire bytes.
 
+use crate::proto::{encode_response, parse_head, HeadParse, MAX_BODY};
 use crate::{respond, Request, Response};
 use aw_core::ExtractionService;
 use std::io::{ErrorKind, Read, Write};
@@ -14,30 +23,42 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Largest accepted header block (request line + headers).
-const MAX_HEAD: usize = 64 * 1024;
-/// Largest accepted body (a bundle or a batch of pages).
-const MAX_BODY: usize = 64 * 1024 * 1024;
-/// Per-read/-write socket timeout: a fully stalled client errors out of
-/// the next I/O call.
+/// Per-read/-write socket timeout in the blocking loop: a fully
+/// stalled client errors out of the next I/O call.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
-/// Wall-clock cap on one whole request's read phase: a *trickling*
-/// client (one byte every few seconds keeps each read under
-/// [`IO_TIMEOUT`]) is still cut off here instead of pinning its
-/// connection worker indefinitely.
+/// Default wall-clock cap on one request's read phase (both engines): a
+/// *trickling* client (one byte every few seconds keeps each read under
+/// [`IO_TIMEOUT`]) is cut off with a 408 instead of pinning a worker or
+/// a reactor slot indefinitely.
 const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+/// Default keep-alive idle timeout (reactor): a connection with no
+/// request in progress is closed after this long.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default cap on simultaneously open reactor connections (accept
+/// backpressure: at the cap the listener is simply not polled, so new
+/// connections wait in the kernel backlog instead of growing our state).
+const MAX_CONNECTIONS: usize = 1024;
+/// Default bound on dispatched-but-unanswered requests (inflight
+/// backpressure: past it the reactor answers 503 + `Retry-After`
+/// immediately instead of queuing without bound).
+const QUEUE_DEPTH: usize = 256;
 /// Accept-poll interval while idle (the listener is non-blocking so
-/// workers can observe shutdown).
+/// blocking-mode workers can observe shutdown).
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// A configured-but-not-yet-running HTTP front end over an
 /// [`ExtractionService`].
 pub struct Server {
-    listener: TcpListener,
-    service: Arc<ExtractionService>,
-    workers: usize,
+    pub(crate) listener: TcpListener,
+    pub(crate) service: Arc<ExtractionService>,
+    pub(crate) workers: usize,
+    pub(crate) blocking: bool,
+    pub(crate) max_connections: usize,
+    pub(crate) queue_depth: usize,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) read_deadline: Duration,
 }
 
 impl Server {
@@ -51,14 +72,67 @@ impl Server {
             listener,
             service,
             workers,
+            blocking: cfg!(not(unix)),
+            max_connections: MAX_CONNECTIONS,
+            queue_depth: QUEUE_DEPTH,
+            idle_timeout: IDLE_TIMEOUT,
+            read_deadline: REQUEST_DEADLINE,
         })
     }
 
-    /// Sets the connection-worker count (clamped to ≥ 1). Each worker
-    /// owns one connection at a time; extraction inside a request still
-    /// runs on the shared executor, whatever this count is.
+    /// Sets the worker count (clamped to ≥ 1). Reactor mode: the
+    /// service threads draining the dispatch queue. Blocking mode: the
+    /// connection workers, each owning one connection at a time. Either
+    /// way, extraction inside a request still runs on the shared
+    /// executor, whatever this count is.
     pub fn workers(mut self, workers: usize) -> Server {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Selects the legacy blocking connection-per-worker loop instead
+    /// of the event-driven reactor (`awrap serve --blocking`) — the
+    /// differential oracle: same router, same framing code, so
+    /// responses are byte-identical; only concurrency and connection
+    /// reuse differ. Non-Unix builds always use the blocking loop (the
+    /// reactor needs `poll(2)`).
+    pub fn blocking(mut self, blocking: bool) -> Server {
+        self.blocking = blocking || cfg!(not(unix));
+        self
+    }
+
+    /// Caps simultaneously open reactor connections (≥ 1). At the cap
+    /// the listener is not polled: new connections queue in the kernel
+    /// accept backlog until a slot frees, instead of growing per-server
+    /// state without bound.
+    pub fn max_connections(mut self, max_connections: usize) -> Server {
+        self.max_connections = max_connections.max(1);
+        self
+    }
+
+    /// Bounds dispatched-but-unanswered requests in reactor mode. Past
+    /// the bound, requests are answered `503` + `Retry-After: 1`
+    /// immediately (`GET /healthz` bypasses the queue and still
+    /// answers). `0` is allowed — it sheds every dispatched request,
+    /// which is how the backpressure tests drive the path
+    /// deterministically.
+    pub fn queue_depth(mut self, queue_depth: usize) -> Server {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Reactor keep-alive idle timeout: a connection with no request in
+    /// progress closes quietly after this long.
+    pub fn idle_timeout(mut self, idle_timeout: Duration) -> Server {
+        self.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Wall-clock cap on one request's read phase (both engines). When
+    /// it fires mid-request the client gets `408 Request Timeout`, not
+    /// a silent drop.
+    pub fn read_deadline(mut self, read_deadline: Duration) -> Server {
+        self.read_deadline = read_deadline;
         self
     }
 
@@ -67,10 +141,21 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Spawns the worker team and returns the running server's handle.
+    /// Spawns the serving threads and returns the running server's
+    /// handle: the reactor plus its service workers by default, the
+    /// blocking connection-worker team under [`Server::blocking`].
     pub fn start(self) -> std::io::Result<ServerHandle> {
+        #[cfg(unix)]
+        if !self.blocking {
+            return crate::reactor::start(self);
+        }
+        self.start_blocking()
+    }
+
+    fn start_blocking(self) -> std::io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let read_deadline = self.read_deadline;
         let mut threads = Vec::with_capacity(self.workers);
         for i in 0..self.workers {
             let spawned = self.listener.try_clone().and_then(|listener| {
@@ -78,7 +163,7 @@ impl Server {
                 let stop = Arc::clone(&stop);
                 std::thread::Builder::new()
                     .name(format!("aw-serve-{i}"))
-                    .spawn(move || worker_loop(listener, service, stop))
+                    .spawn(move || worker_loop(listener, service, stop, read_deadline))
             });
             match spawned {
                 Ok(handle) => threads.push(handle),
@@ -99,6 +184,8 @@ impl Server {
             addr,
             stop,
             threads,
+            #[cfg(unix)]
+            dispatch: None,
         })
     }
 }
@@ -106,9 +193,13 @@ impl Server {
 /// A running server: hold it to keep serving, [`ServerHandle::shutdown`]
 /// to stop.
 pub struct ServerHandle {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) threads: Vec<JoinHandle<()>>,
+    /// Reactor mode only: lets shutdown wake the poll loop and the
+    /// parked service workers.
+    #[cfg(unix)]
+    pub(crate) dispatch: Option<Arc<crate::reactor::Dispatch>>,
 }
 
 impl ServerHandle {
@@ -117,17 +208,21 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Signals every worker to stop accepting and waits for them to
-    /// finish their in-flight connections.
+    /// Signals every thread to stop and waits for them to finish their
+    /// in-flight work.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        #[cfg(unix)]
+        if let Some(dispatch) = &self.dispatch {
+            dispatch.interrupt();
+        }
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
     }
 
-    /// Blocks until the workers exit (they only exit on shutdown, so
-    /// this is "serve forever" for a CLI process).
+    /// Blocks until the serving threads exit (they only exit on
+    /// shutdown, so this is "serve forever" for a CLI process).
     pub fn join(mut self) {
         for handle in self.threads.drain(..) {
             let _ = handle.join();
@@ -135,9 +230,14 @@ impl ServerHandle {
     }
 }
 
-/// One worker's accept loop: poll the shared non-blocking listener,
-/// serve each accepted connection to completion.
-fn worker_loop(listener: TcpListener, service: Arc<ExtractionService>, stop: Arc<AtomicBool>) {
+/// One blocking worker's accept loop: poll the shared non-blocking
+/// listener, serve each accepted connection to completion.
+fn worker_loop(
+    listener: TcpListener,
+    service: Arc<ExtractionService>,
+    stop: Arc<AtomicBool>,
+    read_deadline: Duration,
+) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -147,7 +247,7 @@ fn worker_loop(listener: TcpListener, service: Arc<ExtractionService>, stop: Arc
                 // evaluation bug must cost one connection, not silently
                 // retire an accept loop until the server goes deaf).
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let _ = serve_connection(stream, &service);
+                    let _ = serve_connection(stream, &service, read_deadline);
                 }));
                 if result.is_err() {
                     eprintln!("aw-serve: request handler panicked; connection dropped");
@@ -160,7 +260,11 @@ fn worker_loop(listener: TcpListener, service: Arc<ExtractionService>, stop: Arc
     }
 }
 
-fn serve_connection(mut stream: TcpStream, service: &ExtractionService) -> std::io::Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &ExtractionService,
+    read_deadline: Duration,
+) -> std::io::Result<()> {
     // The listener is non-blocking for shutdown polling; on platforms
     // where accepted sockets inherit that flag (macOS/BSD, Windows —
     // not Linux) the stream must be reset to blocking or every read
@@ -168,13 +272,21 @@ fn serve_connection(mut stream: TcpStream, service: &ExtractionService) -> std::
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let deadline = std::time::Instant::now() + REQUEST_DEADLINE;
+    let deadline = Instant::now() + read_deadline;
     let (response, body_maybe_unread) = match read_request(&mut stream, deadline) {
-        Ok(request) => (respond(service, &request), false),
+        Ok(request) => {
+            let started = Instant::now();
+            let response = respond(service, &request);
+            // Full-request wall time, same clock points as the reactor:
+            // request fully read → response ready to write.
+            service.latency().record(started.elapsed());
+            (response, false)
+        }
         Err(HttpError::Status(status, message)) => (Response::error(status, message), true),
         Err(HttpError::Io(e)) => return Err(e),
     };
-    write_response(&mut stream, &response)?;
+    stream.write_all(&encode_response(&response, false, None))?;
+    stream.flush()?;
     if body_maybe_unread {
         // The client may still be uploading the body we refused (413,
         // bad framing). Closing with unread data would send a TCP RST
@@ -190,10 +302,10 @@ fn serve_connection(mut stream: TcpStream, service: &ExtractionService) -> std::
 /// Reads and discards the client's remaining upload (bounded by a byte
 /// cap, the socket read timeout and the request deadline) so the error
 /// response is not clobbered by a reset.
-fn drain(stream: &mut TcpStream, deadline: std::time::Instant) {
+fn drain(stream: &mut TcpStream, deadline: Instant) {
     let mut chunk = [0u8; 4096];
     let mut budget = MAX_BODY;
-    while budget > 0 && std::time::Instant::now() < deadline {
+    while budget > 0 && Instant::now() < deadline {
         match stream.read(&mut chunk) {
             Ok(0) | Err(_) => break,
             Ok(n) => budget = budget.saturating_sub(n),
@@ -218,88 +330,46 @@ fn bad(status: u16, message: impl Into<String>) -> HttpError {
     HttpError::Status(status, message.into())
 }
 
-/// Reads and parses one request: request line, headers, and a
-/// `Content-Length`-framed body. `deadline` caps the whole read phase
-/// in wall-clock time — per-read timeouts alone would let a trickling
-/// client (one byte per few seconds) hold the worker indefinitely.
-fn read_request(
-    stream: &mut TcpStream,
-    deadline: std::time::Instant,
-) -> Result<Request, HttpError> {
+/// Reads and parses one request through the shared head parser.
+/// `deadline` caps the whole read phase in wall-clock time — per-read
+/// timeouts alone would let a trickling client (one byte per few
+/// seconds) hold the worker indefinitely; firing it is a 408, never a
+/// silent drop.
+fn read_request(stream: &mut TcpStream, deadline: Instant) -> Result<Request, HttpError> {
     let overdue = || bad(408, "request read deadline exceeded");
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
-    // Read until the end of the header block.
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
+    let mut search_from = 0usize;
+    // Read until the header block parses (or is rejected).
+    let head = loop {
+        match parse_head(&buf, search_from) {
+            HeadParse::Ready(head) => break head,
+            HeadParse::Error(status, message) => return Err(HttpError::Status(status, message)),
+            HeadParse::Incomplete { scanned } => {
+                search_from = scanned;
+                if Instant::now() >= deadline {
+                    return Err(overdue());
+                }
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(bad(400, "connection closed mid-request"));
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
         }
-        if buf.len() > MAX_HEAD {
-            return Err(bad(400, "header block too large"));
-        }
-        if std::time::Instant::now() >= deadline {
-            return Err(overdue());
-        }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(bad(400, "connection closed mid-request"));
-        }
-        buf.extend_from_slice(&chunk[..n]);
     };
-    let head =
-        std::str::from_utf8(&buf[..head_end]).map_err(|_| bad(400, "request head is not UTF-8"))?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split(' ');
-    let (method, target, version) = (
-        parts.next().unwrap_or_default(),
-        parts.next().unwrap_or_default(),
-        parts.next().unwrap_or_default(),
-    );
-    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(bad(400, format!("malformed request line {request_line:?}")));
-    }
-    let mut content_length = 0usize;
-    let mut expects_continue = false;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| bad(400, format!("bad Content-Length {:?}", value.trim())))?;
-        } else if name.eq_ignore_ascii_case("expect")
-            && value.trim().eq_ignore_ascii_case("100-continue")
-        {
-            expects_continue = true;
-        } else if name.eq_ignore_ascii_case("transfer-encoding")
-            && !value.trim().eq_ignore_ascii_case("identity")
-        {
-            // Bodies are framed by Content-Length only; silently
-            // treating a chunked request as body-less would misroute it.
-            return Err(bad(
-                501,
-                "transfer codings are not supported; send Content-Length",
-            ));
-        }
-    }
-    if content_length > MAX_BODY {
-        return Err(bad(413, "request body too large"));
-    }
 
     // The body: whatever followed the head in the buffer, plus the rest.
-    let mut body = buf[head_end + 4..].to_vec();
+    let mut body = buf[head.head_len..].to_vec();
     // curl sends `Expect: 100-continue` for bodies over 1 KB and waits
     // up to a second for the interim response before transmitting — a
     // silent per-request stall unless we answer it.
-    if expects_continue && body.len() < content_length {
+    if head.expects_continue && body.len() < head.content_length {
         stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
         stream.flush()?;
     }
-    while body.len() < content_length {
-        if std::time::Instant::now() >= deadline {
+    while body.len() < head.content_length {
+        if Instant::now() >= deadline {
             return Err(overdue());
         }
         let n = stream.read(&mut chunk)?;
@@ -308,51 +378,12 @@ fn read_request(
         }
         body.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length);
+    body.truncate(head.content_length);
     // The body stays raw bytes: `POST /wrappers` accepts v3 binary
     // bundles, and the JSON endpoints validate UTF-8 in the router.
-
-    // Strip any query string: the protocol routes on the path alone.
-    let path = target.split('?').next().unwrap_or(target).to_string();
     Ok(Request {
-        method: method.to_string(),
-        path,
+        method: head.method,
+        path: head.path,
         body,
     })
-}
-
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let reason = match response.status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        408 => "Request Timeout",
-        413 => "Payload Too Large",
-        501 => "Not Implemented",
-        _ => "Internal Server Error",
-    };
-    let head = format!(
-        "HTTP/1.1 {} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        response.status,
-        response.body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
-    stream.flush()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn head_end_detection() {
-        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
-        assert_eq!(find_head_end(b"partial\r\n"), None);
-    }
 }

@@ -34,18 +34,34 @@
 //!
 //! ## Threading model
 //!
-//! [`Server::start`] spawns a fixed team of **connection workers**,
-//! each running its own accept loop on a shared listener
-//! (connection-per-worker: a worker owns a connection from accept to
-//! close, so slow clients never head-of-line-block the others). The
+//! [`Server::start`] runs one of two engines over the same protocol
+//! code:
+//!
+//! * **`aw-reactor`** (the default on unix): a single event-loop
+//!   thread multiplexes every connection over `poll(2)` with HTTP/1.1
+//!   keep-alive and pipelining, per-connection read/idle deadlines,
+//!   and bounded accept/inflight queues (overload answers `503` +
+//!   `Retry-After`, while `GET /healthz` keeps answering). Parsed
+//!   requests are handed to a small team of service workers and
+//!   completions come back through a wake pipe. See the `reactor`
+//!   module docs for the full state machine.
+//! * **The blocking loop** (`Server::blocking`, and the only engine
+//!   off unix): a fixed team of connection workers, each running its
+//!   own accept loop on a shared listener, one connection per worker
+//!   from accept to close.
+//!
+//! Both engines share one framing layer (`proto`), so their wire bytes
+//! are identical — asserted by a socket-level differential test. The
 //! extraction work inside a request is *not* done on private pools:
-//! every worker calls into one shared [`ExtractionService`], whose
+//! both engines call into one shared [`ExtractionService`], whose
 //! [`aw_pool::Executor`] is the process-wide work-stealing team —
 //! page-parallel evaluation from many simultaneous connections
 //! interleaves in one pool instead of oversubscribing the machine. The
 //! per-site template caches live in the registry's wrappers, so
 //! structurally identical pages arriving on different connections still
-//! replay each other's traces.
+//! replay each other's traces. Each engine records per-request wall
+//! time into the service's [`aw_core::LatencyHistogram`], surfaced as
+//! the `latency` object of `GET /wrappers`.
 //!
 //! ```no_run
 //! use aw_core::{ArtifactReader, ExtractionService, WrapperRegistry};
@@ -64,6 +80,9 @@
 //! ```
 
 mod http;
+mod proto;
+#[cfg(unix)]
+mod reactor;
 
 pub use http::{Server, ServerHandle};
 
@@ -100,7 +119,7 @@ impl Response {
         }
     }
 
-    fn error(status: u16, message: impl Into<String>) -> Response {
+    pub(crate) fn error(status: u16, message: impl Into<String>) -> Response {
         Response::json(status, &obj(vec![("error", Value::String(message.into()))]))
     }
 }
@@ -266,12 +285,24 @@ fn list_wrappers(service: &ExtractionService) -> Response {
         ("grace_entries", Value::Number(stats.grace_entries as f64)),
         ("grace_hits", Value::Number(stats.grace_hits as f64)),
     ]);
+    // Request-latency percentiles, recorded by whichever HTTP engine
+    // frames the requests (full wall time: request parsed → response
+    // queued). All-zero until the first served request.
+    let snapshot = service.latency().snapshot();
+    let latency = obj(vec![
+        ("count", Value::Number(snapshot.count as f64)),
+        ("p50_us", Value::Number(snapshot.p50_us as f64)),
+        ("p90_us", Value::Number(snapshot.p90_us as f64)),
+        ("p99_us", Value::Number(snapshot.p99_us as f64)),
+        ("max_us", Value::Number(snapshot.max_us as f64)),
+    ]);
     Response::json(
         200,
         &obj(vec![
             ("generation", Value::Number(generation as f64)),
             ("sites", Value::Array(sites)),
             ("residency", residency),
+            ("latency", latency),
         ]),
     )
 }

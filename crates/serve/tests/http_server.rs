@@ -27,11 +27,14 @@ fn dealer_wrapper() -> CompiledWrapper {
     CompiledWrapper::from_rule(LearnedRule::learn(&site, WrapperLanguage::XPath, &labels))
 }
 
-/// Sends one request and returns `(status, body)`.
+/// Sends one request and returns `(status, body)`. Asks for
+/// `Connection: close` so reading to EOF frames the response under
+/// both engines (the reactor would otherwise hold the connection open
+/// for keep-alive).
 fn roundtrip(addr: &std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes()).expect("send");

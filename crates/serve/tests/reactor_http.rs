@@ -1,0 +1,414 @@
+//! Socket-level tests of the event-driven reactor (unix-only: the
+//! reactor needs `poll(2)`; other platforms serve with the blocking
+//! loop, covered by `http_server.rs`).
+//!
+//! The heart is the **differential test**: the reactor and the legacy
+//! blocking loop serve identical request sequences over real sockets
+//! and must produce byte-identical responses — for every endpoint,
+//! every wrapper language, and multiple worker counts. The only
+//! tolerated divergence is the `latency` object of `GET /wrappers`
+//! (wall-clock measurements), which is normalized through a JSON parse
+//! before comparison.
+#![cfg(unix)]
+
+use aw_core::{
+    CompiledWrapper, ExtractionService, LearnedRule, WrapperBundle, WrapperLanguage,
+    WrapperRegistry,
+};
+use aw_induct::{NodeSet, Site};
+use aw_pool::Executor;
+use aw_serve::{Server, ServerHandle};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn wrapper_in(language: WrapperLanguage) -> CompiledWrapper {
+    let site = Site::from_html(&[
+        "<table class='stores'><tr><td><b>ALPHA CO</b></td><td>1 Elm</td></tr>\
+         <tr><td><b>BETA LLC</b></td><td>2 Oak</td></tr></table>",
+        "<table class='stores'><tr><td><b>GAMMA INC</b></td><td>3 Fir</td></tr>\
+         <tr><td><b>DELTA LTD</b></td><td>4 Ash</td></tr></table>",
+    ]);
+    let mut labels = NodeSet::new();
+    labels.extend(site.find_text("ALPHA CO"));
+    labels.extend(site.find_text("DELTA LTD"));
+    CompiledWrapper::from_rule(LearnedRule::learn(&site, language, &labels))
+}
+
+fn service_in(language: WrapperLanguage) -> Arc<ExtractionService> {
+    let registry = Arc::new(WrapperRegistry::new());
+    registry.insert("dealers", wrapper_in(language));
+    Arc::new(ExtractionService::new(registry).with_executor(Executor::new(2)))
+}
+
+/// Sends raw bytes on a fresh connection and reads the raw reply to
+/// EOF.
+fn raw_roundtrip(addr: &SocketAddr, request: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request).expect("send");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("receive");
+    reply
+}
+
+/// Frames one `Connection: close` request.
+fn framed(method: &str, path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+const PAGE: &str =
+    "<table class='stores'><tr><td><b>OMEGA GROUP</b></td><td>9 Elm</td></tr></table>";
+
+/// The request sequence the differential test replays against both
+/// engines: every endpoint, the error surfaces, and raw protocol
+/// violations. Order matters — requests mutate health counters and the
+/// registry, and both servers must walk the same state trajectory.
+fn request_sequence() -> Vec<(&'static str, Vec<u8>)> {
+    let extract_one = format!(r#"{{"site":"dealers","html":"{PAGE}"}}"#);
+    let extract_many = format!(r#"{{"site":"dealers","pages":["{PAGE}","<p>none</p>",""]}}"#);
+    let swap_bundle = {
+        let mut bundle = WrapperBundle::new();
+        bundle.insert("swapped", wrapper_in(WrapperLanguage::XPath));
+        bundle.to_json()
+    };
+    vec![
+        ("healthz", framed("GET", "/healthz", "")),
+        ("extract one", framed("POST", "/extract", &extract_one)),
+        ("extract many", framed("POST", "/extract", &extract_many)),
+        ("site health", framed("GET", "/health/dealers", "")),
+        ("all health", framed("GET", "/health", "")),
+        ("wrappers", framed("GET", "/wrappers", "")),
+        ("unknown site", framed("POST", "/extract", r#"{"site":"zz","html":"x"}"#)),
+        ("unknown path", framed("GET", "/nope", "")),
+        ("bad method", framed("DELETE", "/extract", "")),
+        ("bad body", framed("POST", "/extract", "garbage")),
+        ("hot swap", framed("POST", "/wrappers", &swap_bundle)),
+        ("post-swap extract", framed("POST", "/extract", &extract_one)),
+        ("post-swap wrappers", framed("GET", "/wrappers", "")),
+        ("malformed line", b"BOGUS\r\n\r\n".to_vec()),
+        (
+            "chunked refused",
+            b"POST /extract HTTP/1.1\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+                .to_vec(),
+        ),
+        (
+            "oversized declared body",
+            b"POST /wrappers HTTP/1.1\r\nContent-Length: 104857600\r\nConnection: close\r\n\r\nxxxx"
+                .to_vec(),
+        ),
+    ]
+}
+
+/// Strips the timing-dependent `latency` object out of a `/wrappers`
+/// reply so the remaining bytes admit exact comparison.
+fn normalize_wrappers(reply: &[u8]) -> String {
+    let text = String::from_utf8(reply.to_vec()).expect("wrappers reply is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("framed reply");
+    let mut v = serde_json::from_str(body).expect("wrappers body is JSON");
+    if let serde::Value::Object(entries) = &mut v {
+        let position = entries
+            .iter()
+            .position(|(key, _)| key == "latency")
+            .unwrap_or_else(|| panic!("wrappers reply lost its latency object: {body}"));
+        entries.remove(position);
+    }
+    // The Content-Length header covers the unnormalized body; drop it.
+    let head: Vec<&str> = head
+        .split("\r\n")
+        .filter(|line| !line.to_ascii_lowercase().starts_with("content-length"))
+        .collect();
+    format!(
+        "{}\n{}",
+        head.join("\n"),
+        serde_json::to_string(&v).unwrap()
+    )
+}
+
+#[test]
+fn reactor_is_byte_identical_to_the_blocking_oracle() {
+    for language in WrapperLanguage::ALL {
+        for workers in [1usize, 3] {
+            let reactor = Server::bind(service_in(language), "127.0.0.1:0")
+                .expect("bind reactor")
+                .workers(workers)
+                .start()
+                .expect("start reactor");
+            let oracle = Server::bind(service_in(language), "127.0.0.1:0")
+                .expect("bind oracle")
+                .workers(workers)
+                .blocking(true)
+                .start()
+                .expect("start oracle");
+            for (label, request) in request_sequence() {
+                let from_reactor = raw_roundtrip(&reactor.addr(), &request);
+                let from_oracle = raw_roundtrip(&oracle.addr(), &request);
+                if label.contains("wrappers") && request.starts_with(b"GET") {
+                    assert_eq!(
+                        normalize_wrappers(&from_reactor),
+                        normalize_wrappers(&from_oracle),
+                        "{language:?}/{workers} workers: {label} diverged"
+                    );
+                } else {
+                    assert_eq!(
+                        String::from_utf8_lossy(&from_reactor),
+                        String::from_utf8_lossy(&from_oracle),
+                        "{language:?}/{workers} workers: {label} diverged"
+                    );
+                }
+            }
+            reactor.shutdown();
+            oracle.shutdown();
+        }
+    }
+}
+
+fn start_reactor(service: Arc<ExtractionService>) -> ServerHandle {
+    Server::bind(service, "127.0.0.1:0")
+        .expect("bind")
+        .workers(2)
+        .start()
+        .expect("start")
+}
+
+/// Splits a byte stream of HTTP responses into individual framed
+/// responses using each one's Content-Length.
+fn split_responses(stream: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(stream);
+    let mut rest = text.as_ref();
+    let mut responses = Vec::new();
+    while let Some((head, after)) = rest.split_once("\r\n\r\n") {
+        let length: usize = head
+            .split("\r\n")
+            .find_map(|line| line.strip_prefix("Content-Length: "))
+            .expect("response declares Content-Length")
+            .parse()
+            .expect("parsable Content-Length");
+        responses.push(format!("{head}\r\n\r\n{}", &after[..length]));
+        rest = &after[length..];
+    }
+    assert!(
+        rest.is_empty(),
+        "trailing bytes after last response: {rest:?}"
+    );
+    responses
+}
+
+#[test]
+fn keep_alive_pipelining_answers_in_order_and_close_is_honored() {
+    let server = start_reactor(service_in(WrapperLanguage::XPath));
+    let page_one = "<table class='stores'><tr><td><b>PAGE ONE</b></td><td>1 Elm</td></tr></table>";
+    let page_two = "<table class='stores'><tr><td><b>PAGE TWO</b></td><td>2 Oak</td></tr></table>";
+    let first = format!(r#"{{"site":"dealers","html":"{page_one}"}}"#);
+    let second = format!(r#"{{"site":"dealers","html":"{page_two}"}}"#);
+    // Both requests in one write: the second waits in the read buffer
+    // while the first is in flight, and `Connection: close` on the
+    // second ends the stream so EOF frames the whole exchange.
+    let mut pipelined = format!(
+        "POST /extract HTTP/1.1\r\nContent-Length: {}\r\n\r\n{first}",
+        first.len()
+    )
+    .into_bytes();
+    pipelined.extend_from_slice(
+        format!(
+            "POST /extract HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{second}",
+            second.len()
+        )
+        .as_bytes(),
+    );
+    let replies = split_responses(&raw_roundtrip(&server.addr(), &pipelined));
+    assert_eq!(replies.len(), 2, "{replies:?}");
+    assert!(replies[0].contains("PAGE ONE"), "{}", replies[0]);
+    assert!(
+        replies[0].contains("Connection: keep-alive"),
+        "{}",
+        replies[0]
+    );
+    assert!(replies[1].contains("PAGE TWO"), "{}", replies[1]);
+    assert!(replies[1].contains("Connection: close"), "{}", replies[1]);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_second_request_closes_cleanly_without_corrupting_the_first() {
+    let server = start_reactor(service_in(WrapperLanguage::XPath));
+    // A valid keep-alive request pipelined with garbage: the first
+    // response must arrive intact, then a 400 that closes the stream.
+    let mut pipelined = b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n".to_vec();
+    pipelined.extend_from_slice(b"GARBAGE\r\n\r\n");
+    let replies = split_responses(&raw_roundtrip(&server.addr(), &pipelined));
+    assert_eq!(replies.len(), 2, "{replies:?}");
+    assert!(replies[0].starts_with("HTTP/1.1 200"), "{}", replies[0]);
+    assert!(replies[0].contains("\"status\":\"ok\""), "{}", replies[0]);
+    assert!(
+        replies[0].contains("Connection: keep-alive"),
+        "{}",
+        replies[0]
+    );
+    assert!(replies[1].starts_with("HTTP/1.1 400"), "{}", replies[1]);
+    assert!(
+        replies[1].contains("malformed request line"),
+        "{}",
+        replies[1]
+    );
+    assert!(replies[1].contains("Connection: close"), "{}", replies[1]);
+    server.shutdown();
+}
+
+#[test]
+fn read_deadline_fires_as_408_not_a_silent_drop() {
+    let server = Server::bind(service_in(WrapperLanguage::XPath), "127.0.0.1:0")
+        .expect("bind")
+        .workers(1)
+        .read_deadline(Duration::from_millis(200))
+        .start()
+        .expect("start");
+
+    // Headers parsed, body stalls: the deadline must answer 408.
+    let mut stalled_body = TcpStream::connect(server.addr()).expect("connect");
+    stalled_body
+        .write_all(b"POST /extract HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"site\":")
+        .expect("send partial request");
+    let mut reply = String::new();
+    stalled_body.read_to_string(&mut reply).expect("read 408");
+    assert!(reply.starts_with("HTTP/1.1 408"), "{reply}");
+    assert!(reply.contains("read deadline exceeded"), "{reply}");
+
+    // Head itself stalls (headers NOT parsed yet): still 408.
+    let mut stalled_head = TcpStream::connect(server.addr()).expect("connect");
+    stalled_head
+        .write_all(b"GET /healthz HTT")
+        .expect("send partial head");
+    let mut reply = String::new();
+    stalled_head.read_to_string(&mut reply).expect("read 408");
+    assert!(reply.starts_with("HTTP/1.1 408"), "{reply}");
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_quietly() {
+    let server = Server::bind(service_in(WrapperLanguage::XPath), "127.0.0.1:0")
+        .expect("bind")
+        .workers(1)
+        .idle_timeout(Duration::from_millis(150))
+        .start()
+        .expect("start");
+    // No request at all: the reactor closes the connection with no
+    // bytes — an idle reap is not a protocol error.
+    let mut idle = TcpStream::connect(server.addr()).expect("connect");
+    let mut reply = Vec::new();
+    idle.read_to_end(&mut reply).expect("read EOF");
+    assert!(reply.is_empty(), "idle close must be silent: {reply:?}");
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_503_with_retry_after_while_healthz_still_answers() {
+    // queue_depth(0) makes every dispatched request overflow, which is
+    // the deterministic way to drive the shed path.
+    let server = Server::bind(service_in(WrapperLanguage::XPath), "127.0.0.1:0")
+        .expect("bind")
+        .workers(1)
+        .queue_depth(0)
+        .start()
+        .expect("start");
+    // One keep-alive connection: the shed 503 must not kill it, and a
+    // healthz on the same stream must still answer 200 (it bypasses
+    // the dispatch queue on the reactor thread).
+    let extract = format!(r#"{{"site":"dealers","html":"{PAGE}"}}"#);
+    let mut pipelined = format!(
+        "POST /extract HTTP/1.1\r\nContent-Length: {}\r\n\r\n{extract}",
+        extract.len()
+    )
+    .into_bytes();
+    pipelined.extend_from_slice(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let replies = split_responses(&raw_roundtrip(&server.addr(), &pipelined));
+    assert_eq!(replies.len(), 2, "{replies:?}");
+    assert!(replies[0].starts_with("HTTP/1.1 503"), "{}", replies[0]);
+    assert!(replies[0].contains("Retry-After: 1"), "{}", replies[0]);
+    assert!(replies[0].contains("overloaded"), "{}", replies[0]);
+    assert!(replies[1].starts_with("HTTP/1.1 200"), "{}", replies[1]);
+    assert!(replies[1].contains("\"status\":\"ok\""), "{}", replies[1]);
+    server.shutdown();
+}
+
+#[test]
+fn accept_backpressure_parks_excess_connections_in_the_backlog() {
+    let server = Server::bind(service_in(WrapperLanguage::XPath), "127.0.0.1:0")
+        .expect("bind")
+        .workers(1)
+        .max_connections(1)
+        .start()
+        .expect("start");
+    // First connection occupies the only slot.
+    let holder = TcpStream::connect(server.addr()).expect("connect holder");
+    // Second connects fine (kernel backlog) but gets no service.
+    let mut parked = TcpStream::connect(server.addr()).expect("connect parked");
+    parked
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    parked
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .expect("timeout");
+    let mut probe = [0u8; 1];
+    let starved = matches!(
+        parked.read(&mut probe),
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+    );
+    assert!(starved, "parked connection was served despite the cap");
+    // Freeing the slot lets the parked connection through.
+    drop(holder);
+    parked
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reply = Vec::new();
+    reply.push(probe[0]);
+    reply.clear();
+    parked.read_to_end(&mut reply).expect("read after release");
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn wrappers_reports_sane_latency_percentiles() {
+    let service = service_in(WrapperLanguage::XPath);
+    let server = start_reactor(Arc::clone(&service));
+    let extract = format!(r#"{{"site":"dealers","html":"{PAGE}"}}"#);
+    for _ in 0..5 {
+        let reply = raw_roundtrip(&server.addr(), &framed("POST", "/extract", &extract));
+        assert!(
+            String::from_utf8_lossy(&reply).contains("OMEGA"),
+            "extract failed"
+        );
+    }
+    let reply = raw_roundtrip(&server.addr(), &framed("GET", "/wrappers", ""));
+    let text = String::from_utf8_lossy(&reply);
+    let body = text.split_once("\r\n\r\n").expect("framed").1;
+    let v: serde::Value = serde_json::from_str(body).expect("JSON");
+    let latency = v.get("latency").expect("latency object");
+    let field = |name: &str| {
+        latency
+            .get(name)
+            .and_then(serde::Value::as_f64)
+            .unwrap_or_else(|| panic!("missing latency.{name}: {body}"))
+    };
+    assert!(field("count") >= 5.0, "{body}");
+    let (p50, p90, p99, max) = (
+        field("p50_us"),
+        field("p90_us"),
+        field("p99_us"),
+        field("max_us"),
+    );
+    assert!(p50 <= p90 && p90 <= p99 && p99 <= max, "{body}");
+    assert!(max > 0.0, "{body}");
+    // The histogram is the service's: the in-process snapshot agrees
+    // (the `/wrappers` request itself records *after* building its own
+    // body, so the live count may be one ahead).
+    assert!(service.latency().snapshot().count as f64 >= field("count"));
+    server.shutdown();
+}

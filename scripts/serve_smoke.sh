@@ -72,6 +72,55 @@ test "$(curl -s -o /dev/null -w '%{http_code}' -X POST "$ADDR/extract" --data 'g
 curl -sf -X POST "$ADDR/wrappers" --data @"$TMP/bundle.json" | grep -q '"loaded":2'
 curl -sf -X POST "$ADDR/extract" --data @"$TMP/req.json" | grep -q '"OMEGA GROUP"'
 
+# ── Keep-alive pipelining: two POSTs on ONE connection ──────────────
+# The reactor must answer both, in order, and honor `Connection: close`
+# on the second. Raw bytes through /dev/tcp — curl cannot pipeline.
+HOSTPORT=${ADDR#http://}
+B1='{"site":"dealer-a","html":"<table class=stores><tr><td><b>KEEPALIVE ONE</b></td><td>1 Elm</td></tr></table>"}'
+B2='{"site":"dealer-a","html":"<table class=stores><tr><td><b>KEEPALIVE TWO</b></td><td>2 Oak</td></tr></table>"}'
+exec 3<>"/dev/tcp/${HOSTPORT%%:*}/${HOSTPORT##*:}"
+printf 'POST /extract HTTP/1.1\r\nContent-Length: %d\r\n\r\n%sPOST /extract HTTP/1.1\r\nConnection: close\r\nContent-Length: %d\r\n\r\n%s' \
+  "${#B1}" "$B1" "${#B2}" "$B2" >&3
+PIPELINED=$(cat <&3)
+exec 3<&- 3>&-
+# (Not line-anchored: the first body runs straight into the second
+# status line — JSON bodies carry no trailing newline.)
+test "$(printf '%s' "$PIPELINED" | grep -o 'HTTP/1.1 200' | wc -l)" = 2
+printf '%s' "$PIPELINED" | grep -q 'Connection: keep-alive'
+printf '%s' "$PIPELINED" | grep -q 'Connection: close'
+printf '%s' "$PIPELINED" | grep -q 'KEEPALIVE ONE'
+printf '%s' "$PIPELINED" | grep -q 'KEEPALIVE TWO'
+# In-order: the first request's values precede the second's.
+test "$(printf '%s' "$PIPELINED" | grep -oE 'KEEPALIVE (ONE|TWO)' | head -1)" = 'KEEPALIVE ONE'
+echo "smoke: keep-alive pipelining answered both requests in order"
+
+# ── The /wrappers latency object reports sane percentiles ───────────
+LISTING=$(curl -sf "$ADDR/wrappers")
+echo "$LISTING" | grep -q '"latency"'
+echo "$LISTING" | grep -qE '"count":[1-9]'
+echo "$LISTING" | grep -q '"p50_us"'
+echo "$LISTING" | grep -q '"p99_us"'
+echo "$LISTING" | grep -qE '"max_us":[1-9]'
+echo "smoke: request-latency percentiles populated"
+
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# ── The legacy blocking loop still serves (differential oracle) ─────
+"$BIN" serve --bundle "$TMP/bundle.json" --blocking --addr 127.0.0.1:0 --threads 2 > "$TMP/serve-blocking.log" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE 'http://[0-9.]+:[0-9]+' "$TMP/serve-blocking.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "blocking server did not start:"; cat "$TMP/serve-blocking.log"; exit 1; }
+grep -q 'blocking loop' "$TMP/serve-blocking.log"
+curl -sf "$ADDR/healthz" | grep -q '"status":"ok"'
+curl -sf -X POST "$ADDR/extract" --data @"$TMP/req.json" | grep -q '"OMEGA GROUP"'
+echo "smoke: --blocking loop serves at $ADDR"
+
 kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
