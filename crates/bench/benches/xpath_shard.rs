@@ -31,6 +31,14 @@
 //! template cache: `sharded` with the cache off vs on. The ratio is
 //! reported as `template_cache_speedup`.
 //!
+//! A third, **variable-length corpus** (same rendering scripts, but
+//! record counts vary per page, so whole-page fingerprints rarely
+//! repeat within a site) times record-level replay: the shared page
+//! frame replays verbatim while per-record traces stitch in
+//! record-local rank space. The cache-off/on ratio is reported (and
+//! gated) as `template_cache_speedup_varlen`, with the replay
+//! breakdown under `varlen_corpus`.
+//!
 //! Serving-side measurements ride on the repeated-template corpus:
 //! `service_throughput` (the request stream over real sockets through
 //! the event-driven reactor, one keep-alive connection),
@@ -132,6 +140,25 @@ fn template_corpus() -> Vec<SiteData> {
         promo_prob: 0.0,
         uniform_records: true,
         seed: 0x7E41,
+        ..DealersConfig::default()
+    }))
+}
+
+/// The variable-length corpus: the same full-roster rendering scripts,
+/// but record counts vary per page — pages of a site share chrome (and
+/// so a frame fingerprint) while whole-page fingerprints rarely
+/// repeat. The production shape of search-result listings, and the
+/// workload record-level replay exists for.
+fn varlen_corpus() -> Vec<SiteData> {
+    let quick = matches!(std::env::var("AW_SCALE").as_deref(), Ok("quick"));
+    let (sites, pages_per_site) = if quick { (6, 6) } else { (24, 12) };
+    spaces_of(&generate_dealers(&DealersConfig {
+        sites,
+        pages_per_site,
+        records_per_page: (2, 8),
+        promo_prob: 0.0,
+        uniform_records: true,
+        seed: 0x7A2C,
         ..DealersConfig::default()
     }))
 }
@@ -333,6 +360,43 @@ fn main() {
     assert!(warm_hits > 0, "template corpus produced no cache replays");
     let t_template_nocache = time(passes, &|| eval_sharded(&t_nocache, &tpages, &seq));
     let t_template_cached = time(passes, &|| eval_sharded(&t_cached, &tpages, &seq));
+
+    // The variable-length workload: whole-page fingerprints rarely
+    // repeat, so nearly every replay must stitch the shared page frame
+    // around per-record traces. Verified like the template corpus: two
+    // rounds against per-rule indexed evaluation, the second on the
+    // (partial-)replay path; the corpus must actually stitch frames, or
+    // the metric silently degenerates into whole-page replay.
+    let vsites = varlen_corpus();
+    let vpages: Vec<(usize, &Document)> = pages_of(&vsites);
+    for (_, page) in &vpages {
+        page.index();
+    }
+    let v_nocache = ShardedBatch::new(tagged_of(&vsites)).with_cache(false);
+    let v_cached = ShardedBatch::new(tagged_of(&vsites));
+    for _ in 0..2 {
+        for (&(key, page), results) in vpages.iter().zip(v_cached.evaluate_pages(&vpages, &seq)) {
+            let site = &vsites[key];
+            for ((_, nodes), compiled) in results.iter().zip(&site.compiled) {
+                assert_eq!(
+                    nodes,
+                    &evaluate_compiled(compiled, page),
+                    "varlen corpus, site {key}"
+                );
+            }
+        }
+    }
+    assert!(
+        v_cached
+            .template_replay_stats()
+            .expect("cache enabled")
+            .frame_replays
+            > 0,
+        "varlen corpus never stitched a frame"
+    );
+    let t_varlen_nocache = time(passes, &|| eval_sharded(&v_nocache, &vpages, &seq));
+    let t_varlen_cached = time(passes, &|| eval_sharded(&v_cached, &vpages, &seq));
+    let varlen_replay = v_cached.template_replay_stats().expect("cache enabled");
 
     // Serving-side throughput: the `ExtractionService` request loop over
     // a repeated-template request stream (one raw-HTML page per request)
@@ -792,6 +856,20 @@ fn main() {
         cache_misses,
     );
     println!(
+        "variable-length workload ({} sites x {} pages): sharded no-cache {:.3} ms, \
+         record replay {:.3} ms ({:.1}x; {} frames stitched, {} records replayed, \
+         {} records fell back, {} whole-page replays)",
+        vsites.len(),
+        vpages.len(),
+        t_varlen_nocache * ms,
+        t_varlen_cached * ms,
+        t_varlen_nocache / t_varlen_cached,
+        varlen_replay.frame_replays,
+        varlen_replay.record_replays,
+        varlen_replay.record_fallbacks,
+        varlen_replay.full_replays,
+    );
+    println!(
         "service throughput (in-process): {} single-page requests in {:.3} ms → {:.0} requests/sec",
         requests.len(),
         t_service * ms,
@@ -882,6 +960,8 @@ fn main() {
                 ("sharded", num(t_shard * ms)),
                 ("template_nocache", num(t_template_nocache * ms)),
                 ("template_cached", num(t_template_cached * ms)),
+                ("varlen_nocache", num(t_varlen_nocache * ms)),
+                ("varlen_cached", num(t_varlen_cached * ms)),
                 ("service_stream", num(t_service * ms)),
                 ("http_keepalive_stream", num(t_keepalive * ms)),
                 ("http_blocking_stream", num(t_blocking * ms)),
@@ -907,6 +987,13 @@ fn main() {
                 (
                     "template_cache_speedup",
                     num(t_template_nocache / t_template_cached),
+                ),
+                // Cache off over on, on the variable-length corpus —
+                // gated: record-level stitching must keep paying when
+                // whole-page fingerprints do not repeat.
+                (
+                    "template_cache_speedup_varlen",
+                    num(t_varlen_nocache / t_varlen_cached),
                 ),
                 // Not a ratio: absolute requests/sec of the keep-alive
                 // HTTP stream through the reactor, over real sockets
@@ -937,6 +1024,20 @@ fn main() {
                 ("pages", num(tpages.len() as f64)),
                 ("cache_replays", num(cache_hits as f64)),
                 ("cache_other", num(cache_misses as f64)),
+            ]),
+        ),
+        (
+            "varlen_corpus",
+            obj(vec![
+                ("sites", num(vsites.len() as f64)),
+                ("pages", num(vpages.len() as f64)),
+                ("full_replays", num(varlen_replay.full_replays as f64)),
+                ("frame_replays", num(varlen_replay.frame_replays as f64)),
+                ("record_replays", num(varlen_replay.record_replays as f64)),
+                (
+                    "record_fallbacks",
+                    num(varlen_replay.record_fallbacks as f64),
+                ),
             ]),
         ),
         (

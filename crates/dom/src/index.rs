@@ -23,6 +23,54 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
 
+/// One repeated record subtree inside a [`RecordLayout`], as a half-open
+/// pre-order rank span plus its position-independent skeleton hash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// Rank of the record root (first rank of the subtree).
+    pub start: u32,
+    /// One past the last rank of the subtree.
+    pub end: u32,
+    /// Skeleton hash of the subtree: node kinds, tags and attribute
+    /// *names*, composed bottom-up — independent of where the subtree
+    /// sits in the page, so equal-looking records on different pages (or
+    /// at different positions of one page) hash equal.
+    pub fingerprint: u64,
+}
+
+/// The record region of a listing-shaped page: the contiguous run of
+/// repeated child subtrees that [`DocIndex::record_layout`] detected,
+/// plus a fingerprint of everything *outside* it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordLayout {
+    /// Rank of the parent element holding the record run.
+    pub parent: u32,
+    /// First rank covered by the run (`records[0].start`).
+    pub run_start: u32,
+    /// One past the last covered rank (`records.last().end`).
+    pub run_end: u32,
+    /// The record subtrees in rank order; they tile
+    /// `run_start..run_end` exactly (records are consecutive children,
+    /// and children tile their parent's span).
+    pub records: Vec<RecordSpan>,
+    /// Hash of the page skeleton with the record run excised, in
+    /// *collapsed* rank coordinates (ranks ≥ `run_end` shifted down by
+    /// the run length), with `parent` and `run_start` mixed in. Pages
+    /// that differ only in how many records they carry — and in which
+    /// record variants — share this fingerprint while their whole-page
+    /// [`DocIndex::template_fingerprint`]s differ. Probabilistic like
+    /// the whole-page fingerprint (unkeyed 64-bit hash).
+    pub frame_fingerprint: u64,
+}
+
+impl RecordLayout {
+    /// Number of ranks the record run covers.
+    #[inline]
+    pub fn run_len(&self) -> u32 {
+        self.run_end - self.run_start
+    }
+}
+
 /// Precomputed evaluation structures for one [`Document`].
 ///
 /// All rank-typed values index the document's **pre-order** traversal
@@ -65,6 +113,10 @@ pub struct DocIndex {
     /// fingerprint (per-rule evaluation, cache-disabled batch engines)
     /// pay nothing for it.
     fingerprint: std::sync::OnceLock<u64>,
+    /// Record-region detection result, computed on first use (see
+    /// [`DocIndex::record_layout`]); `None` once computed means the page
+    /// has no repeated-subtree run.
+    record_layout: std::sync::OnceLock<Option<RecordLayout>>,
     /// True iff arena order equals pre-order rank order (see
     /// [`DocIndex::ranks_monotone`]).
     monotone: bool,
@@ -90,6 +142,7 @@ impl DocIndex {
             attrs: Vec::new(),
             attr_values: HashMap::new(),
             fingerprint: std::sync::OnceLock::new(),
+            record_layout: std::sync::OnceLock::new(),
             monotone: true,
         };
         if n == 0 {
@@ -175,26 +228,210 @@ impl DocIndex {
         // classifies text nodes as the rank loop advances.
         let mut texts = self.text_postings.iter().peekable();
         for r in 0..n as u32 {
-            let id = self.by_rank[r as usize];
             self.subtree_end[r as usize].hash(&mut h);
-            if let Some(sym) = self.tag[id.index()] {
-                1u8.hash(&mut h);
-                sym.hash(&mut h);
-                let attrs = self.attrs(id);
-                (attrs.len() as u32).hash(&mut h);
-                for &(name, _) in attrs {
-                    name.hash(&mut h);
-                }
-            } else if texts.peek() == Some(&&r) {
-                texts.next();
-                2u8.hash(&mut h);
-            } else if r == 0 {
-                0u8.hash(&mut h); // the synthetic document root
-            } else {
-                3u8.hash(&mut h); // comment
-            }
+            self.hash_node_kind(r, &mut texts, &mut h);
         }
         h.finish()
+    }
+
+    /// Hashes one node's kind discriminant plus its tag and attribute
+    /// *names* (values and text content excluded) — the per-node
+    /// contribution shared by the whole-page, per-subtree and frame
+    /// fingerprints. `texts` must be a peeking cursor over
+    /// [`DocIndex::text_postings`] positioned at or after `r`.
+    fn hash_node_kind(
+        &self,
+        r: u32,
+        texts: &mut std::iter::Peekable<std::slice::Iter<'_, u32>>,
+        h: &mut DefaultHasher,
+    ) {
+        let id = self.by_rank[r as usize];
+        if let Some(sym) = self.tag[id.index()] {
+            1u8.hash(h);
+            sym.hash(h);
+            let attrs = self.attrs(id);
+            (attrs.len() as u32).hash(h);
+            for &(name, _) in attrs {
+                name.hash(h);
+            }
+        } else if texts.peek() == Some(&&r) {
+            texts.next();
+            2u8.hash(h);
+        } else if r == 0 {
+            0u8.hash(h); // the synthetic document root
+        } else {
+            3u8.hash(h); // comment
+        }
+    }
+
+    /// Computes [`DocIndex::record_layout`]: position-independent
+    /// subtree hashes for every node (bottom-up, one ascending rank
+    /// pass), then the child run with the largest repeated coverage.
+    fn compute_record_layout(&self) -> Option<RecordLayout> {
+        let n = self.by_rank.len();
+        if n < 4 {
+            return None;
+        }
+
+        // Per-node subtree skeleton hash: own kind/tag/attr-names plus
+        // the children's hashes in order. Composed with an open-node
+        // stack so one ascending pass suffices; deliberately excludes
+        // ranks and spans, so equal-looking subtrees hash equal anywhere
+        // on any page.
+        let mut sub = vec![0u64; n];
+        let mut open: Vec<(u32, DefaultHasher)> = Vec::new();
+        let close = |open: &mut Vec<(u32, DefaultHasher)>, sub: &mut Vec<u64>, upto: u32| {
+            while let Some((top, _)) = open.last() {
+                if self.subtree_end[*top as usize] > upto {
+                    break;
+                }
+                let (t, h) = open.pop().expect("non-empty: just peeked");
+                let v = h.finish();
+                sub[t as usize] = v;
+                if let Some((_, parent)) = open.last_mut() {
+                    v.hash(parent);
+                }
+            }
+        };
+        let mut texts = self.text_postings.iter().peekable();
+        for r in 0..n as u32 {
+            close(&mut open, &mut sub, r);
+            let mut h = DefaultHasher::new();
+            self.hash_node_kind(r, &mut texts, &mut h);
+            open.push((r, h));
+        }
+        close(&mut open, &mut sub, n as u32);
+
+        // For every parent: mark children whose subtree hash recurs
+        // among the siblings, widen to adjacent same-root-tag children
+        // (a lone record variant — an optional field missing once — must
+        // not split the run), and score each contiguous run by the ranks
+        // its *recurring* members cover. The page-wide best run is the
+        // record region; scoring by repeated coverage keeps incidental
+        // repetition (nav links, `<br>` runs) from outranking the
+        // listing body.
+        let mut best: Option<(u64, u32, Range<usize>)> = None; // (score, parent, child range)
+        let mut kids: Vec<u32> = Vec::new();
+        for p in 0..n as u32 {
+            let end = self.subtree_end[p as usize];
+            kids.clear();
+            let mut c = p + 1;
+            while c < end {
+                kids.push(c);
+                c = self.subtree_end[c as usize];
+            }
+            if kids.len() < 2 {
+                continue;
+            }
+            let mut counts: HashMap<u64, u32> = HashMap::new();
+            for &k in &kids {
+                *counts.entry(sub[k as usize]).or_insert(0) += 1;
+            }
+            if counts.len() == kids.len() {
+                continue; // nothing recurs under this parent
+            }
+            let recurring: Vec<bool> = kids
+                .iter()
+                .map(|&k| counts[&sub[k as usize]] >= 2)
+                .collect();
+            let run_tags: Vec<Option<Sym>> = kids
+                .iter()
+                .zip(&recurring)
+                .filter(|&(_, &rec)| rec)
+                .map(|(&k, _)| self.tag[self.by_rank[k as usize].index()])
+                .collect();
+            let eligible: Vec<bool> = kids
+                .iter()
+                .zip(&recurring)
+                .map(|(&k, &rec)| {
+                    rec || run_tags.contains(&self.tag[self.by_rank[k as usize].index()])
+                })
+                .collect();
+            let mut i = 0;
+            while i < kids.len() {
+                if !eligible[i] {
+                    i += 1;
+                    continue;
+                }
+                let mut j = i;
+                while j + 1 < kids.len() && eligible[j + 1] {
+                    j += 1;
+                }
+                let n_recurring = recurring[i..=j].iter().filter(|&&r| r).count();
+                if n_recurring >= 2 {
+                    let score: u64 = (i..=j)
+                        .filter(|&k| recurring[k])
+                        .map(|k| {
+                            let kid = kids[k];
+                            u64::from(self.subtree_end[kid as usize] - kid)
+                        })
+                        .sum();
+                    if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
+                        best = Some((score, p, i..j + 1));
+                    }
+                }
+                i = j + 1;
+            }
+        }
+        let (_, parent, range) = best?;
+
+        // Rebuild the winning parent's child list and cut the run out.
+        let end = self.subtree_end[parent as usize];
+        kids.clear();
+        let mut c = parent + 1;
+        while c < end {
+            kids.push(c);
+            c = self.subtree_end[c as usize];
+        }
+        let records: Vec<RecordSpan> = kids[range]
+            .iter()
+            .map(|&k| RecordSpan {
+                start: k,
+                end: self.subtree_end[k as usize],
+                fingerprint: sub[k as usize],
+            })
+            .collect();
+        let run_start = records[0].start;
+        let run_end = records.last().expect("≥2 records").end;
+        let run_len = run_end - run_start;
+
+        // Frame fingerprint: the whole-page fingerprint recipe with the
+        // run excised and every rank/span ≥ `run_end` collapsed down by
+        // the run length, plus the anchors (parent, run_start) that tell
+        // a matching page *where* its own records slot back in.
+        let mut h = DefaultHasher::new();
+        u64::from(n as u32 - run_len).hash(&mut h);
+        parent.hash(&mut h);
+        run_start.hash(&mut h);
+        let mut texts = self.text_postings.iter().peekable();
+        for r in 0..n as u32 {
+            if (run_start..run_end).contains(&r) {
+                // Keep the text cursor in step across the excised run.
+                if texts.peek() == Some(&&r) {
+                    texts.next();
+                }
+                continue;
+            }
+            let e = self.subtree_end[r as usize];
+            // A frame node's span never ends strictly inside the run:
+            // prefix siblings close at or before `run_start`, ancestors
+            // of the run close at or after `run_end`.
+            debug_assert!(
+                e <= run_start || e >= run_end,
+                "frame span cuts the record run"
+            );
+            let collapsed = if e <= run_start { e } else { e - run_len };
+            collapsed.hash(&mut h);
+            self.hash_node_kind(r, &mut texts, &mut h);
+        }
+
+        Some(RecordLayout {
+            parent,
+            run_start,
+            run_end,
+            records,
+            frame_fingerprint: h.finish(),
+        })
     }
 
     fn visit(&mut self, doc: &Document, id: NodeId) {
@@ -323,6 +560,36 @@ impl DocIndex {
     /// symbols are interner-assigned).
     pub fn template_fingerprint(&self) -> u64 {
         *self.fingerprint.get_or_init(|| self.compute_fingerprint())
+    }
+
+    /// The page's **record layout**, if it has one: the contiguous run
+    /// of repeated child subtrees covering the most ranks anywhere in
+    /// the page — the record region of a listing page — with a
+    /// fingerprint per record subtree and one for the surrounding frame.
+    /// Computed on first use and cached; consumers that never ask pay
+    /// nothing.
+    ///
+    /// Detection is structural: per parent, children whose subtree
+    /// skeleton hash recurs among their siblings form the core of a run,
+    /// adjacent children with the same root tag are absorbed (a record
+    /// variant occurring once — an optional field dropped — must not
+    /// split the region), and runs are ranked by the rank span their
+    /// *recurring* members cover. At least two records, two of which
+    /// repeat, are required; `None` otherwise.
+    ///
+    /// Pages rendered from one listing script with *different record
+    /// counts* (or per-record optional fields toggled) get different
+    /// whole-page fingerprints but equal
+    /// [`RecordLayout::frame_fingerprint`]s, and their per-record
+    /// [`RecordSpan::fingerprint`]s match record-for-record wherever the
+    /// record skeletons do — which is what lets the template cache
+    /// replay a page frame and stitch record traces per matching record
+    /// (`aw_xpath::TemplateCache`). Like the whole-page fingerprint,
+    /// equality is probabilistic (unkeyed 64-bit hashes).
+    pub fn record_layout(&self) -> Option<&RecordLayout> {
+        self.record_layout
+            .get_or_init(|| self.compute_record_layout())
+            .as_ref()
     }
 
     /// True iff arena order equals pre-order rank order — i.e.
@@ -575,6 +842,121 @@ mod tests {
         assert!(!d.index().ranks_monotone());
         // Degenerate documents are trivially monotone.
         assert!(Document::default().index().ranks_monotone());
+    }
+
+    /// A listing-shaped page: chrome (nav, heading, footer) around a
+    /// container of repeated records; `phones` toggles the optional
+    /// trailing field per record.
+    fn listing(n_records: usize, phones: &[bool]) -> Document {
+        let mut html = String::from(
+            "<div class='nav'><a href='/a'>A</a><a href='/b'>B</a></div><h1>Dealers</h1>\
+             <table class='stores'>",
+        );
+        for i in 0..n_records {
+            html.push_str(&format!("<tr><td><u>NAME {i}</u><br>{i} Elm St</td>"));
+            if phones.get(i).copied().unwrap_or(true) {
+                html.push_str(&format!("<td>555-000{i}</td>"));
+            }
+            html.push_str("</tr>");
+        }
+        html.push_str("</table><div class='foot'>contact</div>");
+        parse(&html)
+    }
+
+    #[test]
+    fn record_layout_detects_the_listing_run() {
+        let doc = listing(3, &[true, true, true]);
+        let idx = doc.index();
+        let layout = idx.record_layout().expect("repeated records detected");
+        assert_eq!(layout.records.len(), 3);
+        // The parent is the <table class='stores'> container.
+        assert_eq!(doc.tag(idx.node_at(layout.parent)), Some("table"));
+        // Records tile the run exactly and carry one shared fingerprint.
+        assert_eq!(layout.records[0].start, layout.run_start);
+        assert_eq!(layout.records.last().unwrap().end, layout.run_end);
+        for w in layout.records.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "records must tile the run");
+            assert_eq!(
+                w[0].fingerprint, w[1].fingerprint,
+                "identical records hash equal"
+            );
+        }
+        for rec in &layout.records {
+            assert_eq!(doc.tag(idx.node_at(rec.start)), Some("tr"));
+        }
+    }
+
+    #[test]
+    fn record_layout_absorbs_a_singleton_variant() {
+        // The middle record misses its optional field: its subtree hash
+        // occurs once, but the same root tag keeps it inside the run.
+        let doc = listing(3, &[true, false, true]);
+        let layout = doc.index().record_layout().expect("layout");
+        assert_eq!(layout.records.len(), 3, "variant must not split the run");
+        assert_eq!(layout.records[0].fingerprint, layout.records[2].fingerprint);
+        assert_ne!(layout.records[0].fingerprint, layout.records[1].fingerprint);
+    }
+
+    #[test]
+    fn frame_fingerprint_is_shared_across_record_counts() {
+        let a = listing(2, &[true, true]);
+        let b = listing(5, &[true; 5]);
+        let (la, lb) = (
+            a.index().record_layout().unwrap().clone(),
+            b.index().record_layout().unwrap().clone(),
+        );
+        assert_ne!(
+            a.index().template_fingerprint(),
+            b.index().template_fingerprint(),
+            "whole-page fingerprints must differ across counts"
+        );
+        assert_eq!(
+            la.frame_fingerprint, lb.frame_fingerprint,
+            "frames must match across counts"
+        );
+        assert_eq!(la.run_start, lb.run_start);
+        // Records hash identically across pages (position-independent).
+        assert_eq!(la.records[0].fingerprint, lb.records[4].fingerprint);
+        // A phone-less variant on another page still matches its twin.
+        let c = listing(4, &[true, false, true, false]);
+        let lc = c.index().record_layout().unwrap();
+        assert_eq!(la.frame_fingerprint, lc.frame_fingerprint);
+        assert_eq!(lc.records[1].fingerprint, lc.records[3].fingerprint);
+        assert_eq!(lc.records[0].fingerprint, la.records[0].fingerprint);
+    }
+
+    #[test]
+    fn frame_fingerprint_tracks_chrome_changes() {
+        let base = listing(3, &[true; 3]);
+        // Same records, different chrome: an extra nav link.
+        let other = parse(
+            &crate::serialize(&base).replace("<h1>Dealers</h1>", "<h1>Dealers</h1><p>promo</p>"),
+        );
+        let (lb, lo) = (
+            base.index().record_layout().unwrap().clone(),
+            other.index().record_layout().unwrap().clone(),
+        );
+        assert_ne!(lb.frame_fingerprint, lo.frame_fingerprint);
+    }
+
+    #[test]
+    fn record_layout_requires_repetition() {
+        assert!(parse("<div><p>a</p><span>b</span><h1>c</h1></div>")
+            .index()
+            .record_layout()
+            .is_none());
+        assert!(parse("<p>only</p>").index().record_layout().is_none());
+        assert!(Document::default().index().record_layout().is_none());
+    }
+
+    #[test]
+    fn record_layout_prefers_the_widest_repeated_region() {
+        // Both the nav links and the records repeat; the records cover
+        // more ranks, so they win.
+        let doc = listing(2, &[true, true]);
+        let idx = doc.index();
+        let layout = idx.record_layout().unwrap();
+        assert_eq!(doc.tag(idx.node_at(layout.records[0].start)), Some("tr"));
     }
 
     #[test]

@@ -138,11 +138,13 @@ impl CompiledWrapper {
     }
 
     /// Extracts the matched text *values* from one page.
+    ///
+    /// Values are consumed as text only, so this takes the rule set's
+    /// shared-result path: template replays of rank-monotone pages reuse
+    /// one materialized node vector per trie leaf instead of rebuilding
+    /// it per page (see [`LearnedRuleSet::extract_values`]).
     pub fn extract_values(&self, doc: &Document) -> Vec<String> {
-        self.extract(doc)
-            .into_iter()
-            .filter_map(|id| doc.text(id).map(str::to_string))
-            .collect()
+        self.set.extract_values(doc).pop().unwrap_or_default()
     }
 
     /// Extracts from a whole crawl, page-parallel through the wrapper's
@@ -178,6 +180,14 @@ impl CompiledWrapper {
     /// the rule has no xpath engine to cache for).
     pub fn template_cache_stats(&self) -> Option<(u64, u64)> {
         self.set.template_cache_stats()
+    }
+
+    /// Replay-path breakdown of the wrapper's template cache — verbatim
+    /// whole-page replays, stitched frame (partial) replays, and how
+    /// records split between donor stitching and per-span fallback
+    /// within the latter; `None` when the cache is disabled.
+    pub fn template_replay_stats(&self) -> Option<aw_xpath::ReplayStats> {
+        self.set.template_replay_stats()
     }
 
     /// Serializes the wrapper to its versioned JSON artifact.

@@ -199,6 +199,14 @@ impl LearnedRuleSet {
         self.batch.template_cache().map(|c| c.stats())
     }
 
+    /// Replay-path breakdown of the xpath batch engine — how pages split
+    /// across verbatim replays, stitched frame replays and fresh
+    /// evaluation, and how records split within frame replays; `None`
+    /// when the cache is disabled.
+    pub fn template_replay_stats(&self) -> Option<aw_xpath::ReplayStats> {
+        self.batch.template_cache().map(|c| c.replay_stats())
+    }
+
     /// Applies every rule to a page; results align with [`Self::rules`].
     /// Each list equals what [`LearnedRule::apply`] returns for that rule.
     pub fn apply(&self, doc: &Document) -> Vec<Vec<NodeId>> {
@@ -218,6 +226,41 @@ impl LearnedRuleSet {
                 (Some(i), _) => std::mem::take(&mut xpath_results[*i]),
                 (None, LearnedRule::Table(t)) => t.apply(doc),
                 (None, _) => rule.apply_serialized(page.as_ref().expect("serialized for LR/HLRT")),
+            })
+            .collect()
+    }
+
+    /// Extracts the matched text *values* for every rule; results align
+    /// with [`Self::rules`], each list equal to
+    /// [`LearnedRule::extract_values`] for that rule.
+    ///
+    /// This is the text-only consumer path: xpath members evaluate
+    /// through [`aw_xpath::BatchEvaluator::evaluate_shared`], whose
+    /// sink memoizes terminal `NodeId` materializations across template
+    /// replays — the node vectors are read for their text here and never
+    /// mutated, so replayed pages of one template share a single
+    /// materialization per trie leaf instead of rebuilding it per page.
+    pub fn extract_values(&self, doc: &Document) -> Vec<Vec<String>> {
+        let xpath_results = self.batch.evaluate_shared(doc);
+        let page = self
+            .rules
+            .iter()
+            .any(|r| matches!(r, LearnedRule::Lr(_) | LearnedRule::Hlrt(_)))
+            .then(|| serialize_with_spans(doc));
+        let text = |ids: &[NodeId]| -> Vec<String> {
+            ids.iter()
+                .filter_map(|&id| doc.text(id).map(str::to_string))
+                .collect()
+        };
+        self.rules
+            .iter()
+            .zip(&self.batch_slot)
+            .map(|(rule, slot)| match (slot, rule) {
+                (Some(i), _) => text(&xpath_results[*i]),
+                (None, LearnedRule::Table(t)) => text(&t.apply(doc)),
+                (None, _) => {
+                    text(&rule.apply_serialized(page.as_ref().expect("serialized for LR/HLRT")))
+                }
             })
             .collect()
     }

@@ -257,6 +257,22 @@ fn list_wrappers(service: &ExtractionService) -> Response {
         .into_iter()
         .map(|(key, wrapper)| {
             let (replays, other) = wrapper.template_cache_stats().unwrap_or((0, 0));
+            // Replay-path breakdown: `template_replays` splits into
+            // verbatim whole-page replays and stitched frame (partial)
+            // replays; record counters describe stitching within the
+            // latter. Null for wrappers with the cache disabled.
+            let replay = match wrapper.template_replay_stats() {
+                Some(stats) => obj(vec![
+                    ("full_replays", Value::Number(stats.full_replays as f64)),
+                    ("frame_replays", Value::Number(stats.frame_replays as f64)),
+                    ("record_replays", Value::Number(stats.record_replays as f64)),
+                    (
+                        "record_fallbacks",
+                        Value::Number(stats.record_fallbacks as f64),
+                    ),
+                ]),
+                None => Value::Null,
+            };
             let health = match service.site_health(&key) {
                 Some(health) => health_json(&health),
                 None => Value::Null,
@@ -267,6 +283,7 @@ fn list_wrappers(service: &ExtractionService) -> Response {
                 ("rule", Value::String(wrapper.rule().to_string())),
                 ("template_replays", Value::Number(replays as f64)),
                 ("template_other", Value::Number(other as f64)),
+                ("replay", replay),
                 ("health", health),
             ])
         })
@@ -507,6 +524,33 @@ mod tests {
 
         let bad = respond(&service, &request("POST", "/wrappers", "{}"));
         assert_eq!(bad.status, 400, "{}", bad.body);
+    }
+
+    #[test]
+    fn wrappers_listing_reports_replay_breakdown() {
+        let service = service();
+        // Variable-length pages of one script: record counts differ, so
+        // whole-page fingerprints never repeat — only frame stitching
+        // can replay. Page 1 bypasses, page 2 records, page 3 stitches.
+        for n in [2usize, 3, 4] {
+            let rows: String = (0..n)
+                .map(|i| format!("<tr><td><b>DEALER {i}</b></td><td>{i} Elm</td></tr>"))
+                .collect();
+            let body =
+                format!(r#"{{"site":"dealers","html":"<table class='stores'>{rows}</table>"}}"#);
+            let r = respond(&service, &request("POST", "/extract", &body));
+            assert_eq!(r.status, 200, "{}", r.body);
+        }
+        let listed = respond(&service, &request("GET", "/wrappers", ""));
+        assert_eq!(listed.status, 200);
+        assert!(
+            listed.body.contains(
+                "\"replay\":{\"full_replays\":0.0,\"frame_replays\":1.0,\
+                 \"record_replays\":4.0,\"record_fallbacks\":0.0}"
+            ),
+            "{}",
+            listed.body
+        );
     }
 
     #[test]

@@ -43,18 +43,59 @@
 //!   while the re-filtered selection matches the recording, falling back
 //!   to fresh traversal from that point otherwise.
 //!
-//! Replay output is byte-identical to cache-off evaluation — enforced by
-//! `tests/xpath_differential.rs` across engines and thread counts.
+//! ## Frame/record factoring (partial replay)
+//!
+//! Whole-page fingerprints are all-or-nothing: two listing pages whose
+//! record *counts* differ share no trace even when every record subtree
+//! is skeleton-identical — which describes most real listings. When
+//! [`aw_dom::DocIndex::record_layout`] detects a repeated-record run,
+//! each recorded trace is therefore also **factored** into:
+//!
+//! * a *frame trace* — every set restricted to ranks outside the run, in
+//!   *collapsed* coordinates (run ranks removed, later ranks shifted
+//!   down), keyed by the layout's frame fingerprint; and
+//! * *record traces* (donors) — each set restricted to one record's
+//!   span, rebased to record-local ranks, keyed by the record's subtree
+//!   fingerprint and recorded once per distinct fingerprint.
+//!
+//! A later page whose frame fingerprint matches (any record count)
+//! replays by **stitching**: the frame part expands around this page's
+//! run, each record whose fingerprint has a donor splices the donor in
+//! at its span offset, and records without a donor (unseen variants,
+//! drifted markup) evaluate *fresh for that span only* — cheap because
+//! record subtrees are rank-contiguous, so the per-span work is a
+//! clipped traversal (or a postings-range probe under a covering
+//! descendant step). The first fresh instance of each new record
+//! fingerprint is captured as a donor for future pages. Predicate
+//! selections are pointwise (`[k]` positions and `[@a='v']` tests are
+//! per-node properties), so they are always re-filtered over the
+//! stitched bare set — correct by construction — and the recorded
+//! selection is only used to decide whether the subtrie below keeps
+//! stitching or falls back to fresh traversal; any gap in the recorded
+//! data demotes just that subtrie the same way.
+//!
+//! Every set a partial replay assembles is exact for its page, so the
+//! finished walk is **promoted**: its sets become the whole-page trace
+//! for that page's exact fingerprint. A given roster shape (count +
+//! record variants) pays the stitching walk once, and every later page
+//! of that shape replays verbatim — on variable-length corpora the
+//! steady state is the fast full-replay path, with stitching reserved
+//! for first sights of new shapes.
+//!
+//! Replay output — full, partial, and fallback — is byte-identical to
+//! cache-off evaluation, enforced by `tests/xpath_differential.rs`
+//! across engines and thread counts. [`TemplateCache::replay_stats`]
+//! reports how pages and records split across these paths.
 
 use crate::ast::{Axis, XPath};
 use crate::compile::{CompiledPred, CompiledTest, CompiledXPath};
 use crate::indexed::{
-    apply_step_bare, apply_step_with, filter_resolved, materialize, resolve_preds,
+    apply_step_bare, apply_step_with, filter_resolved, materialize, postings_for, resolve_preds,
 };
-use aw_dom::{DocIndex, Document, NodeId};
+use aw_dom::{DocIndex, Document, NodeId, RecordLayout};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One predicate list under a trie node: candidates whose step here has
 /// exactly these predicates, plus the subtrie that follows them.
@@ -93,6 +134,38 @@ struct Trace {
     bare: Vec<Option<Arc<Vec<u32>>>>,
     /// Post-predicate selection per variant (indexed by `Variant::gid`).
     selected: Vec<Option<Arc<Vec<u32>>>>,
+    /// Per-variant memoized `NodeId` materializations, shared across
+    /// replays of rank-monotone pages (see [`SharedSink`]). Populated
+    /// lazily on whole-page traces only; factored frames, donors and
+    /// captures never materialize and leave it empty.
+    terminal_ids: Vec<OnceLock<Arc<Vec<NodeId>>>>,
+}
+
+impl Trace {
+    fn empty(nodes: usize, variants: usize, terminals: usize) -> Trace {
+        Trace {
+            bare: vec![None; nodes],
+            selected: vec![None; variants],
+            terminal_ids: (0..terminals).map(|_| OnceLock::new()).collect(),
+        }
+    }
+}
+
+/// A [`Trace`] factored around one record run: the frame in collapsed
+/// rank coordinates plus record-local donor traces per record
+/// fingerprint (see the [module docs](self)).
+#[derive(Debug)]
+struct FactoredTrace {
+    /// First rank of the record run on the recorded page; equal on every
+    /// page sharing the frame fingerprint (the fingerprint pins it).
+    run_start: u32,
+    /// The recorded trace restricted to ranks outside the run, with
+    /// ranks past the run shifted down by the recorded run length.
+    frame: Trace,
+    /// Record-local traces keyed by record subtree fingerprint. Grows as
+    /// replays capture unseen record variants, bounded by
+    /// [`MAX_DONOR_TRACES`].
+    donors: Mutex<HashMap<u64, Arc<Trace>>>,
 }
 
 /// Per-fingerprint cache state.
@@ -105,6 +178,15 @@ enum Entry {
     Ready(Arc<Trace>),
 }
 
+/// Per-frame-fingerprint cache state.
+#[derive(Debug)]
+enum FrameEntry {
+    /// A page with this frame was seen once; the next one records.
+    Pending,
+    /// Factored; later pages with this frame stitch a partial replay.
+    Ready(Arc<FactoredTrace>),
+}
+
 /// What [`TemplateCache::lookup`] decided for a page.
 enum Lookup {
     /// Evaluate normally (first sight of the template, or cache full).
@@ -113,6 +195,9 @@ enum Lookup {
     Record,
     /// Replay the recorded trace.
     Replay(Arc<Trace>),
+    /// Stitch a partial replay from a factored trace (the whole-page
+    /// fingerprint missed, but the frame matched).
+    PartialReplay(Arc<FactoredTrace>),
 }
 
 /// The cross-page result cache of one [`BatchEvaluator`].
@@ -127,11 +212,48 @@ enum Lookup {
 pub struct TemplateCache {
     /// Maximum tracked templates; beyond it new fingerprints bypass (a
     /// serving process that meets unbounded distinct templates must not
-    /// grow without limit).
+    /// grow without limit). Frame fingerprints are bounded separately by
+    /// the same figure.
     capacity: usize,
     state: Mutex<HashMap<(u32, u64), Entry>>,
+    /// Factored traces keyed by frame fingerprint (the fingerprint
+    /// already encodes the collapsed node count).
+    frames: Mutex<HashMap<u64, FrameEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    frame_hits: AtomicU64,
+    record_replays: AtomicU64,
+    record_fallbacks: AtomicU64,
+}
+
+/// Replay-path counters of a [`TemplateCache`], split by how each page
+/// (and, within partial replays, each record) was evaluated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Pages replayed verbatim from a whole-page trace.
+    pub full_replays: u64,
+    /// Pages whose whole-page fingerprint missed but whose frame
+    /// matched: the frame replayed and records stitched per fingerprint.
+    pub frame_replays: u64,
+    /// Records stitched from a matching record trace across all frame
+    /// replays.
+    pub record_replays: u64,
+    /// Records evaluated fresh within frame replays (no recorded trace
+    /// for their fingerprint yet — unseen variants, drifted markup).
+    pub record_fallbacks: u64,
+    /// Pages that evaluated without any replay (first sights,
+    /// recordings, cache-capacity bypasses).
+    pub misses: u64,
+}
+
+impl std::ops::AddAssign for ReplayStats {
+    fn add_assign(&mut self, rhs: ReplayStats) {
+        self.full_replays += rhs.full_replays;
+        self.frame_replays += rhs.frame_replays;
+        self.record_replays += rhs.record_replays;
+        self.record_fallbacks += rhs.record_fallbacks;
+        self.misses += rhs.misses;
+    }
 }
 
 impl TemplateCache {
@@ -139,45 +261,240 @@ impl TemplateCache {
         TemplateCache {
             capacity,
             state: Mutex::new(HashMap::new()),
+            frames: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            frame_hits: AtomicU64::new(0),
+            record_replays: AtomicU64::new(0),
+            record_fallbacks: AtomicU64::new(0),
         }
     }
 
-    fn lookup(&self, key: (u32, u64)) -> Lookup {
+    /// Decides the evaluation path for a page. An exact whole-page trace
+    /// wins (verbatim replay); otherwise a ready factored frame stitches
+    /// a partial replay; otherwise the second sight of either the page
+    /// or its frame records, and first sights bypass.
+    fn lookup(&self, key: (u32, u64), frame_key: Option<u64>) -> Lookup {
+        let mut state = self.state.lock().unwrap();
+        if let Some(Entry::Ready(trace)) = state.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Replay(Arc::clone(trace));
+        }
+        let exact_pending = matches!(state.get(&key), Some(Entry::Pending));
+        let Some(frame_key) = frame_key else {
+            // No record layout: the original exact-only protocol.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if exact_pending {
+                return Lookup::Record;
+            }
+            if state.len() < self.capacity {
+                state.insert(key, Entry::Pending);
+            }
+            return Lookup::Bypass;
+        };
+        let mut frames = self.frames.lock().unwrap();
+        if let Some(FrameEntry::Ready(factored)) = frames.get(&frame_key) {
+            self.frame_hits.fetch_add(1, Ordering::Relaxed);
+            return Lookup::PartialReplay(Arc::clone(factored));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if exact_pending || matches!(frames.get(&frame_key), Some(FrameEntry::Pending)) {
+            return Lookup::Record;
+        }
+        if state.len() < self.capacity {
+            state.insert(key, Entry::Pending);
+        }
+        if frames.len() < self.capacity {
+            frames.insert(frame_key, FrameEntry::Pending);
+        }
+        Lookup::Bypass
+    }
+
+    fn store(&self, key: (u32, u64), trace: Trace, factored: Option<(u64, FactoredTrace)>) {
+        {
+            let mut state = self.state.lock().unwrap();
+            if state.len() < self.capacity || state.contains_key(&key) {
+                state.insert(key, Entry::Ready(Arc::new(trace)));
+            }
+        }
+        if let Some((frame_key, factored)) = factored {
+            let mut frames = self.frames.lock().unwrap();
+            match frames.get(&frame_key) {
+                // Keep the first factoring — its donor map has been
+                // accumulating record variants.
+                Some(FrameEntry::Ready(_)) => {}
+                Some(FrameEntry::Pending) => {
+                    frames.insert(frame_key, FrameEntry::Ready(Arc::new(factored)));
+                }
+                None => {
+                    if frames.len() < self.capacity {
+                        frames.insert(frame_key, FrameEntry::Ready(Arc::new(factored)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Installs a partial replay's assembled trace as the exact entry
+    /// for its whole-page fingerprint. Stitched bare sets and fresh
+    /// selections are exact for the page that produced them, so the
+    /// trace is indistinguishable from a recording — the next page with
+    /// this fingerprint replays verbatim instead of re-stitching. A
+    /// roster shape thus pays the stitching walk once. The first ready
+    /// entry wins races (replays are byte-identical either way).
+    fn promote(&self, key: (u32, u64), trace: Trace) {
         let mut state = self.state.lock().unwrap();
         match state.get(&key) {
-            Some(Entry::Ready(trace)) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Lookup::Replay(Arc::clone(trace))
-            }
+            Some(Entry::Ready(_)) => {}
             Some(Entry::Pending) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                Lookup::Record
+                state.insert(key, Entry::Ready(Arc::new(trace)));
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
                 if state.len() < self.capacity {
-                    state.insert(key, Entry::Pending);
+                    state.insert(key, Entry::Ready(Arc::new(trace)));
                 }
-                Lookup::Bypass
             }
         }
     }
 
-    fn store(&self, key: (u32, u64), trace: Trace) {
-        self.state
-            .lock()
-            .unwrap()
-            .insert(key, Entry::Ready(Arc::new(trace)));
-    }
-
-    /// `(replayed pages, other pages)` since construction.
+    /// `(replayed pages, other pages)` since construction; replayed
+    /// counts full and partial (frame) replays together.
     pub fn stats(&self) -> (u64, u64) {
         (
-            self.hits.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed) + self.frame_hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// The replay-path breakdown behind [`TemplateCache::stats`].
+    pub fn replay_stats(&self) -> ReplayStats {
+        ReplayStats {
+            full_replays: self.hits.load(Ordering::Relaxed),
+            frame_replays: self.frame_hits.load(Ordering::Relaxed),
+            record_replays: self.record_replays.load(Ordering::Relaxed),
+            record_fallbacks: self.record_fallbacks.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Maximum distinct record traces retained per factored frame. Real
+/// listings draw records from a handful of optional-field combinations,
+/// so this caps pathological variety without touching the common case.
+const MAX_DONOR_TRACES: usize = 64;
+
+/// Drops `[run_start, run_end)` from a sorted rank vector and shifts
+/// later ranks down by the run length — frame (collapsed) coordinates.
+fn collapse(ranks: &[u32], run_start: u32, run_end: u32) -> Vec<u32> {
+    let lo = ranks.partition_point(|&r| r < run_start);
+    let hi = ranks.partition_point(|&r| r < run_end);
+    let run_len = run_end - run_start;
+    let mut out = Vec::with_capacity(lo + ranks.len() - hi);
+    out.extend_from_slice(&ranks[..lo]);
+    out.extend(ranks[hi..].iter().map(|&r| r - run_len));
+    out
+}
+
+/// The `[start, end)` window of a sorted rank vector, rebased to local
+/// (zero-origin) coordinates.
+fn slice_rebased(ranks: &[u32], start: u32, end: u32) -> Vec<u32> {
+    let lo = ranks.partition_point(|&r| r < start);
+    let hi = ranks.partition_point(|&r| r < end);
+    ranks[lo..hi].iter().map(|&r| r - start).collect()
+}
+
+/// Factors a freshly recorded trace around `layout`'s record run: frame
+/// in collapsed coordinates, one donor per distinct record fingerprint
+/// (the first instance wins) in record-local coordinates.
+fn factor_trace(trace: &Trace, layout: &RecordLayout) -> FactoredTrace {
+    let (rs, re) = (layout.run_start, layout.run_end);
+    let restrict = |f: &dyn Fn(&[u32]) -> Vec<u32>, sets: &[Option<Arc<Vec<u32>>>]| {
+        sets.iter()
+            .map(|s| s.as_deref().map(|v| Arc::new(f(v))))
+            .collect::<Vec<_>>()
+    };
+    let frame = Trace {
+        bare: restrict(&|v| collapse(v, rs, re), &trace.bare),
+        selected: restrict(&|v| collapse(v, rs, re), &trace.selected),
+        terminal_ids: Vec::new(),
+    };
+    let mut donors: HashMap<u64, Arc<Trace>> = HashMap::new();
+    for rec in &layout.records {
+        donors.entry(rec.fingerprint).or_insert_with(|| {
+            Arc::new(Trace {
+                bare: restrict(&|v| slice_rebased(v, rec.start, rec.end), &trace.bare),
+                selected: restrict(&|v| slice_rebased(v, rec.start, rec.end), &trace.selected),
+                terminal_ids: Vec::new(),
+            })
+        });
+    }
+    FactoredTrace {
+        run_start: rs,
+        frame,
+        donors: Mutex::new(donors),
+    }
+}
+
+/// Where a walk delivers each terminal's node-set.
+///
+/// The four walk bodies (plain, recording, replay, partial replay) are
+/// generic over this so [`BatchEvaluator::evaluate`] can return owned
+/// vectors while [`BatchEvaluator::evaluate_shared`] returns `Arc`s and
+/// memoizes materializations across replays.
+trait ResultSink {
+    /// Deliver the result of path `path` as materialized `NodeId`s.
+    fn emit(&mut self, idx: &DocIndex, path: usize, ranks: &[u32]);
+
+    /// Like [`ResultSink::emit`], with a per-trace memo slot available
+    /// (verbatim whole-page replays only, where the same ranks recur on
+    /// every page of the template). Sinks that can share results may use
+    /// it; the default materializes fresh.
+    fn emit_memo(
+        &mut self,
+        idx: &DocIndex,
+        path: usize,
+        ranks: &[u32],
+        memo: &OnceLock<Arc<Vec<NodeId>>>,
+    ) {
+        let _ = memo;
+        self.emit(idx, path, ranks);
+    }
+}
+
+/// Materializes owned, independently mutable result vectors
+/// ([`BatchEvaluator::evaluate`]).
+struct OwnedSink(Vec<Vec<NodeId>>);
+
+impl ResultSink for OwnedSink {
+    fn emit(&mut self, idx: &DocIndex, path: usize, ranks: &[u32]) {
+        self.0[path] = materialize(idx, ranks);
+    }
+}
+
+/// Materializes shared result vectors ([`BatchEvaluator::evaluate_shared`]),
+/// memoizing per-variant materializations across verbatim replays of
+/// rank-monotone pages: there `materialize` maps rank `r` to `NodeId(r)`,
+/// so identical ranks yield identical `NodeId` vectors on every page of
+/// the template and the vector is built once per trace.
+struct SharedSink(Vec<Arc<Vec<NodeId>>>);
+
+impl ResultSink for SharedSink {
+    fn emit(&mut self, idx: &DocIndex, path: usize, ranks: &[u32]) {
+        self.0[path] = Arc::new(materialize(idx, ranks));
+    }
+
+    fn emit_memo(
+        &mut self,
+        idx: &DocIndex,
+        path: usize,
+        ranks: &[u32],
+        memo: &OnceLock<Arc<Vec<NodeId>>>,
+    ) {
+        if idx.ranks_monotone() {
+            self.0[path] = Arc::clone(memo.get_or_init(|| Arc::new(materialize(idx, ranks))));
+        } else {
+            self.emit(idx, path, ranks);
+        }
     }
 }
 
@@ -335,35 +652,64 @@ impl BatchEvaluator {
     /// whether the page evaluated fresh, recorded a template trace, or
     /// replayed one (see the [module docs](self)).
     pub fn evaluate(&self, doc: &Document) -> Vec<Vec<NodeId>> {
+        let mut sink = OwnedSink(vec![Vec::new(); self.paths]);
+        self.evaluate_into(doc, &mut sink);
+        sink.0
+    }
+
+    /// Like [`BatchEvaluator::evaluate`], but returns shared vectors.
+    ///
+    /// Identical contents for every path — only the ownership differs:
+    /// verbatim template replays of rank-monotone pages reuse one
+    /// materialized `NodeId` vector per trie leaf instead of rebuilding
+    /// it per page. Meant for read-only consumers (the common one reads
+    /// node *text* and never touches the vector again), which is why the
+    /// results come back behind `Arc`s.
+    pub fn evaluate_shared(&self, doc: &Document) -> Vec<Arc<Vec<NodeId>>> {
+        // One shared empty placeholder is fine: every slot the walk
+        // reaches is overwritten, and untouched slots stay empty.
+        let empty: Arc<Vec<NodeId>> = Arc::new(Vec::new());
+        let mut sink = SharedSink(vec![empty; self.paths]);
+        self.evaluate_into(doc, &mut sink);
+        sink.0
+    }
+
+    fn evaluate_into<S: ResultSink>(&self, doc: &Document, sink: &mut S) {
         // Not `is_empty()`: that is true for root-only documents, which still
         // evaluate (to nothing or to the root for the empty path). Only a
         // zero-node `Document::default()` lacks the root entirely.
         #[allow(clippy::len_zero)]
         if doc.len() == 0 {
-            return vec![Vec::new(); self.paths];
+            return;
         }
         let idx = doc.index();
         if let Some(cache) = &self.cache {
             let key = (doc.len() as u32, idx.template_fingerprint());
-            match cache.lookup(key) {
-                Lookup::Replay(trace) => return self.evaluate_replay(doc, idx, &trace),
+            let layout = idx.record_layout();
+            match cache.lookup(key, layout.map(|l| l.frame_fingerprint)) {
+                Lookup::Replay(trace) => return self.evaluate_replay(doc, idx, &trace, sink),
+                Lookup::PartialReplay(factored) => {
+                    let layout = layout.expect("partial replay implies a record layout");
+                    return self
+                        .evaluate_partial_replay(doc, idx, key, layout, &factored, cache, sink);
+                }
                 Lookup::Record => {
-                    let (results, trace) = self.evaluate_recording(doc, idx);
-                    cache.store(key, trace);
-                    return results;
+                    let trace = self.evaluate_recording(doc, idx, sink);
+                    let factored = layout.map(|l| (l.frame_fingerprint, factor_trace(&trace, l)));
+                    cache.store(key, trace, factored);
+                    return;
                 }
                 Lookup::Bypass => {}
             }
         }
-        self.evaluate_plain(doc, idx)
+        self.evaluate_plain(doc, idx, sink)
     }
 
     /// The direct evaluation path (no trace involved).
-    fn evaluate_plain(&self, doc: &Document, idx: &DocIndex) -> Vec<Vec<NodeId>> {
-        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); self.paths];
+    fn evaluate_plain<S: ResultSink>(&self, doc: &Document, idx: &DocIndex, sink: &mut S) {
         let root_ctx: Vec<u32> = vec![idx.rank_of(doc.root())];
         for &t in &self.root.terminals {
-            results[t as usize] = materialize(idx, &root_ctx);
+            sink.emit(idx, t as usize, &root_ctx);
         }
 
         // Depth-first over the trie, carrying the context node-set of the
@@ -417,7 +763,7 @@ impl BatchEvaluator {
                     continue;
                 }
                 for &t in &variant.terminals {
-                    results[t as usize] = materialize(idx, &selected);
+                    sink.emit(idx, t as usize, &selected);
                 }
                 if let Some((&last_child, rest)) = variant.children.split_last() {
                     for &c in rest {
@@ -427,7 +773,6 @@ impl BatchEvaluator {
                 }
             }
         }
-        results
     }
 
     /// Evaluates while recording a [`Trace`]: every trie node's bare set
@@ -437,15 +782,20 @@ impl BatchEvaluator {
     /// give up their fused collect-and-filter path here — the bare set
     /// must exist to be recorded. That one-page cost is what replays
     /// amortize away.
-    fn evaluate_recording(&self, doc: &Document, idx: &DocIndex) -> (Vec<Vec<NodeId>>, Trace) {
-        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); self.paths];
-        let mut trace = Trace {
-            bare: vec![None; self.nodes.len()],
-            selected: vec![None; self.n_variants as usize],
-        };
+    fn evaluate_recording<S: ResultSink>(
+        &self,
+        doc: &Document,
+        idx: &DocIndex,
+        sink: &mut S,
+    ) -> Trace {
+        let mut trace = Trace::empty(
+            self.nodes.len(),
+            self.n_variants as usize,
+            self.n_variants as usize,
+        );
         let root_ctx: Arc<Vec<u32>> = Arc::new(vec![idx.rank_of(doc.root())]);
         for &t in &self.root.terminals {
-            results[t as usize] = materialize(idx, &root_ctx);
+            sink.emit(idx, t as usize, &root_ctx);
         }
         let mut stack: Vec<(u32, Arc<Vec<u32>>)> = self
             .root
@@ -478,14 +828,14 @@ impl BatchEvaluator {
                     continue;
                 }
                 for &t in &variant.terminals {
-                    results[t as usize] = materialize(idx, &selected);
+                    sink.emit(idx, t as usize, &selected);
                 }
                 for &c in &variant.children {
                     stack.push((c, Arc::clone(&selected)));
                 }
             }
         }
-        (results, trace)
+        trace
     }
 
     /// Evaluates by replaying a recorded [`Trace`] onto a page with the
@@ -498,7 +848,13 @@ impl BatchEvaluator {
     /// over the cached bare set; the subtrie below one keeps replaying
     /// only while the fresh selection equals the recorded one, and
     /// otherwise falls back to fresh traversal from that point.
-    fn evaluate_replay(&self, doc: &Document, idx: &DocIndex, trace: &Trace) -> Vec<Vec<NodeId>> {
+    fn evaluate_replay<S: ResultSink>(
+        &self,
+        doc: &Document,
+        idx: &DocIndex,
+        trace: &Trace,
+        sink: &mut S,
+    ) {
         /// Context of a pending trie node during replay.
         enum Ctx {
             /// Context equals the recording's — consume the trace.
@@ -507,10 +863,9 @@ impl BatchEvaluator {
             Fresh(Arc<Vec<u32>>),
         }
 
-        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); self.paths];
         let root_ctx: Vec<u32> = vec![idx.rank_of(doc.root())];
         for &t in &self.root.terminals {
-            results[t as usize] = materialize(idx, &root_ctx);
+            sink.emit(idx, t as usize, &root_ctx);
         }
         let mut stack: Vec<(u32, Ctx)> = self
             .root
@@ -546,7 +901,15 @@ impl BatchEvaluator {
                                 continue;
                             }
                             for &t in &variant.terminals {
-                                results[t as usize] = materialize(idx, selected);
+                                // Verbatim ranks recur on every page of
+                                // the template — sharing sinks memoize
+                                // the materialization in the trace.
+                                sink.emit_memo(
+                                    idx,
+                                    t as usize,
+                                    selected,
+                                    &trace.terminal_ids[variant.gid as usize],
+                                );
                             }
                             for &c in &variant.children {
                                 stack.push((c, Ctx::Trusted));
@@ -566,7 +929,7 @@ impl BatchEvaluator {
                                 continue;
                             }
                             for &t in &variant.terminals {
-                                results[t as usize] = materialize(idx, &fresh);
+                                sink.emit(idx, t as usize, &fresh);
                             }
                             if agrees {
                                 for &c in &variant.children {
@@ -599,7 +962,7 @@ impl BatchEvaluator {
                             continue;
                         }
                         for &t in &variant.terminals {
-                            results[t as usize] = materialize(idx, &selected);
+                            sink.emit(idx, t as usize, &selected);
                         }
                         let shared = Arc::new(selected);
                         for &c in &variant.children {
@@ -609,8 +972,379 @@ impl BatchEvaluator {
                 }
             }
         }
-        results
     }
+
+    /// Evaluates by stitching a [`FactoredTrace`] onto a page whose
+    /// *frame* fingerprint matches the recording but whose record roster
+    /// (count, order, variants) may differ — see the
+    /// [module docs](self).
+    ///
+    /// The walk carries explicit context vectors. A context is *trusted*
+    /// when it provably equals the stitched recorded selection of its
+    /// parent variant (with fresh values on fallback record spans);
+    /// trusted nodes assemble their bare set by stitching instead of
+    /// traversing, untrusted (or gap-demoted) nodes evaluate exactly
+    /// like the fresh path. Predicate selections are always re-filtered
+    /// pointwise over the true bare set, so emitted results never depend
+    /// on trust — trust only buys the cheaper bare-set path below.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_partial_replay<S: ResultSink>(
+        &self,
+        doc: &Document,
+        idx: &DocIndex,
+        key: (u32, u64),
+        layout: &RecordLayout,
+        factored: &FactoredTrace,
+        cache: &TemplateCache,
+        sink: &mut S,
+    ) {
+        debug_assert_eq!(
+            layout.run_start, factored.run_start,
+            "the frame fingerprint pins the run origin"
+        );
+        /// Context of a pending trie node during partial replay.
+        enum PCtx {
+            /// Equals the stitched recorded parent selection (fresh on
+            /// fallback spans) — bare sets may stitch from the trace.
+            Trusted(Arc<Vec<u32>>),
+            /// Diverged or demoted upstream — traverse.
+            Fresh(Arc<Vec<u32>>),
+        }
+        /// An unseen record variant being recorded for future replays.
+        struct Capture {
+            /// Index into `layout.records` of the instance captured.
+            record: usize,
+            fingerprint: u64,
+            trace: Trace,
+        }
+
+        // Assign each record a donor (a recorded trace for its
+        // fingerprint) or mark it for per-span fresh fallback; the first
+        // fallback instance of each unseen fingerprint is captured
+        // during the walk to seed future pages.
+        let mut donors: Vec<Option<Arc<Trace>>> = Vec::with_capacity(layout.records.len());
+        let mut captures: Vec<Capture> = Vec::new();
+        {
+            let map = factored.donors.lock().unwrap();
+            let mut room = MAX_DONOR_TRACES.saturating_sub(map.len());
+            for (i, rec) in layout.records.iter().enumerate() {
+                let donor = map.get(&rec.fingerprint).cloned();
+                if donor.is_none()
+                    && room > 0
+                    && !captures.iter().any(|c| c.fingerprint == rec.fingerprint)
+                {
+                    room -= 1;
+                    captures.push(Capture {
+                        record: i,
+                        fingerprint: rec.fingerprint,
+                        trace: Trace::empty(self.nodes.len(), self.n_variants as usize, 0),
+                    });
+                }
+                donors.push(donor);
+            }
+        }
+        let replayed = donors.iter().filter(|d| d.is_some()).count() as u64;
+        cache.record_replays.fetch_add(replayed, Ordering::Relaxed);
+        cache
+            .record_fallbacks
+            .fetch_add(layout.records.len() as u64 - replayed, Ordering::Relaxed);
+
+        // Every bare set and selection this walk produces is exact for
+        // the page (stitching is exact, everything else is computed
+        // fresh), so collecting them yields a trace indistinguishable
+        // from a recording — promoted under the page's whole-page
+        // fingerprint at the end, it turns every later page with this
+        // roster shape into a verbatim replay.
+        let mut promo = Trace::empty(
+            self.nodes.len(),
+            self.n_variants as usize,
+            self.n_variants as usize,
+        );
+
+        let root_ctx: Arc<Vec<u32>> = Arc::new(vec![idx.rank_of(doc.root())]);
+        for &t in &self.root.terminals {
+            sink.emit(idx, t as usize, &root_ctx);
+        }
+        let mut stack: Vec<(u32, PCtx)> = self
+            .root
+            .children
+            .iter()
+            .map(|&c| (c, PCtx::Trusted(Arc::clone(&root_ctx))))
+            .collect();
+        while let Some((node_i, pctx)) = stack.pop() {
+            let node = &self.nodes[node_i as usize];
+            let stitched = match &pctx {
+                PCtx::Trusted(ctx) => {
+                    self.stitch_bare(doc, idx, layout, factored, node_i, node, ctx, &donors)
+                }
+                PCtx::Fresh(_) => None,
+            };
+            let (PCtx::Trusted(ctx) | PCtx::Fresh(ctx)) = &pctx;
+            let Some(bare) = stitched else {
+                // Fresh traversal: untrusted context, or a gap in the
+                // frame/donor data demoted this subtrie.
+                let bare = apply_step_bare(doc, idx, ctx, node.axis, &node.test);
+                if bare.is_empty() {
+                    continue;
+                }
+                let bare = Arc::new(bare);
+                promo.bare[node_i as usize] = Some(Arc::clone(&bare));
+                for variant in &node.variants {
+                    let selected: Arc<Vec<u32>> = if variant.predicates.is_empty() {
+                        Arc::clone(&bare)
+                    } else {
+                        Arc::new(match resolve_preds(idx, &variant.predicates) {
+                            Some(preds) => filter_resolved(idx, &node.test, &preds, &bare),
+                            None => Vec::new(),
+                        })
+                    };
+                    if selected.is_empty() {
+                        continue;
+                    }
+                    promo.selected[variant.gid as usize] = Some(Arc::clone(&selected));
+                    for &t in &variant.terminals {
+                        sink.emit(idx, t as usize, &selected);
+                    }
+                    for &c in &variant.children {
+                        stack.push((c, PCtx::Fresh(Arc::clone(&selected))));
+                    }
+                }
+                continue;
+            };
+            // Trusted node: `bare` is the true bare set (stitching is
+            // exact). Capture each unseen record variant's slice.
+            promo.bare[node_i as usize] = Some(Arc::clone(&bare));
+            for cap in &mut captures {
+                let rec = &layout.records[cap.record];
+                cap.trace.bare[node_i as usize] =
+                    Some(Arc::new(slice_rebased(&bare, rec.start, rec.end)));
+            }
+            if bare.is_empty() {
+                continue;
+            }
+            for variant in &node.variants {
+                if variant.predicates.is_empty() {
+                    for cap in &mut captures {
+                        cap.trace.selected[variant.gid as usize] =
+                            cap.trace.bare[node_i as usize].clone();
+                    }
+                    promo.selected[variant.gid as usize] = Some(Arc::clone(&bare));
+                    for &t in &variant.terminals {
+                        sink.emit(idx, t as usize, &bare);
+                    }
+                    for &c in &variant.children {
+                        stack.push((c, PCtx::Trusted(Arc::clone(&bare))));
+                    }
+                } else {
+                    // Predicates are pointwise (positions and attribute
+                    // tests are per-node properties), so filtering the
+                    // true bare set is always correct; the recorded
+                    // selection only decides whether the subtrie below
+                    // keeps stitching.
+                    let fresh: Vec<u32> = match resolve_preds(idx, &variant.predicates) {
+                        Some(preds) => filter_resolved(idx, &node.test, &preds, &bare),
+                        None => Vec::new(),
+                    };
+                    for cap in &mut captures {
+                        let rec = &layout.records[cap.record];
+                        cap.trace.selected[variant.gid as usize] =
+                            Some(Arc::new(slice_rebased(&fresh, rec.start, rec.end)));
+                    }
+                    let agrees = selection_agrees(&fresh, factored, layout, &donors, variant.gid);
+                    if fresh.is_empty() {
+                        continue;
+                    }
+                    for &t in &variant.terminals {
+                        sink.emit(idx, t as usize, &fresh);
+                    }
+                    let shared = Arc::new(fresh);
+                    promo.selected[variant.gid as usize] = Some(Arc::clone(&shared));
+                    for &c in &variant.children {
+                        let ctx = Arc::clone(&shared);
+                        stack.push((
+                            c,
+                            if agrees {
+                                PCtx::Trusted(ctx)
+                            } else {
+                                PCtx::Fresh(ctx)
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Publish captured record variants for future pages. Captures
+        // whose nodes all demoted carry no data and are dropped; races
+        // between concurrent pages keep whichever donor lands first
+        // (results never depend on which — stitching is exact).
+        let mut fresh_donors = captures
+            .into_iter()
+            .filter(|c| c.trace.bare.iter().any(Option::is_some))
+            .peekable();
+        if fresh_donors.peek().is_some() {
+            let mut map = factored.donors.lock().unwrap();
+            for cap in fresh_donors {
+                if map.len() >= MAX_DONOR_TRACES {
+                    break;
+                }
+                map.entry(cap.fingerprint)
+                    .or_insert_with(|| Arc::new(cap.trace));
+            }
+        }
+        cache.promote(key, promo);
+    }
+
+    /// Assembles the true bare node-set of a trusted trie node by
+    /// stitching: expanded frame prefix, then per record either the
+    /// donor slice rebased to the record's span or a fresh clipped
+    /// evaluation of that span, then the expanded frame suffix. Returns
+    /// `None` when the frame or any assigned donor lacks data for this
+    /// node (the caller demotes the subtrie to fresh traversal).
+    #[allow(clippy::too_many_arguments)]
+    fn stitch_bare(
+        &self,
+        doc: &Document,
+        idx: &DocIndex,
+        layout: &RecordLayout,
+        factored: &FactoredTrace,
+        node_i: u32,
+        node: &TrieNode,
+        ctx: &Arc<Vec<u32>>,
+        donors: &[Option<Arc<Trace>>],
+    ) -> Option<Arc<Vec<u32>>> {
+        let frame = factored.frame.bare[node_i as usize].as_deref()?;
+        for donor in donors.iter().flatten() {
+            donor.bare[node_i as usize].as_ref()?;
+        }
+        let run_len = layout.run_len();
+        let split = frame.partition_point(|&r| r < layout.run_start);
+        let (prefix, suffix) = frame.split_at(split);
+        // Does some context node above the run contain all of it? Frame
+        // subtree ends never fall strictly inside the run, so this is
+        // span-independent; it decides how descendant steps reach
+        // fallback spans.
+        let covering_ancestor = node.axis == Axis::Descendant
+            && donors.iter().any(Option::is_none)
+            && ctx[..ctx.partition_point(|&r| r < layout.run_start)]
+                .iter()
+                .any(|&c| idx.subtree(c).end >= layout.run_end);
+        let mut out: Vec<u32> = Vec::with_capacity(frame.len());
+        out.extend_from_slice(prefix);
+        for (rec, donor) in layout.records.iter().zip(donors) {
+            match donor {
+                Some(d) => {
+                    let slice = d.bare[node_i as usize].as_deref().expect("checked above");
+                    out.extend(slice.iter().map(|&r| r + rec.start));
+                }
+                None => out.extend(fresh_span(
+                    doc,
+                    idx,
+                    layout,
+                    node,
+                    ctx,
+                    rec,
+                    covering_ancestor,
+                )),
+            }
+        }
+        out.extend(suffix.iter().map(|&r| r + run_len));
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "stitch must be sorted");
+        Some(Arc::new(out))
+    }
+}
+
+/// Fresh evaluation of one trie step clipped to a single record span
+/// (a fallback record during partial replay). Record subtrees are
+/// rank-contiguous, so results inside the span can only come from
+/// context inside it, from the run parent (child steps reach the record
+/// root), or — for descendant steps — from an ancestor covering the run,
+/// in which case the span's posting range answers directly.
+fn fresh_span(
+    doc: &Document,
+    idx: &DocIndex,
+    layout: &RecordLayout,
+    node: &TrieNode,
+    ctx: &[u32],
+    rec: &aw_dom::RecordSpan,
+    covering_ancestor: bool,
+) -> Vec<u32> {
+    let lo = ctx.partition_point(|&r| r < rec.start);
+    let hi = ctx.partition_point(|&r| r < rec.end);
+    match node.axis {
+        Axis::Descendant if covering_ancestor => {
+            let postings = postings_for(idx, &node.test);
+            let lo = postings.partition_point(|&r| r < rec.start);
+            let hi = postings.partition_point(|&r| r < rec.end);
+            postings[lo..hi].to_vec()
+        }
+        Axis::Descendant => apply_step_bare(doc, idx, &ctx[lo..hi], node.axis, &node.test),
+        Axis::Child => {
+            let mut cand: Vec<u32> = Vec::with_capacity(hi - lo + 1);
+            if ctx.binary_search(&layout.parent).is_ok() {
+                cand.push(layout.parent);
+            }
+            cand.extend_from_slice(&ctx[lo..hi]);
+            let out = apply_step_bare(doc, idx, &cand, node.axis, &node.test);
+            let lo = out.partition_point(|&r| r < rec.start);
+            let hi = out.partition_point(|&r| r < rec.end);
+            out[lo..hi].to_vec()
+        }
+    }
+}
+
+/// Streams the freshly filtered selection against the stitched recorded
+/// one (frame prefix, donor slices, frame suffix), skipping fallback
+/// spans where fresh values are authoritative. Equality means the
+/// subtrie below may keep stitching; any gap or mismatch means it must
+/// not.
+fn selection_agrees(
+    fresh: &[u32],
+    factored: &FactoredTrace,
+    layout: &RecordLayout,
+    donors: &[Option<Arc<Trace>>],
+    gid: u32,
+) -> bool {
+    let Some(frame) = factored.frame.selected[gid as usize].as_deref() else {
+        return false;
+    };
+    let split = frame.partition_point(|&r| r < layout.run_start);
+    let (prefix, suffix) = frame.split_at(split);
+    let mut pos = 0usize;
+    let eat = |expect: &[u32], base: u32, pos: &mut usize| -> bool {
+        for &r in expect {
+            if fresh.get(*pos) != Some(&(r + base)) {
+                return false;
+            }
+            *pos += 1;
+        }
+        true
+    };
+    if !eat(prefix, 0, &mut pos) {
+        return false;
+    }
+    for (rec, donor) in layout.records.iter().zip(donors) {
+        match donor {
+            Some(d) => {
+                let Some(sel) = d.selected[gid as usize].as_deref() else {
+                    return false;
+                };
+                if !eat(sel, rec.start, &mut pos) {
+                    return false;
+                }
+            }
+            // Fallback span: skip exactly the fresh values inside it.
+            None => {
+                while fresh
+                    .get(pos)
+                    .is_some_and(|&r| r >= rec.start && r < rec.end)
+                {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    eat(suffix, layout.run_len(), &mut pos) && pos == fresh.len()
 }
 
 #[cfg(test)]
@@ -840,6 +1574,155 @@ mod tests {
         }
         let (hits, misses) = batch.template_cache().unwrap().stats();
         assert_eq!((hits, misses), (2, 2));
+    }
+
+    /// A variable-length listing: chrome around a run of `tr` records.
+    /// Each record is `(name, has_phone)` — `has_phone` toggles the
+    /// optional second cell, giving the record a distinct subtree
+    /// fingerprint.
+    fn varlen_page(records: &[(&str, bool)]) -> aw_dom::Document {
+        let mut rows = String::new();
+        for (i, (name, phone)) in records.iter().enumerate() {
+            rows.push_str(&format!("<tr><td><u>{name}</u><br>{i} Elm St</td>"));
+            if *phone {
+                rows.push_str(&format!("<td>555-00{i}</td>"));
+            }
+            rows.push_str("</tr>");
+        }
+        parse(&format!(
+            "<div class='nav'><a href='/h'>home</a></div>\
+             <div class='dealerlinks'>{rows}</div>\
+             <div class='footer'>contact us</div>"
+        ))
+    }
+
+    fn assert_all_match_reference(
+        batch: &BatchEvaluator,
+        paths: &[XPath],
+        pages: &[aw_dom::Document],
+    ) {
+        for (p, doc) in pages.iter().enumerate() {
+            for (path, got) in paths.iter().zip(batch.evaluate(doc)) {
+                assert_eq!(got, reference::evaluate(path, doc), "page {p}, path {path}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_replay_stitches_across_record_counts() {
+        // Counts differ page to page, so whole-page fingerprints almost
+        // never repeat — only the frame carries the replay.
+        let pages: Vec<aw_dom::Document> = [2usize, 4, 3, 5, 4]
+            .iter()
+            .map(|&n| varlen_page(&vec![("DEALER", true); n]))
+            .collect();
+        let paths = candidate_set();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        assert_all_match_reference(&batch, &paths, &pages);
+        let stats = batch.template_cache().unwrap().replay_stats();
+        assert_eq!(
+            stats.frame_replays, 2,
+            "pages 2 (3 recs) and 3 (5 recs) stitch partial replays"
+        );
+        assert_eq!(
+            stats.full_replays, 1,
+            "page 4 repeats page 1's count and replays verbatim"
+        );
+        assert_eq!(stats.record_replays, 3 + 5, "every record had a donor");
+        assert_eq!(stats.record_fallbacks, 0);
+        assert_eq!(stats.misses, 2, "page 0 bypasses, page 1 records");
+        assert_eq!(batch.template_cache().unwrap().stats(), (3, 2));
+    }
+
+    #[test]
+    fn partial_replay_falls_back_and_captures_record_variants() {
+        let pages = [
+            varlen_page(&[("A", true), ("B", true), ("C", true)]),
+            varlen_page(&[("D", true), ("E", true), ("F", true)]),
+            // A phone-less middle record: unseen fingerprint → fallback
+            // span, captured as a donor.
+            varlen_page(&[("G", true), ("H", false), ("I", true)]),
+            // Both variants known now — no fallbacks left.
+            varlen_page(&[("J", false), ("K", true), ("L", true)]),
+        ];
+        let paths = candidate_set();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        assert_all_match_reference(&batch, &paths, &pages);
+        let stats = batch.template_cache().unwrap().replay_stats();
+        assert_eq!(stats.frame_replays, 2);
+        assert_eq!(
+            (stats.record_replays, stats.record_fallbacks),
+            (2 + 3, 1),
+            "page 2 stitches 2 and falls back on 1; page 3 stitches all \
+             3 thanks to the captured phone-less donor"
+        );
+    }
+
+    #[test]
+    fn partial_replay_revalidates_attribute_selections() {
+        // The frame fingerprint ignores attribute *values*, so a page
+        // whose container class changed still partial-replays — and the
+        // attribute re-filter must steer its subtrie to fresh traversal.
+        let make = |class: &str, n: usize| {
+            let rows: String = (0..n)
+                .map(|i| format!("<tr><td><u>NAME{i}</u><br>addr</td></tr>"))
+                .collect();
+            parse(&format!(
+                "<div class='{class}'>{rows}</div><div class='f'>x</div>"
+            ))
+        };
+        let pages = [
+            make("list", 2),
+            make("list", 3),
+            make("other", 4),
+            make("list", 5),
+        ];
+        let paths: Vec<XPath> = [
+            "//div[@class='list']/tr/td/u/text()",
+            "//div[@class='other']/tr/td/u/text()",
+            "//div/tr/td/u/text()",
+            "//td/text()[1]",
+        ]
+        .iter()
+        .map(|s| parse_xpath(s).unwrap())
+        .collect();
+        let batch = BatchEvaluator::from_xpaths(&paths);
+        assert_all_match_reference(&batch, &paths, &pages);
+        let stats = batch.template_cache().unwrap().replay_stats();
+        assert_eq!(stats.frame_replays, 2, "pages 2 and 3 stitch");
+    }
+
+    #[test]
+    fn evaluate_shared_matches_evaluate_and_memoizes_replays() {
+        let pages: Vec<aw_dom::Document> = [3usize, 3, 3, 3]
+            .iter()
+            .map(|&n| varlen_page(&vec![("SHARED", true); n]))
+            .collect();
+        let paths = candidate_set();
+        let owned = BatchEvaluator::from_xpaths(&paths);
+        let shared = BatchEvaluator::from_xpaths(&paths);
+        let mut replayed: Vec<Vec<Arc<Vec<NodeId>>>> = Vec::new();
+        for doc in &pages {
+            let o = owned.evaluate(doc);
+            let s = shared.evaluate_shared(doc);
+            assert_eq!(o.len(), s.len());
+            for (a, b) in o.iter().zip(&s) {
+                assert_eq!(a, b.as_ref());
+            }
+            replayed.push(s);
+        }
+        // Pages 2 and 3 replay the same template verbatim on monotone
+        // pages: their terminal vectors are the same allocation.
+        let (h, _) = shared.template_cache().unwrap().stats();
+        assert_eq!(h, 2);
+        for (a, b) in replayed[2].iter().zip(&replayed[3]) {
+            if !a.is_empty() {
+                assert!(
+                    Arc::ptr_eq(a, b),
+                    "replayed terminals share one materialization"
+                );
+            }
+        }
     }
 
     #[test]

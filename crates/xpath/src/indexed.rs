@@ -202,7 +202,7 @@ fn step_nodes(
     out
 }
 
-fn postings_for<'i>(idx: &'i DocIndex, test: &CompiledTest) -> &'i [u32] {
+pub(crate) fn postings_for<'i>(idx: &'i DocIndex, test: &CompiledTest) -> &'i [u32] {
     match test {
         CompiledTest::Tag(sym) => idx.tag_postings(*sym),
         CompiledTest::AnyElement => idx.element_postings(),

@@ -90,7 +90,7 @@ pub mod reference;
 pub mod shard;
 
 pub use ast::{Axis, NodeTest, Predicate, Step, XPath};
-pub use batch::{BatchEvaluator, TemplateCache};
+pub use batch::{BatchEvaluator, ReplayStats, TemplateCache};
 pub use compile::{CompiledPred, CompiledStep, CompiledTest, CompiledXPath};
 pub use eval::evaluate;
 pub use indexed::evaluate_compiled;

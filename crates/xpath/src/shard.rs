@@ -110,6 +110,21 @@ impl ShardedBatch {
         any.then_some((hits, misses))
     }
 
+    /// Summed replay-path breakdown across shards (the
+    /// [`crate::ReplayStats`] behind [`Self::template_cache_stats`]);
+    /// `None` when the cache is disabled.
+    pub fn template_replay_stats(&self) -> Option<crate::ReplayStats> {
+        let mut any = false;
+        let mut total = crate::ReplayStats::default();
+        for shard in &self.shards {
+            if let Some(cache) = shard.batch.template_cache() {
+                any = true;
+                total += cache.replay_stats();
+            }
+        }
+        any.then_some(total)
+    }
+
     /// Total number of input paths across all shards.
     pub fn len(&self) -> usize {
         self.paths

@@ -513,6 +513,175 @@ fn engines_agree_on_builder_docs_where_arena_order_is_not_rank_order() {
 }
 
 #[test]
+fn record_replay_is_byte_identical_on_variable_length_learned_corpora() {
+    use aw_annotate::{DictionaryAnnotator, MatchMode};
+    use aw_enum::{sharded_xpath_space, top_down};
+    use aw_induct::{NodeSet, XPathInductor};
+
+    // A variable-length corpus: record counts differ per page and each
+    // record independently drops its optional phone field, so whole-page
+    // fingerprints rarely repeat within a site. Replay can only come
+    // from frame/record stitching — and dropout means replay pages carry
+    // record variants unseen at record time, exercising the per-record
+    // fresh-fallback path under every thread count.
+    let ds = generate_dealers(&DealersConfig {
+        sites: 3,
+        pages_per_site: 5,
+        records_per_page: (2, 8),
+        promo_prob: 0.0,
+        seed: 0xFA7B,
+        ..DealersConfig::default()
+    });
+    let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+
+    let mut spaces: Vec<aw_enum::EnumerationResult<aw_dom::PageNode>> = Vec::new();
+    let mut slot_to_path: Vec<XPath> = Vec::new();
+    for gs in &ds.sites {
+        let labels: NodeSet = annot.annotate(&gs.site);
+        assert!(!labels.is_empty(), "annotator found nothing");
+        let space = top_down(&XPathInductor::new(&gs.site), &labels);
+        slot_to_path.extend(space.xpath_candidates().into_iter().map(|(_, xp)| xp));
+        spaces.push(space);
+    }
+    let mut pages: Vec<(usize, &Document)> = Vec::new();
+    for (s, gs) in ds.sites.iter().enumerate() {
+        for page in gs.site.pages() {
+            pages.push((s, page));
+        }
+    }
+    // The corpus must actually be variable-length per site, or this test
+    // degenerates into the fixed-roster one above.
+    for gs in &ds.sites {
+        let mut counts: Vec<u64> = gs
+            .site
+            .pages()
+            .iter()
+            .map(|p| {
+                p.index()
+                    .record_layout()
+                    .expect("listing run")
+                    .records
+                    .len() as u64
+            })
+            .collect();
+        counts.dedup();
+        assert!(counts.len() > 1, "record counts must vary within a site");
+    }
+
+    let tagged: Vec<(usize, aw_xpath::CompiledXPath)> = sharded_xpath_space(spaces.iter());
+    let cached = ShardedBatch::new(tagged.clone());
+    let uncached = ShardedBatch::new(tagged).with_cache(false);
+
+    type PageResults = Vec<Vec<(u32, Vec<aw_dom::NodeId>)>>;
+    let mut first: Option<PageResults> = None;
+    for threads in [1, 2, 8] {
+        let exec = Executor::new(threads);
+        let on = cached.evaluate_pages(&pages, &exec);
+        let off = uncached.evaluate_pages(&pages, &exec);
+        assert_eq!(on, off, "cache-on != cache-off at {threads} threads");
+        for (&(_, page), page_results) in pages.iter().zip(&on) {
+            for (slot, nodes) in page_results {
+                assert_eq!(
+                    nodes,
+                    &reference::evaluate(&slot_to_path[*slot as usize], page),
+                    "threads {threads}, slot {slot}"
+                );
+            }
+        }
+        match &first {
+            None => first = Some(on),
+            Some(expected) => assert_eq!(&on, expected, "threads {threads}"),
+        }
+    }
+    let replay = cached.template_replay_stats().expect("cache enabled");
+    assert!(replay.frame_replays > 0, "no frame stitched: {replay:?}");
+    assert!(replay.record_replays > 0, "no record replayed: {replay:?}");
+    assert!(
+        replay.record_fallbacks > 0,
+        "dropout corpus must hit the fresh-fallback path: {replay:?}"
+    );
+}
+
+#[test]
+fn record_replay_survives_dropout_and_markup_drift() {
+    // Hand-built variable-length listings driven through ONE cached trie
+    // in a fixed order, so every partial-replay transition is pinned:
+    // per-record optional-field dropout (a phone cell that comes and
+    // goes) and mid-page markup drift (one record swaps <u> for <em>)
+    // must fall back to fresh evaluation for exactly those records while
+    // the rest of the page stitches from recorded traces.
+    let page = |records: &[(&str, bool, bool)]| -> Document {
+        let rows: String = records
+            .iter()
+            .enumerate()
+            .map(|(i, (name, phone, drift))| {
+                let label = if *drift {
+                    format!("<em>{name}</em>")
+                } else {
+                    format!("<u>{name}</u>")
+                };
+                let tel = if *phone {
+                    format!("<td>555-01{i:02}</td>")
+                } else {
+                    String::new()
+                };
+                format!("<tr><td>{label}<br>{i} Elm St</td>{tel}</tr>")
+            })
+            .collect();
+        aw_dom::parse(&format!(
+            "<div class='nav'><h1>Dealers</h1></div>\
+             <table class='dealerlinks'>{rows}</table>\
+             <div class='footer'><p>contact</p></div>"
+        ))
+    };
+    let mut rng = StdRng::seed_from_u64(0xD207);
+    let mut paths: Vec<XPath> = (0..30).map(|_| random_xpath(&mut rng)).collect();
+    for targeted in [
+        "//table[@class='dealerlinks']/tr/td/u/text()",
+        "//tr/td[1]/text()",
+        "//tr/td[2]/text()",
+        "//tr[2]/td/u/text()",
+        "//td/em/text()",
+        "//div[@class='footer']/p/text()",
+    ] {
+        paths.push(aw_xpath::parse_xpath(targeted).unwrap());
+    }
+    let cached = BatchEvaluator::from_xpaths(paths.iter());
+    let uncached = BatchEvaluator::from_xpaths(paths.iter()).with_cache(false);
+
+    let full = |n: &'static str| (n, true, false);
+    let bare = |n: &'static str| (n, false, false);
+    let pages = [
+        // bypass, then record: both full-roster, different counts.
+        page(&[full("A"), full("B"), full("C")]),
+        page(&[full("D"), full("E"), full("F"), full("G")]),
+        // dropout: two phone-less records, unseen at record time — both
+        // fall back fresh (the first donates its trace for later pages).
+        page(&[full("H"), bare("I"), full("J"), full("K"), bare("L")]),
+        // the donated phone-less trace now replays alongside the full one.
+        page(&[bare("M"), full("N"), full("O"), bare("P")]),
+        // markup drift: one record swaps <u> for <em> mid-page; its
+        // neighbours still replay, it alone re-evaluates.
+        page(&[full("Q"), ("R", true, true), full("S")]),
+    ];
+    for doc in &pages {
+        let on = cached.evaluate(doc);
+        let off = uncached.evaluate(doc);
+        for ((path, got), also) in paths.iter().zip(on).zip(off) {
+            let expected = reference::evaluate(path, doc);
+            assert_eq!(got, expected, "cache-on differs for {path}");
+            assert_eq!(also, expected, "cache-off differs for {path}");
+        }
+    }
+    let replay = cached.template_cache().unwrap().replay_stats();
+    assert_eq!(replay.full_replays, 0, "{replay:?}");
+    assert_eq!(replay.frame_replays, 3, "{replay:?}");
+    assert_eq!(replay.record_replays, 9, "{replay:?}");
+    assert_eq!(replay.record_fallbacks, 3, "{replay:?}");
+    assert_eq!(replay.misses, 2, "{replay:?}");
+}
+
+#[test]
 fn display_roundtrip_preserves_engine_agreement() {
     // Parsing a rendered path and evaluating both forms through both
     // engines closes the loop between the parser, Display, and the
