@@ -113,6 +113,19 @@ impl Document {
         &self.index
     }
 
+    /// Wraps a fully-linked node arena built elsewhere (the streaming
+    /// builder, `crate::stream`) without the per-append index
+    /// invalidation of [`Document::append`]. The caller guarantees the
+    /// tree links are consistent and `nodes[0]` is the root.
+    pub(crate) fn from_nodes(nodes: Vec<Node>) -> Document {
+        debug_assert!(matches!(nodes[0].kind, NodeKind::Document));
+        debug_assert!(nodes[0].parent.is_none());
+        Document {
+            nodes,
+            index: OnceLock::new(),
+        }
+    }
+
     /// Number of nodes, including the root.
     pub fn len(&self) -> usize {
         self.nodes.len()

@@ -20,7 +20,7 @@ use crate::arena::{Document, NodeId, NodeKind};
 use crate::interner::{intern, Sym};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::ops::Range;
 
 /// One repeated record subtree inside a [`RecordLayout`], as a half-open
@@ -71,6 +71,37 @@ impl RecordLayout {
     }
 }
 
+/// FNV-1a, used to key the per-document attribute-value table. Those
+/// values are short strings hashed once per attribute on the parse path
+/// and once per `[@attr='value']` probe at evaluation time; SipHash's
+/// per-call finalization dominates at such lengths, and the table needs
+/// no DoS hardening — it is rebuilt per page and its ids are dense
+/// first-seen either way.
+#[derive(Clone)]
+pub(crate) struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
 /// Precomputed evaluation structures for one [`Document`].
 ///
 /// All rank-typed values index the document's **pre-order** traversal
@@ -78,48 +109,51 @@ impl RecordLayout {
 /// order, but the index does not rely on that).
 #[derive(Clone, Debug, Default)]
 pub struct DocIndex {
+    // Fields are `pub(crate)` so the one-pass streaming builder
+    // (`crate::stream`) can fill the same tables event-by-event; every
+    // consumer outside this crate goes through the accessor methods.
     /// NodeId index → pre-order rank.
-    rank: Vec<u32>,
+    pub(crate) rank: Vec<u32>,
     /// Pre-order rank → NodeId.
-    by_rank: Vec<NodeId>,
+    pub(crate) by_rank: Vec<NodeId>,
     /// Rank → exclusive end of the node's subtree, in rank space.
-    subtree_end: Vec<u32>,
+    pub(crate) subtree_end: Vec<u32>,
     /// NodeId index → interned tag (elements only).
-    tag: Vec<Option<Sym>>,
+    pub(crate) tag: Vec<Option<Sym>>,
     /// NodeId index → 1-based position among same-tag siblings (0 = n/a).
-    same_tag_pos: Vec<u32>,
+    pub(crate) same_tag_pos: Vec<u32>,
     /// NodeId index → 1-based position among element siblings (0 = n/a).
-    elem_pos: Vec<u32>,
+    pub(crate) elem_pos: Vec<u32>,
     /// NodeId index → 1-based position among text-node siblings (0 = n/a).
-    text_pos: Vec<u32>,
+    pub(crate) text_pos: Vec<u32>,
     /// Tag symbol → ranks of elements with that tag, ascending.
-    tag_postings: HashMap<Sym, Vec<u32>>,
+    pub(crate) tag_postings: HashMap<Sym, Vec<u32>>,
     /// Ranks of all element nodes, ascending.
-    elem_postings: Vec<u32>,
+    pub(crate) elem_postings: Vec<u32>,
     /// Ranks of all text nodes, ascending.
-    text_postings: Vec<u32>,
+    pub(crate) text_postings: Vec<u32>,
     /// NodeId index → start offset into `attrs` (length `nodes + 1`).
-    attr_offsets: Vec<u32>,
+    pub(crate) attr_offsets: Vec<u32>,
     /// Per-node attribute pairs: global name symbol + **per-document**
     /// value id (see `attr_values`).
-    attrs: Vec<(Sym, u32)>,
+    pub(crate) attrs: Vec<(Sym, u32)>,
     /// Attribute value → dense per-document id. Values are unbounded
     /// across a crawl (hrefs, ids), so they are deliberately *not* put in
     /// the process-global interner — this table lives and dies with the
     /// index.
-    attr_values: HashMap<String, u32>,
+    pub(crate) attr_values: HashMap<String, u32, BuildHasherDefault<Fnv1a>>,
     /// Structural template fingerprint, computed on first use (see
     /// [`DocIndex::template_fingerprint`]) — consumers that never
     /// fingerprint (per-rule evaluation, cache-disabled batch engines)
     /// pay nothing for it.
-    fingerprint: std::sync::OnceLock<u64>,
+    pub(crate) fingerprint: std::sync::OnceLock<u64>,
     /// Record-region detection result, computed on first use (see
     /// [`DocIndex::record_layout`]); `None` once computed means the page
     /// has no repeated-subtree run.
-    record_layout: std::sync::OnceLock<Option<RecordLayout>>,
+    pub(crate) record_layout: std::sync::OnceLock<Option<RecordLayout>>,
     /// True iff arena order equals pre-order rank order (see
     /// [`DocIndex::ranks_monotone`]).
-    monotone: bool,
+    pub(crate) monotone: bool,
 }
 
 impl DocIndex {
@@ -140,7 +174,7 @@ impl DocIndex {
             text_postings: Vec::new(),
             attr_offsets: Vec::with_capacity(n + 1),
             attrs: Vec::new(),
-            attr_values: HashMap::new(),
+            attr_values: HashMap::default(),
             fingerprint: std::sync::OnceLock::new(),
             record_layout: std::sync::OnceLock::new(),
             monotone: true,

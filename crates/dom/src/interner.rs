@@ -84,6 +84,32 @@ pub fn intern(name: &str) -> Sym {
     Sym(id)
 }
 
+/// Interns `name`, returning the symbol *and* the interned `'static`
+/// copy of the string — one lock acquisition where [`intern`] followed
+/// by [`resolve`] would take two. Used by hot per-element paths (the
+/// streaming parse→index builder keeps the returned `&'static str` on
+/// its open-element stack instead of cloning the tag).
+pub fn intern_resolved(name: &str) -> (Sym, &'static str) {
+    if let Some((&leaked, &id)) = table()
+        .read()
+        .expect("interner lock")
+        .by_name
+        .get_key_value(name)
+    {
+        return (Sym(id), leaked);
+    }
+    let mut t = table().write().expect("interner lock");
+    // Double-check: another thread may have interned it between locks.
+    if let Some((&leaked, &id)) = t.by_name.get_key_value(name) {
+        return (Sym(id), leaked);
+    }
+    let id = t.names.len() as u32;
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    t.names.push(leaked);
+    t.by_name.insert(leaked, id);
+    (Sym(id), leaked)
+}
+
 /// The symbol of `name` if it was ever interned; `None` otherwise.
 ///
 /// Useful for lookups that must not grow the table (e.g. compiling an

@@ -36,8 +36,9 @@ pub fn is_void(tag: &str) -> bool {
 
 /// When `incoming` opens, any open element in the returned set is implicitly
 /// closed first (searching upward from the innermost open element, stopping
-/// at a scope boundary).
-fn implied_closes(incoming: &str) -> &'static [&'static str] {
+/// at a scope boundary). Shared with the streaming builder (`crate::stream`)
+/// so both parse paths repair markup identically.
+pub(crate) fn implied_closes(incoming: &str) -> &'static [&'static str] {
     match incoming {
         "li" => &["li"],
         "p" => &["p"],
@@ -52,7 +53,7 @@ fn implied_closes(incoming: &str) -> &'static [&'static str] {
 
 /// Elements that bound the search for implied closes: an open `<li>` inside
 /// a nested `<ul>` must not be closed by an `<li>` in the outer list.
-fn is_scope_boundary(tag: &str) -> bool {
+pub(crate) fn is_scope_boundary(tag: &str) -> bool {
     matches!(
         tag,
         "table" | "ul" | "ol" | "dl" | "select" | "div" | "body" | "html" | "td" | "th"

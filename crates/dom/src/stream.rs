@@ -1,0 +1,639 @@
+//! One-pass streaming parse→index.
+//!
+//! [`StreamIndexer`] drives the pull tokenizer ([`crate::tokenizer::Tokenizer`])
+//! directly and emits a fully populated [`Document`] *and* its
+//! [`DocIndex`] in a single traversal, where the classic path
+//! ([`crate::parser::parse`] then [`Document::index`]) walks the finished
+//! tree a second time. The request path of the serving tier parses every
+//! page exactly once and immediately evaluates compiled xpaths against
+//! the index, so fusing the two passes roughly halves the pre-evaluation
+//! cost per page.
+//!
+//! The fusion works because parser-built arenas allocate nodes in
+//! document order, so **arena index = pre-order rank** and every index
+//! table can be filled at the tree-construction event that determines it:
+//!
+//! * ranks and `by_rank` are the creation counter itself, bulk-built as
+//!   identity tables at EOF;
+//! * posting lists (tag / element / text) are appended at open events —
+//!   creation order is rank order, so they are sorted by construction
+//!   and [`DocIndex::ranks_monotone`] holds by construction;
+//! * subtree spans are recorded at close events (end tags, implied
+//!   closes, EOF) and patched over a leaf-default (`rank + 1`) table at
+//!   EOF;
+//! * sibling-position caches come from counters carried on the
+//!   open-element stack; the attribute table is appended per open event.
+//!
+//! The template fingerprint is computed eagerly over the finished tables
+//! before the index is published (the serving path always
+//! template-matches next); the record layout stays lazy, exactly like
+//! the classic path.
+//!
+//! ## Oracle relationship
+//!
+//! The tree-repair rules are the parser's, sharing its private
+//! `implied_closes` / `is_scope_boundary` / `is_void` tables (via the
+//! per-page `TagInfo` cache), but the construction loop is deliberately
+//! *duplicated*, not shared: `parse` + `DocIndex::build` stay an
+//! independent differential oracle, and the robustness/differential
+//! suites assert byte-identical output between the two paths on
+//! arbitrary markup — the same relationship the reference xpath engine
+//! has to the compiled engines.
+
+use std::ops::Deref;
+
+use crate::arena::{Document, Element, Node, NodeId, NodeKind};
+use crate::index::DocIndex;
+use crate::interner::{intern_resolved, Sym};
+use crate::parser::{collapse_whitespace, implied_closes, is_scope_boundary, is_void};
+use crate::tokenizer::{Token, Tokenizer};
+
+/// A [`Document`] whose evaluation index was built during parsing.
+///
+/// Dereferences to [`Document`]; [`Document::index`] returns the
+/// pre-built index without a second traversal. The usual invalidation
+/// contract is untouched: mutating the document afterwards (via
+/// [`Document::append`] and friends) drops the streamed index and the
+/// next [`Document::index`] call rebuilds lazily.
+#[derive(Clone, Debug)]
+pub struct IndexedDocument {
+    doc: Document,
+}
+
+impl IndexedDocument {
+    /// Unwraps the document, keeping the pre-built index cached inside.
+    pub fn into_document(self) -> Document {
+        self.doc
+    }
+}
+
+impl Deref for IndexedDocument {
+    type Target = Document;
+
+    fn deref(&self) -> &Document {
+        &self.doc
+    }
+}
+
+/// Parses HTML and builds the evaluation index in one pass.
+///
+/// Tree shape, serialization and every [`DocIndex`] table (including the
+/// template fingerprint and record layout) are byte-identical to
+/// [`crate::parse`] followed by [`Document::index`].
+///
+/// ```
+/// use aw_dom::{parse, parse_indexed, serialize};
+/// let html = "<ul><li>a<li>b</ul>";
+/// let streamed = parse_indexed(html);
+/// let oracle = parse(html);
+/// assert_eq!(serialize(&streamed), serialize(&oracle));
+/// assert_eq!(
+///     streamed.index().template_fingerprint(),
+///     oracle.index().template_fingerprint()
+/// );
+/// ```
+pub fn parse_indexed(input: &str) -> IndexedDocument {
+    // Node-count hint: every element/comment costs one `<` and most end
+    // tags another, while text nodes roughly track open tags — so the
+    // raw `<` count sits close above the final node count. One
+    // vectorizable byte scan here keeps the eight per-node tables from
+    // regrowing (and re-copying) mid-parse.
+    let hint = input.as_bytes().iter().filter(|&&b| b == b'<').count() + 8;
+    let mut builder = StreamIndexer::new(hint);
+    let mut tokens = Tokenizer::new(input);
+    while let Some(token) = tokens.next_token() {
+        builder.push_token(token);
+    }
+    builder.finish()
+}
+
+/// One open element: its rank plus the running sibling counters for the
+/// children appended under it. Index 0 of the stack is a sentinel for
+/// the document root (empty tag — matched by no end tag, closed only at
+/// EOF).
+struct OpenEntry {
+    /// Arena index = pre-order rank of the open node.
+    rank: u32,
+    /// Interned tag name; matched by end tags and implied closes exactly
+    /// as the parser matches its own open stack. Borrowing the interner's
+    /// leaked copy makes pushing an open element clone-free.
+    tag: &'static str,
+    /// Precomputed [`is_scope_boundary`] of `tag` — the implied-close
+    /// scan tests it on every entry it walks past.
+    boundary: bool,
+    /// Element children appended so far.
+    elems: u32,
+    /// Text children appended so far.
+    texts: u32,
+    /// Per-tag element child counts (fan-out is small; linear scan beats
+    /// a map here).
+    by_tag: Vec<(Sym, u32)>,
+}
+
+/// Everything the builder needs to know about one tag name, resolved
+/// once per distinct name per page: its interned symbol and `'static`
+/// spelling, plus the repair-rule classifications the parser would
+/// otherwise recompute from strings on every sighting. All derived from
+/// the parser's own tables ([`is_void`] / [`implied_closes`] /
+/// [`is_scope_boundary`]), so the repair semantics stay shared.
+#[derive(Clone, Copy)]
+struct TagInfo {
+    name: &'static str,
+    sym: Sym,
+    void: bool,
+    closes: &'static [&'static str],
+    boundary: bool,
+}
+
+/// A tiny first-seen cache in front of the process-global interner.
+///
+/// A page draws its tags and attribute names from a vocabulary of a few
+/// dozen strings repeated hundreds of times; a linear scan over the
+/// page's own distinct names (string equality fails fast on length)
+/// beats taking the interner's read lock and hashing on every sighting.
+/// This is state only a builder that lives across parse events can
+/// carry — the classic path interns from scratch per table pass.
+#[derive(Default)]
+struct SymCache {
+    entries: Vec<TagInfo>,
+}
+
+impl SymCache {
+    fn get(&mut self, name: &str) -> TagInfo {
+        for i in 0..self.entries.len() {
+            let info = self.entries[i];
+            if info.name == name {
+                // Transpose heuristic: a hit bubbles one slot toward the
+                // front, so the page's hot names self-organize to the
+                // start of the scan.
+                if i > 0 {
+                    self.entries.swap(i, i - 1);
+                }
+                return info;
+            }
+        }
+        let (sym, leaked) = intern_resolved(name);
+        let info = TagInfo {
+            name: leaked,
+            sym,
+            void: is_void(name),
+            closes: implied_closes(name),
+            boundary: is_scope_boundary(name),
+        };
+        // A page with an absurd tag vocabulary degrades to the plain
+        // interner path instead of an O(distinct) scan per sighting.
+        if self.entries.len() < 64 {
+            self.entries.push(info);
+        }
+        info
+    }
+}
+
+/// True when `collapse_whitespace` would return `t` unchanged, decided
+/// by a conservative byte scan: pure ASCII with every whitespace being a
+/// single interior `' '`. Multi-byte sequences (which could hide
+/// `\u{a0}` or Unicode whitespace) always take the rebuild path.
+fn is_collapsed(t: &str) -> bool {
+    let b = t.as_bytes();
+    if b.is_empty() || b[0] == b' ' || b[b.len() - 1] == b' ' {
+        return false;
+    }
+    let mut prev_space = false;
+    for &c in b {
+        if c >= 0x80 || (c.is_ascii_whitespace() && c != b' ') {
+            return false;
+        }
+        let space = c == b' ';
+        if space && prev_space {
+            return false;
+        }
+        prev_space = space;
+    }
+    true
+}
+
+/// The one-pass builder: consumes tokens, emits `Document` + `DocIndex`.
+pub struct StreamIndexer {
+    nodes: Vec<Node>,
+    idx: DocIndex,
+    stack: Vec<OpenEntry>,
+    /// Non-leaf close events as `(rank, subtree_end)`; ranks, `by_rank`
+    /// and the leaf-default span table are identities of the creation
+    /// order, so they are bulk-built at [`StreamIndexer::finish`] and
+    /// only these recorded closes patch the default.
+    closes: Vec<(u32, u32)>,
+    /// Retired `by_tag` buffers, reused so closing and reopening
+    /// elements does not churn the allocator.
+    pool: Vec<Vec<(Sym, u32)>>,
+    /// First-seen caches for the page's tag and attribute-name
+    /// vocabularies (kept apart so each scan stays short).
+    tags: SymCache,
+    attr_names: SymCache,
+    /// Tag posting lists accumulated per symbol id (dense — tag symbols
+    /// are interned early and low), drained into the index's hash map
+    /// once at EOF: one map insert per *distinct* tag instead of one
+    /// map probe per element.
+    postings: Vec<Vec<u32>>,
+    /// Symbol ids with a non-empty list in `postings`, in first-seen
+    /// order.
+    posted_syms: Vec<u32>,
+}
+
+impl StreamIndexer {
+    fn new(capacity: usize) -> Self {
+        let mut idx = DocIndex::default();
+        // The synthetic root's row of the per-node tables; ranks and
+        // spans are bulk-built at EOF.
+        idx.tag.reserve(capacity);
+        idx.tag.push(None);
+        idx.same_tag_pos.reserve(capacity);
+        idx.same_tag_pos.push(0);
+        idx.elem_pos.reserve(capacity);
+        idx.elem_pos.push(0);
+        idx.text_pos.reserve(capacity);
+        idx.text_pos.push(0);
+        idx.attr_offsets.reserve(capacity + 1);
+        idx.attr_offsets.push(0);
+        // Crawled listing markup runs roughly half elements, half text.
+        idx.elem_postings.reserve(capacity / 2);
+        idx.text_postings.reserve(capacity / 2);
+        let mut nodes = Vec::with_capacity(capacity);
+        nodes.push(Node {
+            kind: NodeKind::Document,
+            parent: None,
+            children: Vec::new(),
+        });
+        StreamIndexer {
+            nodes,
+            idx,
+            stack: vec![OpenEntry {
+                rank: 0,
+                tag: "",
+                boundary: false,
+                elems: 0,
+                texts: 0,
+                by_tag: Vec::new(),
+            }],
+            closes: Vec::new(),
+            pool: Vec::new(),
+            tags: SymCache::default(),
+            attr_names: SymCache::default(),
+            postings: Vec::new(),
+            posted_syms: Vec::new(),
+        }
+    }
+
+    /// Feeds one token through the tidy-style construction rules,
+    /// updating tree and index together.
+    fn push_token(&mut self, token: Token) {
+        match token {
+            Token::Doctype(_) => {}
+            Token::Comment(c) => {
+                let attr_start = self.idx.attrs.len() as u32;
+                self.append(NodeKind::Comment(c), None, (0, 0, 0), attr_start);
+            }
+            Token::Text(t) => {
+                // Owning the token lets already-collapsed text (the
+                // common case in rendered markup) move straight into the
+                // node, skipping the rebuild allocation.
+                let collapsed = if is_collapsed(&t) {
+                    t
+                } else {
+                    collapse_whitespace(&t)
+                };
+                if collapsed.is_empty() {
+                    return;
+                }
+                let parent = self.stack.last_mut().expect("root sentinel");
+                parent.texts += 1;
+                let pos = parent.texts;
+                let attr_start = self.idx.attrs.len() as u32;
+                let r = self.append(NodeKind::Text(collapsed), None, (0, 0, pos), attr_start);
+                self.idx.text_postings.push(r);
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                let info = self.tags.get(&name);
+                let sym = info.sym;
+                if !info.closes.is_empty() {
+                    self.apply_implied_closes(info.closes);
+                }
+                let parent = self.stack.last_mut().expect("root sentinel");
+                parent.elems += 1;
+                let elem_pos = parent.elems;
+                let same_tag = match parent.by_tag.iter_mut().find(|(s, _)| *s == sym) {
+                    Some((_, k)) => {
+                        *k += 1;
+                        *k
+                    }
+                    None => {
+                        parent.by_tag.push((sym, 1));
+                        1
+                    }
+                };
+                let keep_open = !self_closing && !info.void;
+                // Attribute table before the node payload consumes
+                // `attrs`; value ids are dense first-seen, which in
+                // creation order matches the classic build's arena pass.
+                let attr_start = self.idx.attrs.len() as u32;
+                for (aname, value) in &attrs {
+                    let vid = match self.idx.attr_values.get(value.as_str()) {
+                        Some(&v) => v,
+                        None => {
+                            let next_id = self.idx.attr_values.len() as u32;
+                            self.idx.attr_values.insert(value.clone(), next_id);
+                            next_id
+                        }
+                    };
+                    self.idx.attrs.push((self.attr_names.get(aname).sym, vid));
+                }
+                let r = self.append(
+                    NodeKind::Element(Element { tag: name, attrs }),
+                    Some(sym),
+                    (same_tag, elem_pos, 0),
+                    attr_start,
+                );
+                self.idx.elem_postings.push(r);
+                let slot = sym.0 as usize;
+                if slot >= self.postings.len() {
+                    self.postings.resize_with(slot + 1, Vec::new);
+                }
+                if self.postings[slot].is_empty() {
+                    self.posted_syms.push(sym.0);
+                }
+                self.postings[slot].push(r);
+                if keep_open {
+                    self.stack.push(OpenEntry {
+                        rank: r,
+                        tag: info.name,
+                        boundary: info.boundary,
+                        elems: 0,
+                        texts: 0,
+                        by_tag: self.pool.pop().unwrap_or_default(),
+                    });
+                }
+            }
+            Token::EndTag { name } => {
+                // Nearest matching open element; the root sentinel's
+                // empty tag never matches. Unmatched end tags drop —
+                // which subsumes the parser's explicit "</br>" rule,
+                // since void elements are never kept open.
+                if let Some(pos) = self.stack.iter().rposition(|e| e.tag == name) {
+                    debug_assert!(pos > 0, "end tag matched the root sentinel");
+                    self.close_to(pos);
+                }
+            }
+        }
+    }
+
+    /// Appends one node under the innermost open element, filling every
+    /// per-node index table except the posting lists (which the caller
+    /// owns). `positions` is the `(same_tag, element, text)`
+    /// sibling-cache triple; `attr_start` is where this node's attribute
+    /// pairs begin in the attribute table (the caller appends them
+    /// *before* calling).
+    fn append(
+        &mut self,
+        kind: NodeKind,
+        tag: Option<Sym>,
+        positions: (u32, u32, u32),
+        attr_start: u32,
+    ) -> u32 {
+        let r = self.nodes.len() as u32;
+        let parent = self.stack.last().expect("root sentinel").rank;
+        self.nodes.push(Node {
+            kind,
+            parent: Some(NodeId(parent)),
+            children: Vec::new(),
+        });
+        self.nodes[parent as usize].children.push(NodeId(r));
+        self.idx.tag.push(tag);
+        self.idx.same_tag_pos.push(positions.0);
+        self.idx.elem_pos.push(positions.1);
+        self.idx.text_pos.push(positions.2);
+        self.idx.attr_offsets.push(attr_start);
+        r
+    }
+
+    /// Closes every open element above (and including) stack index
+    /// `keep`: their subtrees all end at the next rank to be allocated.
+    /// Only non-leaf spans are recorded — the bulk-built span table
+    /// already defaults every rank to `rank + 1`.
+    fn close_to(&mut self, keep: usize) {
+        let end = self.nodes.len() as u32;
+        for mut entry in self.stack.drain(keep..) {
+            if entry.rank + 1 != end {
+                self.closes.push((entry.rank, end));
+            }
+            entry.by_tag.clear();
+            self.pool.push(entry.by_tag);
+        }
+    }
+
+    /// Implied-end-tag repair over the open stack — the iterative twin
+    /// of `parser::apply_implied_closes`, sharing its tag tables (the
+    /// caller passes the incoming tag's [`implied_closes`] slice, cached
+    /// on its [`TagInfo`]).
+    fn apply_implied_closes(&mut self, closes: &'static [&'static str]) {
+        'again: loop {
+            for i in (1..self.stack.len()).rev() {
+                let entry = &self.stack[i];
+                if closes.contains(&entry.tag) {
+                    self.close_to(i);
+                    // One incoming tag may imply several closes (e.g.
+                    // `tr` closing both `td` and the enclosing `tr`).
+                    continue 'again;
+                }
+                if entry.boundary {
+                    return;
+                }
+            }
+            return;
+        }
+    }
+
+    /// EOF: closes everything still open (root included), bulk-builds
+    /// the identity rank tables and the span table, seals the
+    /// attribute-offset table, fingerprints, and publishes the index.
+    fn finish(mut self) -> IndexedDocument {
+        let n = self.nodes.len() as u32;
+        for entry in self.stack.drain(..) {
+            if entry.rank + 1 != n {
+                self.closes.push((entry.rank, n));
+            }
+        }
+        // Creation order is rank order: the rank maps are identities and
+        // every unclosed-by-an-event node is a leaf spanning one rank.
+        self.idx.rank = (0..n).collect();
+        self.idx.by_rank = (0..n).map(NodeId).collect();
+        self.idx.subtree_end = (1..=n).collect();
+        for &(r, end) in &self.closes {
+            self.idx.subtree_end[r as usize] = end;
+        }
+        // One map insert per distinct tag; the per-element appends went
+        // to the dense accumulator.
+        for &s in &self.posted_syms {
+            let list = std::mem::take(&mut self.postings[s as usize]);
+            self.idx.tag_postings.insert(Sym(s), list);
+        }
+        self.idx.attr_offsets.push(self.idx.attrs.len() as u32);
+        // Creation order *is* rank order.
+        self.idx.monotone = true;
+        // Eager fingerprint over the hot tables; record layout stays
+        // lazy like the classic path.
+        self.idx.template_fingerprint();
+        let doc = Document::from_nodes(self.nodes);
+        doc.index_cache()
+            .set(self.idx)
+            .expect("fresh document cannot have an index");
+        IndexedDocument { doc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::serialize;
+
+    /// Asserts the streamed document and index equal the classic
+    /// parse-then-index output on every table the public API exposes.
+    fn assert_matches_oracle(html: &str) {
+        let streamed = parse_indexed(html);
+        let oracle = parse(html);
+        assert_eq!(
+            serialize(&streamed),
+            serialize(&oracle),
+            "tree mismatch on {html:?}"
+        );
+        assert_eq!(streamed.len(), oracle.len());
+        let (si, oi) = (streamed.index(), oracle.index());
+        assert_eq!(si.ranks_monotone(), oi.ranks_monotone());
+        assert_eq!(si.element_postings(), oi.element_postings());
+        assert_eq!(si.text_postings(), oi.text_postings());
+        for id in streamed.ids() {
+            assert_eq!(si.rank_of(id), oi.rank_of(id));
+            assert_eq!(si.subtree(si.rank_of(id)), oi.subtree(oi.rank_of(id)));
+            assert_eq!(si.tag_sym(id), oi.tag_sym(id));
+            assert_eq!(si.same_tag_pos(id), oi.same_tag_pos(id));
+            assert_eq!(si.elem_pos(id), oi.elem_pos(id));
+            assert_eq!(si.text_pos(id), oi.text_pos(id));
+            assert_eq!(si.attrs(id), oi.attrs(id), "attr table for {id:?}");
+            if let Some(sym) = si.tag_sym(id) {
+                assert_eq!(si.tag_postings(sym), oi.tag_postings(sym));
+            }
+            if let Some(el) = streamed.element(id) {
+                for (_, value) in &el.attrs {
+                    assert_eq!(si.attr_value_id(value), oi.attr_value_id(value));
+                }
+            }
+        }
+        assert_eq!(si.template_fingerprint(), oi.template_fingerprint());
+        assert_eq!(si.record_layout(), oi.record_layout());
+    }
+
+    #[test]
+    fn figure1_page_is_identical_to_oracle() {
+        assert_matches_oracle(
+            "<div class='dealerlinks'><tr><td><u>PORTER FURNITURE</u><br>\
+             201 HWY.30 West<br>NEW ALBANY, MS 38652</td></tr>\
+             <tr><td><u>WOODLAND FURNITURE</u><br>123 Main St.<br>\
+             WOODLAND, MS 3977</td></tr></div>",
+        );
+    }
+
+    #[test]
+    fn repair_rules_match_oracle() {
+        for html in [
+            "<ul><li>a<li>b<li>c</ul>",
+            "<ul><li>a<ul><li>x<li>y</ul></li><li>b</ul>",
+            "<table><tr><td>a<td>b<tr><td>c</table>",
+            "<p>a<br>b<hr>c</p>",
+            "<p>a</br>b</p>",
+            "<div>a</span>b</div>",
+            "<div><b>x<i>y</div>z",
+            "<table><thead><tr><td>h</td></tr><tbody><tr><td>b</table>",
+            "<select><option>a<option>b</select>",
+            "<!DOCTYPE html><div><!-- hi -->x</div>",
+        ] {
+            assert_matches_oracle(html);
+        }
+    }
+
+    #[test]
+    fn malformed_markup_matches_oracle() {
+        for html in [
+            "",
+            "   \n\t  ",
+            "plain text only",
+            "2 < 3 and <5> ok",
+            "<div attr",
+            "a<!-- oops",
+            "<script>if (a<b) { x(\"<div>\"); }</script><p>y</p>",
+            "<style>a > b { color: red }</style>",
+            "<a href=",
+            "</div></div>",
+            "<td>orphan<td>cells",
+            "&amp;&#x41;&bogus;é漢字",
+        ] {
+            assert_matches_oracle(html);
+        }
+    }
+
+    #[test]
+    fn listing_page_record_layout_matches_oracle() {
+        let mut html = String::from(
+            "<div class='nav'><a href='/a'>A</a><a href='/b'>B</a></div><h1>Dealers</h1>\
+             <table class='stores'>",
+        );
+        for i in 0..4 {
+            html.push_str(&format!(
+                "<tr><td><u>NAME {i}</u><br>{i} Elm St</td><td>555-000{i}</td></tr>"
+            ));
+        }
+        html.push_str("</table><div class='foot'>contact</div>");
+        assert_matches_oracle(&html);
+        let layout = parse_indexed(&html)
+            .index()
+            .record_layout()
+            .cloned()
+            .expect("records detected");
+        assert_eq!(layout.records.len(), 4);
+    }
+
+    #[test]
+    fn index_survives_into_document_and_mutation_invalidates() {
+        let streamed = parse_indexed("<div><p>a</p></div>");
+        let fp = streamed.index().template_fingerprint();
+        let mut doc = streamed.into_document();
+        // The streamed index rides along — same cached object.
+        assert_eq!(doc.index().template_fingerprint(), fp);
+        // Mutation drops it; the rebuilt (classic) index sees the change.
+        let div = doc.children(NodeId::ROOT)[0];
+        doc.append_element(div, "span", vec![]);
+        assert_ne!(doc.index().template_fingerprint(), fp);
+        assert_eq!(doc.index().element_postings().len(), 3);
+    }
+
+    #[test]
+    fn deep_nesting_does_not_recurse() {
+        // The builder is stack-machine based like the classic pass 2;
+        // a pathological depth must not overflow the call stack.
+        let mut html = String::new();
+        for _ in 0..10_000 {
+            html.push_str("<div>");
+        }
+        html.push('x');
+        let streamed = parse_indexed(&html);
+        assert_eq!(streamed.len(), 10_002);
+        let idx = streamed.index();
+        assert_eq!(idx.subtree(0), 0..10_002);
+        assert_eq!(idx.template_fingerprint(), {
+            let oracle = parse(&html);
+            oracle.index().template_fingerprint()
+        });
+    }
+}

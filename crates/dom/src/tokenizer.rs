@@ -12,6 +12,7 @@
 //! * a stray `<` that does not start a tag is treated as text.
 
 use crate::entities::decode;
+use std::collections::VecDeque;
 
 /// One lexical token of an HTML document.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,41 +34,64 @@ pub enum Token {
 }
 
 /// Tokenizes `input` into a vector of [`Token`]s.
+///
+/// Convenience collector over the pull API ([`Tokenizer::next_token`]);
+/// token-for-token identical to driving the tokenizer directly.
 pub fn tokenize(input: &str) -> Vec<Token> {
-    Tokenizer::new(input).run()
+    let mut tk = Tokenizer::new(input);
+    let mut out = Vec::new();
+    while let Some(token) = tk.next_token() {
+        out.push(token);
+    }
+    out
 }
 
-struct Tokenizer<'a> {
+/// A pull-based tokenizer: call [`Tokenizer::next_token`] until `None`.
+///
+/// Streaming consumers (`crate::stream`) drive this directly so tokens are
+/// consumed as they are produced, without materializing the whole token
+/// vector that [`tokenize`] returns.
+pub struct Tokenizer<'a> {
     input: &'a str,
     bytes: &'a [u8],
     pos: usize,
-    out: Vec<Token>,
+    /// Tokens already produced but not yet pulled. A single scan step can
+    /// yield several tokens (pending text + tag, or a raw-text element's
+    /// start tag + body + end tag), so extras queue here.
+    pending: VecDeque<Token>,
 }
 
 impl<'a> Tokenizer<'a> {
-    fn new(input: &'a str) -> Self {
+    /// Creates a tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
         Tokenizer {
             input,
             bytes: input.as_bytes(),
             pos: 0,
-            out: Vec::new(),
+            pending: VecDeque::new(),
         }
     }
 
-    fn run(mut self) -> Vec<Token> {
-        let mut text_start = self.pos;
+    /// Produces the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Option<Token> {
+        if let Some(token) = self.pending.pop_front() {
+            return Some(token);
+        }
+        let text_start = self.pos;
         while self.pos < self.bytes.len() {
             if self.bytes[self.pos] == b'<' {
                 let tag_start = self.pos;
                 if let Some(token) = self.try_tag() {
-                    // Flush pending text before the tag.
-                    self.flush_text(text_start, tag_start);
                     let raw = raw_text_tag(&token);
-                    self.out.push(token);
+                    self.pending.push_back(token);
                     if let Some(tag) = raw {
                         self.consume_raw_text(tag);
                     }
-                    text_start = self.pos;
+                    // Text pending before the tag comes out first.
+                    if let Some(text) = self.text_token(text_start, tag_start) {
+                        return Some(text);
+                    }
+                    return self.pending.pop_front();
                 } else {
                     // Not a tag; '<' is literal text.
                     self.pos += 1;
@@ -76,17 +100,11 @@ impl<'a> Tokenizer<'a> {
                 self.pos += 1;
             }
         }
-        self.flush_text(text_start, self.bytes.len());
-        self.out
+        self.text_token(text_start, self.bytes.len())
     }
 
-    fn flush_text(&mut self, from: usize, to: usize) {
-        if from < to {
-            let raw = &self.input[from..to];
-            if !raw.is_empty() {
-                self.out.push(Token::Text(decode(raw)));
-            }
-        }
+    fn text_token(&self, from: usize, to: usize) -> Option<Token> {
+        (from < to).then(|| Token::Text(decode(&self.input[from..to])))
     }
 
     /// Attempts to consume a tag starting at `self.pos` (which is `<`).
@@ -250,7 +268,7 @@ impl<'a> Tokenizer<'a> {
         match lower.find(&close) {
             Some(rel) => {
                 if rel > 0 {
-                    self.out.push(Token::Text(hay[..rel].to_string()));
+                    self.pending.push_back(Token::Text(hay[..rel].to_string()));
                 }
                 // Skip past "</tag ... >".
                 let after = self.pos + rel;
@@ -259,13 +277,13 @@ impl<'a> Tokenizer<'a> {
                     .map(|i| after + i + 1)
                     .unwrap_or(self.bytes.len());
                 self.pos = end;
-                self.out.push(Token::EndTag {
+                self.pending.push_back(Token::EndTag {
                     name: tag.to_string(),
                 });
             }
             None => {
                 if !hay.is_empty() {
-                    self.out.push(Token::Text(hay.to_string()));
+                    self.pending.push_back(Token::Text(hay.to_string()));
                 }
                 self.pos = self.bytes.len();
             }
@@ -463,5 +481,17 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn pull_api_matches_collected_stream() {
+        let input = "a<!-- c --><script>x<y</script><div id=1>t&amp;u<br/></div><p>tail";
+        let mut tk = Tokenizer::new(input);
+        let mut pulled = Vec::new();
+        while let Some(t) = tk.next_token() {
+            pulled.push(t);
+        }
+        assert_eq!(pulled, tokenize(input));
+        assert_eq!(tk.next_token(), None, "exhausted tokenizer stays exhausted");
     }
 }

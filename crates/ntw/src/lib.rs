@@ -110,7 +110,7 @@ pub use multi_type::{
 pub use relearn::{RelearnConfig, RelearnController, RelearnOutcome};
 pub use rule::{LearnedRule, LearnedRuleSet};
 pub use service::{
-    ExtractRequest, ExtractResponse, ExtractionService, ResidencyStats, WrapperRegistry,
+    ExtractRequest, ExtractResponse, ExtractionService, ParseStats, ResidencyStats, WrapperRegistry,
 };
 pub use single_entity::{
     learn_single_entity, learn_single_entity_with, SingleEntityOutcome, SingleEntityWrapper,

@@ -331,9 +331,11 @@ impl RelearnController {
             .registry
             .get(site)
             .ok_or_else(|| AwError::UnknownSite(site.to_string()))?;
+        // One-pass parse→index: the differential scoring below evaluates
+        // both wrappers against each page's index immediately.
         let holdback_docs: Vec<_> = holdback
             .iter()
-            .map(|(html, _)| aw_dom::parse(html))
+            .map(|(html, _)| aw_dom::parse_indexed(html).into_document())
             .collect();
         let new_score = score(&candidate, &holdback_docs);
         let old_score = score(&incumbent, &holdback_docs);

@@ -302,6 +302,16 @@ fn list_wrappers(service: &ExtractionService) -> Response {
         ("grace_entries", Value::Number(stats.grace_entries as f64)),
         ("grace_hits", Value::Number(stats.grace_hits as f64)),
     ]);
+    // Request-path parse counters: how many pages were parsed, by which
+    // parse path (streaming one-pass vs classic fallback), and the
+    // cumulative wall time spent parsing + indexing.
+    let parse_stats = service.parse_stats();
+    let parse = obj(vec![
+        ("pages", Value::Number(parse_stats.pages as f64)),
+        ("stream", Value::Number(parse_stats.stream as f64)),
+        ("fallback", Value::Number(parse_stats.fallback as f64)),
+        ("micros", Value::Number(parse_stats.micros as f64)),
+    ]);
     // Request-latency percentiles, recorded by whichever HTTP engine
     // frames the requests (full wall time: request parsed → response
     // queued). All-zero until the first served request.
@@ -319,6 +329,7 @@ fn list_wrappers(service: &ExtractionService) -> Response {
             ("generation", Value::Number(generation as f64)),
             ("sites", Value::Array(sites)),
             ("residency", residency),
+            ("parse", parse),
             ("latency", latency),
         ]),
     )
@@ -548,6 +559,58 @@ mod tests {
                 "\"replay\":{\"full_replays\":0.0,\"frame_replays\":1.0,\
                  \"record_replays\":4.0,\"record_fallbacks\":0.0}"
             ),
+            "{}",
+            listed.body
+        );
+    }
+
+    #[test]
+    fn wrappers_listing_reports_parse_counters() {
+        let service = service();
+        // Before any traffic, every parse counter is zero (pinned shape).
+        let idle = respond(&service, &request("GET", "/wrappers", ""));
+        assert!(
+            idle.body.contains(
+                "\"parse\":{\"pages\":0.0,\"stream\":0.0,\"fallback\":0.0,\"micros\":0.0"
+            ),
+            "{}",
+            idle.body
+        );
+        // Three pages through the default (streaming) path.
+        let page = "<table class='stores'><tr><td><b>OMEGA</b></td><td>9 Elm</td></tr></table>";
+        let r = respond(
+            &service,
+            &request(
+                "POST",
+                "/extract",
+                &format!(r#"{{"site":"dealers","pages":["{page}","{page}","{page}"]}}"#),
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let listed = respond(&service, &request("GET", "/wrappers", ""));
+        assert!(
+            listed
+                .body
+                .contains("\"parse\":{\"pages\":3.0,\"stream\":3.0,\"fallback\":0.0"),
+            "{}",
+            listed.body
+        );
+        // The fallback path is attributed separately.
+        let fallback = service.with_stream_parse(false);
+        let r = respond(
+            &fallback,
+            &request(
+                "POST",
+                "/extract",
+                &format!(r#"{{"site":"dealers","html":"{page}"}}"#),
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let listed = respond(&fallback, &request("GET", "/wrappers", ""));
+        assert!(
+            listed
+                .body
+                .contains("\"parse\":{\"pages\":4.0,\"stream\":3.0,\"fallback\":1.0"),
             "{}",
             listed.body
         );

@@ -104,8 +104,9 @@ fn request_sequence() -> Vec<(&'static str, Vec<u8>)> {
     ]
 }
 
-/// Strips the timing-dependent `latency` object out of a `/wrappers`
-/// reply so the remaining bytes admit exact comparison.
+/// Strips the timing-dependent `latency` object (and the wall-clock
+/// `parse.micros` counter) out of a `/wrappers` reply so the remaining
+/// bytes admit exact comparison.
 fn normalize_wrappers(reply: &[u8]) -> String {
     let text = String::from_utf8(reply.to_vec()).expect("wrappers reply is UTF-8");
     let (head, body) = text.split_once("\r\n\r\n").expect("framed reply");
@@ -116,6 +117,17 @@ fn normalize_wrappers(reply: &[u8]) -> String {
             .position(|(key, _)| key == "latency")
             .unwrap_or_else(|| panic!("wrappers reply lost its latency object: {body}"));
         entries.remove(position);
+        let parse = entries
+            .iter_mut()
+            .find(|(key, _)| key == "parse")
+            .unwrap_or_else(|| panic!("wrappers reply lost its parse object: {body}"));
+        if let serde::Value::Object(fields) = &mut parse.1 {
+            let micros = fields
+                .iter_mut()
+                .find(|(key, _)| key == "micros")
+                .unwrap_or_else(|| panic!("parse object lost its micros field: {body}"));
+            micros.1 = serde::Value::Number(0.0);
+        }
     }
     // The Content-Length header covers the unnormalized body; drop it.
     let head: Vec<&str> = head

@@ -103,6 +103,36 @@ echo "$LISTING" | grep -q '"p99_us"'
 echo "$LISTING" | grep -qE '"max_us":[1-9]'
 echo "smoke: request-latency percentiles populated"
 
+# ── The /wrappers parse object accounts the streaming request path ──
+# Every page served so far went through the one-pass streaming
+# parse→index (the default), so pages == stream, fallback stays 0, and
+# the cumulative parse time has accrued.
+echo "$LISTING" | grep -q '"parse"'
+echo "$LISTING" | grep -qE '"pages":[1-9]'
+echo "$LISTING" | grep -qE '"stream":[1-9]'
+echo "$LISTING" | grep -q '"fallback":0'
+echo "$LISTING" | grep -qE '"micros":[1-9]'
+echo "smoke: streaming parse counters advanced"
+
+kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# ── AW_STREAM_PARSE=0 serves through the classic two-pass oracle ────
+AW_STREAM_PARSE=0 "$BIN" serve --bundle "$TMP/bundle.json" --addr 127.0.0.1:0 --threads 2 > "$TMP/serve-fallback.log" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(grep -oE 'http://[0-9.]+:[0-9]+' "$TMP/serve-fallback.log" | head -1 || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "fallback server did not start:"; cat "$TMP/serve-fallback.log"; exit 1; }
+curl -sf -X POST "$ADDR/extract" --data @"$TMP/req.json" | grep -q '"OMEGA GROUP"'
+LISTING=$(curl -sf "$ADDR/wrappers")
+echo "$LISTING" | grep -q '"stream":0'
+echo "$LISTING" | grep -qE '"fallback":[1-9]'
+echo "smoke: AW_STREAM_PARSE=0 routed parsing through the fallback path"
+
 kill "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 

@@ -2,7 +2,7 @@
 //! runs on arbitrary crawled markup, so the tokenizer and parser must
 //! never panic, and their output must be structurally sound.
 
-use aw_dom::{parse, serialize, tokenizer::tokenize, NodeId, NodeKind};
+use aw_dom::{parse, parse_indexed, serialize, tokenizer::tokenize, NodeId, NodeKind};
 use proptest::prelude::*;
 
 /// Strategy producing markup-looking garbage: tags, attributes, entities,
@@ -116,5 +116,41 @@ proptest! {
     fn entity_escape_round_trip(text in "[a-zA-Z<>&\"' é]{0,40}") {
         let escaped = aw_dom::entities::escape(&text);
         prop_assert_eq!(aw_dom::entities::decode(&escaped), text);
+    }
+
+    /// The one-pass streaming parse→index (`parse_indexed`, the serving
+    /// request path) is byte-identical to its differential oracle —
+    /// classic `parse` followed by the lazy index build — on arbitrary
+    /// markup: same tree, same serialization, and the same value in
+    /// every index table the public API exposes.
+    #[test]
+    fn streaming_parse_matches_two_pass_oracle(input in html_soup()) {
+        let streamed = parse_indexed(&input);
+        let oracle = parse(&input);
+        prop_assert_eq!(serialize(&streamed), serialize(&oracle));
+        prop_assert_eq!(streamed.len(), oracle.len());
+        let (si, oi) = (streamed.index(), oracle.index());
+        prop_assert_eq!(si.ranks_monotone(), oi.ranks_monotone());
+        prop_assert_eq!(si.element_postings(), oi.element_postings());
+        prop_assert_eq!(si.text_postings(), oi.text_postings());
+        for id in streamed.ids() {
+            prop_assert_eq!(si.rank_of(id), oi.rank_of(id));
+            prop_assert_eq!(si.subtree(si.rank_of(id)), oi.subtree(oi.rank_of(id)));
+            prop_assert_eq!(si.tag_sym(id), oi.tag_sym(id));
+            prop_assert_eq!(si.same_tag_pos(id), oi.same_tag_pos(id));
+            prop_assert_eq!(si.elem_pos(id), oi.elem_pos(id));
+            prop_assert_eq!(si.text_pos(id), oi.text_pos(id));
+            prop_assert_eq!(si.attrs(id), oi.attrs(id));
+            if let Some(sym) = si.tag_sym(id) {
+                prop_assert_eq!(si.tag_postings(sym), oi.tag_postings(sym));
+            }
+            if let Some(el) = streamed.element(id) {
+                for (_, value) in &el.attrs {
+                    prop_assert_eq!(si.attr_value_id(value), oi.attr_value_id(value));
+                }
+            }
+        }
+        prop_assert_eq!(si.template_fingerprint(), oi.template_fingerprint());
+        prop_assert_eq!(si.record_layout(), oi.record_layout());
     }
 }

@@ -682,6 +682,131 @@ fn record_replay_survives_dropout_and_markup_drift() {
 }
 
 #[test]
+fn streaming_parse_is_byte_identical_through_sharded_extraction() {
+    use aw_annotate::{DictionaryAnnotator, MatchMode};
+    use aw_enum::{sharded_xpath_space, top_down};
+    use aw_induct::{NodeSet, XPathInductor};
+
+    // The serving request path re-parses raw HTML with the one-pass
+    // streaming builder (`aw_dom::parse_indexed`) where everything else
+    // in this suite uses classic `parse`. Serialize learned corpora —
+    // the fixed-roster template corpus AND the variable-length dropout
+    // corpus — re-parse every page through both paths, and require the
+    // full extraction pipeline to be byte-identical between them:
+    // fingerprints, record layouts, and sharded node sets with the
+    // template cache on and off at every thread count. One cached
+    // evaluator serves both parse paths interleaved, so traces recorded
+    // from classic-parsed pages must replay correctly onto
+    // stream-parsed ones (exactly what a long-lived service does).
+    let corpora = [
+        generate_dealers(&DealersConfig {
+            sites: 3,
+            pages_per_site: 4,
+            records_per_page: (5, 5),
+            promo_prob: 0.0,
+            uniform_records: true,
+            seed: 0x7E41,
+            ..DealersConfig::default()
+        }),
+        generate_dealers(&DealersConfig {
+            sites: 3,
+            pages_per_site: 5,
+            records_per_page: (2, 8),
+            promo_prob: 0.0,
+            seed: 0xFA7B,
+            ..DealersConfig::default()
+        }),
+    ];
+    for (corpus, ds) in corpora.iter().enumerate() {
+        let annot = DictionaryAnnotator::new(ds.dictionary.iter(), MatchMode::Contains);
+        let mut spaces: Vec<aw_enum::EnumerationResult<aw_dom::PageNode>> = Vec::new();
+        let mut slot_to_path: Vec<XPath> = Vec::new();
+        for gs in &ds.sites {
+            let labels: NodeSet = annot.annotate(&gs.site);
+            assert!(!labels.is_empty(), "annotator found nothing");
+            let space = top_down(&XPathInductor::new(&gs.site), &labels);
+            slot_to_path.extend(space.xpath_candidates().into_iter().map(|(_, xp)| xp));
+            spaces.push(space);
+        }
+
+        // Serialize and re-parse each page through both paths. Both
+        // parsers allocate nodes in document order, so agreement holds
+        // at the NodeId level, not just structurally.
+        let mut oracle_docs: Vec<(usize, Document)> = Vec::new();
+        let mut stream_docs: Vec<(usize, Document)> = Vec::new();
+        for (s, gs) in ds.sites.iter().enumerate() {
+            for page in gs.site.pages() {
+                let html = aw_dom::serialize(page);
+                let oracle = aw_dom::parse(&html);
+                let streamed = aw_dom::parse_indexed(&html).into_document();
+                assert_eq!(
+                    aw_dom::serialize(&streamed),
+                    aw_dom::serialize(&oracle),
+                    "corpus {corpus}: tree mismatch"
+                );
+                assert_eq!(
+                    streamed.index().template_fingerprint(),
+                    oracle.index().template_fingerprint(),
+                    "corpus {corpus}: fingerprint mismatch"
+                );
+                assert_eq!(
+                    streamed.index().record_layout(),
+                    oracle.index().record_layout(),
+                    "corpus {corpus}: record layout mismatch"
+                );
+                oracle_docs.push((s, oracle));
+                stream_docs.push((s, streamed));
+            }
+        }
+        let oracle_pages: Vec<(usize, &Document)> =
+            oracle_docs.iter().map(|(s, d)| (*s, d)).collect();
+        let stream_pages: Vec<(usize, &Document)> =
+            stream_docs.iter().map(|(s, d)| (*s, d)).collect();
+
+        let tagged: Vec<(usize, aw_xpath::CompiledXPath)> = sharded_xpath_space(spaces.iter());
+        let cached = ShardedBatch::new(tagged.clone());
+        let uncached = ShardedBatch::new(tagged).with_cache(false);
+        type PageResults = Vec<Vec<(u32, Vec<aw_dom::NodeId>)>>;
+        let mut first: Option<PageResults> = None;
+        for threads in [1, 2, 8] {
+            let exec = Executor::new(threads);
+            // Oracle pages first: with the cache on, the traces they
+            // record must replay byte-identically onto the
+            // stream-parsed copies of the same templates.
+            let on_oracle = cached.evaluate_pages(&oracle_pages, &exec);
+            let on_stream = cached.evaluate_pages(&stream_pages, &exec);
+            let off_stream = uncached.evaluate_pages(&stream_pages, &exec);
+            assert_eq!(
+                on_stream, on_oracle,
+                "corpus {corpus}: stream != oracle (cache on, {threads} threads)"
+            );
+            assert_eq!(
+                off_stream, on_oracle,
+                "corpus {corpus}: cache-off stream != oracle ({threads} threads)"
+            );
+            // And byte-identical to the reference interpreter.
+            for (&(_, page), page_results) in stream_pages.iter().zip(&on_stream) {
+                for (slot, nodes) in page_results {
+                    assert_eq!(
+                        nodes,
+                        &reference::evaluate(&slot_to_path[*slot as usize], page),
+                        "corpus {corpus}: threads {threads}, slot {slot}"
+                    );
+                }
+            }
+            match &first {
+                None => first = Some(on_stream),
+                Some(expected) => {
+                    assert_eq!(&on_stream, expected, "corpus {corpus}: threads {threads}")
+                }
+            }
+        }
+        let (hits, _) = cached.template_cache_stats().expect("cache enabled");
+        assert!(hits > 0, "corpus {corpus}: the template corpus must replay");
+    }
+}
+
+#[test]
 fn display_roundtrip_preserves_engine_agreement() {
     // Parsing a rendered path and evaluating both forms through both
     // engines closes the loop between the parser, Display, and the
