@@ -71,34 +71,140 @@ impl RecordLayout {
     }
 }
 
-/// FNV-1a, used to key the per-document attribute-value table. Those
-/// values are short strings hashed once per attribute on the parse path
-/// and once per `[@attr='value']` probe at evaluation time; SipHash's
-/// per-call finalization dominates at such lengths, and the table needs
-/// no DoS hardening — it is rebuilt per page and its ids are dense
-/// first-seen either way.
-#[derive(Clone)]
-pub(crate) struct Fnv1a(u64);
+/// Keyed polynomial hasher for the per-document attribute-value table.
+///
+/// Those values are short strings hashed once per attribute on the
+/// parse path and once per `[@attr='value']` probe at evaluation time;
+/// SipHash's per-call finalization dominates at such lengths and is
+/// measurable on the serving tier's request path. But the values come
+/// straight from hostile pages, so an *unkeyed* fast hash (FNV, Fx)
+/// would reopen the algorithmic-complexity hole SipHash closes: its
+/// constants are public, and a crafted page full of colliding values
+/// degrades its own parse toward O(n²).
+///
+/// This hasher instead evaluates the byte stream as a polynomial over
+/// the Mersenne field `p = 2^61 - 1` at a secret point `x` drawn once
+/// per process from OS entropy (via [`RandomState`]): the stream is
+/// split into 56-bit blocks `c_1..c_d` (seven bytes each, the last
+/// carrying a length-marker bit so the encoding is injective on
+/// streams) and `H = Σ c_i · x^(d-i) mod p`. That is the standard
+/// Carter–Wegman almost-universal family (the same construction as
+/// Poly1305's core): for any two distinct strings of length ≤ L the
+/// collision probability over the key draw is ≤ (L/7 + 1)/2^61, so
+/// collisions cannot be *crafted* without knowing `x` — and `x` never
+/// leaves the process (hashes and map iteration order are never
+/// serialized or exposed; the dense value ids are first-seen order,
+/// key-independent). The cost is one widening multiply per **seven**
+/// bytes — ahead of FNV's per-byte multiply and far from SipHash's ARX
+/// rounds. `finish` applies an (unkeyed, bijective) xor-shift
+/// finalizer so bucket masking sees diffused low bits; a bijection
+/// cannot introduce collisions.
+pub(crate) struct PolyHasher {
+    h: u64,
+    key: u64,
+    /// Bytes awaiting a full block, packed little-endian.
+    pending: u64,
+    /// How many bytes `pending` holds (0..=6).
+    pending_len: u32,
+}
 
-impl Default for Fnv1a {
+/// `2^61 - 1`, the field modulus.
+const POLY_P: u64 = (1 << 61) - 1;
+
+/// `a * b mod p` for `a, b < 2^61`, via one widening multiply and a
+/// Mersenne fold.
+#[inline]
+fn poly_mul_mod(a: u64, b: u64) -> u64 {
+    let t = (a as u128) * (b as u128);
+    let mut r = ((t as u64) & POLY_P) + ((t >> 61) as u64);
+    r = (r & POLY_P) + (r >> 61);
+    if r >= POLY_P {
+        r -= POLY_P;
+    }
+    r
+}
+
+/// One Horner step: `h * key + block mod p`, for `block < 2^57`.
+#[inline]
+fn poly_fold(h: u64, key: u64, block: u64) -> u64 {
+    let mut r = poly_mul_mod(h, key) + block;
+    r = (r & POLY_P) + (r >> 61);
+    if r >= POLY_P {
+        r -= POLY_P;
+    }
+    r
+}
+
+/// The process-wide secret evaluation point, in `[2, p - 1]`.
+fn poly_key() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::BuildHasher;
+    static KEY: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *KEY.get_or_init(|| {
+        // RandomState seeds from OS entropy; its SipHash output of a
+        // fixed input is uniform and unknown to page authors. The
+        // modulo bias (2^64 vs ~2^61 keys) is a < 2^-59 distribution
+        // skew — irrelevant next to the L/2^61 collision bound.
+        RandomState::new().hash_one(0u64) % (POLY_P - 2) + 2
+    })
+}
+
+impl Default for PolyHasher {
     fn default() -> Self {
-        Fnv1a(0xcbf2_9ce4_8422_2325)
+        PolyHasher {
+            h: 0,
+            key: poly_key(),
+            pending: 0,
+            pending_len: 0,
+        }
     }
 }
 
-impl Hasher for Fnv1a {
+impl Hasher for PolyHasher {
     #[inline]
     fn finish(&self) -> u64 {
-        self.0
+        // Fold the tail as a final block with a length-marker bit above
+        // its top byte — an injective encoding, so streams differing
+        // only in trailing NULs or total length land in distinct
+        // blocks. Then fmix64 (the splitmix/Murmur3 finalizer):
+        // bijective diffusion so `HashMap`'s power-of-two bucket mask
+        // sees every input bit.
+        let tail = self.pending | (1u64 << (8 * self.pending_len));
+        let mut z = poly_fold(self.h, self.key, tail);
+        z = (z ^ (z >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        z = (z ^ (z >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        z ^ (z >> 33)
     }
 
     #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = self.0;
-        for &b in bytes {
-            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    fn write(&mut self, mut bytes: &[u8]) {
+        // Buffering into `pending` makes the hash a function of the
+        // byte stream alone, independent of how callers split their
+        // `write` calls. Top up a partially filled block byte-wise,
+        // then fold aligned seven-byte chunks straight off the slice.
+        while self.pending_len != 0 {
+            let Some((&b, rest)) = bytes.split_first() else {
+                return;
+            };
+            bytes = rest;
+            self.pending |= (b as u64) << (8 * self.pending_len);
+            self.pending_len += 1;
+            if self.pending_len == 7 {
+                self.h = poly_fold(self.h, self.key, self.pending);
+                self.pending = 0;
+                self.pending_len = 0;
+            }
         }
-        self.0 = h;
+        let mut chunks = bytes.chunks_exact(7);
+        for c in &mut chunks {
+            let mut w = [0u8; 8];
+            w[..7].copy_from_slice(c);
+            self.h = poly_fold(self.h, self.key, u64::from_le_bytes(w));
+        }
+        for &b in chunks.remainder() {
+            self.pending |= (b as u64) << (8 * self.pending_len);
+            self.pending_len += 1;
+        }
     }
 }
 
@@ -140,8 +246,10 @@ pub struct DocIndex {
     /// Attribute value → dense per-document id. Values are unbounded
     /// across a crawl (hrefs, ids), so they are deliberately *not* put in
     /// the process-global interner — this table lives and dies with the
-    /// index.
-    pub(crate) attr_values: HashMap<String, u32, BuildHasherDefault<Fnv1a>>,
+    /// index. Keyed with [`PolyHasher`] — fast on short strings like
+    /// FNV, but secret-keyed so hostile request pages cannot craft
+    /// collision sets (see its docs for the bound).
+    pub(crate) attr_values: HashMap<String, u32, BuildHasherDefault<PolyHasher>>,
     /// Structural template fingerprint, computed on first use (see
     /// [`DocIndex::template_fingerprint`]) — consumers that never
     /// fingerprint (per-rule evaluation, cache-disabled batch engines)
@@ -657,6 +765,71 @@ mod tests {
     use super::*;
     use crate::interner::intern;
     use crate::parser::parse;
+
+    #[test]
+    fn poly_mul_mod_matches_wide_arithmetic() {
+        let p = POLY_P as u128;
+        for &(a, b) in &[
+            (0u64, 0u64),
+            (1, POLY_P - 1),
+            (POLY_P - 1, POLY_P - 1),
+            (
+                0x1234_5678_9abc_def0 % POLY_P,
+                0x0fed_cba9_8765_4321 % POLY_P,
+            ),
+            (poly_key(), poly_key()),
+        ] {
+            let expect = ((a as u128) * (b as u128) % p) as u64;
+            assert_eq!(poly_mul_mod(a, b), expect, "a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn poly_hasher_is_split_invariant() {
+        // The hash must depend on the byte stream alone, not on how
+        // callers batch their `write` calls (the chunked bulk path and
+        // the pending-block top-up must compose seamlessly).
+        let data = b"a moderately long attribute value, 47 bytes huh";
+        let whole = {
+            let mut h = PolyHasher::default();
+            h.write(data);
+            h.finish()
+        };
+        for split in 0..data.len() {
+            let mut h = PolyHasher::default();
+            h.write(&data[..split]);
+            h.write(&data[split..]);
+            assert_eq!(h.finish(), whole, "split at {split}");
+        }
+        let mut bytewise = PolyHasher::default();
+        for b in data {
+            bytewise.write(std::slice::from_ref(b));
+        }
+        assert_eq!(bytewise.finish(), whole);
+    }
+
+    #[test]
+    fn poly_hasher_separates_prefix_extensions_and_is_stable() {
+        use std::hash::BuildHasher;
+        let build = BuildHasherDefault::<PolyHasher>::default();
+        let h = |s: &str| build.hash_one(s);
+        // Same process, same key: equal inputs agree, and the
+        // trailing-byte extensions a plain `Σ b_i x^i` conflates stay
+        // distinct.
+        assert_eq!(h("dealerlinks"), h("dealerlinks"));
+        assert_ne!(h("a"), h("a\0"));
+        assert_ne!(h("a\0"), h("a\0\0"));
+        assert_ne!(h(""), h("\0"));
+        // Short-string sanity: all 2-byte ASCII values hash distinct
+        // (collisions at this scale would mean the fold is broken, not
+        // bad luck — the family's bound is 2/2^61 per pair).
+        let mut seen = std::collections::HashSet::new();
+        for a in 0u8..128 {
+            for b in 0u8..128 {
+                assert!(seen.insert(build.hash_one([a, b])), "collision at {a},{b}");
+            }
+        }
+    }
 
     #[test]
     fn ranks_are_preorder_and_spans_are_contiguous() {

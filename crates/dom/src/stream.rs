@@ -40,6 +40,7 @@
 //! arbitrary markup — the same relationship the reference xpath engine
 //! has to the compiled engines.
 
+use std::collections::hash_map::Entry;
 use std::ops::Deref;
 
 use crate::arena::{Document, Element, Node, NodeId, NodeKind};
@@ -193,6 +194,9 @@ impl SymCache {
 /// by a conservative byte scan: pure ASCII with every whitespace being a
 /// single interior `' '`. Multi-byte sequences (which could hide
 /// `\u{a0}` or Unicode whitespace) always take the rebuild path.
+/// `char::is_whitespace` is the collapse criterion, so the scan must
+/// match it on every ASCII byte — including U+000B (vertical tab),
+/// which `u8::is_ascii_whitespace` omits.
 fn is_collapsed(t: &str) -> bool {
     let b = t.as_bytes();
     if b.is_empty() || b[0] == b' ' || b[b.len() - 1] == b' ' {
@@ -200,7 +204,7 @@ fn is_collapsed(t: &str) -> bool {
     }
     let mut prev_space = false;
     for &c in b {
-        if c >= 0x80 || (c.is_ascii_whitespace() && c != b' ') {
+        if c >= 0x80 || ((c.is_ascii_whitespace() || c == 0x0B) && c != b' ') {
             return false;
         }
         let space = c == b' ';
@@ -237,6 +241,18 @@ pub struct StreamIndexer {
     /// Symbol ids with a non-empty list in `postings`, in first-seen
     /// order.
     posted_syms: Vec<u32>,
+    /// Per-attribute-name memo (indexed by name symbol id, dense like
+    /// `postings`) of values resolved through the keyed `attr_values`
+    /// map: a few entries per name, transposed toward the front on hit
+    /// like [`SymCache`]. Template pages cycle a name through a small
+    /// value set (`class='row'` / `'name'` / `'phone'`) hundreds of
+    /// times; after one warmup sighting each, a short fail-fast scan
+    /// replaces the keyed-hash probe and the `String` clone. Only map
+    /// *hits* are memoized, so never-repeating values (hrefs) cost a
+    /// failed scan and no extra allocation — and the keyed map stays
+    /// authoritative, so id assignment is unchanged and crafted values
+    /// cannot collide their way around the keyed hash.
+    val_memo: Vec<Vec<(String, u32)>>,
 }
 
 impl StreamIndexer {
@@ -280,6 +296,7 @@ impl StreamIndexer {
             attr_names: SymCache::default(),
             postings: Vec::new(),
             posted_syms: Vec::new(),
+            val_memo: Vec::new(),
         }
     }
 
@@ -340,15 +357,47 @@ impl StreamIndexer {
                 // creation order matches the classic build's arena pass.
                 let attr_start = self.idx.attrs.len() as u32;
                 for (aname, value) in &attrs {
-                    let vid = match self.idx.attr_values.get(value.as_str()) {
-                        Some(&v) => v,
+                    let nsym = self.attr_names.get(aname).sym;
+                    let slot = nsym.0 as usize;
+                    if slot >= self.val_memo.len() {
+                        self.val_memo.resize_with(slot + 1, Vec::new);
+                    }
+                    let cache = &mut self.val_memo[slot];
+                    let vid = match cache.iter().position(|(s, _)| s == value) {
+                        Some(i) => {
+                            let id = cache[i].1;
+                            if i > 0 {
+                                cache.swap(i, i - 1);
+                            }
+                            id
+                        }
                         None => {
+                            // One hash for both outcomes: brand-new
+                            // values (hrefs — the common miss) insert
+                            // directly; a repeat the memo missed is
+                            // worth memoizing for its next sighting.
                             let next_id = self.idx.attr_values.len() as u32;
-                            self.idx.attr_values.insert(value.clone(), next_id);
-                            next_id
+                            match self.idx.attr_values.entry(value.clone()) {
+                                Entry::Occupied(e) => {
+                                    let v = *e.get();
+                                    if cache.len() < 4 {
+                                        cache.push((value.clone(), v));
+                                    } else {
+                                        // Evict the coldest (rear) slot;
+                                        // transpose keeps hot values in
+                                        // front of it.
+                                        *cache.last_mut().expect("cap 4") = (value.clone(), v);
+                                    }
+                                    v
+                                }
+                                Entry::Vacant(e) => {
+                                    e.insert(next_id);
+                                    next_id
+                                }
+                            }
                         }
                     };
-                    self.idx.attrs.push((self.attr_names.get(aname).sym, vid));
+                    self.idx.attrs.push((nsym, vid));
                 }
                 let r = self.append(
                     NodeKind::Element(Element { tag: name, attrs }),
@@ -581,6 +630,37 @@ mod tests {
         ] {
             assert_matches_oracle(html);
         }
+    }
+
+    #[test]
+    fn whitespace_fast_path_matches_oracle() {
+        // Every character class where `is_collapsed`'s byte scan could
+        // diverge from `collapse_whitespace`'s `char::is_whitespace`
+        // criterion: the ASCII controls (VT 0x0B is the one
+        // `u8::is_ascii_whitespace` omits), NBSP, and Unicode spaces.
+        for html in [
+            "<div>a\u{0B}b</div>",
+            "<div>\u{0B}a</div>",
+            "<div>a\u{0B}</div>",
+            "<div>a\u{0B} b</div>",
+            "<div>a\u{0C}b</div>",
+            "<div>a\tb\rc</div>",
+            "<div>a\u{a0}b</div>",
+            "<div>a\u{2028}b</div>",
+            "<div>a\u{3000}b</div>",
+            "<td>x\u{0B}y<td>z",
+        ] {
+            assert_matches_oracle(html);
+        }
+        // The fast path must reject anything collapse would rewrite.
+        assert!(is_collapsed("a b"));
+        assert!(!is_collapsed("a\u{0B}b"));
+        assert!(!is_collapsed("a\u{0C}b"));
+        assert!(!is_collapsed("a\tb"));
+        assert!(!is_collapsed("a  b"));
+        assert!(!is_collapsed(" a"));
+        assert!(!is_collapsed("a "));
+        assert!(!is_collapsed("a\u{a0}b"));
     }
 
     #[test]

@@ -30,6 +30,13 @@ fn html_soup() -> impl Strategy<Value = String> {
         Just("<ul><li>".to_string()),
         Just("<table><tr>".to_string()),
         Just("é漢字".to_string()),
+        // Whitespace the streaming fast path must classify exactly like
+        // `collapse_whitespace`: VT (not ASCII-whitespace per `u8`), FF,
+        // NBSP, and a Unicode line separator.
+        Just("\u{0B}".to_string()),
+        Just("\u{0C}".to_string()),
+        Just("\u{a0}".to_string()),
+        Just("\u{2028}".to_string()),
     ];
     prop::collection::vec(fragment, 0..40).prop_map(|v| v.concat())
 }
